@@ -1,0 +1,108 @@
+//! Criterion benches: one group per paper artefact.
+//!
+//! Each bench times regenerating an experiment (the simulated metrics are
+//! printed by `cargo run -p bench --bin report`; here we keep the
+//! experiments honest about wall-clock cost and catch performance
+//! regressions in the simulator itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::{ablations, experiments, tcpx};
+
+fn bench_fig1_fig2(c: &mut Criterion) {
+    c.bench_function("fig1_fig2/ec_vs_mc_40txns", |b| {
+        b.iter(|| black_box(experiments::fig1_fig2(black_box(40))))
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/eight_apps_3sessions", |b| {
+        b.iter(|| black_box(experiments::table1(black_box(3))))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2/five_devices_3sessions", |b| {
+        b.iter(|| black_box(experiments::table2(black_box(3))))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3/wap_vs_imode_3sessions", |b| {
+        b.iter(|| black_box(experiments::table3(black_box(3))))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    c.bench_function("table4/wlan_sweep_50kB", |b| {
+        b.iter(|| black_box(experiments::table4(black_box(50_000))))
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    c.bench_function("table5/cellular_generations", |b| {
+        b.iter(|| black_box(experiments::table5()))
+    });
+}
+
+fn bench_tcp_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x1_tcp_variants");
+    group.sample_size(10);
+    for variant in tcpx::Variant::ALL {
+        group.bench_function(format!("{variant:?}_150kB_ber1e-5"), |b| {
+            let config = tcpx::TcpxConfig {
+                bytes: 150_000,
+                ber: 1e-5,
+                handoff_period: None,
+                ..Default::default()
+            };
+            b.iter(|| black_box(tcpx::run_one(variant, &config)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_requirements(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x2_requirements");
+    group.sample_size(10);
+    group.bench_function("all_five_checks", |b| {
+        b.iter(|| black_box(experiments::independence()))
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("wbxml_on_off", |b| {
+        b.iter(|| black_box(ablations::wbxml_ablation(2)))
+    });
+    group.bench_function("security_on_off", |b| {
+        b.iter(|| black_box(ablations::security_ablation(2)))
+    });
+    group.bench_function("storage_flat_vs_embedded", |b| {
+        b.iter(|| black_box(ablations::storage_ablation()))
+    });
+    group.bench_function("deck_adaptation", |b| {
+        b.iter(|| black_box(ablations::pagination_ablation()))
+    });
+    group.bench_function("battery_lifetime_by_os", |b| {
+        b.iter(|| black_box(ablations::battery_ablation()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_fig1_fig2,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_table5,
+    bench_tcp_variants,
+    bench_requirements,
+    bench_ablations
+);
+criterion_main!(paper);

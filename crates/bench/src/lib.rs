@@ -1,0 +1,21 @@
+//! # bench — the experiment harness
+//!
+//! One function per paper artefact (see `EXPERIMENTS.md`):
+//!
+//! | id | paper artefact | function |
+//! |----|----------------|----------|
+//! | F1/F2 | Figures 1–2, EC vs MC structure | [`experiments::fig1_fig2`] |
+//! | T1 | Table 1, MC applications | [`experiments::table1`] |
+//! | T2 | Table 2, mobile stations | [`experiments::table2`] |
+//! | T3 | Table 3, WAP vs i-mode | [`experiments::table3`] |
+//! | T4 | Table 4, WLAN standards | [`experiments::table4`] |
+//! | T5 | Table 5, cellular networks | [`experiments::table5`] |
+//! | X1 | §5.2, TCP variants on wireless | [`tcpx::tcp_variants`] |
+//! | X2 | §1.1, five system requirements | [`experiments::independence`] |
+//!
+//! `cargo run -p bench --bin report` prints every table; the Criterion
+//! benches under `benches/` time the same functions.
+
+pub mod ablations;
+pub mod experiments;
+pub mod tcpx;

@@ -1,0 +1,342 @@
+//! Commerce: mobile transactions and payments (Table 1, row 1).
+//!
+//! A storefront whose checkout drives the full `security` payment
+//! protocol: the application program signs an authorization request with
+//! the station's shared MAC key, the gateway places a hold, capture
+//! settles funds, and the rendered page carries the receipt's
+//! authorization code. Tampering and replay failures surface as refused
+//! checkouts — §8's integrity/authentication requirements, observable
+//! from the handset.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hostsite::db::{DbError, Value};
+use hostsite::{HostComputer, HttpRequest, HttpResponse, ServerCtx, Status};
+use markup::html;
+use middleware::MobileRequest;
+use rand::RngExt;
+use security::{Mac, PaymentGateway, PaymentRequest};
+use simnet::rng::rng_for_indexed;
+
+use super::{Application, Category, Step};
+
+/// The payments application.
+pub struct PaymentsApp {
+    client_mac: Mac,
+}
+
+impl Default for PaymentsApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PaymentsApp {
+    /// Creates the application with its well-known (simulated) shared key.
+    pub fn new() -> Self {
+        PaymentsApp {
+            client_mac: Mac::new(b"mc-payments-shared-key"),
+        }
+    }
+}
+
+/// Catalogue seeded at install time: `(sku, name, price_cents, stock)`.
+const CATALOG: [(i64, &str, i64, i64); 4] = [
+    (1, "wireless earpiece", 2_999, 40),
+    (2, "leather PDA case", 1_950, 60),
+    (3, "spare stylus pack", 650, 200),
+    (4, "travel charger", 1_450, 80),
+];
+
+impl Application for PaymentsApp {
+    fn category(&self) -> Category {
+        Category::Commerce
+    }
+
+    fn install(&self, host: &mut HostComputer) {
+        let db = host.web.db_mut();
+        db.create_table(
+            "products",
+            &["sku", "name", "price_cents", "stock"],
+            &["name"],
+        )
+        .expect("fresh database");
+        for (sku, name, price, stock) in CATALOG {
+            db.insert(
+                "products",
+                vec![sku.into(), name.into(), price.into(), stock.into()],
+            )
+            .expect("seed products");
+        }
+
+        let gateway = {
+            let mut gw = PaymentGateway::new(self.client_mac, Mac::new(b"mc-payments-gateway-key"));
+            // Every simulated shopper shares one demo account per run.
+            gw.open_account("shopper", 500_000);
+            Rc::new(RefCell::new(gw))
+        };
+        let client_mac = self.client_mac;
+
+        host.web
+            .route_get("/shop", |_req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+                let rows = match ctx.db.select("products", |_| true) {
+                    Ok(rows) => rows,
+                    Err(_) => return HttpResponse::error(Status::ServerError, "db error"),
+                };
+                let items: Vec<markup::Node> = rows
+                    .iter()
+                    .map(|r| {
+                        html::a(
+                            &format!("/shop/buy?sku={}", r[0]),
+                            &format!("{} — {} cents ({} left)", r[1], r[2], r[3]),
+                        )
+                        .into()
+                    })
+                    .collect();
+                let mut body = vec![html::h1("Mobile Shop").into()];
+                body.extend(items);
+                HttpResponse::ok(html::page("Shop", body).to_markup())
+            });
+
+        host.web.route_post(
+            "/shop/buy",
+            move |req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+                let Some(sku) = req.param("sku").and_then(|s| s.parse::<i64>().ok()) else {
+                    return HttpResponse::error(Status::BadRequest, "bad sku");
+                };
+                let Some(nonce) = req.param("nonce").and_then(|s| s.parse::<u64>().ok()) else {
+                    return HttpResponse::error(Status::BadRequest, "missing payment nonce");
+                };
+
+                // Two-phase order: authorize the payment (places a hold,
+                // no money moves), then reserve stock; if the reservation
+                // fails, void the hold; only then capture. Neither a
+                // refused payment nor an out-of-stock item leaves the
+                // other side half-committed.
+                let order_id = nonce; // unique per purchase in this workload
+                let Ok(Some(product)) = ctx.db.get("products", &sku.into()) else {
+                    return HttpResponse::error(Status::BadRequest, "no such product");
+                };
+                let Value::Int(price) = product[2] else {
+                    return HttpResponse::error(Status::ServerError, "bad product row");
+                };
+                let name = product[1].to_string();
+
+                let mut gw = gateway.borrow_mut();
+                let pay_req =
+                    PaymentRequest::signed(&client_mac, order_id, price as u64, "shopper", nonce);
+                if let Err(e) = gw.authorize(&pay_req) {
+                    return HttpResponse::error(
+                        Status::BadRequest,
+                        html::page(
+                            "Refused",
+                            vec![html::p(&format!("payment refused: {e}")).into()],
+                        )
+                        .to_markup(),
+                    );
+                }
+
+                // Reserve the item under the hold.
+                let reserved: Result<(), DbError> = ctx.db.transaction(|tx| {
+                    let mut row = tx.get("products", &sku.into())?.ok_or(DbError::NotFound)?;
+                    let Value::Int(stock) = row[3] else {
+                        return Err(DbError::NotFound);
+                    };
+                    if stock == 0 {
+                        return Err(DbError::NotFound);
+                    }
+                    row[3] = (stock - 1).into();
+                    tx.update("products", row)
+                });
+                if reserved.is_err() {
+                    let _ = gw.void(order_id);
+                    return HttpResponse::error(Status::BadRequest, "out of stock");
+                }
+                let receipt = match gw.capture(order_id) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return HttpResponse::error(
+                            Status::ServerError,
+                            html::page(
+                                "Error",
+                                vec![html::p(&format!("capture failed: {e}")).into()],
+                            )
+                            .to_markup(),
+                        )
+                    }
+                };
+                HttpResponse::ok(
+                    html::page(
+                        "Receipt",
+                        vec![
+                            html::h1("Payment complete").into(),
+                            html::p(&format!("You bought: {name}")).into(),
+                            html::p(&format!("Receipt auth code {}", receipt.auth_code)).into(),
+                        ],
+                    )
+                    .to_markup(),
+                )
+            },
+        );
+    }
+
+    fn session(&self, seed: u64, index: u64) -> Vec<Step> {
+        let mut rng = rng_for_indexed(seed, "payments.session", index);
+        let sku = CATALOG[rng.random_range(0..CATALOG.len())].0;
+        let nonce: u64 = (index << 20) | rng.random_range(0..1u64 << 20);
+        vec![
+            Step::expecting(MobileRequest::get("/shop"), "Mobile Shop"),
+            Step::expecting(
+                MobileRequest::post(
+                    "/shop/buy",
+                    vec![
+                        ("sku".into(), sku.to_string()),
+                        ("nonce".into(), nonce.to_string()),
+                    ],
+                ),
+                "Payment complete",
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostsite::db::Database;
+
+    fn host() -> HostComputer {
+        let mut host = HostComputer::new(Database::new(), 1);
+        PaymentsApp::new().install(&mut host);
+        host
+    }
+
+    #[test]
+    fn catalog_is_browsable() {
+        let mut host = host();
+        let (resp, _) = host.process(HttpRequest::get("/shop"));
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.body.contains("wireless earpiece"));
+        assert!(resp.body.contains("2999 cents"));
+    }
+
+    #[test]
+    fn purchase_decrements_stock_and_issues_receipt() {
+        let mut host = host();
+        let (resp, _) = host.process(HttpRequest::post(
+            "/shop/buy",
+            vec![
+                ("sku".to_owned(), "3".to_owned()),
+                ("nonce".to_owned(), "77".to_owned()),
+            ],
+        ));
+        assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+        assert!(resp.body.contains("Receipt auth code"));
+        assert!(resp.body.contains("spare stylus pack"));
+        let row = host.web.db().get("products", &3.into()).unwrap().unwrap();
+        assert_eq!(row[3], Value::Int(199));
+    }
+
+    #[test]
+    fn replayed_nonce_is_refused_and_stock_restored_semantics_hold() {
+        let mut host = host();
+        let buy = |host: &mut HostComputer, nonce: &str| {
+            host.process(HttpRequest::post(
+                "/shop/buy",
+                vec![
+                    ("sku".to_owned(), "1".to_owned()),
+                    ("nonce".to_owned(), nonce.to_owned()),
+                ],
+            ))
+            .0
+        };
+        assert_eq!(buy(&mut host, "42").status, Status::Ok);
+        let replay = buy(&mut host, "42");
+        assert_eq!(replay.status, Status::BadRequest);
+        assert!(replay.body.contains("replayed request"), "{}", replay.body);
+        // The refused replay must not leak stock: exactly one unit sold.
+        let row = host.web.db().get("products", &1.into()).unwrap().unwrap();
+        assert_eq!(
+            row[3],
+            Value::Int(39),
+            "refused payments must not consume stock"
+        );
+    }
+
+    #[test]
+    fn out_of_stock_refusal_releases_the_payment_hold() {
+        let mut host = host();
+        // Drain sku 1 (40 units).
+        for nonce in 0..40 {
+            let (resp, _) = host.process(HttpRequest::post(
+                "/shop/buy",
+                vec![
+                    ("sku".to_owned(), "1".to_owned()),
+                    ("nonce".to_owned(), nonce.to_string()),
+                ],
+            ));
+            assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+        }
+        // 41st attempt: payment authorizes, stock fails, hold must be
+        // voided so the shopper's funds are not stranded.
+        let (resp, _) = host.process(HttpRequest::post(
+            "/shop/buy",
+            vec![
+                ("sku".to_owned(), "1".to_owned()),
+                ("nonce".to_owned(), "4141".to_owned()),
+            ],
+        ));
+        assert_eq!(resp.status, Status::BadRequest);
+        // A follow-up purchase of another item with the full remaining
+        // balance succeeds — proof the hold was released. 40 earpieces at
+        // 2999 = 119,960 of the 500,000 balance; the voided 2999 hold
+        // would otherwise still count against available funds.
+        let (resp, _) = host.process(HttpRequest::post(
+            "/shop/buy",
+            vec![
+                ("sku".to_owned(), "2".to_owned()),
+                ("nonce".to_owned(), "4242".to_owned()),
+            ],
+        ));
+        assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+    }
+
+    #[test]
+    fn missing_parameters_are_rejected() {
+        let mut host = host();
+        let (resp, _) = host.process(HttpRequest::post(
+            "/shop/buy",
+            vec![("sku".to_owned(), "1".to_owned())],
+        ));
+        assert_eq!(resp.status, Status::BadRequest);
+        let (resp, _) = host.process(HttpRequest::post(
+            "/shop/buy",
+            vec![
+                ("sku".to_owned(), "no".to_owned()),
+                ("nonce".to_owned(), "1".to_owned()),
+            ],
+        ));
+        assert_eq!(resp.status, Status::BadRequest);
+    }
+
+    #[test]
+    fn sessions_use_distinct_nonces() {
+        let app = PaymentsApp::new();
+        let a = app.session(1, 0);
+        let b = app.session(1, 1);
+        let nonce = |steps: &[Step]| {
+            steps[1]
+                .req
+                .form
+                .as_ref()
+                .unwrap()
+                .iter()
+                .find(|(k, _)| k == "nonce")
+                .unwrap()
+                .1
+                .clone()
+        };
+        assert_ne!(nonce(&a), nonce(&b));
+    }
+}

@@ -1,0 +1,210 @@
+//! Education: mobile classrooms and labs (Table 1, row 2).
+//!
+//! Students pull lesson cards from the field and submit quiz answers;
+//! scores accumulate per student. Lessons are deliberately text-heavy
+//! (multi-card decks after WAP translation) so this workload exercises
+//! deck pagination on small devices.
+
+use hostsite::db::{DbError, Value};
+use hostsite::{HostComputer, HttpRequest, HttpResponse, ServerCtx, Status};
+use markup::html;
+use middleware::MobileRequest;
+use rand::RngExt;
+use simnet::rng::rng_for_indexed;
+
+use super::{Application, Category, Step};
+
+/// The mobile-classroom application.
+#[derive(Debug, Default)]
+pub struct EducationApp;
+
+/// Course id, title, and the correct answer to its quiz.
+const COURSES: [(i64, &str, &str); 3] = [
+    (1, "Wireless networks 101", "gateway"),
+    (2, "Mobile commerce basics", "middleware"),
+    (3, "Handheld programming", "battery"),
+];
+
+impl Application for EducationApp {
+    fn category(&self) -> Category {
+        Category::Education
+    }
+
+    fn install(&self, host: &mut HostComputer) {
+        let db = host.web.db_mut();
+        db.create_table("courses", &["id", "title", "answer"], &[])
+            .expect("fresh database");
+        db.create_table("scores", &["student", "points"], &[])
+            .expect("fresh database");
+        for (id, title, answer) in COURSES {
+            db.insert("courses", vec![id.into(), title.into(), answer.into()])
+                .expect("seed courses");
+        }
+
+        host.web.route_get(
+            "/learn/lesson",
+            |req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+                let Some(id) = req.param("course").and_then(|s| s.parse::<i64>().ok()) else {
+                    return HttpResponse::error(Status::BadRequest, "bad course id");
+                };
+                let Ok(Some(course)) = ctx.db.get("courses", &id.into()) else {
+                    return HttpResponse::error(Status::NotFound, "no such course");
+                };
+                let mut body: Vec<markup::Node> = vec![html::h1(&course[1].to_string()).into()];
+                for section in 1..=6 {
+                    body.push(
+                        html::p(&format!(
+                            "Section {section}: the key concept here is explained at length, \
+                         with worked examples a student can follow on a handheld screen \
+                         between classes or on the bus."
+                        ))
+                        .into(),
+                    );
+                }
+                body.push(
+                    html::form(&format!("/learn/quiz?course={id}"), "answer", "Submit").into(),
+                );
+                HttpResponse::ok(html::page("Lesson", body).to_markup())
+            },
+        );
+
+        host.web.route_post(
+            "/learn/quiz",
+            |req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+                let Some(id) = req.param("course").and_then(|s| s.parse::<i64>().ok()) else {
+                    return HttpResponse::error(Status::BadRequest, "bad course id");
+                };
+                let student = req.param("student").unwrap_or("anon").to_owned();
+                let answer = req.param("answer").unwrap_or("").to_owned();
+                let Ok(Some(course)) = ctx.db.get("courses", &id.into()) else {
+                    return HttpResponse::error(Status::NotFound, "no such course");
+                };
+                let correct = course[2] == Value::Text(answer.clone());
+                if correct {
+                    let result: Result<i64, DbError> = ctx.db.transaction(|tx| {
+                        let points = match tx.get("scores", &student.clone().into())? {
+                            Some(row) => match row[1] {
+                                Value::Int(p) => p,
+                                _ => 0,
+                            },
+                            None => {
+                                tx.insert("scores", vec![student.clone().into(), 0i64.into()])?;
+                                0
+                            }
+                        };
+                        tx.update("scores", vec![student.clone().into(), (points + 10).into()])?;
+                        Ok(points + 10)
+                    });
+                    match result {
+                        Ok(points) => HttpResponse::ok(
+                            html::page(
+                                "Quiz result",
+                                vec![html::p(&format!(
+                                    "correct! {student} now has {points} points"
+                                ))
+                                .into()],
+                            )
+                            .to_markup(),
+                        ),
+                        Err(_) => HttpResponse::error(Status::ServerError, "db error"),
+                    }
+                } else {
+                    HttpResponse::ok(
+                        html::page(
+                            "Quiz result",
+                            vec![html::p("not quite - review the lesson and retry").into()],
+                        )
+                        .to_markup(),
+                    )
+                }
+            },
+        );
+    }
+
+    fn session(&self, seed: u64, index: u64) -> Vec<Step> {
+        let mut rng = rng_for_indexed(seed, "education.session", index);
+        let (course, _, answer) = COURSES[rng.random_range(0..COURSES.len())];
+        let student = format!("student-{}", index % 20);
+        vec![
+            Step::expecting(
+                MobileRequest::get(&format!("/learn/lesson?course={course}")),
+                "Section 1",
+            ),
+            Step::expecting(
+                MobileRequest::post(
+                    &format!("/learn/quiz?course={course}"),
+                    vec![
+                        ("student".into(), student),
+                        ("answer".into(), answer.into()),
+                    ],
+                ),
+                "correct!",
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostsite::db::Database;
+
+    fn host() -> HostComputer {
+        let mut host = HostComputer::new(Database::new(), 7);
+        EducationApp.install(&mut host);
+        host
+    }
+
+    #[test]
+    fn lessons_are_long_form_content() {
+        let mut host = host();
+        let (resp, _) = host.process(HttpRequest::get("/learn/lesson?course=1"));
+        assert!(resp.body.contains("Section 6"));
+        assert!(
+            resp.body.len() > 800,
+            "lesson should be deck-paginating size"
+        );
+    }
+
+    #[test]
+    fn correct_answers_accumulate_points() {
+        let mut host = host();
+        for _ in 0..3 {
+            host.process(HttpRequest::post(
+                "/learn/quiz?course=2",
+                vec![
+                    ("student".to_owned(), "sam".to_owned()),
+                    ("answer".to_owned(), "middleware".to_owned()),
+                ],
+            ));
+        }
+        let row = host.web.db().get("scores", &"sam".into()).unwrap().unwrap();
+        assert_eq!(row[1], Value::Int(30));
+    }
+
+    #[test]
+    fn wrong_answers_score_nothing() {
+        let mut host = host();
+        let (resp, _) = host.process(HttpRequest::post(
+            "/learn/quiz?course=1",
+            vec![
+                ("student".to_owned(), "kim".to_owned()),
+                ("answer".to_owned(), "router".to_owned()),
+            ],
+        ));
+        assert!(resp.body.contains("not quite"));
+        assert!(host
+            .web
+            .db()
+            .get("scores", &"kim".into())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn unknown_course_is_404() {
+        let mut host = host();
+        let (resp, _) = host.process(HttpRequest::get("/learn/lesson?course=9"));
+        assert_eq!(resp.status, Status::NotFound);
+    }
+}

@@ -1,0 +1,224 @@
+//! Health care: patient record accessing (Table 1, row 5).
+//!
+//! Clinicians pull patient records and append vitals from the bedside.
+//! Records are behind an authentication realm (§7's "DBM-based
+//! authentication databases") — unauthenticated access is refused, which
+//! the session workflow exercises both ways.
+
+use hostsite::db::{DbError, Value};
+use hostsite::{HostComputer, HttpRequest, HttpResponse, ServerCtx, Status};
+use markup::html;
+use middleware::MobileRequest;
+use rand::RngExt;
+use simnet::rng::rng_for_indexed;
+
+use super::{Application, Category, Step};
+
+/// The patient-records application.
+#[derive(Debug, Default)]
+pub struct HealthCareApp;
+
+/// Clinician credentials provisioned at install.
+pub const CLINICIAN: (&str, &str) = ("dr-grey", "rounds2003");
+
+const PATIENTS: [(i64, &str, &str); 4] = [
+    (1, "J. Doe", "post-op day 2, stable"),
+    (2, "M. Smith", "admitted for observation"),
+    (3, "A. Chen", "scheduled for imaging"),
+    (4, "R. Patel", "discharge pending"),
+];
+
+impl Application for HealthCareApp {
+    fn category(&self) -> Category {
+        Category::HealthCare
+    }
+
+    fn install(&self, host: &mut HostComputer) {
+        let db = host.web.db_mut();
+        db.create_table("patients", &["id", "name", "notes"], &[])
+            .expect("fresh database");
+        db.create_table(
+            "vitals",
+            &["id", "patient", "pulse", "temp_x10"],
+            &["patient"],
+        )
+        .expect("fresh database");
+        for (id, name, notes) in PATIENTS {
+            db.insert("patients", vec![id.into(), name.into(), notes.into()])
+                .expect("seed patients");
+        }
+
+        // Everything under /ward requires clinician credentials.
+        host.web.protect(
+            "/ward",
+            vec![(CLINICIAN.0.to_owned(), CLINICIAN.1.to_owned())],
+        );
+
+        host.web.route_get(
+            "/ward/patient",
+            |req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+                let Some(id) = req.param("id").and_then(|s| s.parse::<i64>().ok()) else {
+                    return HttpResponse::error(Status::BadRequest, "bad patient id");
+                };
+                let Ok(Some(patient)) = ctx.db.get("patients", &id.into()) else {
+                    return HttpResponse::error(Status::NotFound, "no such patient");
+                };
+                let vitals = ctx
+                    .db
+                    .select_eq("vitals", "patient", &id.into())
+                    .unwrap_or_default();
+                let mut body: Vec<markup::Node> = vec![
+                    html::h1(&format!("Record: {}", patient[1])).into(),
+                    html::p(&patient[2].to_string()).into(),
+                ];
+                for v in vitals.iter().rev().take(3) {
+                    let temp = match v[3] {
+                        Value::Int(t) => t as f64 / 10.0,
+                        _ => 0.0,
+                    };
+                    body.push(html::p(&format!("vitals: pulse {} temp {:.1}", v[2], temp)).into());
+                }
+                HttpResponse::ok(html::page("Patient record", body).to_markup())
+            },
+        );
+
+        host.web.route_post(
+            "/ward/vitals",
+            |req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+                let Some(patient) = req.param("patient").and_then(|s| s.parse::<i64>().ok()) else {
+                    return HttpResponse::error(Status::BadRequest, "bad patient id");
+                };
+                let pulse: i64 = req.param("pulse").and_then(|s| s.parse().ok()).unwrap_or(0);
+                let temp_x10: i64 = req
+                    .param("temp_x10")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(370);
+                let result: Result<(), DbError> = ctx.db.transaction(|tx| {
+                    tx.get("patients", &patient.into())?
+                        .ok_or(DbError::NotFound)?;
+                    let id = (tx.len("vitals")? as i64) + 1;
+                    tx.insert(
+                        "vitals",
+                        vec![id.into(), patient.into(), pulse.into(), temp_x10.into()],
+                    )
+                });
+                match result {
+                    Ok(()) => HttpResponse::ok(
+                        html::page(
+                            "Vitals recorded",
+                            vec![html::p(&format!("vitals recorded for patient {patient}")).into()],
+                        )
+                        .to_markup(),
+                    ),
+                    Err(_) => HttpResponse::error(Status::NotFound, "no such patient"),
+                }
+            },
+        );
+    }
+
+    fn session(&self, seed: u64, index: u64) -> Vec<Step> {
+        let mut rng = rng_for_indexed(seed, "healthcare.session", index);
+        let patient = PATIENTS[rng.random_range(0..PATIENTS.len())].0;
+        let pulse = rng.random_range(55..110i64);
+        vec![
+            Step::expecting(
+                MobileRequest::post(
+                    "/ward/vitals",
+                    vec![
+                        ("patient".into(), patient.to_string()),
+                        ("pulse".into(), pulse.to_string()),
+                        ("temp_x10".into(), "368".into()),
+                    ],
+                )
+                .with_auth(CLINICIAN.0, CLINICIAN.1),
+                "vitals recorded",
+            ),
+            Step::expecting(
+                MobileRequest::get(&format!("/ward/patient?id={patient}"))
+                    .with_auth(CLINICIAN.0, CLINICIAN.1),
+                "Record:",
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostsite::db::Database;
+
+    fn host() -> HostComputer {
+        let mut host = HostComputer::new(Database::new(), 5);
+        HealthCareApp.install(&mut host);
+        host
+    }
+
+    #[test]
+    fn unauthenticated_access_is_refused() {
+        let mut host = host();
+        let (resp, _) = host.process(HttpRequest::get("/ward/patient?id=1"));
+        assert_eq!(resp.status, Status::Unauthorized);
+        let (resp, _) =
+            host.process(HttpRequest::get("/ward/patient?id=1").with_auth("dr-grey", "wrongpass"));
+        assert_eq!(resp.status, Status::Unauthorized);
+    }
+
+    #[test]
+    fn clinician_reads_records_and_appends_vitals() {
+        let mut host = host();
+        host.process(
+            HttpRequest::post(
+                "/ward/vitals",
+                vec![
+                    ("patient".to_owned(), "2".to_owned()),
+                    ("pulse".to_owned(), "72".to_owned()),
+                    ("temp_x10".to_owned(), "371".to_owned()),
+                ],
+            )
+            .with_auth(CLINICIAN.0, CLINICIAN.1),
+        );
+        let (resp, _) = host
+            .process(HttpRequest::get("/ward/patient?id=2").with_auth(CLINICIAN.0, CLINICIAN.1));
+        assert!(resp.body.contains("Record: M. Smith"));
+        assert!(resp.body.contains("pulse 72"));
+        assert!(resp.body.contains("temp 37.1"));
+    }
+
+    #[test]
+    fn vitals_for_unknown_patient_roll_back() {
+        let mut host = host();
+        let (resp, _) = host.process(
+            HttpRequest::post(
+                "/ward/vitals",
+                vec![("patient".to_owned(), "99".to_owned())],
+            )
+            .with_auth(CLINICIAN.0, CLINICIAN.1),
+        );
+        assert_eq!(resp.status, Status::NotFound);
+        assert_eq!(host.web.db().len("vitals").unwrap(), 0);
+    }
+
+    #[test]
+    fn record_shows_only_recent_vitals() {
+        let mut host = host();
+        for pulse in 60..70 {
+            host.process(
+                HttpRequest::post(
+                    "/ward/vitals",
+                    vec![
+                        ("patient".to_owned(), "1".to_owned()),
+                        ("pulse".to_owned(), pulse.to_string()),
+                    ],
+                )
+                .with_auth(CLINICIAN.0, CLINICIAN.1),
+            );
+        }
+        let (resp, _) = host
+            .process(HttpRequest::get("/ward/patient?id=1").with_auth(CLINICIAN.0, CLINICIAN.1));
+        assert!(resp.body.contains("pulse 69"));
+        assert!(
+            !resp.body.contains("pulse 60"),
+            "only the latest three show"
+        );
+    }
+}

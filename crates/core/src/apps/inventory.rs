@@ -1,0 +1,269 @@
+//! Inventory tracking and dispatching (Table 1, row 6).
+//!
+//! The paper's introduction singles this category out: "some tasks that
+//! are not feasible for electronic commerce, such as mobile inventory
+//! tracking and dispatching, are possible for mobile commerce." Drivers
+//! scan packages from the road (POST from a handheld), dispatchers assign
+//! them, and customers query live status — every write originates on a
+//! mobile station.
+
+use hostsite::db::DbError;
+#[cfg(test)]
+use hostsite::db::Value;
+use hostsite::{HostComputer, HttpRequest, HttpResponse, ServerCtx, Status};
+use markup::html;
+use middleware::MobileRequest;
+use rand::RngExt;
+use simnet::rng::rng_for_indexed;
+
+use super::{Application, Category, Step};
+
+/// The inventory tracking and dispatching application.
+#[derive(Debug, Default)]
+pub struct InventoryApp;
+
+/// Depots packages move through.
+pub const DEPOTS: [&str; 5] = [
+    "airport hub",
+    "north depot",
+    "south depot",
+    "city dock",
+    "van 7",
+];
+
+impl Application for InventoryApp {
+    fn category(&self) -> Category {
+        Category::Inventory
+    }
+
+    fn install(&self, host: &mut HostComputer) {
+        let db = host.web.db_mut();
+        db.create_table(
+            "packages",
+            &["id", "contents", "location", "status", "driver"],
+            &["status"],
+        )
+        .expect("fresh database");
+        for id in 0..200i64 {
+            db.insert(
+                "packages",
+                vec![
+                    id.into(),
+                    format!("parcel #{id}").into(),
+                    DEPOTS[id as usize % DEPOTS.len()].into(),
+                    "in transit".into(),
+                    "unassigned".into(),
+                ],
+            )
+            .expect("seed packages");
+        }
+
+        // Driver scan: update a package's location (and maybe deliver it).
+        host.web.route_post(
+            "/track/scan",
+            |req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+                let Some(id) = req.param("id").and_then(|s| s.parse::<i64>().ok()) else {
+                    return HttpResponse::error(Status::BadRequest, "bad package id");
+                };
+                let location = req.param("location").unwrap_or("unknown").to_owned();
+                let delivered = req.param("delivered") == Some("1");
+                let result: Result<(), DbError> = ctx.db.transaction(|tx| {
+                    let mut row = tx.get("packages", &id.into())?.ok_or(DbError::NotFound)?;
+                    row[2] = location.clone().into();
+                    if delivered {
+                        row[3] = "delivered".into();
+                    }
+                    tx.update("packages", row)
+                });
+                match result {
+                    Ok(()) => HttpResponse::ok(
+                        html::page(
+                            "Scanned",
+                            vec![html::p(&format!("package {id} scanned at {location}")).into()],
+                        )
+                        .to_markup(),
+                    ),
+                    Err(_) => HttpResponse::error(Status::NotFound, "no such package"),
+                }
+            },
+        );
+
+        // Dispatcher assigns a driver.
+        host.web.route_post(
+            "/track/dispatch",
+            |req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+                let Some(id) = req.param("id").and_then(|s| s.parse::<i64>().ok()) else {
+                    return HttpResponse::error(Status::BadRequest, "bad package id");
+                };
+                let driver = req.param("driver").unwrap_or("unknown").to_owned();
+                let result: Result<(), DbError> = ctx.db.transaction(|tx| {
+                    let mut row = tx.get("packages", &id.into())?.ok_or(DbError::NotFound)?;
+                    row[4] = driver.clone().into();
+                    tx.update("packages", row)
+                });
+                match result {
+                    Ok(()) => HttpResponse::ok(
+                        html::page(
+                            "Dispatched",
+                            vec![html::p(&format!("package {id} assigned to {driver}")).into()],
+                        )
+                        .to_markup(),
+                    ),
+                    Err(_) => HttpResponse::error(Status::NotFound, "no such package"),
+                }
+            },
+        );
+
+        // Status query.
+        host.web.route_get(
+            "/track/status",
+            |req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+                let Some(id) = req.param("id").and_then(|s| s.parse::<i64>().ok()) else {
+                    return HttpResponse::error(Status::BadRequest, "bad package id");
+                };
+                match ctx.db.get("packages", &id.into()) {
+                    Ok(Some(row)) => HttpResponse::ok(
+                        html::page(
+                            "Tracking",
+                            vec![
+                                html::h1(&format!("Package {id}")).into(),
+                                html::table([
+                                    ("contents", &row[1].to_string()[..]),
+                                    ("location", &row[2].to_string()[..]),
+                                    ("status", &row[3].to_string()[..]),
+                                    ("driver", &row[4].to_string()[..]),
+                                ])
+                                .into(),
+                            ],
+                        )
+                        .to_markup(),
+                    ),
+                    Ok(None) => HttpResponse::error(Status::NotFound, "no such package"),
+                    Err(_) => HttpResponse::error(Status::ServerError, "db error"),
+                }
+            },
+        );
+
+        // Backlog view for dispatchers.
+        host.web.route_get(
+            "/track/backlog",
+            |_req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+                let in_transit = ctx
+                    .db
+                    .select_eq("packages", "status", &"in transit".into())
+                    .map(|rows| rows.len())
+                    .unwrap_or(0);
+                HttpResponse::ok(
+                    html::page(
+                        "Backlog",
+                        vec![html::p(&format!("{in_transit} packages in transit")).into()],
+                    )
+                    .to_markup(),
+                )
+            },
+        );
+    }
+
+    fn session(&self, seed: u64, index: u64) -> Vec<Step> {
+        let mut rng = rng_for_indexed(seed, "inventory.session", index);
+        let id = rng.random_range(0..200i64);
+        let depot = DEPOTS[rng.random_range(0..DEPOTS.len())];
+        let driver = format!("driver-{}", rng.random_range(1..9u32));
+        vec![
+            Step::expecting(
+                MobileRequest::post(
+                    "/track/dispatch",
+                    vec![
+                        ("id".into(), id.to_string()),
+                        ("driver".into(), driver.clone()),
+                    ],
+                ),
+                format!("assigned to {driver}"),
+            ),
+            Step::expecting(
+                MobileRequest::post(
+                    "/track/scan",
+                    vec![
+                        ("id".into(), id.to_string()),
+                        ("location".into(), depot.into()),
+                    ],
+                ),
+                format!("scanned at {depot}"),
+            ),
+            Step::expecting(MobileRequest::get(&format!("/track/status?id={id}")), depot),
+            Step::expecting(MobileRequest::get("/track/backlog"), "in transit"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostsite::db::Database;
+
+    fn host() -> HostComputer {
+        let mut host = HostComputer::new(Database::new(), 2);
+        InventoryApp.install(&mut host);
+        host
+    }
+
+    #[test]
+    fn scan_updates_location_and_status_page_reflects_it() {
+        let mut host = host();
+        let (resp, _) = host.process(HttpRequest::post(
+            "/track/scan",
+            vec![
+                ("id".to_owned(), "5".to_owned()),
+                ("location".to_owned(), "van 7".to_owned()),
+                ("delivered".to_owned(), "1".to_owned()),
+            ],
+        ));
+        assert_eq!(resp.status, Status::Ok);
+        let (status, _) = host.process(HttpRequest::get("/track/status?id=5"));
+        assert!(status.body.contains("van 7"));
+        assert!(status.body.contains("delivered"));
+    }
+
+    #[test]
+    fn dispatch_assigns_driver() {
+        let mut host = host();
+        host.process(HttpRequest::post(
+            "/track/dispatch",
+            vec![
+                ("id".to_owned(), "9".to_owned()),
+                ("driver".to_owned(), "driver-3".to_owned()),
+            ],
+        ));
+        let row = host.web.db().get("packages", &9.into()).unwrap().unwrap();
+        assert_eq!(row[4], Value::Text("driver-3".into()));
+    }
+
+    #[test]
+    fn backlog_counts_shrink_as_packages_deliver() {
+        let mut host = host();
+        let before = {
+            let (resp, _) = host.process(HttpRequest::get("/track/backlog"));
+            resp.body.clone()
+        };
+        assert!(before.contains("200 packages"));
+        for id in 0..10 {
+            host.process(HttpRequest::post(
+                "/track/scan",
+                vec![
+                    ("id".to_owned(), id.to_string()),
+                    ("location".to_owned(), "door".to_owned()),
+                    ("delivered".to_owned(), "1".to_owned()),
+                ],
+            ));
+        }
+        let (after, _) = host.process(HttpRequest::get("/track/backlog"));
+        assert!(after.body.contains("190 packages"), "{}", after.body);
+    }
+
+    #[test]
+    fn unknown_package_is_404() {
+        let mut host = host();
+        let (resp, _) = host.process(HttpRequest::get("/track/status?id=999"));
+        assert_eq!(resp.status, Status::NotFound);
+    }
+}

@@ -1,0 +1,223 @@
+//! The mobile commerce applications of Table 1 (component i).
+//!
+//! | Category | Major applications | Clients |
+//! |---|---|---|
+//! | Commerce | mobile transactions and payments | businesses |
+//! | Education | mobile classrooms and labs | schools and training centers |
+//! | Enterprise resource planning | resource management | all companies |
+//! | Entertainment | music/video/game downloads | entertainment industry |
+//! | Health care | patient record accessing | hospitals and nursing homes |
+//! | Inventory tracking and dispatching | product tracking and dispatching | delivery services and transportation |
+//! | Traffic | global positioning, directions, and traffic advisories | transportation and auto industries |
+//! | Travel and ticketing | travel management | travel industry and ticket sales |
+//!
+//! Each category is a real [`Application`]: an installer that provisions
+//! the host computer (database schema, seed data, application-program
+//! routes) plus a deterministic generator of user *sessions* — sequences
+//! of requests with expected outcomes — that the workload runner drives
+//! through any [`crate::CommerceSystem`].
+
+pub mod commerce;
+pub mod education;
+pub mod entertainment;
+pub mod erp;
+pub mod healthcare;
+pub mod inventory;
+pub mod traffic;
+pub mod travel;
+
+use hostsite::HostComputer;
+use middleware::MobileRequest;
+
+pub use commerce::PaymentsApp;
+pub use education::EducationApp;
+pub use entertainment::EntertainmentApp;
+pub use erp::ErpApp;
+pub use healthcare::HealthCareApp;
+pub use inventory::InventoryApp;
+pub use traffic::TrafficApp;
+pub use travel::TravelApp;
+
+/// The application categories of Table 1, in row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Mobile transactions and payments.
+    Commerce,
+    /// Mobile classrooms and labs.
+    Education,
+    /// Enterprise resource planning.
+    Erp,
+    /// Music/video/game downloads.
+    Entertainment,
+    /// Patient record accessing.
+    HealthCare,
+    /// Product tracking and dispatching.
+    Inventory,
+    /// Global positioning, directions, traffic advisories.
+    Traffic,
+    /// Travel management and ticketing.
+    Travel,
+}
+
+impl Category {
+    /// All eight Table 1 categories.
+    pub const ALL: [Category; 8] = [
+        Category::Commerce,
+        Category::Education,
+        Category::Erp,
+        Category::Entertainment,
+        Category::HealthCare,
+        Category::Inventory,
+        Category::Traffic,
+        Category::Travel,
+    ];
+
+    /// The category name (Table 1 column 1).
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Commerce => "Commerce",
+            Category::Education => "Education",
+            Category::Erp => "Enterprise resource planning",
+            Category::Entertainment => "Entertainment",
+            Category::HealthCare => "Health care",
+            Category::Inventory => "Inventory tracking and dispatching",
+            Category::Traffic => "Traffic",
+            Category::Travel => "Travel and ticketing",
+        }
+    }
+
+    /// The major applications (Table 1 column 2).
+    pub fn major_applications(self) -> &'static str {
+        match self {
+            Category::Commerce => "Mobile transactions and payments",
+            Category::Education => "Mobile classrooms and labs",
+            Category::Erp => "Resource management",
+            Category::Entertainment => "Music/video/game downloads",
+            Category::HealthCare => "Patient record accessing",
+            Category::Inventory => "Product tracking and dispatching",
+            Category::Traffic => "A global positioning, directions, and traffic advisories",
+            Category::Travel => "Travel management",
+        }
+    }
+
+    /// The client industries (Table 1 column 3).
+    pub fn clients(self) -> &'static str {
+        match self {
+            Category::Commerce => "Businesses",
+            Category::Education => "Schools and training centers",
+            Category::Erp => "All companies",
+            Category::Entertainment => "Entertainment industry",
+            Category::HealthCare => "Hospitals and nursing homes",
+            Category::Inventory => "Delivery services and transportation",
+            Category::Traffic => "Transportation and auto industries",
+            Category::Travel => "Travel industry and ticket sales",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One step of a user session: the request to issue and, optionally, a
+/// substring that must appear on the rendered page if the step worked.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The request.
+    pub req: MobileRequest,
+    /// Expected substring of the rendered page text.
+    pub expect: Option<String>,
+}
+
+impl Step {
+    /// A step with an expectation.
+    pub fn expecting(req: MobileRequest, expect: impl Into<String>) -> Self {
+        Step {
+            req,
+            expect: Some(expect.into()),
+        }
+    }
+
+    /// A step whose success is judged only by transport/status.
+    pub fn fire(req: MobileRequest) -> Self {
+        Step { req, expect: None }
+    }
+}
+
+/// A Table 1 application: host-side provisioning plus a session generator.
+pub trait Application {
+    /// Which Table 1 category this application realises.
+    fn category(&self) -> Category;
+
+    /// Provisions the host computer: schema, seed data, routes.
+    fn install(&self, host: &mut HostComputer);
+
+    /// Generates the `index`-th user session deterministically under
+    /// `seed`.
+    fn session(&self, seed: u64, index: u64) -> Vec<Step>;
+}
+
+/// All eight applications, ready to install.
+pub fn all_apps() -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(PaymentsApp::new()),
+        Box::new(EducationApp),
+        Box::new(ErpApp),
+        Box::new(EntertainmentApp),
+        Box::new(HealthCareApp),
+        Box::new(InventoryApp),
+        Box::new(TrafficApp),
+        Box::new(TravelApp),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_eight_rows_with_distinct_categories() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 8);
+        let mut cats: Vec<&str> = apps.iter().map(|a| a.category().name()).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        assert_eq!(cats.len(), 8);
+    }
+
+    #[test]
+    fn table1_columns_match_the_paper() {
+        assert_eq!(
+            Category::Commerce.major_applications(),
+            "Mobile transactions and payments"
+        );
+        assert_eq!(
+            Category::HealthCare.clients(),
+            "Hospitals and nursing homes"
+        );
+        assert_eq!(
+            Category::Inventory.name(),
+            "Inventory tracking and dispatching"
+        );
+        assert_eq!(
+            Category::Travel.clients(),
+            "Travel industry and ticket sales"
+        );
+        assert_eq!(Category::Erp.clients(), "All companies");
+    }
+
+    #[test]
+    fn every_app_generates_nonempty_deterministic_sessions() {
+        for app in all_apps() {
+            let a = app.session(7, 0);
+            let b = app.session(7, 0);
+            assert!(!a.is_empty(), "{} session empty", app.category());
+            assert_eq!(a.len(), b.len(), "{} nondeterministic", app.category());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.req.url, y.req.url, "{} nondeterministic", app.category());
+            }
+        }
+    }
+}

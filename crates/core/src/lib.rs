@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # mcommerce-core — the six-component mobile commerce system model
+//!
+//! This crate is the paper's primary contribution made executable: the
+//! decomposition of a mobile commerce system into six components —
+//! applications, mobile stations, mobile middleware, wireless networks,
+//! wired networks, host computers (Figure 2) — assembled into a running
+//! [`McSystem`], next to the four-component electronic commerce baseline
+//! [`EcSystem`] (Figure 1) it extends.
+//!
+//! * [`netpath`] — wireless and wired hop models with link-layer ARQ,
+//!   session setup, and byte/energy accounting,
+//! * [`system`] — [`McSystem`] / [`EcSystem`] and the transaction engine
+//!   producing per-component latency breakdowns,
+//! * [`report`] — transaction reports and workload aggregation,
+//! * [`apps`] — the eight application categories of Table 1, each a real
+//!   host-side application program plus a client workflow,
+//! * [`workload`] — session generators that drive applications through a
+//!   system,
+//! * [`requirements`] — executable checks of §1.1's five system
+//!   requirements.
+
+pub mod apps;
+pub mod netpath;
+pub mod report;
+pub mod requirements;
+pub mod system;
+pub mod workload;
+
+pub use netpath::{AirLink, WiredPath, WirelessConfig};
+pub use report::{PhaseBreakdown, TransactionReport, WorkloadSummary};
+pub use system::{CommerceSystem, EcSystem, McSystem, StationState};

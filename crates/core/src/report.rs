@@ -1,0 +1,245 @@
+//! Transaction reports and workload aggregation.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+use simnet::stats::Sampler;
+use simnet::SimDuration;
+
+/// Latency attributed to each of the system's components — the
+/// per-component breakdown that makes Figures 1 and 2 measurable.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PhaseBreakdown {
+    /// CPU time on the mobile station (or desktop client): request
+    /// construction, parsing, rendering.
+    pub station_secs: f64,
+    /// Time on the wireless hop (both directions, incl. session setup).
+    pub wireless_secs: f64,
+    /// CPU time in the middleware layer (translation, encoding).
+    pub middleware_secs: f64,
+    /// Time on the wired network (both directions).
+    pub wired_secs: f64,
+    /// CPU time on the host computer.
+    pub host_secs: f64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all components.
+    pub fn total_secs(&self) -> f64 {
+        self.station_secs
+            + self.wireless_secs
+            + self.middleware_secs
+            + self.wired_secs
+            + self.host_secs
+    }
+
+    /// The share (0..1) a component contributes; keys: `station`,
+    /// `wireless`, `middleware`, `wired`, `host`.
+    pub fn share(&self, component: &str) -> f64 {
+        let total = self.total_secs();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let value = match component {
+            "station" => self.station_secs,
+            "wireless" => self.wireless_secs,
+            "middleware" => self.middleware_secs,
+            "wired" => self.wired_secs,
+            "host" => self.host_secs,
+            _ => 0.0,
+        };
+        value / total
+    }
+}
+
+/// The outcome of one end-to-end transaction (one request/response plus
+/// rendering).
+#[derive(Debug, Clone, Serialize)]
+pub struct TransactionReport {
+    /// Wall-clock latency of the whole transaction.
+    pub total: f64,
+    /// Per-component latency breakdown (seconds).
+    pub breakdown: PhaseBreakdown,
+    /// Bytes over the air, station → network.
+    pub air_bytes_up: u64,
+    /// Bytes over the air, network → station.
+    pub air_bytes_down: u64,
+    /// Link-layer retransmissions on the air hop.
+    pub retransmissions: u32,
+    /// Battery energy consumed, joules.
+    pub energy_j: f64,
+    /// Whether the transaction completed.
+    pub success: bool,
+    /// Failure description when `success` is false.
+    pub failure: Option<String>,
+}
+
+impl TransactionReport {
+    /// A failed transaction with the given reason and whatever costs were
+    /// already paid.
+    pub fn failed(reason: impl Into<String>) -> Self {
+        TransactionReport {
+            total: 0.0,
+            breakdown: PhaseBreakdown::default(),
+            air_bytes_up: 0,
+            air_bytes_down: 0,
+            retransmissions: 0,
+            energy_j: 0.0,
+            success: false,
+            failure: Some(reason.into()),
+        }
+    }
+
+    /// Total latency as a [`SimDuration`].
+    pub fn latency(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.total)
+    }
+}
+
+/// Aggregated results of a workload run.
+#[derive(Debug, Serialize)]
+pub struct WorkloadSummary {
+    /// Label (application name, configuration, …).
+    pub label: String,
+    /// Transactions attempted.
+    pub attempted: usize,
+    /// Transactions completed.
+    pub succeeded: usize,
+    /// Latency stats over successful transactions (seconds).
+    pub latency_mean: f64,
+    /// 90th percentile latency (seconds).
+    pub latency_p90: f64,
+    /// Mean bytes over the air per transaction (up + down).
+    pub air_bytes_mean: f64,
+    /// Mean energy per transaction (joules).
+    pub energy_mean_j: f64,
+    /// Mean per-component shares of latency.
+    pub component_shares: BTreeMap<String, f64>,
+}
+
+impl WorkloadSummary {
+    /// Aggregates a batch of reports under `label`.
+    pub fn aggregate(label: impl Into<String>, reports: &[TransactionReport]) -> Self {
+        let latencies = Sampler::new();
+        let air = Sampler::new();
+        let energy = Sampler::new();
+        let mut shares: BTreeMap<String, f64> = BTreeMap::new();
+        let mut succeeded = 0usize;
+        for r in reports.iter().filter(|r| r.success) {
+            succeeded += 1;
+            latencies.record(r.total);
+            air.record((r.air_bytes_up + r.air_bytes_down) as f64);
+            energy.record(r.energy_j);
+            for key in ["station", "wireless", "middleware", "wired", "host"] {
+                *shares.entry(key.to_owned()).or_default() += r.breakdown.share(key);
+            }
+        }
+        if succeeded > 0 {
+            for v in shares.values_mut() {
+                *v /= succeeded as f64;
+            }
+        }
+        let lat = latencies.summary();
+        WorkloadSummary {
+            label: label.into(),
+            attempted: reports.len(),
+            succeeded,
+            latency_mean: lat.mean,
+            latency_p90: lat.p90,
+            air_bytes_mean: air.summary().mean,
+            energy_mean_j: energy.summary().mean,
+            component_shares: shares,
+        }
+    }
+
+    /// Success ratio (0..1).
+    pub fn success_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.succeeded as f64 / self.attempted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(total: f64, host: f64, wireless: f64) -> TransactionReport {
+        TransactionReport {
+            total,
+            breakdown: PhaseBreakdown {
+                host_secs: host,
+                wireless_secs: wireless,
+                ..Default::default()
+            },
+            air_bytes_up: 100,
+            air_bytes_down: 900,
+            retransmissions: 0,
+            energy_j: 0.01,
+            success: true,
+            failure: None,
+        }
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let b = PhaseBreakdown {
+            station_secs: 0.1,
+            wireless_secs: 0.2,
+            middleware_secs: 0.3,
+            wired_secs: 0.25,
+            host_secs: 0.15,
+        };
+        let sum: f64 = ["station", "wireless", "middleware", "wired", "host"]
+            .iter()
+            .map(|c| b.share(c))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((b.total_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_shares() {
+        let b = PhaseBreakdown::default();
+        assert_eq!(b.share("host"), 0.0);
+        assert_eq!(b.share("unknown"), 0.0);
+    }
+
+    #[test]
+    fn aggregate_counts_and_averages() {
+        let reports = vec![
+            report(1.0, 0.6, 0.4),
+            report(3.0, 1.8, 1.2),
+            TransactionReport::failed("battery died"),
+        ];
+        let summary = WorkloadSummary::aggregate("test", &reports);
+        assert_eq!(summary.attempted, 3);
+        assert_eq!(summary.succeeded, 2);
+        assert!((summary.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((summary.latency_mean - 2.0).abs() < 1e-12);
+        assert!((summary.air_bytes_mean - 1000.0).abs() < 1e-12);
+        assert!((summary.component_shares["host"] - 0.6).abs() < 1e-12);
+        assert!((summary.component_shares["wireless"] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_failed_workload_is_zeroes_not_nan() {
+        let summary = WorkloadSummary::aggregate("dead", &[TransactionReport::failed("no signal")]);
+        assert_eq!(summary.succeeded, 0);
+        assert_eq!(summary.latency_mean, 0.0);
+        assert_eq!(summary.success_rate(), 0.0);
+    }
+
+    #[test]
+    fn reports_serialise_to_json() {
+        let r = report(1.0, 0.5, 0.5);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"success\":true"));
+        let s = WorkloadSummary::aggregate("x", &[r]);
+        assert!(serde_json::to_string(&s)
+            .unwrap()
+            .contains("\"label\":\"x\""));
+    }
+}

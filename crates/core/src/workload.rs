@@ -1,0 +1,301 @@
+//! Workload runner: drives application sessions through a commerce system.
+
+use crate::apps::{Application, Step};
+use crate::report::{TransactionReport, WorkloadSummary};
+use crate::system::{CommerceSystem, McSystem};
+
+/// Runs one session (a sequence of steps) through `system`, returning a
+/// report per step. A step whose expectation is not met on the rendered
+/// page is marked failed even if the transport succeeded.
+pub fn run_session(system: &mut dyn CommerceSystem, steps: &[Step]) -> Vec<TransactionReport> {
+    let mut reports = Vec::with_capacity(steps.len());
+    for step in steps {
+        let mut report = system.execute(&step.req);
+        if report.success {
+            if let Some(expect) = &step.expect {
+                // Narrow screens wrap words onto new lines, so compare
+                // whitespace-normalised text.
+                let page = normalise(&system.last_page_text().unwrap_or_default());
+                if !page.contains(&normalise(expect)) {
+                    report.success = false;
+                    report.failure =
+                        Some(format!("expected {expect:?} on page, got {:.60?}…", page));
+                }
+            }
+        }
+        reports.push(report);
+    }
+    reports
+}
+
+/// Collapses all whitespace runs (including line breaks from screen
+/// wrapping) into single spaces.
+fn normalise(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Runs `app` sessions on an [`McSystem`] with user *think time* between
+/// steps, draining the battery at idle power, until the battery dies or
+/// `max_sessions` complete. Returns `(sessions completed, hours of use)`
+/// — the §4.1 battery-life experiment.
+pub fn run_until_battery_dies(
+    system: &mut McSystem,
+    app: &dyn Application,
+    think_secs: f64,
+    max_sessions: u64,
+    seed: u64,
+) -> (u64, f64) {
+    let mut elapsed_secs = 0.0;
+    for index in 0..max_sessions {
+        let steps = app.session(seed, index);
+        for step in &steps {
+            if !system.idle(think_secs) {
+                return (index, elapsed_secs / 3600.0);
+            }
+            elapsed_secs += think_secs;
+            let report = system.execute(&step.req);
+            elapsed_secs += report.total;
+            if !report.success
+                && report
+                    .failure
+                    .as_deref()
+                    .is_some_and(|f| f.contains("battery"))
+            {
+                return (index, elapsed_secs / 3600.0);
+            }
+        }
+    }
+    (max_sessions, elapsed_secs / 3600.0)
+}
+
+/// Runs `sessions` sessions of `app` on an [`McSystem`] while the user
+/// *walks*: before every step the walker advances and the station's
+/// distance to its WLAN access point (assumed at the walk's origin) is
+/// updated. Transactions attempted out of coverage fail and are counted —
+/// the "ubiquitously" requirement measured against physics.
+///
+/// Returns the aggregated summary plus the farthest distance reached.
+pub fn run_walking_workload(
+    system: &mut McSystem,
+    app: &dyn Application,
+    walker: &mut wireless::mobility::Waypoint,
+    standard: wireless::WlanStandard,
+    step_secs: f64,
+    sessions: u64,
+    seed: u64,
+) -> (WorkloadSummary, f64) {
+    use crate::netpath::WirelessConfig;
+    let origin = wireless::mobility::Point::new(0.0, 0.0);
+    let mut reports = Vec::new();
+    let mut max_distance = 0.0f64;
+    for index in 0..sessions {
+        for step in app.session(seed, index) {
+            let position = walker.advance(step_secs);
+            let distance = position.distance_to(origin);
+            max_distance = max_distance.max(distance);
+            system.set_wireless(WirelessConfig::Wlan {
+                standard,
+                distance_m: distance,
+            });
+            let mut report = system.execute(&step.req);
+            if report.success {
+                if let Some(expect) = &step.expect {
+                    let page = normalise(&system.last_page_text().unwrap_or_default());
+                    if !page.contains(&normalise(expect)) {
+                        report.success = false;
+                        report.failure = Some(format!("expected {expect:?} missing"));
+                    }
+                }
+            }
+            reports.push(report);
+        }
+    }
+    (
+        WorkloadSummary::aggregate(
+            format!("walking {} on {}", app.category(), standard),
+            &reports,
+        ),
+        max_distance,
+    )
+}
+
+/// Runs `sessions` sessions of `app` through `system` and aggregates.
+///
+/// The application must already be [installed](Application::install) on
+/// the system's host.
+pub fn run_workload(
+    system: &mut dyn CommerceSystem,
+    app: &dyn Application,
+    sessions: u64,
+    seed: u64,
+) -> WorkloadSummary {
+    let mut reports = Vec::new();
+    for index in 0..sessions {
+        let steps = app.session(seed, index);
+        reports.extend(run_session(system, &steps));
+    }
+    WorkloadSummary::aggregate(
+        format!("{} on {}", app.category(), system.label()),
+        &reports,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{all_apps, PaymentsApp};
+    use crate::netpath::{WiredPath, WirelessConfig};
+    use crate::system::{EcSystem, McSystem};
+    use hostsite::db::Database;
+    use hostsite::HostComputer;
+    use middleware::{IModeService, WapGateway};
+    use station::DeviceProfile;
+    use wireless::WlanStandard;
+
+    fn mc_system(host: HostComputer) -> McSystem {
+        McSystem::new(
+            host,
+            Box::new(WapGateway::default()),
+            DeviceProfile::ipaq_h3870(),
+            WirelessConfig::Wlan {
+                standard: WlanStandard::Dot11b,
+                distance_m: 25.0,
+            },
+            WiredPath::wan(),
+            11,
+        )
+    }
+
+    #[test]
+    fn payments_workload_completes_on_wap() {
+        let mut host = HostComputer::new(Database::new(), 1);
+        let app = PaymentsApp::new();
+        app.install(&mut host);
+        let mut system = mc_system(host);
+        let summary = run_workload(&mut system, &app, 10, 42);
+        assert_eq!(summary.attempted, 20); // two steps per session
+        assert_eq!(summary.succeeded, 20, "all payment steps should pass");
+        assert!(summary.latency_mean > 0.0);
+    }
+
+    #[test]
+    fn all_eight_categories_run_on_the_mc_system() {
+        // Table 1's whole catalogue on one host, one system.
+        let mut host = HostComputer::new(Database::new(), 2);
+        let apps = all_apps();
+        for app in &apps {
+            app.install(&mut host);
+        }
+        let mut system = mc_system(host);
+        for app in &apps {
+            let summary = run_workload(&mut system, app.as_ref(), 5, 7);
+            assert!(
+                summary.success_rate() > 0.95,
+                "{}: success {:.2} ({} of {})",
+                app.category(),
+                summary.success_rate(),
+                summary.succeeded,
+                summary.attempted
+            );
+        }
+    }
+
+    #[test]
+    fn failed_expectations_are_reported_as_failures() {
+        let mut host = HostComputer::new(Database::new(), 3);
+        let app = PaymentsApp::new();
+        app.install(&mut host);
+        let mut system = mc_system(host);
+        let steps = vec![crate::apps::Step::expecting(
+            middleware::MobileRequest::get("/shop"),
+            "text that is definitely not on the page",
+        )];
+        let reports = run_session(&mut system, &steps);
+        assert!(!reports[0].success);
+        assert!(reports[0].failure.as_deref().unwrap().contains("expected"));
+    }
+
+    #[test]
+    fn same_workload_runs_on_the_ec_baseline() {
+        let mut host = HostComputer::new(Database::new(), 4);
+        let app = PaymentsApp::new();
+        app.install(&mut host);
+        let mut system = EcSystem::new(host, WiredPath::wan());
+        let summary = run_workload(&mut system, &app, 5, 9);
+        assert_eq!(summary.succeeded, summary.attempted);
+    }
+
+    #[test]
+    fn walking_user_succeeds_inside_coverage_and_fails_beyond() {
+        use simnet::rng::rng_for;
+        use wireless::mobility::{Point, Waypoint};
+
+        let app = PaymentsApp::new();
+        let mut host = HostComputer::new(Database::new(), 6);
+        app.install(&mut host);
+        let mut system = mc_system(host);
+
+        // A walk confined to a 60 m box around the AP: always in coverage.
+        let mut near_walk =
+            Waypoint::new(Point::new(0.0, 0.0), 60.0, 60.0, 1.4, rng_for(21, "near"));
+        let (near, near_max) = run_walking_workload(
+            &mut system,
+            &app,
+            &mut near_walk,
+            WlanStandard::Dot11b,
+            30.0,
+            8,
+            22,
+        );
+        assert!(near_max < 100.0);
+        assert_eq!(
+            near.succeeded, near.attempted,
+            "inside coverage everything works"
+        );
+
+        // A walk ranging out to 400 m: some attempts land out of coverage.
+        let app2 = PaymentsApp::new();
+        let mut host = HostComputer::new(Database::new(), 7);
+        app2.install(&mut host);
+        let mut system = mc_system(host);
+        let mut far_walk =
+            Waypoint::new(Point::new(0.0, 0.0), 150.0, 150.0, 10.0, rng_for(23, "far"));
+        let (far, far_max) = run_walking_workload(
+            &mut system,
+            &app2,
+            &mut far_walk,
+            WlanStandard::Dot11b,
+            30.0,
+            8,
+            24,
+        );
+        assert!(
+            far_max > 100.0,
+            "walk must leave coverage, reached {far_max}"
+        );
+        assert!(
+            far.succeeded < far.attempted,
+            "out-of-coverage attempts must fail"
+        );
+        assert!(far.succeeded > 0, "but in-coverage attempts still succeed");
+    }
+
+    #[test]
+    fn workloads_run_on_imode_too() {
+        let mut host = HostComputer::new(Database::new(), 5);
+        let app = PaymentsApp::new();
+        app.install(&mut host);
+        let mut system = McSystem::new(
+            host,
+            Box::new(IModeService::new()),
+            DeviceProfile::nokia_9290(),
+            WirelessConfig::Cellular {
+                standard: wireless::CellularStandard::Gprs,
+            },
+            WiredPath::wan(),
+            12,
+        );
+        let summary = run_workload(&mut system, &app, 5, 13);
+        assert_eq!(summary.succeeded, summary.attempted);
+    }
+}

@@ -1,0 +1,1030 @@
+//! The database server: an embedded storage engine.
+//!
+//! §7: "Other than the server-side database servers, a growing trend is to
+//! provide a mobile database or an embedded database … Embedded databases
+//! have very small footprints, and must be able to run without the
+//! services of a database administrator."
+//!
+//! This engine serves both roles: unconstrained as the host computer's
+//! database server, or capped via [`Database::with_memory_limit`] as the
+//! small-footprint embedded variant. It provides typed tables, a primary
+//! key, optional secondary indexes, ACID transactions with undo-log
+//! rollback, and a write-ahead journal from which a fresh instance can be
+//! recovered after a crash.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A typed cell value.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// UTF-8 text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit float (totally ordered by its bits being non-NaN; NaN is
+    /// rejected at the API boundary).
+    Float(f64),
+}
+
+impl Value {
+    /// The value's type name, for error messages and schema checks.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Text(_) => "text",
+            Value::Bool(_) => "bool",
+            Value::Float(_) => "float",
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn footprint(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Text(t) => 24 + t.len(),
+        }
+    }
+
+    fn ord_key(&self) -> OrdKey {
+        match self {
+            Value::Int(i) => OrdKey::Int(*i),
+            Value::Text(t) => OrdKey::Text(t.clone()),
+            Value::Bool(b) => OrdKey::Int(i64::from(*b)),
+            Value::Float(f) => {
+                // Monotone bit mapping: negatives flip all bits, positives
+                // flip the sign bit, so u64 order equals float order.
+                // (-0.0 is normalised to 0.0 first.)
+                let f = if *f == 0.0 { 0.0 } else { *f };
+                let bits = f.to_bits();
+                let key = if bits & (1 << 63) != 0 {
+                    !bits
+                } else {
+                    bits | (1 << 63)
+                };
+                OrdKey::Float(key)
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(t) => write!(f, "{t}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// Totally ordered key derived from a [`Value`] for index storage.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum OrdKey {
+    Int(i64),
+    Text(String),
+    Float(u64),
+}
+
+/// A row: one value per column, in schema order.
+pub type Row = Vec<Value>;
+
+/// Errors produced by the database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// The named column does not exist on the table.
+    NoSuchColumn {
+        /// The table the lookup targeted.
+        table: String,
+        /// The column that does not exist on it.
+        column: String,
+    },
+    /// A row's arity or a value's type does not match the schema.
+    SchemaMismatch(String),
+    /// Primary-key uniqueness violated.
+    DuplicateKey(String),
+    /// No row with the given primary key.
+    NotFound,
+    /// The memory cap would be exceeded.
+    OutOfMemory {
+        /// The configured cap in bytes.
+        limit: usize,
+    },
+    /// A table with that name already exists.
+    TableExists(String),
+    /// NaN floats cannot be stored (they have no total order).
+    NanRejected,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::NoSuchColumn { table, column } => {
+                write!(f, "no column {column:?} on table {table:?}")
+            }
+            DbError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            DbError::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
+            DbError::NotFound => write!(f, "row not found"),
+            DbError::OutOfMemory { limit } => write!(f, "memory limit of {limit} bytes exceeded"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::NanRejected => write!(f, "NaN values cannot be stored"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// One durable operation, as recorded in the write-ahead journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEntry {
+    /// Table creation.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names; column 0 is the primary key.
+        columns: Vec<String>,
+        /// Secondary index columns.
+        indexes: Vec<String>,
+    },
+    /// Row insertion.
+    Insert {
+        /// Table name.
+        table: String,
+        /// The inserted row.
+        row: Row,
+    },
+    /// Row update (full-row image).
+    Update {
+        /// Table name.
+        table: String,
+        /// The new row image.
+        row: Row,
+    },
+    /// Row deletion by primary key.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Primary key of the removed row.
+        key: Value,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Table {
+    columns: Vec<String>,
+    rows: BTreeMap<OrdKey, Row>,
+    /// column name → (value key → primary keys)
+    indexes: HashMap<String, BTreeMap<OrdKey, Vec<OrdKey>>>,
+}
+
+impl Table {
+    fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    fn index_insert(&mut self, row: &Row) {
+        let pk = row[0].ord_key();
+        let columns = self.columns.clone();
+        for (col, index) in self.indexes.iter_mut() {
+            let ci = columns
+                .iter()
+                .position(|c| c == col)
+                .expect("index column exists");
+            index.entry(row[ci].ord_key()).or_default().push(pk.clone());
+        }
+    }
+
+    fn index_remove(&mut self, row: &Row) {
+        let pk = row[0].ord_key();
+        let columns = self.columns.clone();
+        for (col, index) in self.indexes.iter_mut() {
+            let ci = columns
+                .iter()
+                .position(|c| c == col)
+                .expect("index column exists");
+            let key = row[ci].ord_key();
+            if let Some(pks) = index.get_mut(&key) {
+                pks.retain(|p| *p != pk);
+                if pks.is_empty() {
+                    index.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+/// Inverse operations for transaction rollback.
+#[derive(Debug)]
+enum Undo {
+    RemoveRow { table: String, key: OrdKey },
+    RestoreRow { table: String, row: Row },
+    DropTable { name: String },
+}
+
+/// The embedded database engine.
+///
+/// ```
+/// use hostsite::db::{Database, Value};
+///
+/// let mut db = Database::new();
+/// db.create_table("products", &["sku", "name", "price"], &["name"])?;
+/// db.insert("products", vec![1.into(), "widget".into(), Value::Float(4.99)])?;
+/// let row = db.get("products", &1.into())?.unwrap();
+/// assert_eq!(row[1], Value::Text("widget".into()));
+/// # Ok::<(), hostsite::db::DbError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    journal: Vec<JournalEntry>,
+    memory_limit: Option<usize>,
+    footprint: usize,
+    tx_depth: u32,
+    undo: Vec<Undo>,
+    tx_journal: Vec<JournalEntry>,
+}
+
+impl Database {
+    /// Creates an unconstrained (server-side) database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an embedded database capped at `limit` bytes of row data —
+    /// the small-footprint configuration for handheld devices (§7).
+    pub fn with_memory_limit(limit: usize) -> Self {
+        Database {
+            memory_limit: Some(limit),
+            ..Self::default()
+        }
+    }
+
+    /// Approximate bytes of row data currently stored.
+    pub fn footprint(&self) -> usize {
+        self.footprint
+    }
+
+    /// The write-ahead journal accumulated so far.
+    pub fn journal(&self) -> &[JournalEntry] {
+        &self.journal
+    }
+
+    /// Rebuilds a database by replaying a journal — crash recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error the replayed operations raise (a corrupt
+    /// journal).
+    pub fn recover(journal: &[JournalEntry]) -> Result<Database, DbError> {
+        let mut db = Database::new();
+        for entry in journal {
+            match entry {
+                JournalEntry::CreateTable {
+                    name,
+                    columns,
+                    indexes,
+                } => {
+                    let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                    let idx: Vec<&str> = indexes.iter().map(String::as_str).collect();
+                    db.create_table(name, &cols, &idx)?;
+                }
+                JournalEntry::Insert { table, row } => {
+                    db.insert(table, row.clone())?;
+                }
+                JournalEntry::Update { table, row } => {
+                    db.update(table, row.clone())?;
+                }
+                JournalEntry::Delete { table, key } => {
+                    db.delete(table, key)?;
+                }
+            }
+        }
+        Ok(db)
+    }
+
+    /// Creates a table. Column 0 is the primary key; `indexes` lists
+    /// columns to maintain secondary indexes on.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TableExists`] on duplicate name, [`DbError::SchemaMismatch`]
+    /// on an empty column list, [`DbError::NoSuchColumn`] for unknown index
+    /// columns.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        columns: &[&str],
+        indexes: &[&str],
+    ) -> Result<(), DbError> {
+        if self.tables.contains_key(name) {
+            return Err(DbError::TableExists(name.to_owned()));
+        }
+        if columns.is_empty() {
+            return Err(DbError::SchemaMismatch(
+                "a table needs at least one column".into(),
+            ));
+        }
+        for idx in indexes {
+            if !columns.contains(idx) {
+                return Err(DbError::NoSuchColumn {
+                    table: name.to_owned(),
+                    column: (*idx).to_owned(),
+                });
+            }
+        }
+        self.tables.insert(
+            name.to_owned(),
+            Table {
+                columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+                rows: BTreeMap::new(),
+                indexes: indexes
+                    .iter()
+                    .map(|s| ((*s).to_owned(), BTreeMap::new()))
+                    .collect(),
+            },
+        );
+        self.record(JournalEntry::CreateTable {
+            name: name.to_owned(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            indexes: indexes.iter().map(|s| (*s).to_owned()).collect(),
+        });
+        if self.tx_depth > 0 {
+            self.undo.push(Undo::DropTable {
+                name: name.to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Lists table names.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of rows in `table`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] when the table does not exist.
+    pub fn len(&self, table: &str) -> Result<usize, DbError> {
+        Ok(self.table(table)?.rows.len())
+    }
+
+    /// True when `table` has no rows.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] when the table does not exist.
+    pub fn is_empty(&self, table: &str) -> Result<bool, DbError> {
+        Ok(self.len(table)? == 0)
+    }
+
+    fn table(&self, name: &str) -> Result<&Table, DbError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
+    }
+
+    fn validate_row(table: &Table, table_name: &str, row: &Row) -> Result<(), DbError> {
+        if row.len() != table.columns.len() {
+            return Err(DbError::SchemaMismatch(format!(
+                "table {table_name:?} has {} columns, row has {}",
+                table.columns.len(),
+                row.len()
+            )));
+        }
+        for v in row {
+            if let Value::Float(f) = v {
+                if f.is_nan() {
+                    return Err(DbError::NanRejected);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn charge(&mut self, bytes: usize) -> Result<(), DbError> {
+        if let Some(limit) = self.memory_limit {
+            if self.footprint + bytes > limit {
+                return Err(DbError::OutOfMemory { limit });
+            }
+        }
+        self.footprint += bytes;
+        Ok(())
+    }
+
+    fn row_footprint(row: &Row) -> usize {
+        row.iter().map(Value::footprint).sum()
+    }
+
+    fn record(&mut self, entry: JournalEntry) {
+        if self.tx_depth > 0 {
+            self.tx_journal.push(entry);
+        } else {
+            self.journal.push(entry);
+        }
+    }
+
+    /// Inserts a row (column 0 is the primary key).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::DuplicateKey`] if the key exists, plus schema/memory
+    /// errors.
+    pub fn insert(&mut self, table_name: &str, row: Row) -> Result<(), DbError> {
+        {
+            let table = self.table(table_name)?;
+            Self::validate_row(table, table_name, &row)?;
+            let key = row[0].ord_key();
+            if table.rows.contains_key(&key) {
+                return Err(DbError::DuplicateKey(row[0].to_string()));
+            }
+        }
+        self.charge(Self::row_footprint(&row))?;
+        let key = row[0].ord_key();
+        let table = self.tables.get_mut(table_name).expect("checked above");
+        table.index_insert(&row);
+        table.rows.insert(key.clone(), row.clone());
+        self.record(JournalEntry::Insert {
+            table: table_name.to_owned(),
+            row,
+        });
+        if self.tx_depth > 0 {
+            self.undo.push(Undo::RemoveRow {
+                table: table_name.to_owned(),
+                key,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fetches a row by primary key.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] when the table does not exist.
+    pub fn get(&self, table_name: &str, key: &Value) -> Result<Option<Row>, DbError> {
+        Ok(self.table(table_name)?.rows.get(&key.ord_key()).cloned())
+    }
+
+    /// Replaces the row whose primary key equals `row[0]`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`] when no such row exists, plus schema/memory
+    /// errors.
+    pub fn update(&mut self, table_name: &str, row: Row) -> Result<(), DbError> {
+        let old = {
+            let table = self.table(table_name)?;
+            Self::validate_row(table, table_name, &row)?;
+            table
+                .rows
+                .get(&row[0].ord_key())
+                .cloned()
+                .ok_or(DbError::NotFound)?
+        };
+        let old_bytes = Self::row_footprint(&old);
+        let new_bytes = Self::row_footprint(&row);
+        self.footprint = self.footprint.saturating_sub(old_bytes);
+        if let Err(e) = self.charge(new_bytes) {
+            self.footprint += old_bytes; // restore accounting
+            return Err(e);
+        }
+        let key = row[0].ord_key();
+        let table = self.tables.get_mut(table_name).expect("checked above");
+        table.index_remove(&old);
+        table.index_insert(&row);
+        table.rows.insert(key, row.clone());
+        self.record(JournalEntry::Update {
+            table: table_name.to_owned(),
+            row,
+        });
+        if self.tx_depth > 0 {
+            self.undo.push(Undo::RestoreRow {
+                table: table_name.to_owned(),
+                row: old,
+            });
+        }
+        Ok(())
+    }
+
+    /// Deletes a row by primary key.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`] when no such row exists.
+    pub fn delete(&mut self, table_name: &str, key: &Value) -> Result<(), DbError> {
+        let old = {
+            let table = self.table(table_name)?;
+            table
+                .rows
+                .get(&key.ord_key())
+                .cloned()
+                .ok_or(DbError::NotFound)?
+        };
+        self.footprint = self.footprint.saturating_sub(Self::row_footprint(&old));
+        let table = self.tables.get_mut(table_name).expect("checked above");
+        table.index_remove(&old);
+        table.rows.remove(&key.ord_key());
+        self.record(JournalEntry::Delete {
+            table: table_name.to_owned(),
+            key: key.clone(),
+        });
+        if self.tx_depth > 0 {
+            self.undo.push(Undo::RestoreRow {
+                table: table_name.to_owned(),
+                row: old,
+            });
+        }
+        Ok(())
+    }
+
+    /// Full scan returning rows matching `predicate`, in primary-key order.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] when the table does not exist.
+    pub fn select(
+        &self,
+        table_name: &str,
+        predicate: impl Fn(&Row) -> bool,
+    ) -> Result<Vec<Row>, DbError> {
+        Ok(self
+            .table(table_name)?
+            .rows
+            .values()
+            .filter(|r| predicate(r))
+            .cloned()
+            .collect())
+    }
+
+    /// Index lookup: rows whose `column` equals `value`. Uses the
+    /// secondary index when one exists, otherwise falls back to a scan
+    /// (the trivial query planner).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchColumn`] for unknown columns.
+    pub fn select_eq(
+        &self,
+        table_name: &str,
+        column: &str,
+        value: &Value,
+    ) -> Result<Vec<Row>, DbError> {
+        let table = self.table(table_name)?;
+        let ci = table
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                table: table_name.to_owned(),
+                column: column.to_owned(),
+            })?;
+        if let Some(index) = table.indexes.get(column) {
+            let Some(pks) = index.get(&value.ord_key()) else {
+                return Ok(Vec::new());
+            };
+            return Ok(pks
+                .iter()
+                .filter_map(|pk| table.rows.get(pk))
+                .cloned()
+                .collect());
+        }
+        Ok(table
+            .rows
+            .values()
+            .filter(|r| r[ci] == *value)
+            .cloned()
+            .collect())
+    }
+
+    /// True when `column` has a secondary index on `table`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] when the table does not exist.
+    pub fn has_index(&self, table: &str, column: &str) -> Result<bool, DbError> {
+        Ok(self.table(table)?.indexes.contains_key(column))
+    }
+
+    /// Runs `body` atomically: all of its writes commit together, or — if
+    /// it returns `Err` — none of them apply and the journal is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns the body's error after rolling back.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nested transactions (single-writer engine).
+    pub fn transaction<T, E>(
+        &mut self,
+        body: impl FnOnce(&mut Database) -> Result<T, E>,
+    ) -> Result<T, E> {
+        assert_eq!(self.tx_depth, 0, "nested transactions are not supported");
+        self.tx_depth = 1;
+        self.undo.clear();
+        self.tx_journal.clear();
+        let result = body(self);
+        self.tx_depth = 0;
+        match result {
+            Ok(v) => {
+                let mut entries = std::mem::take(&mut self.tx_journal);
+                self.journal.append(&mut entries);
+                self.undo.clear();
+                Ok(v)
+            }
+            Err(e) => {
+                let undo = std::mem::take(&mut self.undo);
+                for op in undo.into_iter().rev() {
+                    match op {
+                        Undo::RemoveRow { table, key } => {
+                            if let Some(t) = self.tables.get_mut(&table) {
+                                if let Some(row) = t.rows.remove(&key) {
+                                    t.index_remove(&row);
+                                    self.footprint =
+                                        self.footprint.saturating_sub(Self::row_footprint(&row));
+                                }
+                            }
+                        }
+                        Undo::RestoreRow { table, row } => {
+                            if let Some(t) = self.tables.get_mut(&table) {
+                                let key = row[0].ord_key();
+                                if let Some(current) = t.rows.remove(&key) {
+                                    t.index_remove(&current);
+                                    self.footprint = self
+                                        .footprint
+                                        .saturating_sub(Self::row_footprint(&current));
+                                }
+                                self.footprint += Self::row_footprint(&row);
+                                t.index_insert(&row);
+                                t.rows.insert(key, row);
+                            }
+                        }
+                        Undo::DropTable { name } => {
+                            self.tables.remove(&name);
+                        }
+                    }
+                }
+                self.tx_journal.clear();
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn products() -> Database {
+        let mut db = Database::new();
+        db.create_table("products", &["sku", "name", "price", "stock"], &["name"])
+            .unwrap();
+        db.insert(
+            "products",
+            vec![1.into(), "widget".into(), Value::Float(4.99), 10.into()],
+        )
+        .unwrap();
+        db.insert(
+            "products",
+            vec![2.into(), "gadget".into(), Value::Float(9.99), 3.into()],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn crud_round_trip() {
+        let mut db = products();
+        assert_eq!(db.len("products").unwrap(), 2);
+        let row = db.get("products", &1.into()).unwrap().unwrap();
+        assert_eq!(row[1], Value::Text("widget".into()));
+
+        db.update(
+            "products",
+            vec![1.into(), "widget".into(), Value::Float(3.99), 9.into()],
+        )
+        .unwrap();
+        let row = db.get("products", &1.into()).unwrap().unwrap();
+        assert_eq!(row[2], Value::Float(3.99));
+
+        db.delete("products", &2.into()).unwrap();
+        assert_eq!(db.get("products", &2.into()).unwrap(), None);
+        assert_eq!(db.len("products").unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_and_missing_rows_error() {
+        let mut db = products();
+        let dup = db.insert(
+            "products",
+            vec![1.into(), "x".into(), Value::Float(0.0), 0.into()],
+        );
+        assert_eq!(dup, Err(DbError::DuplicateKey("1".into())));
+        assert_eq!(db.delete("products", &99.into()), Err(DbError::NotFound));
+        assert_eq!(
+            db.update(
+                "products",
+                vec![99.into(), "x".into(), Value::Float(0.0), 0.into()]
+            ),
+            Err(DbError::NotFound)
+        );
+    }
+
+    #[test]
+    fn schema_is_enforced() {
+        let mut db = products();
+        assert!(matches!(
+            db.insert("products", vec![3.into()]),
+            Err(DbError::SchemaMismatch(_))
+        ));
+        assert_eq!(
+            db.insert("nope", vec![1.into()]),
+            Err(DbError::NoSuchTable("nope".into()))
+        );
+        assert_eq!(
+            db.insert(
+                "products",
+                vec![3.into(), "n".into(), Value::Float(f64::NAN), 0.into()]
+            ),
+            Err(DbError::NanRejected)
+        );
+    }
+
+    #[test]
+    fn secondary_index_lookup_matches_scan() {
+        let mut db = products();
+        db.insert(
+            "products",
+            vec![3.into(), "widget".into(), Value::Float(5.99), 7.into()],
+        )
+        .unwrap();
+        assert!(db.has_index("products", "name").unwrap());
+        let by_index = db.select_eq("products", "name", &"widget".into()).unwrap();
+        let by_scan = db
+            .select("products", |r| r[1] == Value::Text("widget".into()))
+            .unwrap();
+        assert_eq!(by_index.len(), 2);
+        let mut a: Vec<i64> = by_index
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                _ => 0,
+            })
+            .collect();
+        let mut b: Vec<i64> = by_scan
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                _ => 0,
+            })
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn index_tracks_updates_and_deletes() {
+        let mut db = products();
+        db.update(
+            "products",
+            vec![1.into(), "renamed".into(), Value::Float(4.99), 10.into()],
+        )
+        .unwrap();
+        assert!(db
+            .select_eq("products", "name", &"widget".into())
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            db.select_eq("products", "name", &"renamed".into())
+                .unwrap()
+                .len(),
+            1
+        );
+        db.delete("products", &1.into()).unwrap();
+        assert!(db
+            .select_eq("products", "name", &"renamed".into())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn unindexed_equality_falls_back_to_scan() {
+        let db = products();
+        assert!(!db.has_index("products", "stock").unwrap());
+        let rows = db.select_eq("products", "stock", &3.into()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Value::Text("gadget".into()));
+    }
+
+    #[test]
+    fn transaction_commits_atomically() {
+        let mut db = products();
+        let result: Result<(), DbError> = db.transaction(|tx| {
+            tx.update(
+                "products",
+                vec![1.into(), "widget".into(), Value::Float(4.99), 9.into()],
+            )?;
+            tx.update(
+                "products",
+                vec![2.into(), "gadget".into(), Value::Float(9.99), 2.into()],
+            )?;
+            Ok(())
+        });
+        result.unwrap();
+        assert_eq!(
+            db.get("products", &1.into()).unwrap().unwrap()[3],
+            Value::Int(9)
+        );
+        assert_eq!(
+            db.get("products", &2.into()).unwrap().unwrap()[3],
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn failed_transaction_rolls_back_everything() {
+        let mut db = products();
+        let journal_before = db.journal().len();
+        let result: Result<(), DbError> = db.transaction(|tx| {
+            tx.insert(
+                "products",
+                vec![7.into(), "new".into(), Value::Float(1.0), 1.into()],
+            )?;
+            tx.update(
+                "products",
+                vec![1.into(), "poked".into(), Value::Float(0.0), 0.into()],
+            )?;
+            tx.delete("products", &2.into())?;
+            Err(DbError::NotFound) // simulate business-rule failure
+        });
+        assert!(result.is_err());
+        // All three writes undone.
+        assert_eq!(db.get("products", &7.into()).unwrap(), None);
+        assert_eq!(
+            db.get("products", &1.into()).unwrap().unwrap()[1],
+            Value::Text("widget".into())
+        );
+        assert!(db.get("products", &2.into()).unwrap().is_some());
+        // Journal untouched.
+        assert_eq!(db.journal().len(), journal_before);
+        // Indexes consistent after rollback.
+        assert_eq!(
+            db.select_eq("products", "name", &"widget".into())
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(db
+            .select_eq("products", "name", &"poked".into())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn journal_recovery_reproduces_state() {
+        let mut db = products();
+        db.update(
+            "products",
+            vec![1.into(), "widget".into(), Value::Float(2.49), 4.into()],
+        )
+        .unwrap();
+        db.delete("products", &2.into()).unwrap();
+        db.insert(
+            "products",
+            vec![5.into(), "sprocket".into(), Value::Float(7.0), 2.into()],
+        )
+        .unwrap();
+
+        let recovered = Database::recover(db.journal()).unwrap();
+        assert_eq!(
+            recovered.len("products").unwrap(),
+            db.len("products").unwrap()
+        );
+        for key in [1i64, 5] {
+            assert_eq!(
+                recovered.get("products", &key.into()).unwrap(),
+                db.get("products", &key.into()).unwrap()
+            );
+        }
+        assert_eq!(recovered.get("products", &2.into()).unwrap(), None);
+        // Indexes also rebuilt.
+        assert_eq!(
+            recovered
+                .select_eq("products", "name", &"sprocket".into())
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn memory_cap_rejects_growth_but_stays_consistent() {
+        let mut db = Database::with_memory_limit(200);
+        db.create_table("kv", &["k", "v"], &[]).unwrap();
+        db.insert("kv", vec![1.into(), "small".into()]).unwrap();
+        let big = "x".repeat(500);
+        assert!(matches!(
+            db.insert("kv", vec![2.into(), big.clone().into()]),
+            Err(DbError::OutOfMemory { limit: 200 })
+        ));
+        assert_eq!(db.len("kv").unwrap(), 1);
+        // Updates that would blow the cap are rejected and leave the row.
+        assert!(matches!(
+            db.update("kv", vec![1.into(), big.into()]),
+            Err(DbError::OutOfMemory { .. })
+        ));
+        assert_eq!(
+            db.get("kv", &1.into()).unwrap().unwrap()[1],
+            Value::Text("small".into())
+        );
+        // Deleting reclaims space.
+        let before = db.footprint();
+        db.delete("kv", &1.into()).unwrap();
+        assert!(db.footprint() < before);
+    }
+
+    #[test]
+    fn footprint_tracks_inserts_and_deletes() {
+        let mut db = Database::new();
+        db.create_table("t", &["k", "v"], &[]).unwrap();
+        assert_eq!(db.footprint(), 0);
+        db.insert("t", vec![1.into(), "hello".into()]).unwrap();
+        let after_one = db.footprint();
+        assert!(after_one > 0);
+        db.insert("t", vec![2.into(), "hello".into()]).unwrap();
+        assert_eq!(db.footprint(), after_one * 2);
+        db.delete("t", &1.into()).unwrap();
+        assert_eq!(db.footprint(), after_one);
+    }
+
+    #[test]
+    fn select_predicate_scans() {
+        let db = products();
+        let cheap = db
+            .select("products", |r| matches!(r[2], Value::Float(p) if p < 5.0))
+            .unwrap();
+        assert_eq!(cheap.len(), 1);
+        assert_eq!(cheap[0][1], Value::Text("widget".into()));
+    }
+
+    #[test]
+    fn table_names_are_sorted() {
+        let mut db = Database::new();
+        db.create_table("zeta", &["k"], &[]).unwrap();
+        db.create_table("alpha", &["k"], &[]).unwrap();
+        assert_eq!(db.table_names(), vec!["alpha", "zeta"]);
+        assert!(matches!(
+            db.create_table("alpha", &["k"], &[]),
+            Err(DbError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn float_keys_order_correctly() {
+        let mut db = Database::new();
+        db.create_table("m", &["temp", "label"], &[]).unwrap();
+        for (t, l) in [(-2.5, "cold"), (0.0, "zero"), (3.25, "warm")] {
+            db.insert("m", vec![Value::Float(t), l.into()]).unwrap();
+        }
+        let all = db.select("m", |_| true).unwrap();
+        let labels: Vec<String> = all.iter().map(|r| r[1].to_string()).collect();
+        assert_eq!(labels, vec!["cold", "zero", "warm"]);
+        assert!(db.get("m", &Value::Float(0.0)).unwrap().is_some());
+    }
+}

@@ -1,0 +1,340 @@
+//! HTTP-like request/response types.
+//!
+//! These are the messages exchanged on the wired side of the system: the
+//! WAP gateway issues them on behalf of mobile stations ("requests from
+//! mobile stations are sent as a URL through the network to the WAP
+//! Gateway", §5.1), i-mode phones issue them (nearly) directly, and
+//! desktop clients in the EC baseline issue them natively.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Request method (the subset commerce flows need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Fetch a resource.
+    Get,
+    /// Submit data.
+    Post,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        })
+    }
+}
+
+/// The markup family a client can render — drives content negotiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ContentFormat {
+    /// Full HTML (desktop browsers; also the gateway's upstream format).
+    #[default]
+    Html,
+    /// WML decks (WAP microbrowsers).
+    Wml,
+    /// Compact HTML (i-mode handsets).
+    Chtml,
+}
+
+impl ContentFormat {
+    /// The MIME type string for this format.
+    pub fn mime(self) -> &'static str {
+        match self {
+            ContentFormat::Html => "text/html",
+            ContentFormat::Wml => "text/vnd.wap.wml",
+            ContentFormat::Chtml => "text/html; profile=chtml",
+        }
+    }
+}
+
+/// Response status (the subset the server emits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// 200.
+    Ok,
+    /// 302 — with a `Location` header.
+    Found,
+    /// 400.
+    BadRequest,
+    /// 401 — authentication required.
+    Unauthorized,
+    /// 404.
+    NotFound,
+    /// 500.
+    ServerError,
+}
+
+impl Status {
+    /// Numeric status code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::Found => 302,
+            Status::BadRequest => 400,
+            Status::Unauthorized => 401,
+            Status::NotFound => 404,
+            Status::ServerError => 500,
+        }
+    }
+
+    /// True for 2xx/3xx.
+    pub fn is_success(self) -> bool {
+        matches!(self, Status::Ok | Status::Found)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// An HTTP-like request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Path component, e.g. `/catalog`.
+    pub path: String,
+    /// Decoded query/form parameters.
+    pub params: BTreeMap<String, String>,
+    /// Format the client wants (the Accept header, collapsed).
+    pub accept: ContentFormat,
+    /// Cookies sent by the client.
+    pub cookies: BTreeMap<String, String>,
+    /// `Authorization` credentials, as `(user, password)`.
+    pub auth: Option<(String, String)>,
+}
+
+impl HttpRequest {
+    /// Builds a GET request for `path` (query params may be embedded as
+    /// `?k=v&k2=v2`).
+    pub fn get(path: &str) -> Self {
+        let (path, params) = split_query(path);
+        HttpRequest {
+            method: Method::Get,
+            path,
+            params,
+            accept: ContentFormat::Html,
+            cookies: BTreeMap::new(),
+            auth: None,
+        }
+    }
+
+    /// Builds a POST request with form parameters.
+    pub fn post(path: &str, form: impl IntoIterator<Item = (String, String)>) -> Self {
+        let (path, mut params) = split_query(path);
+        params.extend(form);
+        HttpRequest {
+            method: Method::Post,
+            path,
+            params,
+            accept: ContentFormat::Html,
+            cookies: BTreeMap::new(),
+            auth: None,
+        }
+    }
+
+    /// Sets the accepted content format (builder style).
+    pub fn with_accept(mut self, accept: ContentFormat) -> Self {
+        self.accept = accept;
+        self
+    }
+
+    /// Attaches a cookie (builder style).
+    pub fn with_cookie(mut self, name: &str, value: &str) -> Self {
+        self.cookies.insert(name.to_owned(), value.to_owned());
+        self
+    }
+
+    /// Attaches basic credentials (builder style).
+    pub fn with_auth(mut self, user: &str, password: &str) -> Self {
+        self.auth = Some((user.to_owned(), password.to_owned()));
+        self
+    }
+
+    /// A parameter's value, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params.get(name).map(String::as_str)
+    }
+
+    /// Approximate bytes of this request on the wire.
+    pub fn wire_size(&self) -> usize {
+        let mut n = 16 + self.path.len() + 64; // request line + fixed headers
+        for (k, v) in &self.params {
+            n += k.len() + v.len() + 2;
+        }
+        for (k, v) in &self.cookies {
+            n += k.len() + v.len() + 10;
+        }
+        if self.auth.is_some() {
+            n += 32;
+        }
+        n
+    }
+}
+
+fn split_query(path: &str) -> (String, BTreeMap<String, String>) {
+    match path.split_once('?') {
+        None => (path.to_owned(), BTreeMap::new()),
+        Some((p, q)) => {
+            let mut params = BTreeMap::new();
+            for pair in q.split('&') {
+                if pair.is_empty() {
+                    continue;
+                }
+                match pair.split_once('=') {
+                    Some((k, v)) => params.insert(k.to_owned(), v.to_owned()),
+                    None => params.insert(pair.to_owned(), String::new()),
+                };
+            }
+            (p.to_owned(), params)
+        }
+    }
+}
+
+/// An HTTP-like response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: Status,
+    /// Body format.
+    pub format: ContentFormat,
+    /// Markup body.
+    pub body: String,
+    /// Cookies to set on the client.
+    pub set_cookies: BTreeMap<String, String>,
+    /// Redirect target for 302 responses.
+    pub location: Option<String>,
+}
+
+impl HttpResponse {
+    /// A 200 response with an HTML body.
+    pub fn ok(body: impl Into<String>) -> Self {
+        HttpResponse {
+            status: Status::Ok,
+            format: ContentFormat::Html,
+            body: body.into(),
+            set_cookies: BTreeMap::new(),
+            location: None,
+        }
+    }
+
+    /// An error response with the given status and body.
+    pub fn error(status: Status, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            ..Self::ok(body)
+        }
+    }
+
+    /// A 302 redirect.
+    pub fn redirect(location: impl Into<String>) -> Self {
+        HttpResponse {
+            status: Status::Found,
+            location: Some(location.into()),
+            ..Self::ok("")
+        }
+    }
+
+    /// Sets a cookie (builder style).
+    pub fn with_cookie(mut self, name: &str, value: &str) -> Self {
+        self.set_cookies.insert(name.to_owned(), value.to_owned());
+        self
+    }
+
+    /// Sets the body format (builder style).
+    pub fn with_format(mut self, format: ContentFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Approximate bytes of this response on the wire.
+    pub fn wire_size(&self) -> usize {
+        let mut n = 64 + self.body.len();
+        for (k, v) in &self.set_cookies {
+            n += k.len() + v.len() + 14;
+        }
+        if let Some(loc) = &self.location {
+            n += loc.len() + 12;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_splits_query_params() {
+        let req = HttpRequest::get("/catalog?category=toys&page=2");
+        assert_eq!(req.path, "/catalog");
+        assert_eq!(req.param("category"), Some("toys"));
+        assert_eq!(req.param("page"), Some("2"));
+        assert_eq!(req.param("missing"), None);
+        assert_eq!(req.method, Method::Get);
+    }
+
+    #[test]
+    fn post_merges_form_and_query() {
+        let req = HttpRequest::post(
+            "/order?src=banner",
+            vec![("sku".to_owned(), "42".to_owned())],
+        );
+        assert_eq!(req.param("src"), Some("banner"));
+        assert_eq!(req.param("sku"), Some("42"));
+        assert_eq!(req.method, Method::Post);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let req = HttpRequest::get("/")
+            .with_accept(ContentFormat::Wml)
+            .with_cookie("sid", "abc")
+            .with_auth("u", "p");
+        assert_eq!(req.accept, ContentFormat::Wml);
+        assert_eq!(req.cookies.get("sid").map(String::as_str), Some("abc"));
+        assert_eq!(req.auth.as_ref().unwrap().0, "u");
+    }
+
+    #[test]
+    fn wire_sizes_grow_with_content() {
+        let small = HttpRequest::get("/a");
+        let big = HttpRequest::get("/a?x=1&y=2").with_cookie("s", "t");
+        assert!(big.wire_size() > small.wire_size());
+        let r1 = HttpResponse::ok("x");
+        let r2 = HttpResponse::ok("x".repeat(1000));
+        assert_eq!(r2.wire_size() - r1.wire_size(), 999);
+    }
+
+    #[test]
+    fn response_constructors() {
+        assert_eq!(HttpResponse::ok("hi").status, Status::Ok);
+        let r = HttpResponse::redirect("/next");
+        assert_eq!(r.status, Status::Found);
+        assert_eq!(r.location.as_deref(), Some("/next"));
+        assert!(!HttpResponse::error(Status::NotFound, "gone")
+            .status
+            .is_success());
+    }
+
+    #[test]
+    fn status_codes_and_mime_types() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::Unauthorized.code(), 401);
+        assert_eq!(ContentFormat::Wml.mime(), "text/vnd.wap.wml");
+        assert_eq!(Method::Post.to_string(), "POST");
+    }
+
+    #[test]
+    fn empty_and_valueless_query_pairs() {
+        let req = HttpRequest::get("/p?flag&x=&&y=2");
+        assert_eq!(req.param("flag"), Some(""));
+        assert_eq!(req.param("x"), Some(""));
+        assert_eq!(req.param("y"), Some("2"));
+    }
+}

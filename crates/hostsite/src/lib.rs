@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # hostsite — the host computer (component vi)
+//!
+//! §7 of the paper: "A host computer produces and stores all the
+//! information for mobile commerce applications … It contains three major
+//! components: a Web server, a database server, and application programs
+//! and support software."
+//!
+//! * [`db`] — the database server: an embedded storage engine with typed
+//!   tables, primary and secondary indexes, ACID transactions (undo-log
+//!   rollback), a write-ahead journal with crash recovery, and an
+//!   optional memory cap (the "embedded databases have very small
+//!   footprints" constraint the paper highlights for handhelds).
+//! * [`http`] — HTTP-like request/response types with content negotiation
+//!   (the Accept side of serving HTML to desktops, WML/cHTML to phones).
+//! * [`server`] — the web server: routing, CGI-style [`server::AppProgram`]s,
+//!   DBM-style authentication realms, configurable error pages, access
+//!   logging and cookie-based sessions (the Apache feature set §7 name-checks).
+//! * [`host`] — the assembled host computer with a CPU cost model so the
+//!   end-to-end system can charge realistic processing latency.
+
+pub mod db;
+pub mod host;
+pub mod http;
+pub mod server;
+
+pub use db::{Database, DbError, Value};
+pub use host::HostComputer;
+pub use http::{ContentFormat, HttpRequest, HttpResponse, Method, Status};
+pub use server::{AppProgram, ServerCtx, WebServer};

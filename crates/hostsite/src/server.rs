@@ -1,0 +1,460 @@
+//! The web server: routing, application programs, auth, sessions, logs.
+//!
+//! §7 models the web server on Apache and name-checks its features —
+//! "highly configurable error messages, DBM-based authentication
+//! databases, and content negotiation" — and puts "application programs
+//! and support software" beside it, talking CGI. This server implements
+//! those pieces: a route table dispatching to [`AppProgram`]s (the CGI
+//! role), path-prefix auth realms backed by a user table, per-status
+//! error pages, cookie sessions and an access log.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::db::Database;
+use crate::http::{HttpRequest, HttpResponse, Method, Status};
+
+/// A server-side application program (the CGI contract): it sees the
+/// request and the server context (database, session) and produces a
+/// response.
+pub trait AppProgram {
+    /// Handles one request.
+    fn handle(&self, req: &HttpRequest, ctx: &mut ServerCtx<'_>) -> HttpResponse;
+
+    /// A short name for logs and diagnostics.
+    fn name(&self) -> &str {
+        "app"
+    }
+}
+
+impl<F> AppProgram for F
+where
+    F: Fn(&HttpRequest, &mut ServerCtx<'_>) -> HttpResponse,
+{
+    fn handle(&self, req: &HttpRequest, ctx: &mut ServerCtx<'_>) -> HttpResponse {
+        self(req, ctx)
+    }
+}
+
+/// What the server hands an application program per request.
+pub struct ServerCtx<'a> {
+    /// The database server.
+    pub db: &'a mut Database,
+    /// The request's session key-value store (created on demand).
+    pub session: &'a mut BTreeMap<String, String>,
+    /// The session id backing `session`.
+    pub session_id: String,
+}
+
+/// One access-log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessLogEntry {
+    /// Request method.
+    pub method: Method,
+    /// Request path.
+    pub path: String,
+    /// Response status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub bytes: usize,
+}
+
+struct Route {
+    method: Method,
+    path: String,
+    app: Box<dyn AppProgram>,
+}
+
+/// The web server.
+///
+/// ```
+/// use hostsite::{WebServer, HttpRequest, HttpResponse, ServerCtx};
+/// use hostsite::db::Database;
+///
+/// let mut server = WebServer::new(Database::new(), 7);
+/// server.route_get("/hello", |_req: &HttpRequest, _ctx: &mut ServerCtx<'_>| {
+///     HttpResponse::ok("<html><body>hi</body></html>")
+/// });
+/// let resp = server.handle(HttpRequest::get("/hello"));
+/// assert!(resp.status.is_success());
+/// ```
+pub struct WebServer {
+    db: Database,
+    routes: Vec<Route>,
+    static_pages: HashMap<String, String>,
+    error_pages: HashMap<u16, String>,
+    /// `(path prefix, realm name)` → user/password pairs.
+    auth_realms: Vec<(String, HashMap<String, String>)>,
+    sessions: RefCell<HashMap<String, BTreeMap<String, String>>>,
+    access_log: RefCell<Vec<AccessLogEntry>>,
+    rng: RefCell<StdRng>,
+}
+
+impl std::fmt::Debug for WebServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WebServer")
+            .field("routes", &self.routes.len())
+            .field("static_pages", &self.static_pages.len())
+            .field("sessions", &self.sessions.borrow().len())
+            .finish()
+    }
+}
+
+impl WebServer {
+    /// Creates a server owning `db`; `seed` drives session-id generation.
+    pub fn new(db: Database, seed: u64) -> Self {
+        WebServer {
+            db,
+            routes: Vec::new(),
+            static_pages: HashMap::new(),
+            error_pages: HashMap::new(),
+            auth_realms: Vec::new(),
+            sessions: RefCell::new(HashMap::new()),
+            access_log: RefCell::new(Vec::new()),
+            rng: RefCell::new(simnet::rng::rng_for(seed, "webserver.sessions")),
+        }
+    }
+
+    /// The database server (mutable — application setup uses this).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The database server.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Registers an application program for `GET path`.
+    pub fn route_get(&mut self, path: &str, app: impl AppProgram + 'static) {
+        self.routes.push(Route {
+            method: Method::Get,
+            path: path.to_owned(),
+            app: Box::new(app),
+        });
+    }
+
+    /// Registers an application program for `POST path`.
+    pub fn route_post(&mut self, path: &str, app: impl AppProgram + 'static) {
+        self.routes.push(Route {
+            method: Method::Post,
+            path: path.to_owned(),
+            app: Box::new(app),
+        });
+    }
+
+    /// Serves `body` for `GET path` without involving an app program.
+    pub fn static_page(&mut self, path: &str, body: impl Into<String>) {
+        self.static_pages.insert(path.to_owned(), body.into());
+    }
+
+    /// Overrides the body served with status `code` — §7's "highly
+    /// configurable error messages".
+    pub fn error_page(&mut self, code: u16, body: impl Into<String>) {
+        self.error_pages.insert(code, body.into());
+    }
+
+    /// Protects every path starting with `prefix` behind basic auth
+    /// against the given user table — §7's "DBM-based authentication
+    /// databases".
+    pub fn protect(&mut self, prefix: &str, users: impl IntoIterator<Item = (String, String)>) {
+        self.auth_realms
+            .push((prefix.to_owned(), users.into_iter().collect()));
+    }
+
+    /// The access log so far.
+    pub fn access_log(&self) -> Vec<AccessLogEntry> {
+        self.access_log.borrow().clone()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.borrow().len()
+    }
+
+    /// Handles one request end to end: auth, routing, app dispatch,
+    /// session cookie management, error pages, logging.
+    pub fn handle(&mut self, req: HttpRequest) -> HttpResponse {
+        let mut resp = self.dispatch(&req);
+        // Error-page substitution.
+        if !resp.status.is_success() {
+            if let Some(body) = self.error_pages.get(&resp.status.code()) {
+                resp.body = body.clone();
+            }
+        }
+        self.access_log.borrow_mut().push(AccessLogEntry {
+            method: req.method,
+            path: req.path.clone(),
+            status: resp.status.code(),
+            bytes: resp.body.len(),
+        });
+        resp
+    }
+
+    fn dispatch(&mut self, req: &HttpRequest) -> HttpResponse {
+        // Authentication. Prefixes match on path-segment boundaries:
+        // "/ward" protects "/ward" and "/ward/…", not "/wardrobe".
+        for (prefix, users) in &self.auth_realms {
+            let in_realm = req.path == *prefix
+                || req
+                    .path
+                    .strip_prefix(prefix.as_str())
+                    .is_some_and(|rest| rest.starts_with('/'));
+            if in_realm {
+                let ok = req
+                    .auth
+                    .as_ref()
+                    .map(|(u, p)| users.get(u).map(String::as_str) == Some(p.as_str()))
+                    .unwrap_or(false);
+                if !ok {
+                    return HttpResponse::error(
+                        Status::Unauthorized,
+                        "<html><body>401 authorization required</body></html>",
+                    );
+                }
+            }
+        }
+
+        // Static resources.
+        if req.method == Method::Get {
+            if let Some(body) = self.static_pages.get(&req.path) {
+                return HttpResponse::ok(body.clone());
+            }
+        }
+
+        // Session: reuse the client's cookie or mint a fresh id.
+        let (session_id, is_new) = match req.cookies.get("sid") {
+            Some(sid) if self.sessions.borrow().contains_key(sid) => (sid.clone(), false),
+            _ => {
+                let id: u64 = self.rng.borrow_mut().random();
+                (format!("s{id:016x}"), true)
+            }
+        };
+        let mut session = self
+            .sessions
+            .borrow_mut()
+            .remove(&session_id)
+            .unwrap_or_default();
+
+        // Routing.
+        let route_idx = self
+            .routes
+            .iter()
+            .position(|r| r.method == req.method && r.path == req.path);
+        let mut resp = match route_idx {
+            Some(idx) => {
+                // Split borrows: the route's app and the db are disjoint.
+                let route = self.routes.swap_remove(idx);
+                let mut ctx = ServerCtx {
+                    db: &mut self.db,
+                    session: &mut session,
+                    session_id: session_id.clone(),
+                };
+                let resp = route.app.handle(req, &mut ctx);
+                self.routes.push(route);
+                resp
+            }
+            None => {
+                HttpResponse::error(Status::NotFound, "<html><body>404 not found</body></html>")
+            }
+        };
+
+        // Persist the session; set the cookie on first contact.
+        let session_used = !session.is_empty();
+        self.sessions
+            .borrow_mut()
+            .insert(session_id.clone(), session);
+        if is_new && session_used {
+            resp = resp.with_cookie("sid", &session_id);
+        }
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Value;
+
+    fn server() -> WebServer {
+        let mut db = Database::new();
+        db.create_table("products", &["sku", "name", "stock"], &["name"])
+            .unwrap();
+        db.insert("products", vec![1.into(), "widget".into(), 10.into()])
+            .unwrap();
+        let mut server = WebServer::new(db, 99);
+        server.route_get("/stock", |req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+            let Some(sku) = req.param("sku").and_then(|s| s.parse::<i64>().ok()) else {
+                return HttpResponse::error(Status::BadRequest, "bad sku");
+            };
+            match ctx.db.get("products", &sku.into()) {
+                Ok(Some(row)) => HttpResponse::ok(format!(
+                    "<html><body>{} in stock: {}</body></html>",
+                    row[1], row[2]
+                )),
+                Ok(None) => HttpResponse::error(Status::NotFound, "no such product"),
+                Err(_) => HttpResponse::error(Status::ServerError, "db error"),
+            }
+        });
+        server.route_post("/buy", |req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+            let sku: i64 = req.param("sku").and_then(|s| s.parse().ok()).unwrap_or(0);
+            let result: Result<i64, crate::db::DbError> = ctx.db.transaction(|tx| {
+                let mut row = tx
+                    .get("products", &sku.into())?
+                    .ok_or(crate::db::DbError::NotFound)?;
+                let Value::Int(stock) = row[2] else {
+                    return Err(crate::db::DbError::NotFound);
+                };
+                if stock == 0 {
+                    return Err(crate::db::DbError::NotFound);
+                }
+                row[2] = (stock - 1).into();
+                tx.update("products", row)?;
+                Ok(stock - 1)
+            });
+            match result {
+                Ok(left) => {
+                    let n: i64 = ctx
+                        .session
+                        .get("bought")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0);
+                    ctx.session.insert("bought".into(), (n + 1).to_string());
+                    HttpResponse::ok(format!("<html><body>ok, {left} left</body></html>"))
+                }
+                Err(_) => HttpResponse::error(Status::BadRequest, "out of stock"),
+            }
+        });
+        server
+    }
+
+    #[test]
+    fn app_program_reads_the_database() {
+        let mut s = server();
+        let resp = s.handle(HttpRequest::get("/stock?sku=1"));
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.body.contains("widget in stock: 10"));
+    }
+
+    #[test]
+    fn unknown_route_is_404_with_custom_error_page() {
+        let mut s = server();
+        let resp = s.handle(HttpRequest::get("/nope"));
+        assert_eq!(resp.status, Status::NotFound);
+        s.error_page(404, "<html><body>custom not found</body></html>");
+        let resp = s.handle(HttpRequest::get("/nope"));
+        assert_eq!(resp.body, "<html><body>custom not found</body></html>");
+    }
+
+    #[test]
+    fn post_mutates_through_a_transaction() {
+        let mut s = server();
+        for left in (0..10).rev() {
+            let resp = s.handle(HttpRequest::post("/buy", vec![("sku".into(), "1".into())]));
+            assert_eq!(resp.status, Status::Ok);
+            assert!(resp.body.contains(&format!("{left} left")));
+        }
+        // Stock exhausted: the transaction rolls back, stock stays 0.
+        let resp = s.handle(HttpRequest::post("/buy", vec![("sku".into(), "1".into())]));
+        assert_eq!(resp.status, Status::BadRequest);
+        assert_eq!(
+            s.db().get("products", &1.into()).unwrap().unwrap()[2],
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn sessions_persist_across_requests_via_cookie() {
+        let mut s = server();
+        let first = s.handle(HttpRequest::post("/buy", vec![("sku".into(), "1".into())]));
+        let sid = first
+            .set_cookies
+            .get("sid")
+            .expect("session cookie set")
+            .clone();
+        let _ = s.handle(
+            HttpRequest::post("/buy", vec![("sku".into(), "1".into())]).with_cookie("sid", &sid),
+        );
+        let sessions = s.sessions.borrow();
+        let session = sessions.get(&sid).unwrap();
+        assert_eq!(session.get("bought").map(String::as_str), Some("2"));
+        assert_eq!(s.session_count(), 1);
+    }
+
+    #[test]
+    fn auth_realm_gates_protected_paths() {
+        let mut s = server();
+        s.protect("/stock", vec![("admin".to_owned(), "secret".to_owned())]);
+        let resp = s.handle(HttpRequest::get("/stock?sku=1"));
+        assert_eq!(resp.status, Status::Unauthorized);
+        let resp = s.handle(HttpRequest::get("/stock?sku=1").with_auth("admin", "wrong"));
+        assert_eq!(resp.status, Status::Unauthorized);
+        let resp = s.handle(HttpRequest::get("/stock?sku=1").with_auth("admin", "secret"));
+        assert_eq!(resp.status, Status::Ok);
+        // Unprotected paths unaffected.
+        let resp = s.handle(HttpRequest::post("/buy", vec![("sku".into(), "1".into())]));
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn static_pages_win_over_404() {
+        let mut s = server();
+        s.static_page("/about", "<html><body>about us</body></html>");
+        let resp = s.handle(HttpRequest::get("/about"));
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.body.contains("about us"));
+    }
+
+    #[test]
+    fn access_log_records_every_request() {
+        let mut s = server();
+        s.handle(HttpRequest::get("/stock?sku=1"));
+        s.handle(HttpRequest::get("/missing"));
+        let log = s.access_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].status, 200);
+        assert_eq!(log[0].path, "/stock");
+        assert_eq!(log[1].status, 404);
+        assert!(log[0].bytes > 0);
+    }
+
+    #[test]
+    fn method_mismatch_is_not_found() {
+        let mut s = server();
+        let resp = s.handle(HttpRequest::get("/buy?sku=1"));
+        assert_eq!(resp.status, Status::NotFound);
+    }
+}
+
+#[cfg(test)]
+mod realm_boundary_tests {
+    use super::*;
+    use crate::http::HttpRequest;
+
+    #[test]
+    fn auth_prefix_matches_segment_boundaries_only() {
+        let mut s = WebServer::new(Database::new(), 1);
+        s.static_page("/ward", "<html><body>w</body></html>");
+        s.static_page("/ward/room", "<html><body>r</body></html>");
+        s.static_page("/wardrobe", "<html><body>free</body></html>");
+        s.protect("/ward", vec![("u".to_owned(), "p".to_owned())]);
+        assert_eq!(
+            s.handle(HttpRequest::get("/ward")).status,
+            Status::Unauthorized
+        );
+        assert_eq!(
+            s.handle(HttpRequest::get("/ward/room")).status,
+            Status::Unauthorized
+        );
+        // Not in the realm: shares the prefix string but not the segment.
+        assert_eq!(s.handle(HttpRequest::get("/wardrobe")).status, Status::Ok);
+        assert_eq!(
+            s.handle(HttpRequest::get("/ward/room").with_auth("u", "p"))
+                .status,
+            Status::Ok
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! HTML: what the host computers' web servers produce.
+//!
+//! §7: the web server "manages the Web pages stored on the Web site's
+//! database" and responds in HTML; the WAP gateway then translates to WML
+//! (§5.1). This module provides the HTML parse entry point plus page
+//! builders used by the `hostsite` application programs.
+
+use crate::dom::{Element, Node};
+use crate::parse::{self, ParseMarkupError};
+
+/// Parses an HTML document (well-formed subset; see [`crate::parse`]).
+///
+/// # Errors
+///
+/// Returns [`ParseMarkupError`] on malformed markup.
+pub fn parse_html(input: &str) -> Result<Element, ParseMarkupError> {
+    parse::parse(input)
+}
+
+/// Builds a minimal well-formed page: `<html><head><title>…</title></head>
+/// <body>…</body></html>`.
+///
+/// ```
+/// use markup::{html, Element, Node};
+/// let page = html::page("Cart", vec![
+///     Element::new("p").with_text("2 items").into(),
+/// ]);
+/// assert_eq!(page.find("title").unwrap().text_content(), "Cart");
+/// ```
+pub fn page(title: &str, body_children: Vec<Node>) -> Element {
+    let mut body = Element::new("body");
+    for child in body_children {
+        body.push_child(child);
+    }
+    Element::new("html")
+        .with_child(Element::new("head").with_child(Element::new("title").with_text(title)))
+        .with_child(body)
+}
+
+/// A heading element.
+pub fn h1(text: &str) -> Element {
+    Element::new("h1").with_text(text)
+}
+
+/// A paragraph element.
+pub fn p(text: &str) -> Element {
+    Element::new("p").with_text(text)
+}
+
+/// An anchor element.
+pub fn a(href: &str, text: &str) -> Element {
+    Element::new("a").with_attr("href", href).with_text(text)
+}
+
+/// An unordered list of text items.
+pub fn ul<I: IntoIterator<Item = S>, S: Into<String>>(items: I) -> Element {
+    let mut list = Element::new("ul");
+    for item in items {
+        list.push_child(Element::new("li").with_text(item));
+    }
+    list
+}
+
+/// A two-column table from `(key, value)` rows.
+pub fn table<'a>(rows: impl IntoIterator<Item = (&'a str, &'a str)>) -> Element {
+    let mut table = Element::new("table");
+    for (k, v) in rows {
+        table.push_child(
+            Element::new("tr")
+                .with_child(Element::new("td").with_text(k))
+                .with_child(Element::new("td").with_text(v)),
+        );
+    }
+    table
+}
+
+/// A single-field form posting to `action`.
+pub fn form(action: &str, field_name: &str, submit_label: &str) -> Element {
+    Element::new("form")
+        .with_attr("action", action)
+        .with_attr("method", "post")
+        .with_child(
+            Element::new("input")
+                .with_attr("type", "text")
+                .with_attr("name", field_name),
+        )
+        .with_child(
+            Element::new("input")
+                .with_attr("type", "submit")
+                .with_attr("value", submit_label),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_has_canonical_shape() {
+        let doc = page("Store", vec![p("welcome").into(), a("/buy", "buy").into()]);
+        assert_eq!(doc.tag(), "html");
+        let tags: Vec<&str> = doc
+            .children()
+            .iter()
+            .filter_map(|c| c.as_element())
+            .map(|e| e.tag())
+            .collect();
+        assert_eq!(tags, vec!["head", "body"]);
+        assert!(doc.to_markup().contains("<title>Store</title>"));
+    }
+
+    #[test]
+    fn page_round_trips_through_the_parser() {
+        let doc = page(
+            "Inventory",
+            vec![
+                h1("Items").into(),
+                ul(["widget", "gadget"]).into(),
+                table([("sku", "42"), ("qty", "7")]).into(),
+                form("/track", "sku", "Track").into(),
+            ],
+        );
+        let reparsed = parse_html(&doc.to_markup()).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn helpers_produce_expected_markup() {
+        assert_eq!(p("x").to_markup(), "<p>x</p>");
+        assert_eq!(a("/c", "go").to_markup(), r#"<a href="/c">go</a>"#);
+        assert_eq!(ul(["i"]).to_markup(), "<ul><li>i</li></ul>");
+        assert!(form("/a", "q", "Go")
+            .to_markup()
+            .contains(r#"type="submit""#));
+    }
+}

@@ -1,0 +1,419 @@
+//! Content translation — the WAP gateway's defining job, plus i-mode's
+//! lighter simplification.
+//!
+//! §5.1: "responses are sent from the Web server to the WAP Gateway in
+//! HTML and are then translated in WML and sent to the mobile stations."
+//! [`html_to_wml`] is that translation: block structure becomes cards and
+//! paragraphs, inline markup maps to WML's tiny vocabulary, tables
+//! flatten into rows, images reduce to their alt text, and oversized
+//! content paginates into linked cards so decks respect device limits.
+//!
+//! [`html_to_chtml`] is i-mode's version: *filtering*, not translation —
+//! disallowed elements unwrap into their children, banned attributes drop,
+//! scripts and styles disappear.
+
+use crate::chtml::{CHTML_ATTRS, CHTML_TAGS};
+use crate::dom::{Element, Node};
+use crate::wml;
+
+/// Options for [`html_to_wml`].
+#[derive(Debug, Clone)]
+pub struct WmlOptions {
+    /// Target maximum serialised bytes per card; content beyond it starts
+    /// a new card linked via a "More" anchor. (Real phones enforced deck
+    /// limits of 1–8 KB.)
+    pub max_card_bytes: usize,
+    /// Hard cap on the serialised deck, if any: cards beyond it are
+    /// dropped and replaced with a truncation notice — the adaptation a
+    /// gateway applies when the device cannot hold the full content.
+    pub max_deck_bytes: Option<usize>,
+}
+
+impl Default for WmlOptions {
+    fn default() -> Self {
+        WmlOptions {
+            max_card_bytes: 1_400,
+            max_deck_bytes: None,
+        }
+    }
+}
+
+/// Translates an HTML document into a WML deck.
+///
+/// The output always passes [`wml::validate`].
+///
+/// ```
+/// let html = markup::html::page("Shop", vec![
+///     markup::html::p("Welcome to the mobile shop").into(),
+/// ]);
+/// let deck = markup::transcode::html_to_wml(&html, &Default::default());
+/// markup::wml::validate(&deck).unwrap();
+/// assert!(deck.text_content().contains("Welcome"));
+/// ```
+pub fn html_to_wml(html: &Element, opts: &WmlOptions) -> Element {
+    let title = html
+        .find("title")
+        .map(|t| t.text_content())
+        .unwrap_or_else(|| "Untitled".to_owned());
+
+    // Collect block-level paragraphs from the body (or the whole document
+    // when there is no <body>).
+    let scope = html.find("body").unwrap_or(html);
+    let mut blocks: Vec<Element> = Vec::new();
+    collect_blocks(scope, &mut blocks);
+    if blocks.is_empty() {
+        blocks.push(Element::new("p"));
+    }
+
+    // Paginate blocks into cards under the size budget.
+    let mut deck = wml::deck();
+    let mut card_index = 0usize;
+    let mut current = wml::card("c0", &title);
+    let mut current_bytes = 0usize;
+    let mut finished: Vec<Element> = Vec::new();
+    for block in blocks {
+        let block_bytes = block.to_markup().len();
+        if current_bytes > 0 && current_bytes + block_bytes > opts.max_card_bytes {
+            card_index += 1;
+            let next_id = format!("c{card_index}");
+            current.push_child(
+                Element::new("p").with_child(
+                    Element::new("a")
+                        .with_attr("href", format!("#{next_id}"))
+                        .with_text("More"),
+                ),
+            );
+            finished.push(std::mem::replace(&mut current, wml::card(&next_id, &title)));
+            current_bytes = 0;
+        }
+        current_bytes += block_bytes;
+        current.push_child(block);
+    }
+    finished.push(current);
+
+    // Deck-size adaptation: keep whole cards while they fit, then replace
+    // the remainder with a truncation card.
+    if let Some(limit) = opts.max_deck_bytes {
+        let mut kept: Vec<Element> = Vec::new();
+        let mut used = wml::deck_bytes(&deck);
+        let total = finished.len();
+        for card in finished {
+            let size = card.to_markup().len();
+            if used + size > limit && !kept.is_empty() {
+                let notice =
+                    wml::card("truncated", "More").with_child(Element::new("p").with_text(
+                        format!("content truncated: {} of {} cards shown", kept.len(), total),
+                    ));
+                kept.push(notice);
+                break;
+            }
+            used += size;
+            kept.push(card);
+        }
+        finished = kept;
+    }
+
+    for card in finished {
+        deck.push_child(card);
+    }
+    deck
+}
+
+/// Collects translated block elements from an HTML subtree.
+fn collect_blocks(scope: &Element, out: &mut Vec<Element>) {
+    for child in scope.children() {
+        match child {
+            Node::Text(t) => {
+                if !t.trim().is_empty() {
+                    out.push(Element::new("p").with_text(t.clone()));
+                }
+            }
+            Node::Element(e) => match e.tag() {
+                "script" | "style" => {}
+                "p" | "div" | "blockquote" | "pre" | "center" => {
+                    let mut p = Element::new("p");
+                    translate_inline(e, &mut p);
+                    if !p.children().is_empty() {
+                        out.push(p);
+                    }
+                }
+                "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => {
+                    let mut b = Element::new("b");
+                    translate_inline(e, &mut b);
+                    out.push(Element::new("p").with_child(Element::new("big").with_child(b)));
+                }
+                "ul" | "ol" => {
+                    for (i, li) in e.find_all("li").enumerate() {
+                        let mut p = Element::new("p");
+                        p.push_child(Node::text(format!("{}. ", i + 1)));
+                        translate_inline(li, &mut p);
+                        out.push(p);
+                    }
+                }
+                "table" => {
+                    for tr in e.find_all("tr") {
+                        let cells: Vec<String> = tr
+                            .find_all("td")
+                            .chain(tr.find_all("th"))
+                            .map(|td| td.text_content())
+                            .collect();
+                        out.push(Element::new("p").with_text(cells.join(" | ")));
+                    }
+                }
+                "form" => {
+                    let mut p = Element::new("p");
+                    for input in e.find_all("input") {
+                        if input.attr("type") == Some("submit") {
+                            continue;
+                        }
+                        let mut field = Element::new("input");
+                        if let Some(name) = input.attr("name") {
+                            field.set_attr("name", name);
+                        }
+                        p.push_child(field);
+                    }
+                    let action = e.attr("action").unwrap_or("/");
+                    p.push_child(
+                        Element::new("do")
+                            .with_attr("type", "accept")
+                            .with_child(Element::new("go").with_attr("href", action)),
+                    );
+                    out.push(p);
+                }
+                // Inline elements sitting at block level get their own
+                // paragraph so links/emphasis are not lost.
+                "a" | "b" | "strong" | "i" | "em" | "br" | "img" | "span" | "font" | "big"
+                | "small" => {
+                    let wrapper = Element::new("span").with_child(e.clone());
+                    let mut p = Element::new("p");
+                    translate_inline(&wrapper, &mut p);
+                    if !p.children().is_empty() {
+                        out.push(p);
+                    }
+                }
+                // Containers without block meaning: recurse.
+                _ => collect_blocks(e, out),
+            },
+        }
+    }
+}
+
+/// Translates inline HTML content into WML inline content inside `out`.
+fn translate_inline(e: &Element, out: &mut Element) {
+    for child in e.children() {
+        match child {
+            Node::Text(t) => out.push_child(Node::text(t.clone())),
+            Node::Element(inner) => match inner.tag() {
+                "script" | "style" => {}
+                "b" | "strong" => {
+                    let mut b = Element::new("b");
+                    translate_inline(inner, &mut b);
+                    out.push_child(b);
+                }
+                "i" | "em" => {
+                    let mut i = Element::new("i");
+                    translate_inline(inner, &mut i);
+                    out.push_child(i);
+                }
+                "a" => {
+                    let mut a = Element::new("a");
+                    if let Some(href) = inner.attr("href") {
+                        a.set_attr("href", href);
+                    }
+                    translate_inline(inner, &mut a);
+                    out.push_child(a);
+                }
+                "br" => out.push_child(Element::new("br")),
+                "img" => {
+                    // Images become their alt text in brackets.
+                    let alt = inner.attr("alt").unwrap_or("image");
+                    out.push_child(Node::text(format!("[{alt}]")));
+                }
+                _ => translate_inline(inner, out),
+            },
+        }
+    }
+}
+
+/// Simplifies HTML into valid cHTML by filtering.
+///
+/// Disallowed elements are unwrapped (children survive); `<script>` and
+/// `<style>` are removed entirely; non-cHTML attributes are stripped.
+/// The output always passes [`crate::chtml::validate`].
+pub fn html_to_chtml(html: &Element) -> Element {
+    fn filter_element(e: &Element) -> Option<Element> {
+        match e.tag() {
+            "script" | "style" => return None,
+            _ => {}
+        }
+        let mut out = Element::new(e.tag());
+        for (k, v) in e.attrs() {
+            if CHTML_ATTRS.contains(&k.as_str()) {
+                out.set_attr(k.clone(), v.clone());
+            }
+        }
+        for child in e.children() {
+            match child {
+                Node::Text(t) => out.push_child(Node::text(t.clone())),
+                Node::Element(inner) => {
+                    if CHTML_TAGS.contains(&inner.tag()) {
+                        if let Some(filtered) = filter_element(inner) {
+                            out.push_child(filtered);
+                        }
+                    } else if inner.tag() != "script" && inner.tag() != "style" {
+                        // Unwrap: splice the child's (filtered) children in.
+                        if let Some(filtered) = filter_element(inner) {
+                            for grand in filtered.children() {
+                                out.push_child(grand.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+    filter_element(html).unwrap_or_else(|| Element::new("html"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html;
+
+    fn rich_page() -> Element {
+        html::page(
+            "Mobile Shop",
+            vec![
+                html::h1("Catalog").into(),
+                html::p("Fresh arrivals daily").into(),
+                Element::new("p")
+                    .with_text("See ")
+                    .with_child(html::a("/deals", "deals"))
+                    .with_child(
+                        Element::new("img")
+                            .with_attr("src", "x.png")
+                            .with_attr("alt", "sale"),
+                    )
+                    .into(),
+                html::table([("widget", "$5"), ("gadget", "$9")]).into(),
+                html::ul(["fast", "cheap"]).into(),
+                html::form("/order", "sku", "Order").into(),
+                Element::new("script").with_text("alert(1)").into(),
+            ],
+        )
+    }
+
+    #[test]
+    fn wml_output_is_valid_and_preserves_text() {
+        let deck = html_to_wml(&rich_page(), &WmlOptions::default());
+        wml::validate(&deck).unwrap();
+        let text = deck.text_content();
+        assert!(text.contains("Catalog"));
+        assert!(text.contains("Fresh arrivals daily"));
+        assert!(text.contains("deals"));
+        assert!(text.contains("widget | $5"));
+        assert!(text.contains("1. fast"));
+        assert!(text.contains("[sale]")); // image → alt text
+        assert!(!text.contains("alert")); // scripts dropped
+    }
+
+    #[test]
+    fn links_and_forms_survive_translation() {
+        let deck = html_to_wml(&rich_page(), &WmlOptions::default());
+        let a = deck.find("a").expect("anchor survives");
+        assert_eq!(a.attr("href"), Some("/deals"));
+        let go = deck.find("go").expect("form becomes do/go");
+        assert_eq!(go.attr("href"), Some("/order"));
+        assert!(deck.find("input").is_some());
+    }
+
+    #[test]
+    fn oversized_content_paginates_into_linked_cards() {
+        let paragraphs: Vec<Node> = (0..40)
+            .map(|i| html::p(&format!("Paragraph number {i} with some filler text in it")).into())
+            .collect();
+        let page = html::page("Long", paragraphs);
+        let deck = html_to_wml(
+            &page,
+            &WmlOptions {
+                max_card_bytes: 600,
+                ..Default::default()
+            },
+        );
+        wml::validate(&deck).unwrap();
+        let ids = wml::card_ids(&deck);
+        assert!(
+            ids.len() > 2,
+            "expected pagination, got {} cards",
+            ids.len()
+        );
+        // Every card except the last links onward.
+        let cards: Vec<&Element> = deck
+            .children()
+            .iter()
+            .filter_map(|c| c.as_element())
+            .collect();
+        for (i, card) in cards.iter().enumerate() {
+            let has_more = card
+                .find_all("a")
+                .any(|a| a.attr("href") == Some(&format!("#c{}", i + 1)));
+            if i + 1 < cards.len() {
+                assert!(has_more, "card {i} must link to card {}", i + 1);
+            }
+        }
+        // All original text survives across cards.
+        for i in 0..40 {
+            assert!(deck
+                .text_content()
+                .contains(&format!("Paragraph number {i} ")));
+        }
+    }
+
+    #[test]
+    fn heading_becomes_big_bold() {
+        let deck = html_to_wml(
+            &html::page("t", vec![html::h1("Top").into()]),
+            &Default::default(),
+        );
+        let big = deck.find("big").expect("heading maps to big");
+        assert_eq!(big.text_content(), "Top");
+        assert!(big.find("b").is_some());
+    }
+
+    #[test]
+    fn chtml_simplification_is_valid_and_preserves_text() {
+        let out = html_to_chtml(&rich_page());
+        crate::chtml::validate(&out).unwrap();
+        let text = out.text_content();
+        assert!(text.contains("Catalog"));
+        assert!(text.contains("widget"));
+        assert!(text.contains("$5")); // table unwrapped but text kept
+        assert!(!text.contains("alert(1)")); // script gone
+        assert!(out.find("table").is_none());
+        assert!(out.find("a").unwrap().attr("href") == Some("/deals"));
+    }
+
+    #[test]
+    fn chtml_strips_disallowed_attributes() {
+        let page = html::page(
+            "t",
+            vec![Element::new("p")
+                .with_attr("style", "x")
+                .with_attr("class", "y")
+                .with_text("hi")
+                .into()],
+        );
+        let out = html_to_chtml(&page);
+        let p = out.find("p").unwrap();
+        assert!(p.attrs().is_empty());
+        assert_eq!(p.text_content(), "hi");
+    }
+
+    #[test]
+    fn empty_body_still_produces_a_valid_deck() {
+        let deck = html_to_wml(&html::page("e", vec![]), &Default::default());
+        wml::validate(&deck).unwrap();
+        assert_eq!(wml::card_ids(&deck).len(), 1);
+    }
+}

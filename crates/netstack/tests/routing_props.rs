@@ -1,0 +1,63 @@
+//! Property tests for addressing and routing.
+
+use netstack::{Ip, Node, Subnet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Text round-trip for any address.
+    #[test]
+    fn ip_display_parse_round_trips(bits in any::<u32>()) {
+        let ip = Ip(bits);
+        let text = ip.to_string();
+        prop_assert_eq!(text.parse::<Ip>().unwrap(), ip);
+    }
+
+    /// A subnet contains exactly the addresses sharing its prefix.
+    #[test]
+    fn subnet_membership_matches_mask_arithmetic(
+        base in any::<u32>(),
+        prefix in 0u8..=32,
+        probe in any::<u32>(),
+    ) {
+        let net = Subnet::new(Ip(base), prefix);
+        let mask: u64 = if prefix == 0 { 0 } else { (!0u32 << (32 - prefix as u32)) as u64 };
+        let expected = (probe as u64 & mask) == (base as u64 & mask);
+        prop_assert_eq!(net.contains(Ip(probe)), expected);
+        // The base itself is always a member.
+        prop_assert!(net.contains(net.base()));
+    }
+
+    /// Longest-prefix match agrees with a brute-force reference.
+    #[test]
+    fn route_lookup_matches_reference(
+        routes in proptest::collection::vec((any::<u32>(), 0u8..=32, any::<u32>()), 0..12),
+        dst in any::<u32>(),
+    ) {
+        let node = Node::new("t");
+        node.add_addr(Ip(1));
+        for (base, prefix, via) in &routes {
+            node.add_route(Subnet::new(Ip(*base), *prefix), Ip(*via));
+        }
+        let best_len = routes
+            .iter()
+            .filter(|(base, prefix, _)| Subnet::new(Ip(*base), *prefix).contains(Ip(dst)))
+            .map(|(_, prefix, _)| *prefix)
+            .max();
+        match (node.route_for(Ip(dst)), best_len) {
+            (None, None) => {}
+            (Some(via), Some(len)) => {
+                // The chosen next hop must belong to some matching route of
+                // the maximal prefix length.
+                let valid = routes.iter().any(|(base, prefix, v)| {
+                    *prefix == len
+                        && Subnet::new(Ip(*base), *prefix).contains(Ip(dst))
+                        && Ip(*v) == via
+                });
+                prop_assert!(valid, "picked {via} with prefix {len}");
+            }
+            (got, want) => prop_assert!(false, "mismatch: got {got:?}, reference {want:?}"),
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! A toy 128-bit Merkle–Damgård hash (simulation-grade).
+//!
+//! Built from two independent 64-bit mixing lanes over 8-byte blocks with
+//! length strengthening. Collision-resistant enough for simulation and
+//! property tests; **not** for real security.
+
+/// Digest size in bytes.
+pub const DIGEST_BYTES: usize = 16;
+
+const SEED_A: u64 = 0x9e37_79b9_7f4a_7c15;
+const SEED_B: u64 = 0xc2b2_ae3d_27d4_eb4f;
+
+fn mix(mut h: u64, block: u64) -> u64 {
+    h ^= block.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h = h.rotate_left(27).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// Hashes `data` to a 16-byte digest.
+///
+/// ```
+/// let a = security::hash::digest(b"hello");
+/// let b = security::hash::digest(b"hello");
+/// let c = security::hash::digest(b"hellp");
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+pub fn digest(data: &[u8]) -> [u8; DIGEST_BYTES] {
+    let mut a = SEED_A;
+    let mut b = SEED_B;
+    for chunk in data.chunks(8) {
+        let mut block = [0u8; 8];
+        block[..chunk.len()].copy_from_slice(chunk);
+        let word = u64::from_le_bytes(block) ^ (chunk.len() as u64) << 56;
+        a = mix(a, word);
+        b = mix(b, word.rotate_left(31));
+    }
+    // Length strengthening + final avalanche.
+    a = mix(a, data.len() as u64 ^ SEED_B);
+    b = mix(b, (data.len() as u64).rotate_left(17) ^ SEED_A);
+    a = mix(a, b);
+    b = mix(b, a);
+
+    let mut out = [0u8; DIGEST_BYTES];
+    out[..8].copy_from_slice(&a.to_le_bytes());
+    out[8..].copy_from_slice(&b.to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(digest(b"abc"), digest(b"abc"));
+        assert_eq!(digest(b""), digest(b""));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let base = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let reference = digest(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut tampered = base.clone();
+                tampered[byte] ^= 1 << bit;
+                assert_ne!(digest(&tampered), reference, "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_extension_inputs_differ() {
+        // Same prefix, different lengths of trailing zeros.
+        assert_ne!(digest(b"abc"), digest(b"abc\0"));
+        assert_ne!(digest(b"abc\0"), digest(b"abc\0\0"));
+    }
+
+    #[test]
+    fn no_collisions_over_small_corpus() {
+        let mut seen = HashSet::new();
+        for i in 0..20_000u32 {
+            let d = digest(format!("message-{i}").as_bytes());
+            assert!(seen.insert(d), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn output_is_well_distributed() {
+        // Count leading-byte distribution buckets; crude avalanche check.
+        let mut buckets = [0u32; 16];
+        for i in 0..4096u32 {
+            let d = digest(&i.to_le_bytes());
+            buckets[(d[0] >> 4) as usize] += 1;
+        }
+        for (i, &count) in buckets.iter().enumerate() {
+            assert!((150..=400).contains(&count), "bucket {i}: {count}");
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The discrete-event engine.
+//!
+//! [`Simulator`] owns a virtual clock and a priority queue of scheduled
+//! events. An event is any `FnOnce(&mut Simulator)`; components hold their
+//! mutable state in `Rc<RefCell<…>>` cells captured by the closures they
+//! schedule. Ties in firing time are broken by insertion order, which makes
+//! runs fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A boxed event action.
+type Action = Box<dyn FnOnce(&mut Simulator)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Option<Action>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, single-threaded discrete-event simulator.
+///
+/// ```
+/// use simnet::{Simulator, SimDuration};
+///
+/// let mut sim = Simulator::new();
+/// let mut order = Vec::new();
+/// sim.schedule_in(SimDuration::from_millis(2), |_| {});
+/// sim.run();
+/// order.push(sim.now().as_millis());
+/// assert_eq!(order, vec![2]);
+/// ```
+pub struct Simulator {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    events_processed: u64,
+    horizon: SimTime,
+    stopped: bool,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator at time zero with no horizon.
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            events_processed: 0,
+            horizon: SimTime::MAX,
+            stopped: false,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time — scheduling into the past
+    /// is always a logic error in the caller.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Simulator) + 'static) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            action: Some(Box::new(action)),
+        });
+    }
+
+    /// Schedules `action` to run `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut Simulator) + 'static,
+    ) {
+        self.schedule_at(self.now.saturating_add(delay), action);
+    }
+
+    /// Runs a single event, advancing the clock to its firing time.
+    ///
+    /// Returns `false` when the queue is empty or the horizon/stop flag
+    /// prevents further progress.
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        let Some(mut ev) = self.queue.pop() else {
+            return false;
+        };
+        if ev.at > self.horizon {
+            // Leave the event unpopped semantics: horizon reached. Push back
+            // so a later `run_until` with a larger horizon still sees it.
+            self.queue.push(Scheduled {
+                action: ev.action.take(),
+                ..ev
+            });
+            return false;
+        }
+        self.now = ev.at;
+        let action = ev.action.take().expect("event scheduled without action");
+        self.events_processed += 1;
+        action(self);
+        true
+    }
+
+    /// Runs until the event queue drains (or [`Simulator::stop`] is called).
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue drains or virtual time would pass `until`.
+    ///
+    /// Events scheduled after `until` stay queued; the clock is advanced to
+    /// `until` on return so stats sampled afterwards cover the full window.
+    pub fn run_until(&mut self, until: SimTime) {
+        let previous = self.horizon;
+        self.horizon = until;
+        while self.step() {}
+        self.horizon = previous;
+        if !self.stopped && self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Runs for `window` of virtual time from now.
+    pub fn run_for(&mut self, window: SimDuration) {
+        let until = self.now.saturating_add(window);
+        self.run_until(until);
+    }
+
+    /// Stops the run loop after the current event completes.
+    ///
+    /// Pending events remain queued; a subsequent [`Simulator::run`] resumes.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Clears a previous [`Simulator::stop`] so the run loop can resume.
+    pub fn resume(&mut self) {
+        self.stopped = false;
+    }
+
+    /// True if [`Simulator::stop`] has been called and not cleared.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for &ms in &[30u64, 10, 20] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_millis(ms), move |_| log.borrow_mut().push(ms));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(sim.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Simulator::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for i in 0..5u32 {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_millis(1), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulator::new();
+        let hits: Rc<RefCell<u32>> = Rc::default();
+        let h = Rc::clone(&hits);
+        sim.schedule_in(SimDuration::from_millis(1), move |sim| {
+            let h2 = Rc::clone(&h);
+            sim.schedule_in(SimDuration::from_millis(1), move |_| {
+                *h2.borrow_mut() += 1;
+            });
+            *h.borrow_mut() += 1;
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(sim.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_millis(5), |sim| {
+            sim.schedule_at(SimTime::from_millis(1), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        let mut sim = Simulator::new();
+        let hits: Rc<RefCell<u32>> = Rc::default();
+        for ms in [5u64, 15] {
+            let h = Rc::clone(&hits);
+            sim.schedule_at(SimTime::from_millis(ms), move |_| *h.borrow_mut() += 1);
+        }
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(*hits.borrow(), 1);
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(*hits.borrow(), 2);
+    }
+
+    #[test]
+    fn stop_halts_and_resume_continues() {
+        let mut sim = Simulator::new();
+        let hits: Rc<RefCell<u32>> = Rc::default();
+        {
+            let h = Rc::clone(&hits);
+            sim.schedule_in(SimDuration::from_millis(1), move |sim| {
+                *h.borrow_mut() += 1;
+                sim.stop();
+            });
+        }
+        {
+            let h = Rc::clone(&hits);
+            sim.schedule_in(SimDuration::from_millis(2), move |_| *h.borrow_mut() += 1);
+        }
+        sim.run();
+        assert_eq!(*hits.borrow(), 1);
+        assert!(sim.is_stopped());
+        sim.resume();
+        sim.run();
+        assert_eq!(*hits.borrow(), 2);
+    }
+
+    #[test]
+    fn run_for_advances_relative_window() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(SimDuration::from_millis(3), |_| {});
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+    }
+}

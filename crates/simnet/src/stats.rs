@@ -1,0 +1,357 @@
+//! Measurement primitives used by every experiment.
+//!
+//! All types use interior mutability (`Cell`/`RefCell`) so they can be
+//! shared via `Rc` between the component being measured and the harness
+//! reading results — the same pattern the simulator itself uses.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// let c = simnet::stats::Counter::new();
+/// c.incr();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(Cell<u64>);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(Cell::new(0))
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    /// Resets to zero, returning the previous value.
+    pub fn take(&self) -> u64 {
+        self.0.replace(0)
+    }
+}
+
+/// Summary statistics over a set of `f64` samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample (0 if empty).
+    pub min: f64,
+    /// Largest sample (0 if empty).
+    pub max: f64,
+    /// Arithmetic mean (0 if empty).
+    pub mean: f64,
+    /// Population standard deviation (0 if empty).
+    pub stddev: f64,
+    /// Median (0 if empty).
+    pub p50: f64,
+    /// 90th percentile (0 if empty).
+    pub p90: f64,
+    /// 99th percentile (0 if empty).
+    pub p99: f64,
+}
+
+impl Summary {
+    fn empty() -> Summary {
+        Summary {
+            count: 0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            stddev: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}",
+            self.count, self.mean, self.stddev, self.min, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// A reservoir of raw samples with exact quantiles.
+///
+/// Experiments in this workspace are laptop-scale (≤ millions of samples),
+/// so exact quantiles from a sorted copy beat sketch data structures on
+/// both simplicity and fidelity.
+///
+/// ```
+/// let s = simnet::stats::Sampler::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] { s.record(v); }
+/// let sum = s.summary();
+/// assert_eq!(sum.count, 4);
+/// assert_eq!(sum.mean, 2.5);
+/// ```
+#[derive(Debug, Default)]
+pub struct Sampler {
+    samples: RefCell<Vec<f64>>,
+}
+
+impl Sampler {
+    /// Creates an empty sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN — a NaN sample is always an upstream bug
+    /// and poisons every quantile.
+    pub fn record(&self, value: f64) {
+        assert!(!value.is_nan(), "refusing to record NaN sample");
+        self.samples.borrow_mut().push(value);
+    }
+
+    /// Records a duration in seconds.
+    pub fn record_duration(&self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.borrow().len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the raw samples, in recording order.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.samples.borrow().clone()
+    }
+
+    /// Computes summary statistics over all recorded samples.
+    pub fn summary(&self) -> Summary {
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
+            return Summary::empty();
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / count as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let q = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            sorted[idx.min(count - 1)]
+        };
+        Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean,
+            stddev: var.sqrt(),
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+        }
+    }
+}
+
+/// Measures goodput: bytes accumulated over a window of simulated time.
+#[derive(Debug, Default)]
+pub struct Throughput {
+    bytes: Cell<u64>,
+    started: Cell<Option<SimTime>>,
+    last: Cell<Option<SimTime>>,
+}
+
+impl Throughput {
+    /// Creates an idle meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts `bytes` arriving at time `now`.
+    pub fn record(&self, now: SimTime, bytes: u64) {
+        if self.started.get().is_none() {
+            self.started.set(Some(now));
+        }
+        self.last.set(Some(now));
+        self.bytes.set(self.bytes.get() + bytes);
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.get()
+    }
+
+    /// Mean goodput in bits per second between the first and last sample,
+    /// or between the first sample and `until` if given. Returns 0 before
+    /// two distinct time points exist.
+    pub fn bits_per_sec(&self, until: Option<SimTime>) -> f64 {
+        let (Some(start), Some(last)) = (self.started.get(), self.last.get()) else {
+            return 0.0;
+        };
+        let end = until.unwrap_or(last);
+        let window = end.since(start).as_secs_f64();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        (self.bytes.get() as f64 * 8.0) / window
+    }
+}
+
+/// A time-weighted average of a piecewise-constant signal (queue depth,
+/// window size, battery level…).
+#[derive(Debug)]
+pub struct TimeWeighted {
+    value: Cell<f64>,
+    since: Cell<SimTime>,
+    weighted_sum: Cell<f64>,
+    origin: Cell<SimTime>,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new(0.0)
+    }
+}
+
+impl TimeWeighted {
+    /// Starts tracking at time zero with the given initial value.
+    pub fn new(initial: f64) -> Self {
+        TimeWeighted {
+            value: Cell::new(initial),
+            since: Cell::new(SimTime::ZERO),
+            weighted_sum: Cell::new(0.0),
+            origin: Cell::new(SimTime::ZERO),
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    pub fn set(&self, now: SimTime, value: f64) {
+        let dt = now.since(self.since.get()).as_secs_f64();
+        self.weighted_sum
+            .set(self.weighted_sum.get() + self.value.get() * dt);
+        self.value.set(value);
+        self.since.set(now);
+    }
+
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.value.get()
+    }
+
+    /// The time-weighted mean of the signal from the origin to `now`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let window = now.since(self.origin.get()).as_secs_f64();
+        if window <= 0.0 {
+            return self.value.get();
+        }
+        let tail = now.since(self.since.get()).as_secs_f64();
+        (self.weighted_sum.get() + self.value.get() * tail) / window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn sampler_summary_exact() {
+        let s = Sampler::new();
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.count, 100);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 100.0);
+        assert!((sum.mean - 50.5).abs() < 1e-9);
+        assert!((sum.p50 - 50.0).abs() <= 1.0);
+        assert!((sum.p90 - 90.0).abs() <= 1.0);
+        assert!((sum.p99 - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn empty_sampler_is_zeroes() {
+        let s = Sampler::new();
+        assert!(s.is_empty());
+        let sum = s.summary();
+        assert_eq!(sum.count, 0);
+        assert_eq!(sum.mean, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_panics() {
+        Sampler::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn throughput_window() {
+        let t = Throughput::new();
+        t.record(SimTime::from_secs(1), 1000);
+        t.record(SimTime::from_secs(2), 1000);
+        // 2000 bytes over 1 s window = 16 kbps
+        assert!((t.bits_per_sec(None) - 16_000.0).abs() < 1e-6);
+        // over an explicit 4 s window (1..=5): 2000 B / 4 s = 4 kbps
+        assert!((t.bits_per_sec(Some(SimTime::from_secs(5))) - 4_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throughput_no_samples_is_zero() {
+        let t = Throughput::new();
+        assert_eq!(t.bits_per_sec(None), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let g = TimeWeighted::new(0.0);
+        g.set(SimTime::from_secs(1), 10.0); // value 0 for 1 s
+        g.set(SimTime::from_secs(3), 0.0); // value 10 for 2 s
+                                           // mean over [0, 4] = (0*1 + 10*2 + 0*1)/4 = 5
+        assert!((g.mean(SimTime::from_secs(4)) - 5.0).abs() < 1e-9);
+        assert_eq!(g.current(), 0.0);
+    }
+
+    #[test]
+    fn summary_display_contains_fields() {
+        let s = Sampler::new();
+        s.record(1.0);
+        let text = s.summary().to_string();
+        assert!(text.contains("n=1"));
+        assert!(text.contains("mean=1.000"));
+    }
+}

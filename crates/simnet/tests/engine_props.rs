@@ -1,0 +1,97 @@
+//! Property tests for the discrete-event engine and link model.
+
+use proptest::prelude::*;
+use simnet::rng::rng_for;
+use simnet::{Link, LinkParams, SimDuration, SimTime, Simulator};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events always fire in (time, insertion) order regardless of the
+    /// order they were scheduled in.
+    #[test]
+    fn events_fire_in_causal_order(times in proptest::collection::vec(0u64..10_000, 1..50)) {
+        let mut sim = Simulator::new();
+        let fired: Rc<RefCell<Vec<(u64, usize)>>> = Rc::default();
+        for (seq, &t) in times.iter().enumerate() {
+            let fired = Rc::clone(&fired);
+            sim.schedule_at(SimTime::from_micros(t), move |sim| {
+                fired.borrow_mut().push((sim.now().as_micros(), seq));
+            });
+        }
+        sim.run();
+        let fired = fired.borrow();
+        prop_assert_eq!(fired.len(), times.len());
+        for window in fired.windows(2) {
+            let (t0, s0) = window[0];
+            let (t1, s1) = window[1];
+            prop_assert!(t0 < t1 || (t0 == t1 && s0 < s1), "({t0},{s0}) then ({t1},{s1})");
+        }
+        // The clock ends at the latest event.
+        prop_assert_eq!(sim.now().as_micros(), *times.iter().max().unwrap());
+    }
+
+    /// A lossless FIFO link preserves message order and conserves bytes.
+    #[test]
+    fn lossless_links_preserve_order_and_bytes(
+        sizes in proptest::collection::vec(1usize..5_000, 1..40),
+        bandwidth_kbps in 8u64..100_000,
+        prop_ms in 0u64..100,
+    ) {
+        let mut sim = Simulator::new();
+        let link = Link::new(LinkParams {
+            bandwidth_bps: bandwidth_kbps * 1000,
+            propagation: SimDuration::from_millis(prop_ms),
+            queue_capacity: usize::MAX,
+            loss: simnet::LossModel::None,
+        });
+        let got: Rc<RefCell<Vec<usize>>> = Rc::default();
+        {
+            let got = Rc::clone(&got);
+            link.set_receiver(move |_sim, msg: Vec<u8>| got.borrow_mut().push(msg.len()));
+        }
+        for &n in &sizes {
+            link.send(&mut sim, vec![0u8; n]);
+        }
+        sim.run();
+        prop_assert_eq!(&*got.borrow(), &sizes, "FIFO order violated");
+        prop_assert_eq!(link.bytes_delivered.get(), sizes.iter().map(|&n| n as u64).sum::<u64>());
+        // Total time is at least the serialisation of every byte.
+        let ser: u64 = sizes
+            .iter()
+            .map(|&n| SimDuration::transmission(n, bandwidth_kbps * 1000).as_nanos())
+            .sum();
+        prop_assert!(sim.now().as_nanos() >= ser);
+    }
+
+    /// Bernoulli loss statistics: delivered + dropped == offered, and the
+    /// same seed reproduces the same outcome exactly.
+    #[test]
+    fn loss_accounting_balances(p_pct in 0u32..=100, n in 1usize..500, seed in 0u64..100) {
+        let run = || {
+            let mut sim = Simulator::new();
+            let link = Link::with_rng(
+                LinkParams {
+                    bandwidth_bps: 1_000_000_000,
+                    propagation: SimDuration::ZERO,
+                    queue_capacity: usize::MAX,
+                    loss: simnet::LossModel::Bernoulli { p: p_pct as f64 / 100.0 },
+                },
+                rng_for(seed, "prop.loss"),
+            );
+            link.set_receiver(|_sim, _msg: Vec<u8>| {});
+            for _ in 0..n {
+                link.send(&mut sim, vec![0u8; 64]);
+            }
+            sim.run();
+            (link.delivered.get(), link.dropped_loss.get())
+        };
+        let (delivered, dropped) = run();
+        prop_assert_eq!(delivered + dropped, n as u64);
+        prop_assert_eq!(run(), (delivered, dropped), "same seed, same outcome");
+        if p_pct == 0 { prop_assert_eq!(dropped, 0); }
+        if p_pct == 100 { prop_assert_eq!(delivered, 0); }
+    }
+}

@@ -1,0 +1,445 @@
+//! The microbrowser.
+//!
+//! Mobile stations browse through a *microbrowser* (§7 calls host-side
+//! programs aware of "the targets, browsers or microbrowsers, they
+//! serve"). This one parses WML (textual or WBXML binary), cHTML or HTML,
+//! enforces the device's content budget, lays text out into screen-width
+//! lines, collects links and forms, and reports how long the parse+render
+//! took on the device's CPU — the quantity the Table 2 experiment sweeps
+//! across devices. It also keeps the station-side cookie jar (§7 notes
+//! cookies are among the few client-side programs).
+
+use std::collections::BTreeMap;
+
+use markup::dom::{Element, Node};
+use markup::{wbxml, wml};
+use simnet::SimDuration;
+
+use crate::device::DeviceProfile;
+
+/// Content types the microbrowser can be handed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentKind {
+    /// Textual WML deck.
+    Wml,
+    /// WBXML-encoded binary WML deck.
+    WmlBinary,
+    /// Compact HTML page.
+    Chtml,
+    /// Full HTML (desktop-grade; heavy for a handheld).
+    Html,
+}
+
+/// Errors the browser can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrowserError {
+    /// The payload exceeds the device's content budget.
+    TooLarge {
+        /// Payload size.
+        size: usize,
+        /// The device's budget.
+        budget: usize,
+    },
+    /// The markup failed to parse.
+    BadMarkup(String),
+    /// A WML deck failed validation.
+    BadWml(String),
+}
+
+impl std::fmt::Display for BrowserError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrowserError::TooLarge { size, budget } => {
+                write!(
+                    f,
+                    "content of {size} bytes exceeds device budget of {budget} bytes"
+                )
+            }
+            BrowserError::BadMarkup(m) => write!(f, "unparseable markup: {m}"),
+            BrowserError::BadWml(m) => write!(f, "invalid WML: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BrowserError {}
+
+/// The outcome of rendering a page or deck card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedPage {
+    /// Page or card title.
+    pub title: String,
+    /// Laid-out text lines, each at most the device's line width.
+    pub lines: Vec<String>,
+    /// `(label, href)` of every link, in document order.
+    pub links: Vec<(String, String)>,
+    /// Names of input fields present.
+    pub inputs: Vec<String>,
+    /// Number of cards in the deck (1 for cHTML/HTML pages).
+    pub card_count: usize,
+    /// CPU time the parse+render took on this device.
+    pub cost: SimDuration,
+}
+
+impl RenderedPage {
+    /// Number of screenfuls the content occupies on the device.
+    pub fn screens(&self, device: &DeviceProfile) -> usize {
+        self.lines.len().div_ceil(device.lines_per_screen())
+    }
+}
+
+/// A microbrowser bound to a device profile.
+#[derive(Debug)]
+pub struct Microbrowser {
+    device: DeviceProfile,
+    cookies: BTreeMap<String, String>,
+}
+
+impl Microbrowser {
+    /// Creates a browser for `device`.
+    pub fn new(device: DeviceProfile) -> Self {
+        Microbrowser {
+            device,
+            cookies: BTreeMap::new(),
+        }
+    }
+
+    /// The device this browser runs on.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// The cookie jar.
+    pub fn cookies(&self) -> &BTreeMap<String, String> {
+        &self.cookies
+    }
+
+    /// Stores cookies set by a response.
+    pub fn accept_cookies<'a>(&mut self, cookies: impl IntoIterator<Item = (&'a str, &'a str)>) {
+        for (k, v) in cookies {
+            self.cookies.insert(k.to_owned(), v.to_owned());
+        }
+    }
+
+    /// Parses and renders `content`, charging device-scaled CPU time.
+    ///
+    /// # Errors
+    ///
+    /// [`BrowserError::TooLarge`] when the payload exceeds the device
+    /// budget, [`BrowserError::BadMarkup`]/[`BrowserError::BadWml`] on
+    /// malformed content.
+    pub fn render(&self, content: &[u8], kind: ContentKind) -> Result<RenderedPage, BrowserError> {
+        let budget = self.device.content_budget_bytes();
+        if content.len() > budget {
+            return Err(BrowserError::TooLarge {
+                size: content.len(),
+                budget,
+            });
+        }
+
+        let root: Element = match kind {
+            ContentKind::WmlBinary => {
+                wbxml::decode(content).map_err(|e| BrowserError::BadMarkup(e.to_string()))?
+            }
+            ContentKind::Wml | ContentKind::Chtml | ContentKind::Html => {
+                let text = std::str::from_utf8(content)
+                    .map_err(|e| BrowserError::BadMarkup(e.to_string()))?;
+                markup::parse::parse(text).map_err(|e| BrowserError::BadMarkup(e.to_string()))?
+            }
+        };
+
+        let card_count = match kind {
+            ContentKind::Wml | ContentKind::WmlBinary => {
+                wml::validate(&root).map_err(|e| BrowserError::BadWml(e.message))?;
+                wml::card_ids(&root).len()
+            }
+            _ => 1,
+        };
+
+        // Title: WML card title attr, else <title> element.
+        let title = match kind {
+            ContentKind::Wml | ContentKind::WmlBinary => root
+                .find("card")
+                .and_then(|c| c.attr("title"))
+                .unwrap_or("")
+                .to_owned(),
+            _ => root
+                .find("title")
+                .map(|t| t.text_content())
+                .unwrap_or_default(),
+        };
+
+        // For WML, render the first card; for pages, the body.
+        let scope: &Element = match kind {
+            ContentKind::Wml | ContentKind::WmlBinary => root.find("card").unwrap_or(&root),
+            _ => root.find("body").unwrap_or(&root),
+        };
+
+        let mut links = Vec::new();
+        let mut inputs = Vec::new();
+        let mut raw_lines: Vec<String> = Vec::new();
+        collect_content(scope, &mut raw_lines, &mut links, &mut inputs);
+
+        // Wrap to the device's line width.
+        let width = self.device.chars_per_line();
+        let mut lines = Vec::new();
+        for raw in &raw_lines {
+            wrap_into(raw, width, &mut lines);
+        }
+
+        let text_bytes: usize = lines.iter().map(String::len).sum();
+        let cost = self.device.parse_cost(content.len())
+            + self.device.render_cost(root.element_count(), text_bytes);
+
+        Ok(RenderedPage {
+            title,
+            lines,
+            links,
+            inputs,
+            card_count,
+            cost,
+        })
+    }
+}
+
+/// Gathers block text lines, links and inputs from an element subtree.
+fn collect_content(
+    scope: &Element,
+    lines: &mut Vec<String>,
+    links: &mut Vec<(String, String)>,
+    inputs: &mut Vec<String>,
+) {
+    // Block-level accumulation: each <p>/<h*>/<li> becomes a line seed.
+    let mut current = String::new();
+    collect_inline(scope, &mut current, lines, links, inputs);
+    if !current.trim().is_empty() {
+        lines.push(current.trim().to_owned());
+    }
+}
+
+fn collect_inline(
+    e: &Element,
+    current: &mut String,
+    lines: &mut Vec<String>,
+    links: &mut Vec<(String, String)>,
+    inputs: &mut Vec<String>,
+) {
+    for child in e.children() {
+        match child {
+            Node::Text(t) => current.push_str(t),
+            Node::Element(inner) => match inner.tag() {
+                "p" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "li" | "div" | "tr" => {
+                    if !current.trim().is_empty() {
+                        lines.push(current.trim().to_owned());
+                    }
+                    current.clear();
+                    collect_inline(inner, current, lines, links, inputs);
+                    if !current.trim().is_empty() {
+                        lines.push(current.trim().to_owned());
+                    }
+                    current.clear();
+                }
+                "br" => {
+                    lines.push(current.trim().to_owned());
+                    current.clear();
+                }
+                "a" => {
+                    let label = inner.text_content();
+                    current.push_str(&label);
+                    links.push((label, inner.attr("href").unwrap_or("").to_owned()));
+                }
+                "input" => {
+                    if let Some(name) = inner.attr("name") {
+                        inputs.push(name.to_owned());
+                    }
+                }
+                "go" => {
+                    links.push((
+                        "submit".to_owned(),
+                        inner.attr("href").unwrap_or("").to_owned(),
+                    ));
+                }
+                _ => collect_inline(inner, current, lines, links, inputs),
+            },
+        }
+    }
+}
+
+/// Greedy word-wrap of `text` into `width`-character lines appended to `out`.
+fn wrap_into(text: &str, width: usize, out: &mut Vec<String>) {
+    let mut line = String::new();
+    for word in text.split_whitespace() {
+        if line.is_empty() {
+            line = word.to_owned();
+        } else if line.len() + 1 + word.len() <= width {
+            line.push(' ');
+            line.push_str(word);
+        } else {
+            out.push(std::mem::take(&mut line));
+            line = word.to_owned();
+        }
+        // Hard-break pathological words.
+        while line.len() > width {
+            let head: String = line.chars().take(width).collect();
+            out.push(head.clone());
+            line = line[head.len()..].to_owned();
+        }
+    }
+    if !line.is_empty() {
+        out.push(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use markup::html;
+    use markup::transcode::{html_to_wml, WmlOptions};
+
+    fn sample_deck_bytes() -> Vec<u8> {
+        let page = html::page(
+            "Shop",
+            vec![
+                html::h1("Mobile Shop").into(),
+                html::p("Everything you need while on the move").into(),
+                html::a("/cart", "View cart").into(),
+            ],
+        );
+        html_to_wml(&page, &WmlOptions::default())
+            .to_markup()
+            .into_bytes()
+    }
+
+    #[test]
+    fn renders_wml_with_title_links_and_lines() {
+        let browser = Microbrowser::new(DeviceProfile::palm_i705());
+        let page = browser
+            .render(&sample_deck_bytes(), ContentKind::Wml)
+            .unwrap();
+        assert_eq!(page.title, "Shop");
+        assert_eq!(page.card_count, 1);
+        assert!(page.lines.iter().any(|l| l.contains("Mobile Shop")));
+        assert_eq!(page.links[0].1, "/cart");
+        assert!(page.cost > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lines_respect_device_width() {
+        let browser = Microbrowser::new(DeviceProfile::palm_i705());
+        let width = browser.device().chars_per_line();
+        let page = browser
+            .render(&sample_deck_bytes(), ContentKind::Wml)
+            .unwrap();
+        for line in &page.lines {
+            assert!(line.len() <= width, "{line:?} exceeds {width}");
+        }
+    }
+
+    #[test]
+    fn binary_wml_renders_identically_to_text() {
+        let deck_text = sample_deck_bytes();
+        let deck = markup::parse::parse(std::str::from_utf8(&deck_text).unwrap()).unwrap();
+        let binary = markup::wbxml::encode(&deck);
+        let browser = Microbrowser::new(DeviceProfile::sony_clie_nr70v());
+        let from_text = browser.render(&deck_text, ContentKind::Wml).unwrap();
+        let from_binary = browser.render(&binary, ContentKind::WmlBinary).unwrap();
+        assert_eq!(from_text.lines, from_binary.lines);
+        assert_eq!(from_text.links, from_binary.links);
+        // The binary payload parses faster (fewer bytes through the parser).
+        assert!(from_binary.cost <= from_text.cost);
+    }
+
+    #[test]
+    fn oversized_content_is_rejected() {
+        let browser = Microbrowser::new(DeviceProfile::palm_i705());
+        let budget = browser.device().content_budget_bytes();
+        let huge = format!(
+            "<wml><card id=\"a\"><p>{}</p></card></wml>",
+            "x".repeat(budget)
+        );
+        let err = browser
+            .render(huge.as_bytes(), ContentKind::Wml)
+            .unwrap_err();
+        assert!(matches!(err, BrowserError::TooLarge { .. }));
+        // A roomier device loads the same deck fine.
+        let big_browser = Microbrowser::new(DeviceProfile::toshiba_e740());
+        assert!(big_browser
+            .render(huge.as_bytes(), ContentKind::Wml)
+            .is_ok());
+    }
+
+    #[test]
+    fn slow_devices_pay_more_cpu_time_for_the_same_deck() {
+        let deck = sample_deck_bytes();
+        let slow = Microbrowser::new(DeviceProfile::palm_i705())
+            .render(&deck, ContentKind::Wml)
+            .unwrap();
+        let fast = Microbrowser::new(DeviceProfile::toshiba_e740())
+            .render(&deck, ContentKind::Wml)
+            .unwrap();
+        assert!(slow.cost > fast.cost * 5);
+    }
+
+    #[test]
+    fn bad_markup_and_bad_wml_are_distinct_errors() {
+        let browser = Microbrowser::new(DeviceProfile::ipaq_h3870());
+        let err = browser
+            .render(b"<wml><card>", ContentKind::Wml)
+            .unwrap_err();
+        assert!(matches!(err, BrowserError::BadMarkup(_)));
+        let err = browser
+            .render(b"<html><body>not wml</body></html>", ContentKind::Wml)
+            .unwrap_err();
+        assert!(matches!(err, BrowserError::BadWml(_)));
+    }
+
+    #[test]
+    fn chtml_pages_render_with_inputs() {
+        let page = html::page(
+            "Order",
+            vec![
+                html::p("Enter SKU:").into(),
+                html::form("/order", "sku", "Go").into(),
+            ],
+        );
+        let chtml = markup::transcode::html_to_chtml(&page);
+        let browser = Microbrowser::new(DeviceProfile::nokia_9290());
+        let rendered = browser
+            .render(chtml.to_markup().as_bytes(), ContentKind::Chtml)
+            .unwrap();
+        assert_eq!(rendered.title, "Order");
+        assert!(rendered.inputs.contains(&"sku".to_owned()));
+    }
+
+    #[test]
+    fn cookie_jar_accumulates() {
+        let mut browser = Microbrowser::new(DeviceProfile::ipaq_h3870());
+        browser.accept_cookies([("sid", "abc")]);
+        browser.accept_cookies([("pref", "1"), ("sid", "def")]);
+        assert_eq!(
+            browser.cookies().get("sid").map(String::as_str),
+            Some("def")
+        );
+        assert_eq!(browser.cookies().len(), 2);
+    }
+
+    #[test]
+    fn screens_metric_reflects_device_height() {
+        let deck = {
+            let paragraphs: Vec<markup::Node> = (0..30)
+                .map(|i| html::p(&format!("Line {i} of content here")).into())
+                .collect();
+            let page = html::page("Long", paragraphs);
+            html_to_wml(
+                &page,
+                &WmlOptions {
+                    max_card_bytes: 1 << 20,
+                    ..Default::default()
+                },
+            )
+            .to_markup()
+        };
+        let palm = Microbrowser::new(DeviceProfile::palm_i705());
+        let rendered = palm.render(deck.as_bytes(), ContentKind::Wml).unwrap();
+        assert!(rendered.screens(palm.device()) >= 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! UDP: unreliable datagrams with port demultiplexing.
+//!
+//! Mobile IP keeps "UDP port bindings" alive across roaming (§5.2); this
+//! is the service those bindings belong to. The middleware layer also uses
+//! it for lightweight request/reply exchanges (WAP's datagram-oriented
+//! WDP leg).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use netstack::{Ip, IpPacket, Node, Payload, Protocol};
+use simnet::stats::Counter;
+use simnet::Simulator;
+
+use crate::seg::SocketAddr;
+
+/// Simulated UDP header size in bytes.
+pub const UDP_HEADER_BYTES: usize = 8;
+
+/// A UDP datagram.
+#[derive(Debug, Clone)]
+pub struct UdpDatagram {
+    /// Sender's socket address.
+    pub src: SocketAddr,
+    /// Receiver's socket address.
+    pub dst: SocketAddr,
+    /// Payload bytes.
+    pub data: Bytes,
+}
+
+type PortHandler = Rc<dyn Fn(&mut Simulator, UdpDatagram)>;
+
+/// The UDP protocol instance attached to one [`Node`].
+pub struct Udp {
+    node: Rc<Node>,
+    ports: RefCell<HashMap<u16, PortHandler>>,
+    /// Datagrams delivered to a bound port.
+    pub delivered: Counter,
+    /// Datagrams dropped for lack of a bound port.
+    pub dropped: Counter,
+}
+
+impl std::fmt::Debug for Udp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Udp")
+            .field("node", &self.node.name())
+            .field("ports", &self.ports.borrow().keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Udp {
+    /// Installs a UDP instance on `node`, claiming its
+    /// [`Protocol::Udp`] upper-layer slot.
+    pub fn install(node: Rc<Node>) -> Rc<Self> {
+        let udp = Rc::new(Udp {
+            node: Rc::clone(&node),
+            ports: RefCell::new(HashMap::new()),
+            delivered: Counter::new(),
+            dropped: Counter::new(),
+        });
+        {
+            let udp = Rc::clone(&udp);
+            node.set_upper(Protocol::Udp, move |sim, pkt| udp.handle_packet(sim, pkt));
+        }
+        udp
+    }
+
+    /// Binds `port` to `handler`. Replaces any previous binding.
+    pub fn bind(&self, port: u16, handler: impl Fn(&mut Simulator, UdpDatagram) + 'static) {
+        self.ports.borrow_mut().insert(port, Rc::new(handler));
+    }
+
+    /// Removes a port binding.
+    pub fn unbind(&self, port: u16) {
+        self.ports.borrow_mut().remove(&port);
+    }
+
+    /// Sends a datagram from `src_port` on this node to `dst`.
+    pub fn send_to(
+        &self,
+        sim: &mut Simulator,
+        src_ip: Ip,
+        src_port: u16,
+        dst: SocketAddr,
+        data: impl Into<Bytes>,
+    ) {
+        let data = data.into();
+        let dgram = UdpDatagram {
+            src: SocketAddr::new(src_ip, src_port),
+            dst,
+            data,
+        };
+        let size = UDP_HEADER_BYTES + dgram.data.len();
+        let pkt = IpPacket::new(src_ip, dst.ip, Protocol::Udp, Payload::new(dgram, size));
+        let node = Rc::clone(&self.node);
+        node.send(sim, pkt);
+    }
+
+    fn handle_packet(&self, sim: &mut Simulator, pkt: IpPacket) {
+        let Some(dgram) = pkt.payload.downcast_ref::<UdpDatagram>().cloned() else {
+            return;
+        };
+        let handler = self.ports.borrow().get(&dgram.dst.port).cloned();
+        match handler {
+            Some(h) => {
+                self.delivered.incr();
+                h(sim, dgram);
+            }
+            None => self.dropped.incr(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netstack::node::Network;
+    use netstack::Subnet;
+    use simnet::link::LinkParams;
+    use simnet::SimDuration;
+
+    const A: Ip = Ip::new(10, 0, 0, 1);
+    const B: Ip = Ip::new(10, 0, 0, 2);
+
+    fn pair() -> (Simulator, Rc<Udp>, Rc<Udp>) {
+        let sim = Simulator::new();
+        let mut net = Network::new();
+        let a = net.add_node("a", A);
+        let b = net.add_node("b", B);
+        Network::connect(
+            &a,
+            A,
+            &b,
+            B,
+            LinkParams::reliable(1_000_000, SimDuration::from_millis(2)),
+        );
+        a.add_route(Subnet::DEFAULT, B);
+        b.add_route(Subnet::DEFAULT, A);
+        (sim, Udp::install(a), Udp::install(b))
+    }
+
+    #[test]
+    fn datagram_reaches_bound_port() {
+        let (mut sim, ua, ub) = pair();
+        let got: Rc<RefCell<Vec<UdpDatagram>>> = Rc::default();
+        let g = Rc::clone(&got);
+        ub.bind(53, move |_sim, d| g.borrow_mut().push(d));
+        ua.send_to(&mut sim, A, 1000, SocketAddr::new(B, 53), &b"query"[..]);
+        sim.run();
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].data[..], b"query");
+        assert_eq!(got[0].src, SocketAddr::new(A, 1000));
+        assert_eq!(ub.delivered.get(), 1);
+    }
+
+    #[test]
+    fn unbound_port_drops() {
+        let (mut sim, ua, ub) = pair();
+        ua.send_to(&mut sim, A, 1000, SocketAddr::new(B, 9), &b"x"[..]);
+        sim.run();
+        assert_eq!(ub.dropped.get(), 1);
+        assert_eq!(ub.delivered.get(), 0);
+    }
+
+    #[test]
+    fn unbind_stops_delivery() {
+        let (mut sim, ua, ub) = pair();
+        let got: Rc<RefCell<u32>> = Rc::default();
+        let g = Rc::clone(&got);
+        ub.bind(7, move |_sim, _| *g.borrow_mut() += 1);
+        ua.send_to(&mut sim, A, 1, SocketAddr::new(B, 7), &b"a"[..]);
+        sim.run();
+        ub.unbind(7);
+        ua.send_to(&mut sim, A, 1, SocketAddr::new(B, 7), &b"b"[..]);
+        sim.run();
+        assert_eq!(*got.borrow(), 1);
+        assert_eq!(ub.dropped.get(), 1);
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let (mut sim, ua, ub) = pair();
+        // Server echoes.
+        {
+            let ub2 = Rc::clone(&ub);
+            ub.bind(7, move |sim, d| {
+                let data = d.data.clone();
+                ub2.send_to(sim, B, 7, d.src, data);
+            });
+        }
+        let got: Rc<RefCell<Vec<Bytes>>> = Rc::default();
+        let g = Rc::clone(&got);
+        ua.bind(1234, move |_sim, d| g.borrow_mut().push(d.data));
+        ua.send_to(&mut sim, A, 1234, SocketAddr::new(B, 7), &b"ping"[..]);
+        sim.run();
+        assert_eq!(&got.borrow()[0][..], b"ping");
+    }
+}

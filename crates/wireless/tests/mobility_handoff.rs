@@ -1,0 +1,90 @@
+//! Integration: a walking station, a corridor of access points, and the
+//! radio that follows — mobility driving rate adaptation and AP handoff.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::rng::rng_for;
+use simnet::{SimTime, Simulator};
+use wireless::mobility::{ApField, Point, Waypoint};
+use wireless::{RadioLink, WlanStandard};
+
+/// Walks a station down a 3-AP corridor and re-associates it with the
+/// nearest AP each second, tracking rate changes and handoffs.
+#[test]
+fn corridor_walk_produces_handoffs_and_rate_adaptation() {
+    let mut sim = Simulator::new();
+    let field = ApField::corridor(3, 120.0); // APs at 0, 120, 240 m
+    let radio: Rc<RadioLink<Vec<u8>>> = RadioLink::new(WlanStandard::Dot11b, 0.0, 5);
+
+    let delivered: Rc<RefCell<u32>> = Rc::default();
+    {
+        let d = Rc::clone(&delivered);
+        radio.set_receiver(move |_sim, _msg| *d.borrow_mut() += 1);
+    }
+
+    // The station walks the corridor at 6 m/s (a slow vehicle).
+    let mut position = Point::new(0.0, 0.0);
+    let mut current_ap = 0usize;
+    let mut handoffs = 0u32;
+    let mut rates_seen = std::collections::BTreeSet::new();
+
+    for second in 0..60u64 {
+        position = Point::new(position.x + 6.0, 0.0);
+        let (nearest, distance) = field.nearest(position).expect("corridor has APs");
+        if nearest != current_ap {
+            handoffs += 1;
+            current_ap = nearest;
+        }
+        radio.set_distance(distance);
+        rates_seen.insert(radio.current_rate_bps());
+
+        // One frame per second while associated and in range.
+        if radio.in_range() {
+            let radio = Rc::clone(&radio);
+            sim.schedule_at(SimTime::from_secs(second), move |sim| {
+                radio.send(sim, vec![0u8; 400]);
+            });
+        }
+        sim.run_until(SimTime::from_secs(second));
+    }
+    sim.run();
+
+    // Walking 360 m past APs at 0/120/240 m crosses two midpoints.
+    assert_eq!(handoffs, 2, "expected a handoff at each cell midpoint");
+    // The auto-rate curve visited more than one tier along the way.
+    assert!(rates_seen.len() >= 3, "rates seen: {rates_seen:?}");
+    assert!(rates_seen.contains(&11_000_000));
+    assert!(rates_seen.contains(&1_000_000));
+    // Traffic flowed for most of the walk (cell edges are lossy).
+    assert!(
+        *delivered.borrow() >= 40,
+        "delivered {}",
+        delivered.borrow()
+    );
+}
+
+/// A random-waypoint walker inside one cell stays associated and the
+/// distance-driven rate never exceeds the standard's maximum.
+#[test]
+fn waypoint_walker_keeps_a_sane_rate_profile() {
+    let mut walk = Waypoint::new(
+        Point::new(40.0, 40.0),
+        80.0,
+        80.0,
+        1.5,
+        rng_for(9, "walker"),
+    );
+    let ap = Point::new(40.0, 40.0);
+    let radio: Rc<RadioLink<Vec<u8>>> = RadioLink::new(WlanStandard::Dot11g, 0.0, 6);
+
+    for _ in 0..300 {
+        let p = walk.advance(1.0);
+        let d = p.distance_to(ap);
+        radio.set_distance(d);
+        assert!(radio.current_rate_bps() <= WlanStandard::Dot11g.max_rate_bps());
+        // Inside an 80×80 box centred on the AP the station never leaves
+        // 802.11g coverage (max corner distance ≈ 57 m < 150 m).
+        assert!(radio.in_range(), "left coverage at {d} m");
+    }
+}

@@ -1,0 +1,127 @@
+//! Ad hoc commerce — §6.1's "if no APs are available" scenario.
+//!
+//! A street market with no infrastructure: a vendor's terminal and a
+//! buyer's handheld are out of direct radio range, but a third stall
+//! between them relays. The buyer completes a signed payment over TCP
+//! across the two-hop 802.11b mesh; then the relay wanders off and the
+//! market partitions.
+//!
+//! ```text
+//! cargo run --example adhoc_market
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mcommerce::netstack::Ip;
+use mcommerce::security::{Mac, PaymentGateway, PaymentRequest};
+use mcommerce::simnet::trace::Trace;
+use mcommerce::simnet::Simulator;
+use mcommerce::transport::{SocketAddr, Tcp};
+use mcommerce::wireless::adhoc::AdHocNetwork;
+use mcommerce::wireless::mobility::Point;
+use mcommerce::wireless::WlanStandard;
+
+const BUYER: Ip = Ip::new(10, 44, 0, 1);
+const STALL: Ip = Ip::new(10, 44, 0, 2);
+const VENDOR: Ip = Ip::new(10, 44, 0, 3);
+
+fn main() {
+    let mut sim = Simulator::new();
+    let trace = Trace::bounded(256);
+
+    let mut mesh = AdHocNetwork::new(WlanStandard::Dot11b, 44);
+    let buyer = mesh.add_member("buyer", BUYER, Point::new(0.0, 0.0));
+    let _stall = mesh.add_member("stall", STALL, Point::new(85.0, 0.0));
+    let vendor = mesh.add_member("vendor", VENDOR, Point::new(170.0, 0.0));
+    mesh.reform();
+
+    println!(
+        "mesh formed: {} members, {} radio links",
+        mesh.len(),
+        mesh.link_count()
+    );
+    println!(
+        "buyer → vendor: {:?} hops (direct range of 802.11b is 100 m; they are 170 m apart)\n",
+        mesh.hops(BUYER, VENDOR)
+    );
+
+    // The vendor's terminal runs the payment gateway behind a TCP port.
+    let client_mac = Mac::new(b"market-day-key");
+    let gateway = Rc::new(RefCell::new({
+        let mut gw = PaymentGateway::new(client_mac, Mac::new(b"vendor-secret"));
+        gw.open_account("buyer", 5_000);
+        gw
+    }));
+
+    let tcp_vendor = Tcp::install(Rc::clone(&vendor), trace.clone());
+    let tcp_buyer = Tcp::install(Rc::clone(&buyer), trace);
+    {
+        let gateway = Rc::clone(&gateway);
+        tcp_vendor.listen(7000, move |_sim, conn| {
+            let gateway = Rc::clone(&gateway);
+            let conn2 = Rc::clone(&conn);
+            conn.on_data(move |sim, data| {
+                // Wire format: order_id(8) amount(8) nonce(8) tag(16).
+                if data.len() < 40 {
+                    return;
+                }
+                let order = u64::from_le_bytes(data[0..8].try_into().unwrap());
+                let amount = u64::from_le_bytes(data[8..16].try_into().unwrap());
+                let nonce = u64::from_le_bytes(data[16..24].try_into().unwrap());
+                let mut tag = [0u8; 16];
+                tag.copy_from_slice(&data[24..40]);
+                let req = PaymentRequest {
+                    order_id: order,
+                    amount_cents: amount,
+                    account: "buyer".into(),
+                    nonce,
+                    tag,
+                };
+                let mut gw = gateway.borrow_mut();
+                let reply = match gw.authorize(&req).and_then(|()| gw.capture(order)) {
+                    Ok(receipt) => format!("APPROVED auth={}", receipt.auth_code),
+                    Err(e) => format!("REFUSED {e}"),
+                };
+                conn2.send(sim, reply.as_bytes());
+            });
+        });
+    }
+
+    // The buyer signs and sends the payment.
+    let reply: Rc<RefCell<String>> = Rc::default();
+    let conn = tcp_buyer.connect(&mut sim, BUYER, SocketAddr::new(VENDOR, 7000));
+    {
+        let reply = Rc::clone(&reply);
+        conn.on_data(move |_sim, data| {
+            reply
+                .borrow_mut()
+                .push_str(std::str::from_utf8(&data).unwrap_or("?"));
+        });
+    }
+    let req = PaymentRequest::signed(&client_mac, 1, 1_250, "buyer", 9001);
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&req.order_id.to_le_bytes());
+    wire.extend_from_slice(&req.amount_cents.to_le_bytes());
+    wire.extend_from_slice(&req.nonce.to_le_bytes());
+    wire.extend_from_slice(&req.tag);
+    conn.send(&mut sim, &wire);
+    sim.run();
+
+    println!("payment over two wireless hops: {}", reply.borrow());
+    println!(
+        "buyer balance now: {} cents\n",
+        gateway.borrow().balance("buyer").unwrap()
+    );
+    assert!(reply.borrow().contains("APPROVED"));
+
+    // The relaying stall packs up and leaves.
+    mesh.move_member(1, Point::new(85.0, 300.0));
+    mesh.reform();
+    println!(
+        "stall wandered off: buyer → vendor is now {:?} (market partitioned, {} links left)",
+        mesh.hops(BUYER, VENDOR),
+        mesh.link_count()
+    );
+    assert_eq!(mesh.hops(BUYER, VENDOR), None);
+}

@@ -1,0 +1,78 @@
+//! WAP versus i-mode on the same content, side by side — Table 3 live.
+//!
+//! Runs the identical travel-booking workload through both middlewares on
+//! three different wireless networks and prints the trade-off the paper
+//! tabulates: gateway translation (WAP) against heavier over-the-air
+//! markup (i-mode), session setup against always-on.
+//!
+//! ```text
+//! cargo run --example middleware_faceoff
+//! ```
+
+use mcommerce::core::apps::{Application, TravelApp};
+use mcommerce::core::workload::run_workload;
+use mcommerce::core::{McSystem, WiredPath, WirelessConfig};
+use mcommerce::hostsite::db::Database;
+use mcommerce::hostsite::HostComputer;
+use mcommerce::middleware::{IModeService, Middleware, WapGateway};
+use mcommerce::station::DeviceProfile;
+use mcommerce::wireless::{CellularStandard, WlanStandard};
+
+fn main() {
+    let networks = [
+        WirelessConfig::Wlan {
+            standard: WlanStandard::Dot11b,
+            distance_m: 25.0,
+        },
+        WirelessConfig::Cellular {
+            standard: CellularStandard::Gprs,
+        },
+        WirelessConfig::Cellular {
+            standard: CellularStandard::Wcdma,
+        },
+    ];
+
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>10}",
+        "network", "mw", "latency ms", "air bytes", "energy mJ"
+    );
+    println!("{}", "-".repeat(70));
+
+    for network in networks {
+        for mw_name in ["WAP", "i-mode"] {
+            let app = TravelApp;
+            let mut host = HostComputer::new(Database::new(), 3);
+            app.install(&mut host);
+            let middleware: Box<dyn Middleware> = if mw_name == "WAP" {
+                Box::new(WapGateway::default())
+            } else {
+                Box::new(IModeService::new())
+            };
+            let mut system = McSystem::new(
+                host,
+                middleware,
+                DeviceProfile::nokia_9290(),
+                network,
+                WiredPath::wan(),
+                91,
+            );
+            let summary = run_workload(&mut system, &app, 20, 17);
+            assert_eq!(summary.succeeded, summary.attempted, "{}", summary.label);
+            println!(
+                "{:<22} {:>8} {:>12.1} {:>12.0} {:>10.2}",
+                network.name(),
+                mw_name,
+                summary.latency_mean * 1e3,
+                summary.air_bytes_mean,
+                summary.energy_mean_j * 1e3,
+            );
+        }
+    }
+
+    println!(
+        "\nReading the table: WAP's WBXML decks are smaller on the air (its \
+         gateway translates and tokenises), which wins on slow links like GPRS; \
+         i-mode skips translation CPU and session setup, which shows on fast \
+         links. That is Table 3's 'protocol vs service' trade-off, measured."
+    );
+}

@@ -1,0 +1,89 @@
+//! Quickstart: assemble the paper's six-component mobile commerce system
+//! and run one transaction through it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mcommerce::core::apps::{Application, PaymentsApp};
+use mcommerce::core::{CommerceSystem, McSystem, WiredPath, WirelessConfig};
+use mcommerce::hostsite::db::Database;
+use mcommerce::hostsite::HostComputer;
+use mcommerce::middleware::{MobileRequest, WapGateway};
+use mcommerce::station::DeviceProfile;
+use mcommerce::wireless::WlanStandard;
+
+fn main() {
+    // Component (vi): the host computer — web server + database server +
+    // application programs.
+    let mut host = HostComputer::new(Database::new(), 7);
+
+    // Component (i): a mobile commerce application (Table 1's first row —
+    // mobile transactions and payments).
+    let app = PaymentsApp::new();
+    app.install(&mut host);
+
+    // Components (ii)–(v): a Palm i705 station, the WAP gateway
+    // middleware, an 802.11b wireless LAN at 20 m, and a wired WAN.
+    let mut system = McSystem::new(
+        host,
+        Box::new(WapGateway::default()),
+        DeviceProfile::palm_i705(),
+        WirelessConfig::Wlan {
+            standard: WlanStandard::Dot11b,
+            distance_m: 20.0,
+        },
+        WiredPath::wan(),
+        42,
+    );
+
+    println!("system: {}", system.label());
+
+    // Browse the shop…
+    let report = system.execute(&MobileRequest::get("/shop"));
+    println!(
+        "\nGET /shop -> success={} in {:.1} ms",
+        report.success,
+        report.total * 1e3
+    );
+    println!("rendered on the handheld:");
+    for line in system.last_page_text().unwrap_or_default().lines().take(8) {
+        println!("  | {line}");
+    }
+
+    // …and buy something.
+    let report = system.execute(&MobileRequest::post(
+        "/shop/buy",
+        vec![("sku".into(), "3".into()), ("nonce".into(), "1001".into())],
+    ));
+    println!(
+        "\nPOST /shop/buy -> success={} in {:.1} ms",
+        report.success,
+        report.total * 1e3
+    );
+    for line in system.last_page_text().unwrap_or_default().lines() {
+        println!("  | {line}");
+    }
+
+    // Where did the time go? The six components, itemised.
+    let b = report.breakdown;
+    println!("\nper-component latency breakdown:");
+    println!("  station (parse/render) : {:7.2} ms", b.station_secs * 1e3);
+    println!(
+        "  wireless network       : {:7.2} ms",
+        b.wireless_secs * 1e3
+    );
+    println!(
+        "  middleware (WAP)       : {:7.2} ms",
+        b.middleware_secs * 1e3
+    );
+    println!("  wired network          : {:7.2} ms", b.wired_secs * 1e3);
+    println!("  host computer          : {:7.2} ms", b.host_secs * 1e3);
+    println!(
+        "\nover the air: {} B up, {} B down; battery used: {:.3} mJ; battery left: {:.1}%",
+        report.air_bytes_up,
+        report.air_bytes_down,
+        report.energy_j * 1e3,
+        system.station.battery.level() * 100.0
+    );
+}

@@ -1,0 +1,125 @@
+//! Secure checkout: §8's "mobile security and payment" end to end.
+//!
+//! Runs the same purchase twice — plaintext and WTLS-secured — and shows
+//! what security costs on the air and in the battery; then demonstrates
+//! the payment protocol's defences (tampering, replay, forged receipts)
+//! at the protocol level.
+//!
+//! ```text
+//! cargo run --example secure_checkout
+//! ```
+
+use mcommerce::core::apps::{Application, PaymentsApp};
+use mcommerce::core::{CommerceSystem, McSystem, WiredPath, WirelessConfig};
+use mcommerce::hostsite::db::Database;
+use mcommerce::hostsite::HostComputer;
+use mcommerce::middleware::{MobileRequest, WapGateway};
+use mcommerce::security::{Mac, PaymentGateway, PaymentRequest};
+use mcommerce::station::DeviceProfile;
+use mcommerce::wireless::CellularStandard;
+
+fn checkout(secure: bool) -> (f64, u64, f64) {
+    let app = PaymentsApp::new();
+    let mut host = HostComputer::new(Database::new(), 71);
+    app.install(&mut host);
+    let mut system = McSystem::new(
+        host,
+        Box::new(WapGateway::default()),
+        DeviceProfile::nokia_9290(),
+        WirelessConfig::Cellular {
+            standard: CellularStandard::Gprs,
+        },
+        WiredPath::wan(),
+        72,
+    );
+    system.set_secure(secure);
+    // Browse, then buy.
+    let browse = system.execute(&MobileRequest::get("/shop"));
+    let buy = system.execute(&MobileRequest::post(
+        "/shop/buy",
+        vec![("sku".into(), "1".into()), ("nonce".into(), "42".into())],
+    ));
+    assert!(
+        browse.success && buy.success,
+        "{:?} {:?}",
+        browse.failure,
+        buy.failure
+    );
+    (
+        browse.total + buy.total,
+        browse.air_bytes_up + browse.air_bytes_down + buy.air_bytes_up + buy.air_bytes_down,
+        browse.energy_j + buy.energy_j,
+    )
+}
+
+fn main() {
+    println!("== the cost of security over GPRS (browse + buy) ==\n");
+    let (plain_s, plain_b, plain_j) = checkout(false);
+    let (sec_s, sec_b, sec_j) = checkout(true);
+    println!(
+        "plaintext    : {:7.1} ms, {:5} B on air, {:6.2} mJ",
+        plain_s * 1e3,
+        plain_b,
+        plain_j * 1e3
+    );
+    println!(
+        "WTLS secured : {:7.1} ms, {:5} B on air, {:6.2} mJ",
+        sec_s * 1e3,
+        sec_b,
+        sec_j * 1e3
+    );
+    println!(
+        "overhead     : {:+6.1}% latency, {:+} B, {:+.1}% battery\n",
+        (sec_s / plain_s - 1.0) * 100.0,
+        sec_b as i64 - plain_b as i64,
+        (sec_j / plain_j - 1.0) * 100.0
+    );
+
+    println!("== the payment protocol's defences ==\n");
+    let client_mac = Mac::new(b"shared-with-station");
+    let mut gateway = PaymentGateway::new(client_mac, Mac::new(b"gateway-private"));
+    gateway.open_account("traveller", 10_000);
+
+    // 1. An honest purchase settles.
+    let req = PaymentRequest::signed(&client_mac, 1, 2_500, "traveller", 1001);
+    gateway.authorize(&req).expect("honest request authorizes");
+    let receipt = gateway.capture(1).expect("capture settles");
+    println!(
+        "honest purchase  : authorized, receipt auth code {}",
+        receipt.auth_code
+    );
+    assert!(receipt.verify(gateway.receipt_mac()));
+
+    // 2. A man-in-the-middle lowers the price — integrity catches it.
+    let mut tampered = PaymentRequest::signed(&client_mac, 2, 2_500, "traveller", 1002);
+    tampered.amount_cents = 1;
+    println!(
+        "tampered amount  : {}",
+        gateway.authorize(&tampered).unwrap_err()
+    );
+
+    // 3. An eavesdropper replays the original request.
+    let replay = PaymentRequest::signed(&client_mac, 3, 2_500, "traveller", 1001);
+    println!(
+        "replayed nonce   : {}",
+        gateway.authorize(&replay).unwrap_err()
+    );
+
+    // 4. A forged receipt fails verification.
+    let mut forged = receipt.clone();
+    forged.amount_cents = 25;
+    println!(
+        "forged receipt   : verifies = {}",
+        forged.verify(gateway.receipt_mac())
+    );
+
+    println!("\naudit trail:");
+    for event in gateway.audit() {
+        println!("  {event:?}");
+    }
+    println!(
+        "\nbalance after everything: {} cents (10000 - 2500)",
+        gateway.balance("traveller").unwrap()
+    );
+    assert_eq!(gateway.balance("traveller"), Some(7_500));
+}

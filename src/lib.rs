@@ -1,0 +1,33 @@
+//! # mcommerce — an executable system model for mobile commerce
+//!
+//! Facade crate re-exporting every subsystem of the reproduction of
+//! *"A System Model for Mobile Commerce"* (Lee, Hu & Yeh, ICDCSW'03).
+//!
+//! The paper decomposes a mobile commerce (MC) system into six components;
+//! each maps onto a crate in this workspace:
+//!
+//! | Paper component | Crate |
+//! |---|---|
+//! | (i) mobile commerce applications | [`core`] (`mcommerce_core::apps`) |
+//! | (ii) mobile stations | [`station`] |
+//! | (iii) mobile middleware | [`middleware`] (+ [`markup`]) |
+//! | (iv) wireless networks | [`wireless`] (+ [`netstack`], [`transport`]) |
+//! | (v) wired networks | [`simnet`] link models |
+//! | (vi) host computers | [`hostsite`] |
+//!
+//! plus [`security`] for the payment/security concern the paper flags in its
+//! summary, and [`simnet`] as the deterministic discrete-event substrate.
+//!
+//! See `DESIGN.md` for the complete system inventory and `EXPERIMENTS.md`
+//! for the per-table/figure reproduction index.
+
+pub use hostsite;
+pub use markup;
+pub use mcommerce_core as core;
+pub use middleware;
+pub use netstack;
+pub use security;
+pub use simnet;
+pub use station;
+pub use transport;
+pub use wireless;

@@ -1,0 +1,104 @@
+//! Integration: Mobile IP keeps a live TCP connection working across a
+//! network move — §5.2's transparency claim, asserted.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mcommerce::netstack::mobileip::{ForeignAgent, HomeAgent, MipState, MobileIpClient};
+use mcommerce::netstack::node::Network;
+use mcommerce::netstack::{Ip, Subnet};
+use mcommerce::simnet::link::LinkParams;
+use mcommerce::simnet::trace::Trace;
+use mcommerce::simnet::{SimDuration, SimTime, Simulator};
+use mcommerce::transport::{SocketAddr, Tcp};
+
+const HOST: Ip = Ip::new(20, 0, 0, 9);
+const ROUTER: Ip = Ip::new(30, 0, 0, 1);
+const HA: Ip = Ip::new(10, 0, 0, 1);
+const FA: Ip = Ip::new(11, 0, 0, 1);
+const MOBILE: Ip = Ip::new(10, 0, 0, 5);
+
+#[test]
+fn tcp_stream_survives_a_mobile_ip_move() {
+    let mut sim = Simulator::new();
+    let trace = Trace::bounded(4096);
+
+    let mut net = Network::new();
+    let host = net.add_node("host", HOST);
+    let router = net.add_node("router", ROUTER);
+    let ha_node = net.add_node("ha", HA);
+    let fa_node = net.add_node("fa", FA);
+    let mobile = net.add_node("mobile", MOBILE);
+
+    let wired = LinkParams::wired_wan();
+    Network::connect(&host, HOST, &router, ROUTER, wired.clone());
+    Network::connect(&router, ROUTER, &ha_node, HA, wired.clone());
+    Network::connect(&router, ROUTER, &fa_node, FA, wired);
+    host.add_route(Subnet::DEFAULT, ROUTER);
+    router.add_route("10.0.0.0/8".parse().unwrap(), HA);
+    router.add_route("11.0.0.0/8".parse().unwrap(), FA);
+    ha_node.add_route(Subnet::DEFAULT, ROUTER);
+    fa_node.add_route(Subnet::DEFAULT, ROUTER);
+
+    let ha = HomeAgent::install(Rc::clone(&ha_node), HA, trace.clone());
+    let fa = ForeignAgent::install(Rc::clone(&fa_node), FA, HA, trace.clone());
+    let mip = MobileIpClient::install(Rc::clone(&mobile), MOBILE, HA, trace.clone());
+
+    let wireless = LinkParams::reliable(2_000_000, SimDuration::from_millis(5));
+    Network::connect(&ha_node, HA, &mobile, MOBILE, wireless);
+    mobile.add_route(Subnet::DEFAULT, HA);
+
+    let tcp_host = Tcp::install(Rc::clone(&host), trace.clone());
+    let tcp_mobile = Tcp::install(Rc::clone(&mobile), trace.clone());
+    let received: Rc<RefCell<Vec<u8>>> = Rc::default();
+    {
+        let received = Rc::clone(&received);
+        tcp_mobile.listen(4000, move |_sim, conn| {
+            let received = Rc::clone(&received);
+            conn.on_data(move |_sim, data| received.borrow_mut().extend_from_slice(&data));
+        });
+    }
+
+    let statement: Vec<u8> = (0..65_536u32).map(|i| (i % 251) as u8).collect();
+    let conn = tcp_host.connect(&mut sim, HOST, SocketAddr::new(MOBILE, 4000));
+    conn.send(&mut sim, &statement);
+
+    // Mid-transfer: leave home, attach at the foreign agent, register.
+    {
+        let mobile = Rc::clone(&mobile);
+        let ha_node = Rc::clone(&ha_node);
+        let fa_node = Rc::clone(&fa_node);
+        let mip = Rc::clone(&mip);
+        sim.schedule_at(SimTime::from_millis(120), move |sim| {
+            mobile.disconnect(HA);
+            ha_node.disconnect(MOBILE);
+            mobile.remove_route(Subnet::DEFAULT);
+            let wireless = LinkParams::reliable(2_000_000, SimDuration::from_millis(5));
+            Network::connect(&fa_node, FA, &mobile, MOBILE, wireless);
+            mobile.add_route(Subnet::DEFAULT, FA);
+            mip.register_via(sim, FA);
+        });
+    }
+    {
+        let conn = Rc::clone(&conn);
+        mip.on_registered(move |sim| conn.handoff_complete(sim));
+    }
+
+    sim.run_until(SimTime::from_secs(60));
+
+    assert_eq!(
+        received.borrow().as_slice(),
+        statement.as_slice(),
+        "stream corrupted by the move"
+    );
+    assert_eq!(mip.state(), MipState::Registered);
+    assert_eq!(ha.binding(MOBILE), Some(FA), "HA holds the care-of binding");
+    assert!(ha.tunneled.get() > 0, "post-move segments were tunneled");
+    assert!(
+        fa.decapsulated.get() > 0,
+        "FA delivered decapsulated segments"
+    );
+    assert!(trace.contains("mip", "HA bound"));
+    // The sender recovered with fast retransmit, not only RTOs.
+    assert!(conn.stats.retransmits.get() > 0);
+}
