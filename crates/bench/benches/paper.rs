@@ -46,6 +46,22 @@ fn bench_table5(c: &mut Criterion) {
     });
 }
 
+fn bench_fleet_scale(c: &mut Criterion) {
+    use mcommerce_core::{fleet, Category, Scenario};
+    let mut group = c.benchmark_group("f3_fleet");
+    group.sample_size(10);
+    let scenario = Scenario::new("bench")
+        .app(Category::Commerce)
+        .users(256)
+        .seed(97);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("commerce_256users_{threads}thr"), |b| {
+            b.iter(|| black_box(fleet::run_on(&scenario, threads)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_tcp_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("x1_tcp_variants");
     group.sample_size(10);
@@ -101,6 +117,7 @@ criterion_group!(
     bench_table3,
     bench_table4,
     bench_table5,
+    bench_fleet_scale,
     bench_tcp_variants,
     bench_requirements,
     bench_ablations

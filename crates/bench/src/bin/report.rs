@@ -76,6 +76,20 @@ fn main() {
         println!("{row}");
     }
 
+    heading("F3 — fleet engine: users × threads, same merged result, wall-clock only");
+    let fleet_users: &[u64] = if quick {
+        &[1, 100, 1_000]
+    } else {
+        &[1, 100, 1_000, 10_000]
+    };
+    for row in experiments::fleet_scale(fleet_users, &[1, 2, 4, 8]) {
+        println!("{row}");
+    }
+    println!(
+        "\n-> the merged FleetSummary is asserted identical at every thread\n\
+         count; txns/s varies only with the machine's real parallelism."
+    );
+
     heading("X1 — §5.2: TCP variants over an error-prone wireless hop");
     for row in tcpx::full_sweep(x1_bytes) {
         println!("{row}");

@@ -4,32 +4,17 @@ use std::fmt;
 
 use hostsite::db::Database;
 use hostsite::HostComputer;
-use markup::html;
-use mcommerce_core::apps::{all_apps, Application, PaymentsApp, TravelApp};
+use mcommerce_core::apps::{all_apps, for_category};
 use mcommerce_core::requirements::{check_all, RequirementReport};
 use mcommerce_core::workload::run_workload;
 use mcommerce_core::{
-    CommerceSystem, EcSystem, McSystem, WiredPath, WirelessConfig, WorkloadSummary,
+    fleet, Category, CommerceSystem, EcSystem, McSystem, MiddlewareKind, Scenario, WiredPath,
+    WirelessConfig, WorkloadSummary,
 };
-use middleware::{IModeService, Middleware, MobileRequest, WapGateway};
+use middleware::MobileRequest;
 use simnet::rng::rng_for;
 use station::DeviceProfile;
 use wireless::{CellularStandard, WlanStandard};
-
-fn storefront_host(seed: u64) -> HostComputer {
-    let mut host = HostComputer::new(Database::new(), seed);
-    let page = html::page(
-        "Storefront",
-        vec![
-            html::h1("Storefront").into(),
-            html::p("Welcome to the store; today's offers are listed below.").into(),
-            html::ul(["widget — $5", "gadget — $9", "sprocket — $7"]).into(),
-            html::a("/shop", "Enter shop").into(),
-        ],
-    );
-    host.web.static_page("/", page.to_markup());
-    host
-}
 
 fn wifi(distance_m: f64) -> WirelessConfig {
     WirelessConfig::Wlan {
@@ -65,7 +50,7 @@ impl fmt::Display for SystemProfile {
     }
 }
 
-/// Figures 1 and 2: the same storefront workload through the EC system
+/// Figures 1 and 2: the same Commerce workload through the EC system
 /// (four components) and the MC system (six components). The MC profile
 /// must show the two extra components carrying real latency.
 pub fn fig1_fig2(transactions: u64) -> (SystemProfile, SystemProfile) {
@@ -80,37 +65,25 @@ pub fn fig1_fig2(transactions: u64) -> (SystemProfile, SystemProfile) {
             .collect(),
     };
 
-    // A tiny "application" that just fetches the storefront page.
-    struct Storefront;
-    impl Application for Storefront {
-        fn category(&self) -> mcommerce_core::apps::Category {
-            mcommerce_core::apps::Category::Commerce
-        }
-        fn install(&self, _host: &mut HostComputer) {}
-        fn session(&self, _seed: u64, _index: u64) -> Vec<mcommerce_core::apps::Step> {
-            vec![mcommerce_core::apps::Step::expecting(
-                MobileRequest::get("/"),
-                "Storefront",
-            )]
-        }
-    }
+    // EC baseline (Figure 1): same application, none of the mobile
+    // components. The fleet engine only builds MC systems, so the
+    // four-component baseline is assembled directly.
+    let app = for_category(Category::Commerce);
+    let mut host = HostComputer::new(Database::new(), 1);
+    app.install(&mut host);
+    let mut ec = EcSystem::new(host, WiredPath::wan());
+    let ec_summary = run_workload(&mut ec, app.as_ref(), transactions, 5);
 
-    let mut ec = EcSystem::new(storefront_host(1), WiredPath::wan());
-    let ec_summary = run_workload(&mut ec, &Storefront, transactions, 5);
-
-    let mut mc = McSystem::new(
-        storefront_host(2),
-        Box::new(WapGateway::default()),
-        DeviceProfile::palm_i705(),
-        wifi(20.0),
-        WiredPath::wan(),
-        6,
-    );
-    let mc_summary = run_workload(&mut mc, &Storefront, transactions, 7);
+    // MC (Figure 2): the same workload as a fleet of single-session users.
+    let scenario = Scenario::new("Figure 2")
+        .app(Category::Commerce)
+        .users(transactions)
+        .seed(7);
+    let mc = fleet::run(&scenario);
 
     (
         profile("EC (Figure 1: 4 components)".into(), &ec_summary),
-        profile("MC (Figure 2: 6 components)".into(), &mc_summary),
+        profile("MC (Figure 2: 6 components)".into(), &mc.summary.workload),
     )
 }
 
@@ -158,7 +131,7 @@ pub fn table1(sessions: u64) -> Vec<Table1Row> {
     }
     let mut system = McSystem::new(
         host,
-        Box::new(WapGateway::default()),
+        MiddlewareKind::Wap.build(),
         DeviceProfile::ipaq_h3870(),
         wifi(25.0),
         WiredPath::wan(),
@@ -225,18 +198,12 @@ pub fn table2(sessions: u64) -> Vec<Table2Row> {
     DeviceProfile::table2()
         .into_iter()
         .map(|device| {
-            let app = TravelApp;
-            let mut host = HostComputer::new(Database::new(), 41);
-            app.install(&mut host);
-            let mut system = McSystem::new(
-                host,
-                Box::new(WapGateway::default()),
-                device.clone(),
-                wifi(20.0),
-                WiredPath::wan(),
-                42,
-            );
-            let summary = run_workload(&mut system, &app, sessions, 43);
+            let scenario = Scenario::new("Table 2")
+                .app(Category::Travel)
+                .device(device.clone())
+                .sessions_per_user(sessions)
+                .seed(43);
+            let summary = fleet::run(&scenario).summary.workload;
             Table2Row {
                 device: device.name.to_owned(),
                 os: device.os.to_string(),
@@ -304,26 +271,20 @@ pub fn table3(sessions: u64) -> Vec<Table3Row> {
     ];
     let mut rows = Vec::new();
     for network in networks {
-        for mw_name in ["WAP", "i-mode"] {
-            let app = PaymentsApp::new();
-            let mut host = HostComputer::new(Database::new(), 51);
-            app.install(&mut host);
-            let middleware: Box<dyn Middleware> = if mw_name == "WAP" {
-                Box::new(WapGateway::default())
-            } else {
-                Box::new(IModeService::new())
-            };
-            let mut system = McSystem::new(
-                host,
-                middleware,
-                DeviceProfile::nokia_9290(),
-                network,
-                WiredPath::wan(),
-                52,
-            );
-            let summary = run_workload(&mut system, &app, sessions, 53);
+        for kind in [MiddlewareKind::Wap, MiddlewareKind::IMode] {
+            // One user running the whole session budget, so the one-time
+            // WSP session setup amortises across the workload exactly as
+            // it would for a real returning customer.
+            let scenario = Scenario::new("Table 3")
+                .app(Category::Commerce)
+                .middleware(kind)
+                .device(DeviceProfile::nokia_9290())
+                .wireless(network)
+                .sessions_per_user(sessions)
+                .seed(53);
+            let summary = fleet::run(&scenario).summary.workload;
             rows.push(Table3Row {
-                middleware: mw_name.to_owned(),
+                middleware: kind.name().to_owned(),
                 network: network.name(),
                 latency_secs: summary.latency_mean,
                 air_bytes: summary.air_bytes_mean,
@@ -462,17 +423,15 @@ pub fn table5() -> Vec<Table5Row> {
             let config = WirelessConfig::Cellular { standard };
             let feasible = config.air_link().is_some();
             let (first, steady) = if feasible {
-                let app = PaymentsApp::new();
-                let mut host = HostComputer::new(Database::new(), 71);
-                app.install(&mut host);
-                let mut system = McSystem::new(
-                    host,
-                    Box::new(WapGateway::default()),
-                    DeviceProfile::nokia_9290(),
-                    config,
-                    WiredPath::wan(),
-                    72,
-                );
+                // Table 5 needs individual transactions, not aggregates,
+                // so it takes a single provisioned system from the same
+                // Scenario description the fleet engine uses.
+                let scenario = Scenario::new("Table 5")
+                    .app(Category::Commerce)
+                    .device(DeviceProfile::nokia_9290())
+                    .wireless(config)
+                    .seed(72);
+                let mut system = scenario.system();
                 let first = system.execute(&MobileRequest::get("/shop"));
                 let mut steady = Vec::new();
                 for _ in 0..10 {
@@ -495,6 +454,74 @@ pub fn table5() -> Vec<Table5Row> {
             }
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// F3 — fleet scale
+// ---------------------------------------------------------------------
+
+/// Throughput of the fleet engine at one (users, threads) point.
+#[derive(Debug, Clone)]
+pub struct FleetScaleRow {
+    /// Simulated users in the fleet.
+    pub users: u64,
+    /// OS threads the fleet was sharded across (after clamping).
+    pub threads: usize,
+    /// Transactions executed across the fleet.
+    pub transactions: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Transactions simulated per wall-clock second.
+    pub tps: f64,
+}
+
+impl fmt::Display for FleetScaleRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>6} users × {:>2} thread(s): {:>7} txns in {:>8.3} s = {:>10.0} txns/s",
+            self.users, self.threads, self.transactions, self.wall_secs, self.tps
+        )
+    }
+}
+
+/// Fleet scale: the same Commerce scenario swept across fleet sizes and
+/// shard counts. The merged [`fleet::FleetSummary`] is bit-for-bit
+/// identical at every thread count (the fleet engine's determinism
+/// contract — asserted here on every sweep point); only the wall clock
+/// changes with parallelism.
+pub fn fleet_scale(users_sweep: &[u64], threads_sweep: &[usize]) -> Vec<FleetScaleRow> {
+    let mut rows = Vec::new();
+    for &users in users_sweep {
+        let scenario = Scenario::new("F3")
+            .app(Category::Commerce)
+            .users(users)
+            .seed(97);
+        let mut reference = None;
+        for &threads in threads_sweep {
+            if threads as u64 > users && threads > 1 {
+                continue; // would clamp to a duplicate of an earlier row
+            }
+            let report = fleet::run_on(&scenario, threads);
+            let summary = report.summary.clone();
+            if let Some(reference) = &reference {
+                assert_eq!(
+                    reference, &summary,
+                    "fleet merge must not depend on thread count"
+                );
+            } else {
+                reference = Some(summary);
+            }
+            rows.push(FleetScaleRow {
+                users,
+                threads: report.threads,
+                transactions: report.summary.transactions(),
+                wall_secs: report.wall_secs,
+                tps: report.throughput_tps(),
+            });
+        }
+    }
+    rows
 }
 
 // ---------------------------------------------------------------------
@@ -606,6 +633,30 @@ mod tests {
         assert!(goodput("HyperLAN2", 300.0) > 0.0);
         // Rate degrades with distance within coverage.
         assert!(goodput("802.11g", 150.0) < goodput("802.11g", 10.0));
+    }
+
+    #[test]
+    fn fleet_scale_merges_identically_and_speeds_up_with_cores() {
+        let rows = fleet_scale(&[64], &[1, 2, 4]);
+        assert_eq!(rows.len(), 3);
+        // Same fleet at every thread count (determinism is asserted
+        // inside fleet_scale itself): same transaction total.
+        for row in &rows {
+            assert_eq!(row.transactions, 128); // 64 users × 2-step session
+            assert!(row.tps > 0.0);
+        }
+        // Speedup is machine-dependent; only demand the >2× win at 4
+        // threads when the host actually has 4 cores to give.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 4 {
+            let tps = |t: usize| rows.iter().find(|r| r.threads == t).unwrap().tps;
+            assert!(
+                tps(4) > tps(1) * 2.0,
+                "4 threads {} vs 1 thread {}",
+                tps(4),
+                tps(1)
+            );
+        }
     }
 
     #[test]

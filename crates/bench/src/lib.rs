@@ -10,6 +10,7 @@
 //! | T3 | Table 3, WAP vs i-mode | [`experiments::table3`] |
 //! | T4 | Table 4, WLAN standards | [`experiments::table4`] |
 //! | T5 | Table 5, cellular networks | [`experiments::table5`] |
+//! | F3 | fleet engine scale (users × threads) | [`experiments::fleet_scale`] |
 //! | X1 | §5.2, TCP variants on wireless | [`tcpx::tcp_variants`] |
 //! | X2 | §1.1, five system requirements | [`experiments::independence`] |
 //!

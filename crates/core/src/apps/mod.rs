@@ -161,16 +161,23 @@ pub trait Application {
 
 /// All eight applications, ready to install.
 pub fn all_apps() -> Vec<Box<dyn Application>> {
-    vec![
-        Box::new(PaymentsApp::new()),
-        Box::new(EducationApp),
-        Box::new(ErpApp),
-        Box::new(EntertainmentApp),
-        Box::new(HealthCareApp),
-        Box::new(InventoryApp),
-        Box::new(TrafficApp),
-        Box::new(TravelApp),
-    ]
+    Category::ALL.iter().map(|c| for_category(*c)).collect()
+}
+
+/// Instantiates the application realising `category` — the factory the
+/// fleet runner uses so every thread can build its own application from
+/// a plain [`Category`] value.
+pub fn for_category(category: Category) -> Box<dyn Application> {
+    match category {
+        Category::Commerce => Box::new(PaymentsApp::new()),
+        Category::Education => Box::new(EducationApp),
+        Category::Erp => Box::new(ErpApp),
+        Category::Entertainment => Box::new(EntertainmentApp),
+        Category::HealthCare => Box::new(HealthCareApp),
+        Category::Inventory => Box::new(InventoryApp),
+        Category::Traffic => Box::new(TrafficApp),
+        Category::Travel => Box::new(TravelApp),
+    }
 }
 
 #[cfg(test)]

@@ -146,7 +146,7 @@ impl Application for TrafficApp {
         let road = rng.random_range(0..ROADS.len() as i64);
         let level = rng.random_range(0..10i64);
         // Pick a pair known to be connected: everything reaches "stadium".
-        let from = NODES[rng.random_range(0..4)];
+        let from = NODES[rng.random_range(0..4usize)];
         vec![
             Step::expecting(
                 MobileRequest::post(

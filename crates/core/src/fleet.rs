@@ -1,0 +1,444 @@
+//! Fleet engine: a deterministic sharded scenario runner.
+//!
+//! The paper argues an MC system must serve *many* concurrent users
+//! (§1: "a potentially huge market"), yet every experiment in this
+//! workspace so far drove a single [`McSystem`] by hand. This module
+//! scales the model to fleets: a [`Scenario`] describes one population
+//! declaratively — device profile × middleware kind × wireless standard
+//! × application workload × user count × security — and [`run`] executes
+//! the N independent user sessions sharded across OS threads.
+//!
+//! # Determinism under parallelism
+//!
+//! The merged result is **bit-for-bit identical regardless of thread
+//! count**, because of three rules:
+//!
+//! 1. *Per-user worlds.* Each simulated user gets a fresh
+//!    [`McSystem`] (own host, own battery, own RNG streams) whose seeds
+//!    derive from the scenario seed and the **user index** via
+//!    [`simnet::rng::sub_seed`] — never from the thread or shard that
+//!    happens to execute it.
+//! 2. *Integral accumulation.* Shards accumulate
+//!    [`WorkloadCounters`] — integer sums and histograms whose merge is
+//!    exactly associative and commutative.
+//! 3. *Canonical merge order.* Shard results are merged on the
+//!    coordinating thread in shard-index order, so even the derived
+//!    floating-point statistics are computed by one fixed expression.
+//!
+//! Threads here are plain `std::thread::scope` workers over disjoint
+//! data; there is no I/O to multiplex and no shared mutable state, so
+//! this stays within the workspace's no-async-runtime decision
+//! (DESIGN.md §1) — parallelism for throughput, not concurrency for
+//! coordination.
+
+use std::thread;
+use std::time::Instant;
+
+use hostsite::db::Database;
+use hostsite::HostComputer;
+use station::DeviceProfile;
+use wireless::WlanStandard;
+
+use crate::apps::{for_category, Category};
+use crate::netpath::{WiredPath, WirelessConfig};
+use crate::report::{WorkloadCounters, WorkloadSummary};
+use crate::system::{McSystem, MiddlewareKind};
+use crate::workload::run_session;
+
+/// A declarative description of one fleet experiment: who the users
+/// are, what they run, and over which technology stack.
+///
+/// A `Scenario` is plain data (`Clone + Send + Sync`), so it can be
+/// shared immutably across shard threads; every piece of machinery (the
+/// host, the middleware, the RNGs) is constructed *inside* the shard
+/// from this description.
+///
+/// ```
+/// use mcommerce_core::{fleet, Category, MiddlewareKind, Scenario};
+///
+/// let scenario = Scenario::new("quickstart")
+///     .middleware(MiddlewareKind::Wap)
+///     .app(Category::Commerce)
+///     .users(8)
+///     .sessions_per_user(2)
+///     .seed(42);
+/// let report = fleet::run(&scenario);
+/// assert_eq!(report.summary.users, 8);
+/// assert!(report.summary.workload.success_rate() > 0.99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name, used in labels and reports.
+    pub name: String,
+    /// The handset every user carries.
+    pub device: DeviceProfile,
+    /// The middleware component (component iii).
+    pub middleware: MiddlewareKind,
+    /// The wireless network (component iv).
+    pub wireless: WirelessConfig,
+    /// The wired path to the host (component v).
+    pub wired: WiredPath,
+    /// The application workload (component i, Table 1).
+    pub app: Category,
+    /// Number of independent simulated users.
+    pub users: u64,
+    /// Sessions each user runs.
+    pub sessions_per_user: u64,
+    /// Whether WTLS-style transport security is on (§8).
+    pub secure: bool,
+    /// Root seed every per-user stream derives from.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with workshop defaults: one user running one Commerce
+    /// session on an iPAQ over 802.11b at 20 m through the WAP gateway,
+    /// security off, seed 1.
+    pub fn new(name: impl Into<String>) -> Self {
+        Scenario {
+            name: name.into(),
+            device: DeviceProfile::ipaq_h3870(),
+            middleware: MiddlewareKind::Wap,
+            wireless: WirelessConfig::Wlan {
+                standard: WlanStandard::Dot11b,
+                distance_m: 20.0,
+            },
+            wired: WiredPath::wan(),
+            app: Category::Commerce,
+            users: 1,
+            sessions_per_user: 1,
+            secure: false,
+            seed: 1,
+        }
+    }
+
+    /// Sets the device profile.
+    pub fn device(mut self, device: DeviceProfile) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the middleware kind.
+    pub fn middleware(mut self, kind: MiddlewareKind) -> Self {
+        self.middleware = kind;
+        self
+    }
+
+    /// Sets the wireless configuration.
+    pub fn wireless(mut self, wireless: WirelessConfig) -> Self {
+        self.wireless = wireless;
+        self
+    }
+
+    /// Sets the wired path.
+    pub fn wired(mut self, wired: WiredPath) -> Self {
+        self.wired = wired;
+        self
+    }
+
+    /// Sets the application workload.
+    pub fn app(mut self, app: Category) -> Self {
+        self.app = app;
+        self
+    }
+
+    /// Sets the user count.
+    pub fn users(mut self, users: u64) -> Self {
+        self.users = users;
+        self
+    }
+
+    /// Sets sessions per user.
+    pub fn sessions_per_user(mut self, sessions: u64) -> Self {
+        self.sessions_per_user = sessions;
+        self
+    }
+
+    /// Turns WTLS-style security on or off.
+    pub fn secure(mut self, secure: bool) -> Self {
+        self.secure = secure;
+        self
+    }
+
+    /// Sets the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Label summarising the configuration for reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{}: {} × {} × {} × {}{} × {} user(s)",
+            self.name,
+            self.app,
+            self.middleware,
+            self.wireless.name(),
+            self.device.name,
+            if self.secure { " × WTLS" } else { "" },
+            self.users,
+        )
+    }
+
+    /// Builds the fully provisioned system for one user: fresh host with
+    /// the application installed, middleware, device, networks — seeded
+    /// purely from the scenario seed and the user index.
+    pub fn system_for_user(&self, user: u64) -> McSystem {
+        let app = for_category(self.app);
+        let mut host = HostComputer::new(
+            Database::new(),
+            simnet::rng::sub_seed(self.seed, "fleet.host", user),
+        );
+        app.install(&mut host);
+        let mut system = McSystem::new(
+            host,
+            self.middleware.build(),
+            self.device.clone(),
+            self.wireless,
+            self.wired,
+            simnet::rng::sub_seed(self.seed, "fleet.air", user),
+        );
+        system.set_secure(self.secure);
+        system
+    }
+
+    /// Builds the single-user system (user 0) — the convenience most
+    /// examples and tests want when they don't need a whole fleet.
+    pub fn system(&self) -> McSystem {
+        self.system_for_user(0)
+    }
+
+    /// Runs one user's complete workload, folding every transaction
+    /// into `counters`. Depends only on `(scenario, user)`.
+    pub fn run_user(&self, user: u64, counters: &mut WorkloadCounters) {
+        let app = for_category(self.app);
+        let mut system = self.system_for_user(user);
+        let session_seed = simnet::rng::sub_seed(self.seed, "fleet.session", user);
+        for session in 0..self.sessions_per_user {
+            let steps = app.session(session_seed, session);
+            for report in run_session(&mut system, &steps) {
+                counters.record(&report);
+            }
+        }
+    }
+}
+
+/// The deterministic, thread-count-independent result of a fleet run.
+///
+/// Two runs of the same [`Scenario`] compare equal however many threads
+/// executed them — the property `tests/fleet_props.rs` pins down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// The scenario label this fleet executed.
+    pub scenario: String,
+    /// Number of simulated users.
+    pub users: u64,
+    /// The merged workload statistics across every user.
+    pub workload: WorkloadSummary,
+}
+
+impl FleetSummary {
+    /// Merges per-shard workload summaries (in shard-index order) into
+    /// the fleet total.
+    pub fn merge(scenario: &Scenario, shards: &[WorkloadSummary]) -> FleetSummary {
+        let mut counters = WorkloadCounters::default();
+        for shard in shards {
+            counters.merge(&shard.counters);
+        }
+        FleetSummary {
+            scenario: scenario.label(),
+            users: scenario.users,
+            workload: counters.summary(scenario.label()),
+        }
+    }
+
+    /// Transactions attempted across the fleet.
+    pub fn transactions(&self) -> u64 {
+        self.workload.attempted as u64
+    }
+}
+
+/// A fleet execution: the deterministic summary plus the (inherently
+/// machine-dependent) wall-clock measurements.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// OS threads the fleet was sharded across.
+    pub threads: usize,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// The thread-count-independent merged result.
+    pub summary: FleetSummary,
+}
+
+impl FleetReport {
+    /// Transactions executed per wall-clock second.
+    pub fn throughput_tps(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.summary.transactions() as f64 / self.wall_secs
+    }
+}
+
+/// Number of worker threads [`run`] uses: the machine's available
+/// parallelism.
+pub fn default_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs the scenario's fleet sharded across [`default_threads`] threads.
+pub fn run(scenario: &Scenario) -> FleetReport {
+    run_on(scenario, default_threads())
+}
+
+/// Runs the scenario's fleet sharded across exactly `threads` threads
+/// (clamped to at least 1, at most one per user).
+///
+/// Users are assigned to shards in contiguous index ranges; each shard
+/// executes its users in increasing index order on its own OS thread
+/// and returns a per-shard [`WorkloadSummary`]. The summaries are
+/// merged in shard-index order, and because each user's simulation and
+/// the counter merge are independent of the sharding, the resulting
+/// [`FleetSummary`] does not depend on `threads`.
+pub fn run_on(scenario: &Scenario, threads: usize) -> FleetReport {
+    let started = Instant::now();
+    let shards = threads.clamp(1, scenario.users.max(1) as usize);
+    let chunk = scenario.users.div_ceil(shards as u64).max(1);
+
+    let shard_summaries: Vec<WorkloadSummary> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards as u64)
+            .map(|shard| {
+                let scenario = &*scenario;
+                scope.spawn(move || {
+                    let mut counters = WorkloadCounters::default();
+                    let lo = shard * chunk;
+                    let hi = (lo + chunk).min(scenario.users);
+                    for user in lo..hi {
+                        scenario.run_user(user, &mut counters);
+                    }
+                    counters.summary(format!("{} shard {shard}", scenario.name))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet shard panicked"))
+            .collect()
+    });
+
+    let summary = shard_summaries
+        .iter()
+        .skip(1)
+        .fold(shard_summaries[0].clone(), |acc, s| acc.merge(s));
+    // Relabel through the counters so the label doesn't depend on which
+    // shard happened to be first.
+    let summary = summary.counters.summary(scenario.label());
+
+    FleetReport {
+        threads: shards,
+        wall_secs: started.elapsed().as_secs_f64(),
+        summary: FleetSummary {
+            scenario: scenario.label(),
+            users: scenario.users,
+            workload: summary,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Scenario {
+        Scenario::new("unit")
+            .app(Category::Commerce)
+            .users(6)
+            .sessions_per_user(2)
+            .seed(7)
+    }
+
+    #[test]
+    fn fleet_runs_and_users_succeed() {
+        let report = run_on(&small(), 2);
+        let s = &report.summary;
+        assert_eq!(s.users, 6);
+        // PaymentsApp sessions are two steps each: 6 users × 2 sessions × 2.
+        assert_eq!(s.transactions(), 24);
+        assert_eq!(s.workload.succeeded, 24, "{:?}", s.workload.counters.failures);
+        assert!(report.wall_secs >= 0.0);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_summary() {
+        let scenario = small();
+        let one = run_on(&scenario, 1).summary;
+        let three = run_on(&scenario, 3).summary;
+        let many = run_on(&scenario, 64).summary; // clamped to one per user
+        assert_eq!(one, three);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn users_are_independent_worlds() {
+        // Same scenario, disjoint user prefixes: the first users' results
+        // are unchanged by how many other users exist.
+        let a = {
+            let mut c = WorkloadCounters::default();
+            small().users(2).run_user(1, &mut c);
+            c
+        };
+        let b = {
+            let mut c = WorkloadCounters::default();
+            small().users(100).run_user(1, &mut c);
+            c
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_differentiate_fleets() {
+        let x = run_on(&small().seed(1), 2).summary;
+        let y = run_on(&small().seed(2), 2).summary;
+        // Same shape of workload…
+        assert_eq!(x.transactions(), y.transactions());
+        // …but different stochastic outcomes (latency streams differ).
+        assert_ne!(x.workload.counters.latency_ns, y.workload.counters.latency_ns);
+    }
+
+    #[test]
+    fn every_category_fleet_completes() {
+        for category in Category::ALL {
+            let report = run_on(
+                &Scenario::new("breadth").app(category).users(2).seed(11),
+                2,
+            );
+            assert!(
+                report.summary.workload.success_rate() > 0.95,
+                "{category}: {:?}",
+                report.summary.workload.counters.failures
+            );
+        }
+    }
+
+    #[test]
+    fn secure_fleets_cost_more_energy() {
+        let base = Scenario::new("wtls").users(4).sessions_per_user(2).seed(3);
+        let plain = run_on(&base.clone(), 2).summary;
+        let secure = run_on(&base.secure(true), 2).summary;
+        assert!(
+            secure.workload.energy_mean_j > plain.workload.energy_mean_j,
+            "{} !> {}",
+            secure.workload.energy_mean_j,
+            plain.workload.energy_mean_j
+        );
+    }
+
+    #[test]
+    fn scenario_system_is_a_usable_single_system() {
+        use crate::system::CommerceSystem;
+        let mut system = Scenario::new("solo").system();
+        let report = system.execute(&middleware::MobileRequest::get("/shop"));
+        assert!(report.success, "{:?}", report.failure);
+        assert!(report.outcome.is_some());
+    }
+}

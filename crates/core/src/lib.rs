@@ -18,15 +18,22 @@
 //! * [`workload`] — session generators that drive applications through a
 //!   system,
 //! * [`requirements`] — executable checks of §1.1's five system
-//!   requirements.
+//!   requirements,
+//! * [`fleet`] — the deterministic sharded scenario runner scaling the
+//!   model to whole user populations ([`Scenario`] → [`fleet::run`]).
 
 pub mod apps;
+pub mod fleet;
 pub mod netpath;
 pub mod report;
 pub mod requirements;
 pub mod system;
 pub mod workload;
 
+pub use apps::Category;
+pub use fleet::{FleetReport, FleetSummary, Scenario};
 pub use netpath::{AirLink, WiredPath, WirelessConfig};
-pub use report::{PhaseBreakdown, TransactionReport, WorkloadSummary};
-pub use system::{CommerceSystem, EcSystem, McSystem, StationState};
+pub use report::{
+    PhaseBreakdown, TransactionOutcome, TransactionReport, WorkloadCounters, WorkloadSummary,
+};
+pub use system::{CommerceSystem, EcSystem, McSystem, MiddlewareKind, StationState};

@@ -1,14 +1,19 @@
 //! Transaction reports and workload aggregation.
+//!
+//! Aggregation is built on [`WorkloadCounters`], a purely integral,
+//! order-insensitive accumulator: merging counters is associative and
+//! commutative bit-for-bit, which is what lets the fleet runner produce
+//! identical summaries regardless of how sessions are sharded across
+//! threads (see `fleet`).
 
 use std::collections::BTreeMap;
 
-use serde::Serialize;
-use simnet::stats::Sampler;
+use hostsite::http::Status;
 use simnet::SimDuration;
 
 /// Latency attributed to each of the system's components — the
 /// per-component breakdown that makes Figures 1 and 2 measurable.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseBreakdown {
     /// CPU time on the mobile station (or desktop client): request
     /// construction, parsing, rendering.
@@ -52,9 +57,25 @@ impl PhaseBreakdown {
     }
 }
 
+/// What the user ended up seeing after a transaction: the rendered page
+/// and the host's verdict, as structured data.
+///
+/// This replaces scraping `CommerceSystem::last_page_text` after the
+/// fact — the outcome now travels on the [`TransactionReport`] itself,
+/// so concurrent sessions cannot observe each other's pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransactionOutcome {
+    /// The rendered page body, lines joined with `\n`.
+    pub page_text: String,
+    /// The rendered page title (empty when the markup had none).
+    pub title: String,
+    /// HTTP status the host answered with.
+    pub status: Status,
+}
+
 /// The outcome of one end-to-end transaction (one request/response plus
 /// rendering).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransactionReport {
     /// Wall-clock latency of the whole transaction.
     pub total: f64,
@@ -72,6 +93,8 @@ pub struct TransactionReport {
     pub success: bool,
     /// Failure description when `success` is false.
     pub failure: Option<String>,
+    /// The rendered result, when the transaction completed.
+    pub outcome: Option<TransactionOutcome>,
 }
 
 impl TransactionReport {
@@ -87,6 +110,7 @@ impl TransactionReport {
             energy_j: 0.0,
             success: false,
             failure: Some(reason.into()),
+            outcome: None,
         }
     }
 
@@ -94,10 +118,207 @@ impl TransactionReport {
     pub fn latency(&self) -> SimDuration {
         SimDuration::from_secs_f64(self.total)
     }
+
+    /// The rendered page text, when the transaction produced one.
+    pub fn page_text(&self) -> Option<&str> {
+        self.outcome.as_ref().map(|o| o.page_text.as_str())
+    }
+
+    /// Serialises the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        json_f64(&mut out, "total", self.total);
+        json_f64(&mut out, "station_secs", self.breakdown.station_secs);
+        json_f64(&mut out, "wireless_secs", self.breakdown.wireless_secs);
+        json_f64(&mut out, "middleware_secs", self.breakdown.middleware_secs);
+        json_f64(&mut out, "wired_secs", self.breakdown.wired_secs);
+        json_f64(&mut out, "host_secs", self.breakdown.host_secs);
+        json_raw(&mut out, "air_bytes_up", &self.air_bytes_up.to_string());
+        json_raw(&mut out, "air_bytes_down", &self.air_bytes_down.to_string());
+        json_raw(&mut out, "retransmissions", &self.retransmissions.to_string());
+        json_f64(&mut out, "energy_j", self.energy_j);
+        json_raw(&mut out, "success", if self.success { "true" } else { "false" });
+        match &self.failure {
+            Some(f) => json_str(&mut out, "failure", f),
+            None => json_raw(&mut out, "failure", "null"),
+        }
+        match &self.outcome {
+            Some(o) => {
+                json_str(&mut out, "title", &o.title);
+                json_raw(&mut out, "status", &o.status.code().to_string());
+            }
+            None => json_raw(&mut out, "status", "null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Number of linear sub-buckets per power-of-two octave in the latency
+/// histogram. 32 sub-buckets bound the quantisation error of any
+/// recorded latency by 1/32 ≈ 3%.
+const HIST_SUB_BUCKETS: u64 = 32;
+const HIST_SUB_BITS: u32 = 5; // log2(HIST_SUB_BUCKETS)
+
+fn hist_bucket(ns: u64) -> u32 {
+    if ns < HIST_SUB_BUCKETS {
+        return ns as u32;
+    }
+    let exp = ns.ilog2();
+    let sub = (ns >> (exp - HIST_SUB_BITS)) & (HIST_SUB_BUCKETS - 1);
+    (exp - HIST_SUB_BITS + 1) * HIST_SUB_BUCKETS as u32 + sub as u32
+}
+
+fn hist_bucket_low(bucket: u32) -> u64 {
+    if bucket < HIST_SUB_BUCKETS as u32 {
+        return bucket as u64;
+    }
+    let exp = bucket / HIST_SUB_BUCKETS as u32 + HIST_SUB_BITS - 1;
+    let sub = (bucket % HIST_SUB_BUCKETS as u32) as u64;
+    (1u64 << exp) | (sub << (exp - HIST_SUB_BITS))
+}
+
+fn to_ns(secs: f64) -> u64 {
+    (secs * 1e9).round().max(0.0) as u64
+}
+
+/// Purely integral accumulator for transaction statistics.
+///
+/// Every field is a counter or an integral histogram, so
+/// [`WorkloadCounters::merge`] is exactly associative and commutative —
+/// two fleets that partition the same sessions differently produce
+/// bit-identical merged counters. Latencies and energies are quantised
+/// to nanoseconds / nanojoules on entry; the latency distribution is a
+/// log-linear histogram (3% resolution) so percentiles survive merging.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkloadCounters {
+    /// Transactions attempted.
+    pub attempted: u64,
+    /// Transactions completed.
+    pub succeeded: u64,
+    /// Sum of successful-transaction latencies, nanoseconds.
+    pub latency_ns: u128,
+    /// Sum of air bytes (up + down) over successes.
+    pub air_bytes: u128,
+    /// Sum of energy over successes, nanojoules.
+    pub energy_nj: u128,
+    /// Link-layer retransmissions over successes.
+    pub retransmissions: u64,
+    /// Per-component latency sums over successes, nanoseconds, keyed
+    /// `station` / `wireless` / `middleware` / `wired` / `host`.
+    pub component_ns: BTreeMap<&'static str, u128>,
+    /// Log-linear latency histogram: bucket index → count.
+    pub latency_hist: BTreeMap<u32, u64>,
+    /// Failure reason → count.
+    pub failures: BTreeMap<String, u64>,
+}
+
+impl WorkloadCounters {
+    /// Folds one transaction into the counters.
+    pub fn record(&mut self, report: &TransactionReport) {
+        self.attempted += 1;
+        if !report.success {
+            let reason = report.failure.clone().unwrap_or_else(|| "unknown".into());
+            *self.failures.entry(reason).or_default() += 1;
+            return;
+        }
+        self.succeeded += 1;
+        let ns = to_ns(report.total);
+        self.latency_ns += ns as u128;
+        self.air_bytes += (report.air_bytes_up + report.air_bytes_down) as u128;
+        self.energy_nj += to_ns(report.energy_j) as u128;
+        self.retransmissions += report.retransmissions as u64;
+        let b = &report.breakdown;
+        for (key, secs) in [
+            ("station", b.station_secs),
+            ("wireless", b.wireless_secs),
+            ("middleware", b.middleware_secs),
+            ("wired", b.wired_secs),
+            ("host", b.host_secs),
+        ] {
+            *self.component_ns.entry(key).or_default() += to_ns(secs) as u128;
+        }
+        *self.latency_hist.entry(hist_bucket(ns)).or_default() += 1;
+    }
+
+    /// Adds `other` into `self`. Associative and commutative.
+    pub fn merge(&mut self, other: &WorkloadCounters) {
+        self.attempted += other.attempted;
+        self.succeeded += other.succeeded;
+        self.latency_ns += other.latency_ns;
+        self.air_bytes += other.air_bytes;
+        self.energy_nj += other.energy_nj;
+        self.retransmissions += other.retransmissions;
+        for (k, v) in &other.component_ns {
+            *self.component_ns.entry(k).or_default() += v;
+        }
+        for (k, v) in &other.latency_hist {
+            *self.latency_hist.entry(*k).or_default() += v;
+        }
+        for (k, v) in &other.failures {
+            *self.failures.entry(k.clone()).or_default() += v;
+        }
+    }
+
+    /// Nearest-rank percentile of the latency distribution, seconds.
+    /// Reports the lower bound of the bucket the rank falls in, so the
+    /// value is within 3% below the true percentile.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        if self.succeeded == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.succeeded as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&bucket, &count) in &self.latency_hist {
+            seen += count;
+            if seen >= rank {
+                return hist_bucket_low(bucket) as f64 / 1e9;
+            }
+        }
+        0.0
+    }
+
+    /// Derives the human-facing summary. A pure function of the counter
+    /// state, so summaries of identically merged counters are identical.
+    pub fn summary(&self, label: impl Into<String>) -> WorkloadSummary {
+        let n = self.succeeded as f64;
+        let total_component_ns: u128 = self.component_ns.values().sum();
+        let mut component_shares = BTreeMap::new();
+        for (k, v) in &self.component_ns {
+            let share = if total_component_ns == 0 {
+                0.0
+            } else {
+                *v as f64 / total_component_ns as f64
+            };
+            component_shares.insert((*k).to_owned(), share);
+        }
+        WorkloadSummary {
+            label: label.into(),
+            attempted: self.attempted as usize,
+            succeeded: self.succeeded as usize,
+            latency_mean: if n == 0.0 {
+                0.0
+            } else {
+                self.latency_ns as f64 / n / 1e9
+            },
+            latency_p90: self.latency_percentile(90.0),
+            air_bytes_mean: if n == 0.0 { 0.0 } else { self.air_bytes as f64 / n },
+            energy_mean_j: if n == 0.0 {
+                0.0
+            } else {
+                self.energy_nj as f64 / n / 1e9
+            },
+            component_shares,
+            counters: self.clone(),
+        }
+    }
 }
 
 /// Aggregated results of a workload run.
-#[derive(Debug, Serialize)]
+///
+/// All statistics are derived from the embedded [`WorkloadCounters`],
+/// so two summaries are equal exactly when their counters are.
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSummary {
     /// Label (application name, configuration, …).
     pub label: String,
@@ -105,51 +326,40 @@ pub struct WorkloadSummary {
     pub attempted: usize,
     /// Transactions completed.
     pub succeeded: usize,
-    /// Latency stats over successful transactions (seconds).
+    /// Mean latency over successful transactions (seconds).
     pub latency_mean: f64,
-    /// 90th percentile latency (seconds).
+    /// 90th percentile latency (seconds, 3% histogram resolution).
     pub latency_p90: f64,
     /// Mean bytes over the air per transaction (up + down).
     pub air_bytes_mean: f64,
     /// Mean energy per transaction (joules).
     pub energy_mean_j: f64,
-    /// Mean per-component shares of latency.
+    /// Time-weighted per-component shares of latency.
     pub component_shares: BTreeMap<String, f64>,
+    /// The mergeable accumulator every statistic above derives from.
+    pub counters: WorkloadCounters,
 }
 
 impl WorkloadSummary {
     /// Aggregates a batch of reports under `label`.
     pub fn aggregate(label: impl Into<String>, reports: &[TransactionReport]) -> Self {
-        let latencies = Sampler::new();
-        let air = Sampler::new();
-        let energy = Sampler::new();
-        let mut shares: BTreeMap<String, f64> = BTreeMap::new();
-        let mut succeeded = 0usize;
-        for r in reports.iter().filter(|r| r.success) {
-            succeeded += 1;
-            latencies.record(r.total);
-            air.record((r.air_bytes_up + r.air_bytes_down) as f64);
-            energy.record(r.energy_j);
-            for key in ["station", "wireless", "middleware", "wired", "host"] {
-                *shares.entry(key.to_owned()).or_default() += r.breakdown.share(key);
-            }
+        let mut counters = WorkloadCounters::default();
+        for r in reports {
+            counters.record(r);
         }
-        if succeeded > 0 {
-            for v in shares.values_mut() {
-                *v /= succeeded as f64;
-            }
-        }
-        let lat = latencies.summary();
-        WorkloadSummary {
-            label: label.into(),
-            attempted: reports.len(),
-            succeeded,
-            latency_mean: lat.mean,
-            latency_p90: lat.p90,
-            air_bytes_mean: air.summary().mean,
-            energy_mean_j: energy.summary().mean,
-            component_shares: shares,
-        }
+        counters.summary(label)
+    }
+
+    /// Combines two summaries into one covering both workloads.
+    ///
+    /// Merging happens on the integral counters and the statistics are
+    /// re-derived, so the operation is exact: any grouping or ordering
+    /// of merges over the same transactions yields bit-identical
+    /// summaries. The label of `self` is kept.
+    pub fn merge(&self, other: &WorkloadSummary) -> WorkloadSummary {
+        let mut counters = self.counters.clone();
+        counters.merge(&other.counters);
+        counters.summary(self.label.clone())
     }
 
     /// Success ratio (0..1).
@@ -160,6 +370,80 @@ impl WorkloadSummary {
             self.succeeded as f64 / self.attempted as f64
         }
     }
+
+    /// Serialises the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        json_str(&mut out, "label", &self.label);
+        json_raw(&mut out, "attempted", &self.attempted.to_string());
+        json_raw(&mut out, "succeeded", &self.succeeded.to_string());
+        json_f64(&mut out, "latency_mean", self.latency_mean);
+        json_f64(&mut out, "latency_p90", self.latency_p90);
+        json_f64(&mut out, "air_bytes_mean", self.air_bytes_mean);
+        json_f64(&mut out, "energy_mean_j", self.energy_mean_j);
+        let shares: Vec<String> = self
+            .component_shares
+            .iter()
+            .map(|(k, v)| format!("{}:{}", json_string_value(k), json_f64_value(*v)))
+            .collect();
+        json_raw(
+            &mut out,
+            "component_shares",
+            &format!("{{{}}}", shares.join(",")),
+        );
+        out.push('}');
+        out
+    }
+}
+
+fn json_string_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64_value(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips.
+        format!("{v:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_entry(out: &mut String, key: &str) {
+    if !out.ends_with('{') {
+        out.push(',');
+    }
+    out.push_str(&json_string_value(key));
+    out.push(':');
+}
+
+fn json_raw(out: &mut String, key: &str, value: &str) {
+    json_entry(out, key);
+    out.push_str(value);
+}
+
+fn json_str(out: &mut String, key: &str, value: &str) {
+    json_entry(out, key);
+    out.push_str(&json_string_value(value));
+}
+
+fn json_f64(out: &mut String, key: &str, value: f64) {
+    json_entry(out, key);
+    out.push_str(&json_f64_value(value));
 }
 
 #[cfg(test)]
@@ -180,6 +464,11 @@ mod tests {
             energy_j: 0.01,
             success: true,
             failure: None,
+            outcome: Some(TransactionOutcome {
+                page_text: "ok".into(),
+                title: "Page".into(),
+                status: Status::Ok,
+            }),
         }
     }
 
@@ -222,6 +511,7 @@ mod tests {
         assert!((summary.air_bytes_mean - 1000.0).abs() < 1e-12);
         assert!((summary.component_shares["host"] - 0.6).abs() < 1e-12);
         assert!((summary.component_shares["wireless"] - 0.4).abs() < 1e-12);
+        assert_eq!(summary.counters.failures["battery died"], 1);
     }
 
     #[test]
@@ -233,13 +523,50 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_grouping_invariant() {
+        let reports: Vec<TransactionReport> = (0..30)
+            .map(|i| report(0.1 + i as f64 * 0.07, 0.02, 0.01 + i as f64 * 0.001))
+            .collect();
+        let whole = WorkloadSummary::aggregate("w", &reports);
+        let halves = WorkloadSummary::aggregate("w", &reports[..15])
+            .merge(&WorkloadSummary::aggregate("w", &reports[15..]));
+        let thirds = WorkloadSummary::aggregate("w", &reports[..10])
+            .merge(&WorkloadSummary::aggregate("w", &reports[10..20]))
+            .merge(&WorkloadSummary::aggregate("w", &reports[20..]));
+        assert_eq!(whole, halves);
+        assert_eq!(whole, thirds);
+    }
+
+    #[test]
+    fn percentiles_survive_merging_within_resolution() {
+        let reports: Vec<TransactionReport> =
+            (1..=100).map(|i| report(i as f64 * 0.01, 0.0, 0.01)).collect();
+        let summary = WorkloadSummary::aggregate("p", &reports);
+        // True p90 is 0.90s; histogram reports the bucket lower bound.
+        assert!(summary.latency_p90 <= 0.90 + 1e-9, "{}", summary.latency_p90);
+        assert!(summary.latency_p90 >= 0.90 * (1.0 - 1.0 / 32.0), "{}", summary.latency_p90);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotonic_and_tight() {
+        let mut last = 0;
+        for ns in [0u64, 1, 31, 32, 33, 100, 1_000, 1_000_000, u32::MAX as u64] {
+            let b = hist_bucket(ns);
+            assert!(b >= last, "bucket order broke at {ns}");
+            last = b;
+            let low = hist_bucket_low(b);
+            assert!(low <= ns, "{low} > {ns}");
+            assert!(ns as f64 - low as f64 <= ns as f64 / 32.0 + 1.0);
+        }
+    }
+
+    #[test]
     fn reports_serialise_to_json() {
         let r = report(1.0, 0.5, 0.5);
-        let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("\"success\":true"));
+        let json = r.to_json();
+        assert!(json.contains("\"success\":true"), "{json}");
+        assert!(json.contains("\"status\":200"), "{json}");
         let s = WorkloadSummary::aggregate("x", &[r]);
-        assert!(serde_json::to_string(&s)
-            .unwrap()
-            .contains("\"label\":\"x\""));
+        assert!(s.to_json().contains("\"label\":\"x\""));
     }
 }

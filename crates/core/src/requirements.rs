@@ -16,13 +16,13 @@
 
 use hostsite::db::Database;
 use hostsite::HostComputer;
-use middleware::{IModeService, Middleware, MobileRequest, WapGateway};
+use middleware::MobileRequest;
 use station::DeviceProfile;
 use wireless::{CellularStandard, WlanStandard};
 
 use crate::apps::{all_apps, Application, PaymentsApp};
 use crate::netpath::{WiredPath, WirelessConfig};
-use crate::system::{CommerceSystem, McSystem};
+use crate::system::{CommerceSystem, McSystem, MiddlewareKind};
 use crate::workload::run_workload;
 
 /// The verdict on one requirement.
@@ -73,7 +73,7 @@ pub fn check_ubiquity(latency_budget_secs: f64) -> RequirementReport {
     for (i, config) in configs.iter().enumerate() {
         let mut system = McSystem::new(
             fresh_host(100 + i as u64, &apps),
-            Box::new(WapGateway::default()),
+            MiddlewareKind::Wap.build(),
             DeviceProfile::ipaq_h3870(),
             *config,
             WiredPath::wan(),
@@ -119,15 +119,15 @@ pub fn check_personalization() -> RequirementReport {
     );
     let mut system = McSystem::new(
         host,
-        Box::new(IModeService::new()),
+        MiddlewareKind::IMode.build(),
         DeviceProfile::nokia_9290(),
         wifi(15.0),
         WiredPath::wan(),
         17,
     );
     system.execute(&MobileRequest::get("/home?name=ada"));
-    system.execute(&MobileRequest::get("/home"));
-    let page = system.last_page_text().unwrap_or_default();
+    let report = system.execute(&MobileRequest::get("/home"));
+    let page = report.page_text().unwrap_or_default().to_owned();
     let satisfied = page.contains("welcome back, ada");
     RequirementReport {
         number: 2,
@@ -143,7 +143,7 @@ pub fn check_application_breadth() -> RequirementReport {
     let apps = all_apps();
     let mut system = McSystem::new(
         fresh_host(21, &apps),
-        Box::new(WapGateway::default()),
+        MiddlewareKind::Wap.build(),
         DeviceProfile::toshiba_e740(),
         wifi(20.0),
         WiredPath::wan(),
@@ -176,7 +176,7 @@ pub fn check_interoperability() -> RequirementReport {
     let mut evidence = Vec::new();
     let mut satisfied = true;
     let mut combo = 0u64;
-    for mw_name in ["WAP", "i-mode"] {
+    for kind in [MiddlewareKind::Wap, MiddlewareKind::IMode] {
         for device in [DeviceProfile::palm_i705(), DeviceProfile::ipaq_h3870()] {
             for config in [
                 wifi(20.0),
@@ -186,14 +186,9 @@ pub fn check_interoperability() -> RequirementReport {
             ] {
                 combo += 1;
                 let apps: Vec<Box<dyn Application>> = vec![Box::new(PaymentsApp::new())];
-                let middleware: Box<dyn Middleware> = if mw_name == "WAP" {
-                    Box::new(WapGateway::default())
-                } else {
-                    Box::new(IModeService::new())
-                };
                 let mut system = McSystem::new(
                     fresh_host(400 + combo, &apps),
-                    middleware,
+                    kind.build(),
                     device.clone(),
                     config,
                     WiredPath::wan(),
@@ -204,7 +199,7 @@ pub fn check_interoperability() -> RequirementReport {
                 satisfied &= ok;
                 evidence.push(format!(
                     "{} × {} × {}: {}",
-                    mw_name,
+                    kind,
                     device.name,
                     config.name(),
                     if ok { "ok" } else { "FAIL" }
@@ -227,7 +222,7 @@ pub fn check_independence() -> RequirementReport {
     let apps: Vec<Box<dyn Application>> = vec![Box::new(PaymentsApp::new())];
     let mut system = McSystem::new(
         fresh_host(31, &apps),
-        Box::new(WapGateway::default()),
+        MiddlewareKind::Wap.build(),
         DeviceProfile::sony_clie_nr70v(),
         wifi(20.0),
         WiredPath::wan(),
@@ -246,7 +241,7 @@ pub fn check_independence() -> RequirementReport {
         .map(|r| r[3].to_string());
 
     // Swap both the middleware and the network components.
-    system.set_middleware(Box::new(IModeService::new()));
+    system.set_middleware(MiddlewareKind::IMode.build());
     system.set_wireless(WirelessConfig::Cellular {
         standard: CellularStandard::Wcdma,
     });

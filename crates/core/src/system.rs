@@ -18,7 +18,7 @@ use station::browser::ContentKind;
 use station::{Battery, DeviceProfile, EmbeddedStore, Microbrowser};
 
 use crate::netpath::{AirLink, WiredPath, WirelessConfig};
-use crate::report::{PhaseBreakdown, TransactionReport};
+use crate::report::{PhaseBreakdown, TransactionOutcome, TransactionReport};
 
 /// Active CPU power draw of a handheld, watts (scaled by OS factor).
 const STATION_ACTIVE_W: f64 = 0.35;
@@ -38,9 +38,62 @@ pub trait CommerceSystem {
     /// The host computer, for application installation.
     fn host_mut(&mut self) -> &mut HostComputer;
 
-    /// The text content of the most recently rendered page, if any —
-    /// what the user actually saw, used by workflows to verify outcomes.
+    /// The text content of the most recently rendered page, if any.
+    ///
+    /// Deprecated: scraping the system after the fact is racy under the
+    /// fleet runner — read the structured
+    /// [`TransactionOutcome`] on the [`TransactionReport`] instead.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read TransactionReport::outcome instead; this accessor will be removed next release"
+    )]
     fn last_page_text(&self) -> Option<String>;
+}
+
+/// Declarative selection of the middleware component — the WAP gateway
+/// or the i-mode service — so a configuration can be described as plain
+/// data (and sent across threads) instead of a `Box<dyn Middleware>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MiddlewareKind {
+    /// WAP gateway with binary WML encoding (the standard deployment).
+    #[default]
+    Wap,
+    /// WAP gateway shipping textual WML (binary encoder disabled).
+    WapTextual,
+    /// NTT DoCoMo i-mode service (cHTML pass-through).
+    IMode,
+}
+
+impl MiddlewareKind {
+    /// Every middleware kind, for exhaustive sweeps.
+    pub const ALL: [MiddlewareKind; 3] =
+        [MiddlewareKind::Wap, MiddlewareKind::WapTextual, MiddlewareKind::IMode];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MiddlewareKind::Wap => "WAP",
+            MiddlewareKind::WapTextual => "WAP (textual WML)",
+            MiddlewareKind::IMode => "i-mode",
+        }
+    }
+
+    /// Instantiates the middleware component this kind describes.
+    pub fn build(self) -> Box<dyn Middleware> {
+        match self {
+            MiddlewareKind::Wap => Box::new(middleware::WapGateway::default()),
+            MiddlewareKind::WapTextual => {
+                Box::new(middleware::WapGateway::without_binary_encoding())
+            }
+            MiddlewareKind::IMode => Box::new(middleware::IModeService::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for MiddlewareKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// The mobile station's aggregate state inside an [`McSystem`].
@@ -81,7 +134,7 @@ pub struct McSystem {
     secure: bool,
     wtls_established: bool,
     rng: StdRng,
-    last_page: Option<String>,
+    last_outcome: Option<TransactionOutcome>,
 }
 
 impl std::fmt::Debug for McSystem {
@@ -116,7 +169,7 @@ impl McSystem {
             secure: false,
             wtls_established: false,
             rng: rng_for(seed, "mcsystem.air"),
-            last_page: None,
+            last_outcome: None,
         }
     }
 
@@ -264,6 +317,7 @@ impl CommerceSystem for McSystem {
                 energy_j: energy,
                 success: false,
                 failure: Some("uplink failed (ARQ exhausted)".into()),
+                outcome: None,
             };
         }
 
@@ -289,6 +343,7 @@ impl CommerceSystem for McSystem {
                 energy_j: energy,
                 success: false,
                 failure: Some("downlink failed (ARQ exhausted)".into()),
+                outcome: None,
             };
         }
 
@@ -298,11 +353,15 @@ impl CommerceSystem for McSystem {
         let render_failure = match &render {
             Ok(page) => {
                 breakdown.station_secs += page.cost.as_secs_f64();
-                self.last_page = Some(page.lines.join("\n"));
+                self.last_outcome = Some(TransactionOutcome {
+                    page_text: page.lines.join("\n"),
+                    title: page.title.clone(),
+                    status: ex.status,
+                });
                 None
             }
             Err(e) => {
-                self.last_page = None;
+                self.last_outcome = None;
                 Some(format!("render failed: {e}"))
             }
         };
@@ -335,6 +394,7 @@ impl CommerceSystem for McSystem {
             energy_j: energy,
             success,
             failure,
+            outcome: self.last_outcome.clone(),
         }
     }
 
@@ -343,7 +403,7 @@ impl CommerceSystem for McSystem {
     }
 
     fn last_page_text(&self) -> Option<String> {
-        self.last_page.clone()
+        self.last_outcome.as_ref().map(|o| o.page_text.clone())
     }
 }
 
@@ -362,7 +422,7 @@ pub struct EcSystem {
     /// The host computer.
     pub host: HostComputer,
     wired: WiredPath,
-    last_page: Option<String>,
+    last_outcome: Option<TransactionOutcome>,
 }
 
 impl std::fmt::Debug for EcSystem {
@@ -377,7 +437,7 @@ impl EcSystem {
         EcSystem {
             host,
             wired,
-            last_page: None,
+            last_outcome: None,
         }
     }
 
@@ -418,7 +478,14 @@ impl CommerceSystem for EcSystem {
 
         let parsed = markup::parse::parse(&resp.body);
         let render_ok = parsed.is_ok();
-        self.last_page = parsed.ok().map(|doc| doc.text_content());
+        self.last_outcome = parsed.ok().map(|doc| TransactionOutcome {
+            page_text: doc.text_content(),
+            title: doc
+                .find("title")
+                .map(|t| t.text_content())
+                .unwrap_or_default(),
+            status: resp.status,
+        });
         let success = resp.status.is_success() && render_ok;
         TransactionReport {
             total: breakdown.total_secs(),
@@ -435,6 +502,7 @@ impl CommerceSystem for EcSystem {
             } else {
                 Some(format!("host returned {}", resp.status))
             },
+            outcome: self.last_outcome.clone(),
         }
     }
 
@@ -443,7 +511,7 @@ impl CommerceSystem for EcSystem {
     }
 
     fn last_page_text(&self) -> Option<String> {
-        self.last_page.clone()
+        self.last_outcome.as_ref().map(|o| o.page_text.clone())
     }
 }
 

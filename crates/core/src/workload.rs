@@ -15,7 +15,7 @@ pub fn run_session(system: &mut dyn CommerceSystem, steps: &[Step]) -> Vec<Trans
             if let Some(expect) = &step.expect {
                 // Narrow screens wrap words onto new lines, so compare
                 // whitespace-normalised text.
-                let page = normalise(&system.last_page_text().unwrap_or_default());
+                let page = normalise(report.page_text().unwrap_or_default());
                 if !page.contains(&normalise(expect)) {
                     report.success = false;
                     report.failure =
@@ -100,7 +100,7 @@ pub fn run_walking_workload(
             let mut report = system.execute(&step.req);
             if report.success {
                 if let Some(expect) = &step.expect {
-                    let page = normalise(&system.last_page_text().unwrap_or_default());
+                    let page = normalise(report.page_text().unwrap_or_default());
                     if !page.contains(&normalise(expect)) {
                         report.success = false;
                         report.failure = Some(format!("expected {expect:?} missing"));

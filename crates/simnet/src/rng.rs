@@ -45,8 +45,18 @@ pub fn rng_for(root_seed: u64, label: &str) -> StdRng {
 /// Derives a numbered sub-stream, for families of identical components
 /// ("station 0", "station 1", …).
 pub fn rng_for_indexed(root_seed: u64, label: &str, index: u64) -> StdRng {
-    let mixed = splitmix64(root_seed ^ fnv1a(label.as_bytes()) ^ splitmix64(index));
-    StdRng::seed_from_u64(mixed)
+    StdRng::seed_from_u64(sub_seed(root_seed, label, index))
+}
+
+/// Splits a root seed into the `index`-th numbered sub-seed for `label`.
+///
+/// This is the seed-valued counterpart of [`rng_for_indexed`], for code
+/// that must hand a plain `u64` across a thread or configuration
+/// boundary (the fleet runner derives each simulated user's seed this
+/// way, so a user's whole random world depends only on the root seed and
+/// the user's index — never on which thread happens to run it).
+pub fn sub_seed(root_seed: u64, label: &str, index: u64) -> u64 {
+    splitmix64(root_seed ^ fnv1a(label.as_bytes()) ^ splitmix64(index))
 }
 
 /// SplitMix64 finaliser — spreads low-entropy seeds across the state space.

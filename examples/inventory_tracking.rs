@@ -13,10 +13,9 @@
 use mcommerce::core::apps::{Application, InventoryApp};
 use mcommerce::core::report::WorkloadSummary;
 use mcommerce::core::workload::run_session;
-use mcommerce::core::{CommerceSystem, McSystem, WiredPath, WirelessConfig};
+use mcommerce::core::{CommerceSystem, McSystem, MiddlewareKind, WiredPath, WirelessConfig};
 use mcommerce::hostsite::db::Database;
 use mcommerce::hostsite::HostComputer;
-use mcommerce::middleware::IModeService;
 use mcommerce::station::DeviceProfile;
 use mcommerce::wireless::{CellularStandard, WlanStandard};
 
@@ -26,10 +25,12 @@ fn main() {
     app.install(&mut host);
 
     // The drivers are on GPRS (2.5G cellular, wide coverage); the
-    // dispatcher sits on the depot's 802.11b WLAN. They share one host.
+    // dispatcher sits on the depot's 802.11b WLAN. They share one host —
+    // which is why this example assembles McSystems directly instead of
+    // going through a Scenario (fleet users get independent hosts).
     let mut driver = McSystem::new(
         host,
-        Box::new(IModeService::new()),
+        MiddlewareKind::IMode.build(),
         DeviceProfile::palm_i705(),
         WirelessConfig::Cellular {
             standard: CellularStandard::Gprs,
@@ -51,7 +52,7 @@ fn main() {
     let host = std::mem::replace(&mut driver.host, HostComputer::new(Database::new(), 0));
     let mut dispatcher = McSystem::new(
         host,
-        Box::new(IModeService::new()),
+        MiddlewareKind::IMode.build(),
         DeviceProfile::ipaq_h3870(),
         WirelessConfig::Wlan {
             standard: WlanStandard::Dot11b,

@@ -9,12 +9,7 @@
 //! cargo run --example middleware_faceoff
 //! ```
 
-use mcommerce::core::apps::{Application, TravelApp};
-use mcommerce::core::workload::run_workload;
-use mcommerce::core::{McSystem, WiredPath, WirelessConfig};
-use mcommerce::hostsite::db::Database;
-use mcommerce::hostsite::HostComputer;
-use mcommerce::middleware::{IModeService, Middleware, WapGateway};
+use mcommerce::core::{fleet, Category, MiddlewareKind, Scenario, WirelessConfig};
 use mcommerce::station::DeviceProfile;
 use mcommerce::wireless::{CellularStandard, WlanStandard};
 
@@ -39,29 +34,22 @@ fn main() {
     println!("{}", "-".repeat(70));
 
     for network in networks {
-        for mw_name in ["WAP", "i-mode"] {
-            let app = TravelApp;
-            let mut host = HostComputer::new(Database::new(), 3);
-            app.install(&mut host);
-            let middleware: Box<dyn Middleware> = if mw_name == "WAP" {
-                Box::new(WapGateway::default())
-            } else {
-                Box::new(IModeService::new())
-            };
-            let mut system = McSystem::new(
-                host,
-                middleware,
-                DeviceProfile::nokia_9290(),
-                network,
-                WiredPath::wan(),
-                91,
-            );
-            let summary = run_workload(&mut system, &app, 20, 17);
+        for kind in [MiddlewareKind::Wap, MiddlewareKind::IMode] {
+            // One user, twenty sessions: the same returning customer on
+            // each stack, so WAP's one-time session setup amortises.
+            let scenario = Scenario::new("faceoff")
+                .app(Category::Travel)
+                .middleware(kind)
+                .device(DeviceProfile::nokia_9290())
+                .wireless(network)
+                .sessions_per_user(20)
+                .seed(17);
+            let summary = fleet::run(&scenario).summary.workload;
             assert_eq!(summary.succeeded, summary.attempted, "{}", summary.label);
             println!(
                 "{:<22} {:>8} {:>12.1} {:>12.0} {:>10.2}",
                 network.name(),
-                mw_name,
+                kind.name(),
                 summary.latency_mean * 1e3,
                 summary.air_bytes_mean,
                 summary.energy_mean_j * 1e3,

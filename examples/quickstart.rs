@@ -1,43 +1,29 @@
-//! Quickstart: assemble the paper's six-component mobile commerce system
-//! and run one transaction through it.
+//! Quickstart: describe the paper's six-component mobile commerce system
+//! as a [`Scenario`], run one transaction through it, then scale the same
+//! description to a whole fleet of users.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use mcommerce::core::apps::{Application, PaymentsApp};
-use mcommerce::core::{CommerceSystem, McSystem, WiredPath, WirelessConfig};
-use mcommerce::hostsite::db::Database;
-use mcommerce::hostsite::HostComputer;
-use mcommerce::middleware::{MobileRequest, WapGateway};
+use mcommerce::core::{fleet, Category, CommerceSystem, MiddlewareKind, Scenario};
+use mcommerce::middleware::MobileRequest;
 use mcommerce::station::DeviceProfile;
-use mcommerce::wireless::WlanStandard;
 
 fn main() {
-    // Component (vi): the host computer — web server + database server +
-    // application programs.
-    let mut host = HostComputer::new(Database::new(), 7);
+    // One declarative description covers all six components: the
+    // application (i), the station (ii), the middleware (iii), the
+    // wireless (iv) and wired (v) networks, and the host computer (vi)
+    // is provisioned from it with the application installed.
+    let scenario = Scenario::new("quickstart")
+        .app(Category::Commerce)
+        .device(DeviceProfile::palm_i705())
+        .middleware(MiddlewareKind::Wap)
+        .seed(42);
 
-    // Component (i): a mobile commerce application (Table 1's first row —
-    // mobile transactions and payments).
-    let app = PaymentsApp::new();
-    app.install(&mut host);
-
-    // Components (ii)–(v): a Palm i705 station, the WAP gateway
-    // middleware, an 802.11b wireless LAN at 20 m, and a wired WAN.
-    let mut system = McSystem::new(
-        host,
-        Box::new(WapGateway::default()),
-        DeviceProfile::palm_i705(),
-        WirelessConfig::Wlan {
-            standard: WlanStandard::Dot11b,
-            distance_m: 20.0,
-        },
-        WiredPath::wan(),
-        42,
-    );
-
-    println!("system: {}", system.label());
+    let mut system = scenario.system();
+    println!("scenario: {}", scenario.label());
+    println!("system:   {}", system.label());
 
     // Browse the shop…
     let report = system.execute(&MobileRequest::get("/shop"));
@@ -46,9 +32,11 @@ fn main() {
         report.success,
         report.total * 1e3
     );
-    println!("rendered on the handheld:");
-    for line in system.last_page_text().unwrap_or_default().lines().take(8) {
-        println!("  | {line}");
+    if let Some(outcome) = &report.outcome {
+        println!("rendered on the handheld ({} \"{}\"):", outcome.status, outcome.title);
+        for line in outcome.page_text.lines().take(8) {
+            println!("  | {line}");
+        }
     }
 
     // …and buy something.
@@ -61,8 +49,10 @@ fn main() {
         report.success,
         report.total * 1e3
     );
-    for line in system.last_page_text().unwrap_or_default().lines() {
-        println!("  | {line}");
+    if let Some(outcome) = &report.outcome {
+        for line in outcome.page_text.lines() {
+            println!("  | {line}");
+        }
     }
 
     // Where did the time go? The six components, itemised.
@@ -85,5 +75,23 @@ fn main() {
         report.air_bytes_down,
         report.energy_j * 1e3,
         system.station.battery.level() * 100.0
+    );
+
+    // The same description, scaled to a market: 200 independent users,
+    // sharded across the machine's cores, merged deterministically.
+    // (Only virtual-clock metrics are printed here so the output stays
+    // byte-identical run to run; wall-clock txns/s lives in the F3
+    // experiment, which measures host throughput on purpose.)
+    let market = fleet::run(&scenario.users(200).sessions_per_user(2));
+    let w = &market.summary.workload;
+    println!(
+        "\nfleet of {} users on {} thread(s): {} transactions, {:.0}% ok,\n\
+         mean latency {:.0} ms, {} B over the air",
+        market.summary.users,
+        market.threads,
+        market.summary.transactions(),
+        w.success_rate() * 100.0,
+        w.latency_mean * 1e3,
+        w.counters.air_bytes
     );
 }

@@ -9,30 +9,22 @@
 //! cargo run --example secure_checkout
 //! ```
 
-use mcommerce::core::apps::{Application, PaymentsApp};
-use mcommerce::core::{CommerceSystem, McSystem, WiredPath, WirelessConfig};
-use mcommerce::hostsite::db::Database;
-use mcommerce::hostsite::HostComputer;
-use mcommerce::middleware::{MobileRequest, WapGateway};
+use mcommerce::core::{Category, CommerceSystem, Scenario, WirelessConfig};
+use mcommerce::middleware::MobileRequest;
 use mcommerce::security::{Mac, PaymentGateway, PaymentRequest};
 use mcommerce::station::DeviceProfile;
 use mcommerce::wireless::CellularStandard;
 
 fn checkout(secure: bool) -> (f64, u64, f64) {
-    let app = PaymentsApp::new();
-    let mut host = HostComputer::new(Database::new(), 71);
-    app.install(&mut host);
-    let mut system = McSystem::new(
-        host,
-        Box::new(WapGateway::default()),
-        DeviceProfile::nokia_9290(),
-        WirelessConfig::Cellular {
+    let scenario = Scenario::new("secure checkout")
+        .app(Category::Commerce)
+        .device(DeviceProfile::nokia_9290())
+        .wireless(WirelessConfig::Cellular {
             standard: CellularStandard::Gprs,
-        },
-        WiredPath::wan(),
-        72,
-    );
-    system.set_secure(secure);
+        })
+        .secure(secure)
+        .seed(72);
+    let mut system = scenario.system();
     // Browse, then buy.
     let browse = system.execute(&MobileRequest::get("/shop"));
     let buy = system.execute(&MobileRequest::post(

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: what must stay green on every PR.
+#
+#   build (release)  — the crates compile with optimisations, as the
+#                      report binary and benches are actually run;
+#   test (root pkg)  — the `mcommerce` facade's unit + integration
+#                      tests, including the fleet determinism
+#                      properties in tests/fleet_props.rs;
+#   clippy (-D warnings, whole workspace) — lints are errors.
+#
+# Run from anywhere; the script cds to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+echo "tier1: OK"

@@ -4,10 +4,13 @@
 
 use mcommerce::core::apps::{all_apps, Application, PaymentsApp, TravelApp};
 use mcommerce::core::workload::{run_session, run_workload};
-use mcommerce::core::{CommerceSystem, EcSystem, McSystem, WiredPath, WirelessConfig};
+use mcommerce::core::{
+    fleet, Category, CommerceSystem, EcSystem, McSystem, MiddlewareKind, Scenario, WiredPath,
+    WirelessConfig,
+};
 use mcommerce::hostsite::db::Database;
 use mcommerce::hostsite::HostComputer;
-use mcommerce::middleware::{IModeService, Middleware, MobileRequest, WapGateway};
+use mcommerce::middleware::{IModeService, MobileRequest, WapGateway};
 use mcommerce::station::DeviceProfile;
 use mcommerce::wireless::{CellularStandard, WlanStandard};
 
@@ -57,28 +60,21 @@ fn full_matrix_of_middleware_devices_and_networks() {
     let mut combo = 0u64;
     for device in &devices {
         for network in &networks {
-            for mw in ["WAP", "i-mode"] {
+            for kind in [MiddlewareKind::Wap, MiddlewareKind::IMode] {
                 combo += 1;
-                let app = PaymentsApp::new();
-                let middleware: Box<dyn Middleware> = if mw == "WAP" {
-                    Box::new(WapGateway::default())
-                } else {
-                    Box::new(IModeService::new())
-                };
-                let mut system = McSystem::new(
-                    host_with(&[&app], combo),
-                    middleware,
-                    device.clone(),
-                    *network,
-                    WiredPath::wan(),
-                    1000 + combo,
-                );
-                let summary = run_workload(&mut system, &app, 2, 77);
+                let scenario = Scenario::new("matrix")
+                    .app(Category::Commerce)
+                    .middleware(kind)
+                    .device(device.clone())
+                    .wireless(*network)
+                    .sessions_per_user(2)
+                    .seed(1000 + combo);
+                let summary = fleet::run(&scenario).summary.workload;
                 assert_eq!(
                     summary.succeeded,
                     summary.attempted,
                     "{} × {} × {} failed",
-                    mw,
+                    kind,
                     device.name,
                     network.name()
                 );
@@ -143,15 +139,11 @@ fn ec_and_mc_run_the_identical_application_code() {
 
 #[test]
 fn secure_payment_rejects_replay_through_the_whole_stack() {
-    let app = PaymentsApp::new();
-    let mut system = McSystem::new(
-        host_with(&[&app], 11),
-        Box::new(WapGateway::default()),
-        DeviceProfile::ipaq_h3870(),
-        wifi(20.0),
-        WiredPath::wan(),
-        12,
-    );
+    let mut system = Scenario::new("replay")
+        .app(Category::Commerce)
+        .wireless(wifi(20.0))
+        .seed(12)
+        .system();
     let buy = |nonce: &str| {
         MobileRequest::post(
             "/shop/buy",
@@ -204,13 +196,17 @@ fn session_state_survives_across_the_wap_gateway() {
     for expected in 1..=4 {
         let report = system.execute(&MobileRequest::get("/counter"));
         assert!(report.success);
-        let page = system.last_page_text().unwrap();
+        let outcome = report.outcome.expect("successful render carries an outcome");
+        assert_eq!(outcome.title, "Counter");
         assert!(
-            page.split_whitespace()
+            outcome
+                .page_text
+                .split_whitespace()
                 .collect::<Vec<_>>()
                 .join(" ")
                 .contains(&format!("visit number {expected}")),
-            "visit {expected}: {page:?}"
+            "visit {expected}: {:?}",
+            outcome.page_text
         );
     }
 }
@@ -249,16 +245,14 @@ fn devices_rank_consistently_on_the_same_workload() {
         DeviceProfile::ipaq_h3870(),
         DeviceProfile::toshiba_e740(),
     ] {
-        let app = TravelApp;
-        let mut system = McSystem::new(
-            host_with(&[&app], 16),
-            Box::new(WapGateway::default()),
-            device,
-            wifi(15.0),
-            WiredPath::lan(),
-            17,
-        );
-        let summary = run_workload(&mut system, &app, 6, 18);
+        let scenario = Scenario::new("rank")
+            .app(Category::Travel)
+            .device(device)
+            .wireless(wifi(15.0))
+            .wired(WiredPath::lan())
+            .sessions_per_user(6)
+            .seed(18);
+        let summary = fleet::run(&scenario).summary.workload;
         assert_eq!(summary.succeeded, summary.attempted);
         latencies.push(summary.latency_mean);
     }

@@ -1,0 +1,59 @@
+//! Property tests for the fleet engine's determinism contract (DESIGN.md
+//! §2.10): for any scenario, the merged [`FleetSummary`] is bit-for-bit
+//! identical whether the users run on 1, 2, or 8 shards.
+//!
+//! This is the load-bearing invariant behind running experiments in
+//! parallel at all — if it held only for hand-picked configurations, no
+//! published number could be trusted across machines.
+
+use proptest::prelude::*;
+
+use mcommerce::core::{fleet, Category, MiddlewareKind, Scenario};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fleet_summary_is_shard_count_invariant(
+        users in 1..10u64,
+        sessions in 1..3u64,
+        category in (0..8usize).prop_map(|i| Category::ALL[i]),
+        middleware in (0..3usize).prop_map(|i| MiddlewareKind::ALL[i]),
+        secure in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let scenario = Scenario::new("prop")
+            .app(category)
+            .middleware(middleware)
+            .users(users)
+            .sessions_per_user(sessions)
+            .secure(secure)
+            .seed(seed);
+        let one = fleet::run_on(&scenario, 1).summary;
+        let two = fleet::run_on(&scenario, 2).summary;
+        let eight = fleet::run_on(&scenario, 8).summary;
+        prop_assert_eq!(&one, &two);
+        prop_assert_eq!(&one, &eight);
+        // Sanity: the fleet actually did work.
+        prop_assert!(one.transactions() >= users);
+    }
+
+    #[test]
+    fn single_user_fleet_matches_a_hand_built_system(
+        seed in any::<u64>(),
+        secure in any::<bool>(),
+    ) {
+        // The Scenario's one-user convenience `system()` and the fleet
+        // path must describe the same world: running user 0 by hand
+        // produces exactly the counters the 1-user fleet reports.
+        use mcommerce::core::WorkloadCounters;
+        let scenario = Scenario::new("solo").secure(secure).seed(seed);
+        let fleet_counters = fleet::run_on(&scenario, 1)
+            .summary
+            .workload
+            .counters;
+        let mut by_hand = WorkloadCounters::default();
+        scenario.run_user(0, &mut by_hand);
+        prop_assert_eq!(fleet_counters, by_hand);
+    }
+}

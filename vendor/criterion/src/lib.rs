@@ -1,0 +1,179 @@
+#![warn(missing_docs)]
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of `criterion` its benches use: `Criterion`,
+//! `bench_function`, `benchmark_group` with `sample_size`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! best-of-N wall-clock measurement via `std::time::Instant` — enough
+//! to print comparable numbers, with none of the statistical machinery.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Passed to the closure given to `bench_function`; drives iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    best: Duration,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            best: Duration::MAX,
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Runs `routine` repeatedly and records the best per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate so each sample lasts at least ~1ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed < self.best {
+                self.best = elapsed;
+            }
+        }
+    }
+
+    fn per_iter(&self) -> Duration {
+        self.best / self.iters_per_sample.max(1) as u32
+    }
+}
+
+fn print_result(name: &str, bencher: &Bencher) {
+    println!("bench: {name:<50} {:>12.3?}/iter", bencher.per_iter());
+}
+
+/// The benchmark driver handed to each `criterion_group!` function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `routine` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        print_result(name, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `routine` under `name` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        print_result(&format!("{}/{}", self.name, name.as_ref()), &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (for `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| b.iter(|| black_box(1u64) + 1));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(2);
+        group.bench_function("string_name".to_string(), |b| b.iter(|| 2u64 * 2));
+        group.finish();
+    }
+
+    criterion_group!(smoke, trivial);
+
+    #[test]
+    fn group_runner_runs() {
+        smoke();
+    }
+}

@@ -1,0 +1,331 @@
+#![warn(missing_docs)]
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of `proptest` its test-suites use: the [`proptest!`]
+//! macro (with `proptest_config` and `pat in strategy` bindings),
+//! [`Strategy`] with `prop_map`, [`Just`], [`any`], range and
+//! regex-literal strategies, tuples, [`collection::vec`], `prop_oneof!`,
+//! and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** On failure the generated input is printed verbatim
+//!   (it is usually small here; every strategy in this workspace bounds
+//!   its sizes).
+//! * **Deterministic seeding.** Each test function derives its RNG from
+//!   its own name, so a failure reproduces on every run and across
+//!   machines. `PROPTEST_CASES` is honoured to scale case counts.
+//! * **Regex strategies** support the subset the suites use: literals,
+//!   character classes with ranges, groups with alternation, and the
+//!   `?`, `*`, `+`, `{n}`, `{m,n}` quantifiers.
+//! * `*.proptest-regressions` files are ignored.
+
+use std::fmt;
+
+pub mod strategy;
+
+pub use strategy::{any, Any, BoxedStrategy, Just, Map, Strategy, Union, VecStrategy};
+
+/// Common imports for property tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// The RNG handed to strategies while generating one test case.
+#[derive(Debug, Clone)]
+pub struct TestRng(pub rand::rngs::StdRng);
+
+impl TestRng {
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngExt::next_u64(&mut self.0)
+    }
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property within a test case (produced by `prop_assert!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Drives the cases of one property-test function.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: TestRng,
+    cases: u32,
+}
+
+impl TestRunner {
+    /// A runner for the test named `name` (the seed derives from the
+    /// name, so each test has an independent, reproducible stream).
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+        TestRunner {
+            rng: TestRng(rand::SeedableRng::seed_from_u64(fnv1a(name.as_bytes()))),
+            cases,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The case RNG.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// Prints the failing case's input when the test body panics (the
+/// poor-man's replacement for shrink reporting).
+#[derive(Debug)]
+pub struct FailureReporter<'a> {
+    test: &'a str,
+    case: u32,
+    input: &'a str,
+}
+
+impl<'a> FailureReporter<'a> {
+    /// Arms the reporter for one case.
+    pub fn new(test: &'a str, case: u32, input: &'a str) -> Self {
+        FailureReporter { test, case, input }
+    }
+}
+
+impl Drop for FailureReporter<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed at case {} with input: {}",
+                self.test, self.case, self.input
+            );
+        }
+    }
+}
+
+/// Defines property-test functions: `proptest! { #[test] fn f(x in s) { … } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unreachable_code)]
+            fn $name() {
+                let mut __runner = $crate::TestRunner::new($cfg, stringify!($name));
+                let __strategy = ($($strat,)+);
+                for __case in 0..__runner.cases() {
+                    let __value = $crate::Strategy::generate(&__strategy, __runner.rng());
+                    let __input = format!("{:?}", __value);
+                    let __guard =
+                        $crate::FailureReporter::new(stringify!($name), __case, &__input);
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            let ($($pat,)+) = __value;
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    ::std::mem::drop(__guard);
+                    if let Err(e) = __outcome {
+                        panic!(
+                            "proptest: {} failed at case {}: {}\n    input: {}",
+                            stringify!($name), __case, e, __input
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{ @with_config ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Picks uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            a in 3u64..17,
+            (lo, hi) in (0i64..50, 50i64..100),
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(lo < hi, "{lo} vs {hi}");
+        }
+
+        #[test]
+        fn early_return_ok_is_supported(n in 0u32..10) {
+            if n > 100 { return Ok(()); }
+            prop_assert!(n < 10);
+        }
+
+        #[test]
+        fn regex_strings_match_their_shape(s in "[a-z]{2,5}", t in "x[0-9]?(ab|cd)") {
+            prop_assert!((2..=5).contains(&s.len()), "{s:?}");
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.starts_with('x'));
+            prop_assert!(t.ends_with("ab") || t.ends_with("cd"), "{t:?}");
+        }
+
+        #[test]
+        fn oneof_just_and_vec_compose(
+            v in crate::collection::vec(prop_oneof![Just(1u8), Just(9u8)], 1..6),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 9));
+        }
+
+        #[test]
+        fn prop_map_applies(n in (0u32..10).prop_map(|n| n * 2)) {
+            prop_assert!(n % 2 == 0 && n < 20);
+        }
+    }
+
+    #[test]
+    fn same_test_name_reproduces_the_same_stream() {
+        let mut a = crate::TestRunner::new(crate::ProptestConfig::default(), "t");
+        let mut b = crate::TestRunner::new(crate::ProptestConfig::default(), "t");
+        for _ in 0..16 {
+            assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_instead_of_passing() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[test]
+                fn always_fails(n in 0u8..4) {
+                    prop_assert!(n > 100, "n was {n}");
+                }
+            }
+            always_fails();
+        });
+        assert!(result.is_err(), "failing property must panic");
+    }
+}

@@ -1,0 +1,500 @@
+//! Strategies: composable generators of test-case values.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::TestRng;
+use rand::RngExt;
+
+/// A generator of values for one test-case binding.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy simply produces a value from the case RNG.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.0.random_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy producing uniformly distributed values of `T`.
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: rand::FromRandom + fmt::Debug> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.0.random()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.random_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// A size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// The strategy returned by [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: SizeRange) -> Self {
+        assert!(size.lo < size.hi, "empty size range for vec strategy");
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.0.random_range(self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-literal strategies
+// ---------------------------------------------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = Pattern::parse(self);
+        let mut out = String::new();
+        pattern.generate(rng, &mut out);
+        out
+    }
+}
+
+/// Parsed form of the regex subset: a sequence of repeated atoms.
+#[derive(Debug, Clone)]
+struct Pattern {
+    atoms: Vec<Repeated>,
+}
+
+#[derive(Debug, Clone)]
+struct Repeated {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single chars are degenerate ranges.
+    Class(Vec<(char, char)>),
+    /// Alternatives, each a full sub-pattern.
+    Group(Vec<Pattern>),
+}
+
+/// Repetition cap for the unbounded `*` and `+` quantifiers.
+const UNBOUNDED_MAX: usize = 8;
+
+impl Pattern {
+    fn parse(text: &str) -> Pattern {
+        let mut chars = text.chars().peekable();
+        let pattern = Self::parse_alternatives(&mut chars, text);
+        assert!(
+            chars.next().is_none(),
+            "unbalanced ')' in regex strategy {text:?}"
+        );
+        match pattern.len() {
+            1 => pattern.into_iter().next().unwrap(),
+            _ => Pattern {
+                atoms: vec![Repeated {
+                    atom: Atom::Group(pattern),
+                    min: 1,
+                    max: 1,
+                }],
+            },
+        }
+    }
+
+    /// Parses `a|b|c` up to an unconsumed `)` or end of input.
+    fn parse_alternatives(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        full: &str,
+    ) -> Vec<Pattern> {
+        let mut alternatives = vec![Pattern { atoms: Vec::new() }];
+        while let Some(&c) = chars.peek() {
+            match c {
+                ')' => break,
+                '|' => {
+                    chars.next();
+                    alternatives.push(Pattern { atoms: Vec::new() });
+                }
+                _ => {
+                    let atom = Self::parse_atom(chars, full);
+                    let (min, max) = Self::parse_quantifier(chars, full);
+                    alternatives
+                        .last_mut()
+                        .unwrap()
+                        .atoms
+                        .push(Repeated { atom, min, max });
+                }
+            }
+        }
+        alternatives
+    }
+
+    fn parse_atom(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, full: &str) -> Atom {
+        match chars.next().expect("atom") {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {full:?}"));
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let esc = chars.next().expect("escape");
+                            ranges.push((esc, esc));
+                        }
+                        _ => {
+                            // A range `a-z` unless the '-' is trailing.
+                            if chars.peek() == Some(&'-') {
+                                let mut ahead = chars.clone();
+                                ahead.next();
+                                match ahead.peek() {
+                                    Some(&']') | None => ranges.push((c, c)),
+                                    Some(&hi) => {
+                                        chars.next();
+                                        chars.next();
+                                        assert!(c <= hi, "bad range {c}-{hi} in {full:?}");
+                                        ranges.push((c, hi));
+                                    }
+                                }
+                            } else {
+                                ranges.push((c, c));
+                            }
+                        }
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in {full:?}");
+                Atom::Class(ranges)
+            }
+            '(' => {
+                let alternatives = Self::parse_alternatives(chars, full);
+                assert_eq!(
+                    chars.next(),
+                    Some(')'),
+                    "unterminated group in {full:?}"
+                );
+                Atom::Group(alternatives)
+            }
+            '\\' => {
+                let esc = chars.next().expect("escape");
+                match esc {
+                    'd' => Atom::Class(vec![('0', '9')]),
+                    'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    's' => Atom::Literal(' '),
+                    _ => Atom::Literal(esc),
+                }
+            }
+            '.' => Atom::Class(vec![(' ', '~')]),
+            c => Atom::Literal(c),
+        }
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        full: &str,
+    ) -> (usize, usize) {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_MAX)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => panic!("unterminated quantifier in {full:?}"),
+                    }
+                }
+                match spec.split_once(',') {
+                    None => {
+                        let n = spec.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("quantifier lower bound");
+                        let hi = if hi.trim().is_empty() {
+                            lo + UNBOUNDED_MAX
+                        } else {
+                            hi.trim().parse().expect("quantifier upper bound")
+                        };
+                        (lo, hi)
+                    }
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn generate(&self, rng: &mut TestRng, out: &mut String) {
+        for repeated in &self.atoms {
+            let count = rng.0.random_range(repeated.min..=repeated.max);
+            for _ in 0..count {
+                match &repeated.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.0.random_range(0..ranges.len())];
+                        out.push(
+                            char::from_u32(rng.0.random_range(lo as u32..=hi as u32))
+                                .expect("class range yields valid chars"),
+                        );
+                    }
+                    Atom::Group(alternatives) => {
+                        let idx = rng.0.random_range(0..alternatives.len());
+                        alternatives[idx].generate(rng, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProptestConfig, TestRunner};
+
+    fn rng() -> TestRng {
+        TestRunner::new(ProptestConfig::default(), "strategy-tests")
+            .rng()
+            .clone()
+    }
+
+    #[test]
+    fn workspace_patterns_parse_and_generate() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9]([a-zA-Z0-9 ,.!?-]{0,38}[a-zA-Z0-9,.!?-])?".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 41, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphanumeric());
+
+            let t = "[a-zA-Z0-9/?=&._ -]{0,60}".generate(&mut rng);
+            assert!(t.len() <= 60);
+
+            let u = "[a-z]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&u.len()));
+            assert!(u.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn alternation_and_quantifiers_generate() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = "(ab|cd)+x?".generate(&mut rng);
+            assert!(s.starts_with("ab") || s.starts_with("cd"), "{s:?}");
+            let stripped = s.strip_suffix('x').unwrap_or(&s);
+            assert_eq!(stripped.len() % 2, 0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_includes_dash() {
+        let mut rng = rng();
+        let seen_dash = (0..300).any(|_| "[a-]".generate(&mut rng) == "-");
+        assert!(seen_dash);
+    }
+
+    #[test]
+    fn union_covers_all_options() {
+        let mut rng = rng();
+        let strat = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u32..5, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

@@ -1,0 +1,256 @@
+#![warn(missing_docs)]
+//! Offline drop-in subset of the `rand` crate API.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the workspace vendors the small slice of `rand` it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`RngExt`]
+//! sampling methods (`random`, `random_range`, `random_bool`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! high-quality, and fully deterministic across platforms. Statistical
+//! quality matters here only insofar as simulations need uncorrelated
+//! streams; cryptographic strength is explicitly a non-goal.
+
+/// Pseudo-random number generators.
+pub mod rngs {
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    ///
+    /// Same name and role as `rand::rngs::StdRng`: a seedable,
+    /// reproducible PRNG. Streams are stable across platforms and
+    /// releases of this vendored crate.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it to the full
+    /// internal state deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        // xoshiro state must not be all-zero; SplitMix64 guarantees a
+        // well-mixed non-degenerate state for every seed.
+        rngs::StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// Types that can be produced uniformly from a generator.
+pub trait FromRandom {
+    /// Draws one uniformly distributed value.
+    fn from_rng(rng: &mut rngs::StdRng) -> Self;
+}
+
+macro_rules! from_random_int {
+    ($($t:ty),*) => {$(
+        impl FromRandom for $t {
+            fn from_rng(rng: &mut rngs::StdRng) -> Self {
+                rng.next_u64_impl() as $t
+            }
+        }
+    )*};
+}
+from_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRandom for u128 {
+    fn from_rng(rng: &mut rngs::StdRng) -> Self {
+        ((rng.next_u64_impl() as u128) << 64) | rng.next_u64_impl() as u128
+    }
+}
+
+impl FromRandom for bool {
+    fn from_rng(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64_impl() & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    fn from_rng(rng: &mut rngs::StdRng) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    fn from_rng(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64_impl() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges a generator can sample uniformly.
+///
+/// Generic over the element type (like real `rand`'s `SampleRange<T>`)
+/// so an unsuffixed literal range such as `0..4` lets inference pick the
+/// element type from the use site, e.g. indexing with the result.
+pub trait SampleRange<T> {
+    /// Draws one value from the range. Panics on an empty range.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = u128::from_rng(rng) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = u128::from_rng(rng) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::from_rng(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample(self, rng: &mut rngs::StdRng) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f32::from_rng(rng) * (self.end - self.start)
+    }
+}
+
+/// Sampling methods on a generator — the subset of `rand::Rng` this
+/// workspace uses, under the `RngExt` name it imports.
+pub trait RngExt {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T`.
+    fn random<T: FromRandom>(&mut self) -> T;
+
+    /// A uniform draw from `range` (half-open or inclusive; integer or
+    /// float element types).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// `true` with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl RngExt for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+
+    fn random<T: FromRandom>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::from_rng(self) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.random_range(10..20i64);
+            assert!((10..20).contains(&v));
+            let u = rng.random_range(0..5usize);
+            assert!(u < 5);
+            let f = rng.random_range(0.0..2.5f64);
+            assert!((0.0..2.5).contains(&f));
+            let inc = rng.random_range(0u8..=32);
+            assert!(inc <= 32);
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_in_unit_interval_and_vary() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let draws: Vec<f64> = (0..100).map(|_| rng.random()).collect();
+        assert!(draws.iter().all(|v| (0.0..1.0).contains(v)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((0.3..0.7).contains(&mean), "mean {mean} looks degenerate");
+    }
+
+    #[test]
+    fn random_bool_respects_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..1000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((150..350).contains(&heads), "heads {heads}");
+    }
+}
