@@ -1,0 +1,25 @@
+//! Criterion group `engine_throughput`: the scheduler microbenchmark
+//! behind F4, timing the production timer-wheel engine against the
+//! reference `BinaryHeap` engine on the identical timer storm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::engine;
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    for (timers, hops) in [(1_024u64, 16u64), (8_192, 16)] {
+        group.bench_function(format!("wheel_{timers}timers_{hops}hops"), |b| {
+            b.iter(|| black_box(engine::wheel_throughput(black_box(timers), black_box(hops))))
+        });
+        group.bench_function(format!("heap_{timers}timers_{hops}hops"), |b| {
+            b.iter(|| black_box(engine::heap_throughput(black_box(timers), black_box(hops))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(engine_throughput, bench_engine_throughput);
+criterion_main!(engine_throughput);

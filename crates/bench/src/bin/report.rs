@@ -2,10 +2,14 @@
 //! and prints them in paper order.
 //!
 //! ```text
-//! cargo run -p bench --bin report [--quick]
+//! cargo run -p bench --bin report [--quick] [--f4]
 //! ```
+//!
+//! `--quick` shrinks every workload for smoke runs; `--f4` runs only the
+//! F4 event-engine experiment (and still writes `BENCH_engine.json`).
 
 use bench::ablations;
+use bench::engine;
 use bench::experiments;
 use bench::tcpx;
 
@@ -15,8 +19,23 @@ fn heading(title: &str) {
     println!("{}", "=".repeat(78));
 }
 
+/// Runs F4 and writes the `BENCH_engine.json` artefact next to the
+/// working directory.
+fn f4(quick: bool) {
+    heading("F4 — event engine: timer-wheel scheduler vs BinaryHeap reference");
+    let numbers = engine::run(quick);
+    println!("{numbers}");
+    let path = "BENCH_engine.json";
+    std::fs::write(path, numbers.to_json()).expect("write BENCH_engine.json");
+    println!("\n-> wrote {path}");
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--f4") {
+        f4(quick);
+        return;
+    }
     let (txns, sessions, t4_bytes, x1_bytes) = if quick {
         (40, 4, 50_000, 150_000)
     } else {
@@ -89,6 +108,8 @@ fn main() {
         "\n-> the merged FleetSummary is asserted identical at every thread\n\
          count; txns/s varies only with the machine's real parallelism."
     );
+
+    f4(quick);
 
     heading("X1 — §5.2: TCP variants over an error-prone wireless hop");
     for row in tcpx::full_sweep(x1_bytes) {

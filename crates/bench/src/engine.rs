@@ -1,0 +1,320 @@
+//! F4 — event-engine throughput: timer wheel vs. the reference heap.
+//!
+//! The hot path of every experiment in this crate is the simulator's
+//! scheduler. This module measures it directly: a storm of concurrent
+//! self-rescheduling timers (the access pattern TCP retransmission
+//! timers, link transits, and think-time delays produce) is run through
+//! the production timer-wheel engine ([`simnet::Simulator`]) and through
+//! the reference `BinaryHeap` engine kept for comparison
+//! ([`simnet::BaselineSimulator`]). Both execute the *identical* virtual
+//! workload — same delays, same closure work, same final accumulator —
+//! so the wall-clock ratio isolates the scheduler itself.
+//!
+//! [`run`] packages the microbenchmark together with a wall-clock timing
+//! of a full fleet run and renders everything as the `BENCH_engine.json`
+//! artefact consumed by CI and the README.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::Instant;
+
+use mcommerce_core::{fleet, Category, Scenario};
+use simnet::{BaselineSimulator, SimDuration, Simulator};
+
+/// One timed engine run of the timer-storm microbenchmark.
+#[derive(Debug, Clone)]
+pub struct ThroughputSample {
+    /// Engine name (`"wheel"` or `"heap"`).
+    pub engine: &'static str,
+    /// Events executed.
+    pub events: u64,
+    /// Wall-clock seconds for schedule + run.
+    pub wall_secs: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Workload checksum (must match across engines).
+    pub checksum: u64,
+}
+
+/// Wall-clock timing of a full end-to-end fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetTiming {
+    /// Simulated users.
+    pub users: u64,
+    /// OS threads the fleet was sharded across.
+    pub threads: usize,
+    /// Transactions executed.
+    pub transactions: u64,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Transactions per wall-clock second.
+    pub tps: f64,
+}
+
+/// The complete F4 result set.
+#[derive(Debug, Clone)]
+pub struct EngineNumbers {
+    /// Concurrent timers in the storm.
+    pub timers: u64,
+    /// Re-schedules per timer.
+    pub hops: u64,
+    /// Production timer-wheel engine.
+    pub wheel: ThroughputSample,
+    /// Reference `BinaryHeap` engine.
+    pub heap: ThroughputSample,
+    /// `wheel.events_per_sec / heap.events_per_sec`.
+    pub speedup: f64,
+    /// End-to-end fleet wall time on the production engine.
+    pub fleet: FleetTiming,
+}
+
+impl fmt::Display for EngineNumbers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "timer storm: {} timers × {} hops = {} events",
+            self.timers, self.hops, self.wheel.events
+        )?;
+        for s in [&self.wheel, &self.heap] {
+            writeln!(
+                f,
+                "  {:<5} engine: {:>8.3} s = {:>12.0} events/s",
+                s.engine, s.wall_secs, s.events_per_sec
+            )?;
+        }
+        writeln!(f, "  speedup: {:.2}x (wheel vs heap)", self.speedup)?;
+        write!(
+            f,
+            "fleet: {} users × {} thread(s): {} txns in {:.3} s = {:.0} txns/s",
+            self.fleet.users,
+            self.fleet.threads,
+            self.fleet.transactions,
+            self.fleet.wall_secs,
+            self.fleet.tps
+        )
+    }
+}
+
+impl EngineNumbers {
+    /// Renders the result as the `BENCH_engine.json` document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"experiment\": \"F4_engine\",\n  \"timers\": {},\n  \"hops\": {},\n  \"events\": {},\n  \"wheel\": {{ \"wall_secs\": {:.6}, \"events_per_sec\": {:.1} }},\n  \"heap\": {{ \"wall_secs\": {:.6}, \"events_per_sec\": {:.1} }},\n  \"speedup\": {:.3},\n  \"fleet\": {{ \"users\": {}, \"threads\": {}, \"transactions\": {}, \"wall_secs\": {:.6}, \"tps\": {:.1} }}\n}}\n",
+            self.timers,
+            self.hops,
+            self.wheel.events,
+            self.wheel.wall_secs,
+            self.wheel.events_per_sec,
+            self.heap.wall_secs,
+            self.heap.events_per_sec,
+            self.speedup,
+            self.fleet.users,
+            self.fleet.threads,
+            self.fleet.transactions,
+            self.fleet.wall_secs,
+            self.fleet.tps
+        )
+    }
+}
+
+/// SplitMix64: the timer delays are a pure function of `(timer, hop)`,
+/// so both engines replay exactly the same schedule.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Delay for a given `(timer, hop)`, spread over every wheel level:
+/// sub-tick, level 0, level 1, and overflow delays in a 16:8:7:1 mix
+/// that mirrors a fleet's blend of link transits, think times, and RTOs.
+fn delay_ns(timer: u64, hop: u64) -> u64 {
+    let d = mix(timer.wrapping_mul(0x1_0000_0001).wrapping_add(hop));
+    match d % 32 {
+        0..=15 => d % 100_000,            // sub-tick / level 0
+        16..=23 => d % 30_000_000,        // level 0 span
+        24..=30 => d % 8_000_000_000,     // level 1 span
+        _ => 9_000_000_000 + d % 50_000_000_000, // overflow
+    }
+}
+
+thread_local! {
+    /// Workload checksum. Thread-local (rather than an `Rc<Cell>` captured
+    /// by every closure) so per-event bookkeeping common to both engines
+    /// stays off the scale: what's timed is the scheduler, and the
+    /// closures capture only two words.
+    static ACC: Cell<u64> = const { Cell::new(0) };
+}
+
+fn hop_wheel(sim: &mut Simulator, timer: u64, hop: u64) {
+    ACC.with(|acc| acc.set(acc.get().wrapping_add(timer ^ hop)));
+    if hop == 0 {
+        return;
+    }
+    sim.schedule_in(
+        SimDuration::from_nanos(delay_ns(timer, hop)),
+        move |s: &mut Simulator| hop_wheel(s, timer, hop - 1),
+    );
+}
+
+fn hop_heap(sim: &mut BaselineSimulator, timer: u64, hop: u64) {
+    ACC.with(|acc| acc.set(acc.get().wrapping_add(timer ^ hop)));
+    if hop == 0 {
+        return;
+    }
+    sim.schedule_in(
+        SimDuration::from_nanos(delay_ns(timer, hop)),
+        move |s: &mut BaselineSimulator| hop_heap(s, timer, hop - 1),
+    );
+}
+
+/// Times the timer storm on the production wheel engine.
+pub fn wheel_throughput(timers: u64, hops: u64) -> ThroughputSample {
+    ACC.with(|acc| acc.set(0));
+    let start = Instant::now();
+    let mut sim = Simulator::new();
+    for timer in 0..timers {
+        sim.schedule_in(
+            SimDuration::from_nanos(delay_ns(timer, hops)),
+            move |s: &mut Simulator| hop_wheel(s, timer, hops - 1),
+        );
+    }
+    sim.run();
+    let wall_secs = start.elapsed().as_secs_f64();
+    let events = sim.events_processed();
+    assert_eq!(events, timers * hops);
+    ThroughputSample {
+        engine: "wheel",
+        events,
+        wall_secs,
+        events_per_sec: events as f64 / wall_secs,
+        checksum: ACC.with(|acc| acc.get()),
+    }
+}
+
+/// Times the identical storm on the reference `BinaryHeap` engine.
+pub fn heap_throughput(timers: u64, hops: u64) -> ThroughputSample {
+    ACC.with(|acc| acc.set(0));
+    let start = Instant::now();
+    let mut sim = BaselineSimulator::new();
+    for timer in 0..timers {
+        sim.schedule_in(
+            SimDuration::from_nanos(delay_ns(timer, hops)),
+            move |s: &mut BaselineSimulator| hop_heap(s, timer, hops - 1),
+        );
+    }
+    sim.run();
+    let wall_secs = start.elapsed().as_secs_f64();
+    let events = sim.events_processed();
+    assert_eq!(events, timers * hops);
+    ThroughputSample {
+        engine: "heap",
+        events,
+        wall_secs,
+        events_per_sec: events as f64 / wall_secs,
+        checksum: ACC.with(|acc| acc.get()),
+    }
+}
+
+/// Runs the full F4 experiment.
+///
+/// `quick` shrinks the storm and the fleet for CI smoke runs; the real
+/// report uses 128 Ki concurrent timers and the 10 000-user fleet. The
+/// best of three back-to-back runs is kept per engine to shed scheduler
+/// noise.
+pub fn run(quick: bool) -> EngineNumbers {
+    let (timers, hops, fleet_users) = if quick {
+        (32_768u64, 16u64, 500u64)
+    } else {
+        (131_072, 32, 10_000)
+    };
+
+    let best = |f: &dyn Fn() -> ThroughputSample| {
+        let mut best: Option<ThroughputSample> = None;
+        for _ in 0..3 {
+            let s = f();
+            if best.as_ref().is_none_or(|b| s.wall_secs < b.wall_secs) {
+                best = Some(s);
+            }
+        }
+        best.expect("three runs")
+    };
+    let wheel = best(&|| wheel_throughput(timers, hops));
+    let heap = best(&|| heap_throughput(timers, hops));
+    assert_eq!(
+        wheel.checksum, heap.checksum,
+        "both engines must execute the identical virtual workload"
+    );
+    let speedup = wheel.events_per_sec / heap.events_per_sec;
+
+    let scenario = Scenario::new("F4")
+        .app(Category::Commerce)
+        .users(fleet_users)
+        .seed(97);
+    let report = fleet::run(&scenario);
+    let fleet = FleetTiming {
+        users: fleet_users,
+        threads: report.threads,
+        transactions: report.summary.transactions(),
+        wall_secs: report.wall_secs,
+        tps: report.throughput_tps(),
+    };
+
+    EngineNumbers {
+        timers,
+        hops,
+        wheel,
+        heap,
+        speedup,
+        fleet,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_engines_do_the_same_virtual_work() {
+        let wheel = wheel_throughput(64, 8);
+        let heap = heap_throughput(64, 8);
+        assert_eq!(wheel.events, 64 * 8);
+        assert_eq!(wheel.events, heap.events);
+        assert_eq!(wheel.checksum, heap.checksum);
+        assert!(wheel.events_per_sec > 0.0 && heap.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_round_trip_keys() {
+        let numbers = run(true);
+        let json = numbers.to_json();
+        for key in [
+            "\"experiment\"",
+            "\"wheel\"",
+            "\"heap\"",
+            "\"speedup\"",
+            "\"fleet\"",
+            "\"events_per_sec\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn delays_cover_every_wheel_level() {
+        let (mut sub, mut l0, mut l1, mut over) = (0u32, 0u32, 0u32, 0u32);
+        for timer in 0..512u64 {
+            for hop in 0..4 {
+                match delay_ns(timer, hop) {
+                    0..=131_071 => sub += 1,
+                    131_072..=33_554_431 => l0 += 1,
+                    33_554_432..=8_589_934_591 => l1 += 1,
+                    _ => over += 1,
+                }
+            }
+        }
+        assert!(sub > 0 && l0 > 0 && l1 > 0 && over > 0);
+    }
+}

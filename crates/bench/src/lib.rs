@@ -11,6 +11,7 @@
 //! | T4 | Table 4, WLAN standards | [`experiments::table4`] |
 //! | T5 | Table 5, cellular networks | [`experiments::table5`] |
 //! | F3 | fleet engine scale (users × threads) | [`experiments::fleet_scale`] |
+//! | F4 | event-engine throughput, wheel vs heap | [`engine::run`] |
 //! | X1 | §5.2, TCP variants on wireless | [`tcpx::tcp_variants`] |
 //! | X2 | §1.1, five system requirements | [`experiments::independence`] |
 //!
@@ -18,5 +19,6 @@
 //! benches under `benches/` time the same functions.
 
 pub mod ablations;
+pub mod engine;
 pub mod experiments;
 pub mod tcpx;

@@ -232,9 +232,10 @@ pub fn run_one(variant: Variant, config: &TcpxConfig) -> TcpxRow {
         Variant::Split => SocketAddr::new(BS, 80),
         _ => SocketAddr::new(MOBILE, 80),
     };
-    let payload = vec![0xA5u8; config.bytes];
+    // One allocation for the whole transfer; TCP slices it per segment.
+    let payload = Bytes::from(vec![0xA5u8; config.bytes]);
     let sender = tcp_fixed.connect(&mut sim, FIXED, target);
-    sender.send(&mut sim, &payload);
+    sender.send_bytes(&mut sim, payload);
 
     sim.run_until(SimTime::ZERO + config.time_limit);
 

@@ -60,9 +60,9 @@ impl PhaseBreakdown {
 /// What the user ended up seeing after a transaction: the rendered page
 /// and the host's verdict, as structured data.
 ///
-/// This replaces scraping `CommerceSystem::last_page_text` after the
-/// fact — the outcome now travels on the [`TransactionReport`] itself,
-/// so concurrent sessions cannot observe each other's pages.
+/// This replaced the removed `CommerceSystem::last_page_text` accessor —
+/// the outcome travels on the [`TransactionReport`] itself, so concurrent
+/// sessions cannot observe each other's pages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransactionOutcome {
     /// The rendered page body, lines joined with `\n`.

@@ -38,16 +38,6 @@ pub trait CommerceSystem {
     /// The host computer, for application installation.
     fn host_mut(&mut self) -> &mut HostComputer;
 
-    /// The text content of the most recently rendered page, if any.
-    ///
-    /// Deprecated: scraping the system after the fact is racy under the
-    /// fleet runner — read the structured
-    /// [`TransactionOutcome`] on the [`TransactionReport`] instead.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read TransactionReport::outcome instead; this accessor will be removed next release"
-    )]
-    fn last_page_text(&self) -> Option<String>;
 }
 
 /// Declarative selection of the middleware component — the WAP gateway
@@ -401,10 +391,6 @@ impl CommerceSystem for McSystem {
     fn host_mut(&mut self) -> &mut HostComputer {
         &mut self.host
     }
-
-    fn last_page_text(&self) -> Option<String> {
-        self.last_outcome.as_ref().map(|o| o.page_text.clone())
-    }
 }
 
 impl McSystem {
@@ -508,10 +494,6 @@ impl CommerceSystem for EcSystem {
 
     fn host_mut(&mut self) -> &mut HostComputer {
         &mut self.host
-    }
-
-    fn last_page_text(&self) -> Option<String> {
-        self.last_outcome.as_ref().map(|o| o.page_text.clone())
     }
 }
 

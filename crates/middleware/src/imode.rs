@@ -13,6 +13,7 @@
 //! session-setup round trip, ever). Those are exactly the knobs the
 //! Table 3 experiment turns.
 
+use bytes::Bytes;
 use hostsite::{ContentFormat, HostComputer};
 use markup::transcode::html_to_chtml;
 use markup::{chtml, html};
@@ -64,7 +65,7 @@ impl Middleware for IModeService {
 
         // Serve cHTML: pass through if already compact, filter if not.
         let (content, middleware_cpu) = if resp.format == ContentFormat::Chtml {
-            (resp.body.clone().into_bytes(), SimDuration::from_micros(20))
+            (Bytes::from(resp.body.clone()), SimDuration::from_micros(20))
         } else {
             match html::parse_html(&resp.body) {
                 Ok(doc) => {
@@ -75,14 +76,15 @@ impl Middleware for IModeService {
                         html_to_chtml(&doc)
                     };
                     (
-                        compact.to_markup().into_bytes(),
+                        Bytes::from(compact.to_markup()),
                         Self::filter_cost(resp.body.len()),
                     )
                 }
                 Err(_) => (
-                    html::page("Error", vec![html::p("content unavailable").into()])
-                        .to_markup()
-                        .into_bytes(),
+                    Bytes::from(
+                        html::page("Error", vec![html::p("content unavailable").into()])
+                            .to_markup(),
+                    ),
                     Self::filter_cost(resp.body.len()),
                 ),
             }

@@ -26,6 +26,7 @@
 pub mod imode;
 pub mod wap;
 
+use bytes::Bytes;
 use simnet::SimDuration;
 
 pub use imode::IModeService;
@@ -114,7 +115,11 @@ pub struct Exchange {
     /// Response status from the host.
     pub status: Status,
     /// The payload shipped over the air to the station.
-    pub content: Vec<u8>,
+    ///
+    /// A refcounted [`Bytes`] chunk: the gateway encodes the page once and
+    /// every later stage (air-link framing, browser render, caches) shares
+    /// the same allocation instead of deep-cloning the body.
+    pub content: Bytes,
     /// Payload format.
     pub format: AirFormat,
     /// Bytes sent over the air station → middleware (request).

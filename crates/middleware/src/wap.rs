@@ -14,6 +14,7 @@
 //! and a session-setup round trip on first contact — WAP's side of the
 //! Table 3 trade-off.
 
+use bytes::Bytes;
 use hostsite::{ContentFormat, HostComputer};
 use markup::transcode::{html_to_wml, WmlOptions};
 use markup::{html, wbxml};
@@ -122,9 +123,9 @@ impl Middleware for WapGateway {
             }
         };
         let (content, format) = if self.binary_encoding {
-            (wbxml::encode(&deck), AirFormat::WmlBinary)
+            (Bytes::from(wbxml::encode(&deck)), AirFormat::WmlBinary)
         } else {
-            (deck.to_markup().into_bytes(), AirFormat::WmlText)
+            (Bytes::from(deck.to_markup()), AirFormat::WmlText)
         };
         let downlink_bytes = WSP_RESPONSE_OVERHEAD + content.len();
 

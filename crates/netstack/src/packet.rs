@@ -9,6 +9,7 @@ use std::any::Any;
 use std::fmt;
 use std::rc::Rc;
 
+use bytes::Bytes;
 use simnet::link::Wire;
 
 use crate::addr::Ip;
@@ -75,6 +76,25 @@ impl Payload {
             data: Rc::new(()),
             size: 0,
         }
+    }
+
+    /// Wraps a refcounted byte chunk, charging its length on the wire.
+    ///
+    /// The chunk is shared, not copied: forwarding, tunnelling, and
+    /// snooping a packet all clone two reference counts (the payload `Rc`
+    /// and the `Bytes` inside) rather than the body.
+    pub fn bytes(data: Bytes) -> Self {
+        let size = data.len();
+        Payload {
+            data: Rc::new(data),
+            size,
+        }
+    }
+
+    /// Views the payload as a raw byte chunk, when it was built with
+    /// [`Payload::bytes`].
+    pub fn as_bytes(&self) -> Option<&Bytes> {
+        self.downcast_ref::<Bytes>()
     }
 
     /// Declared wire size in bytes.
@@ -164,6 +184,18 @@ mod tests {
         assert_eq!(p.wire_size(), 120);
         let empty = IpPacket::new(ip(1), ip(2), Protocol::MipControl, Payload::empty());
         assert_eq!(empty.wire_size(), 20);
+    }
+
+    #[test]
+    fn bytes_payload_shares_the_chunk() {
+        let body = Bytes::from(vec![9u8; 64]);
+        let p = Payload::bytes(body.clone());
+        assert_eq!(p.size(), 64);
+        assert_eq!(p.as_bytes().unwrap(), &body);
+        // Cloning the payload shares both the Rc and the chunk.
+        let q = p.clone();
+        assert_eq!(q.as_bytes().unwrap().as_ref(), body.as_ref());
+        assert!(Payload::empty().as_bytes().is_none());
     }
 
     #[test]

@@ -33,13 +33,18 @@
 //! assert_eq!(sim.events_processed(), 1);
 //! ```
 
+pub mod baseline;
+mod event;
 pub mod link;
 pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod trace;
+mod wheel;
 
+pub use baseline::BaselineSimulator;
+pub use event::EventKey;
 pub use link::{Link, LinkParams, LossModel, Wire};
 pub use sim::Simulator;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,205 @@
+//! Hierarchical timer wheel with exact `(time, seq)` ordering.
+//!
+//! The scheduler's priority queue is dominated by short timers — link
+//! serialisation/propagation events in the microsecond–millisecond range and
+//! TCP retransmission timers in the 200 ms–seconds range. A binary heap pays
+//! `O(log n)` cache-missy sifts per operation; a timer wheel files each
+//! entry into a bucket in `O(1)` and only pays ordering cost for entries
+//! that share the current tick window.
+//!
+//! Layout (tick = 2^17 ns ≈ 131 µs):
+//!
+//! * **level 0** — 256 one-tick buckets covering ≈ 33.5 ms ahead,
+//! * **level 1** — 256 buckets of 256 ticks each, covering ≈ 8.59 s ahead,
+//! * **overflow** — a compact binary heap for anything further out
+//!   (e.g. backed-off TCP RTOs, think times).
+//!
+//! A small *ready heap* ordered by `(time, seq)` holds entries whose tick
+//! has been reached. Because every wheel/overflow entry is strictly later
+//! than `cursor` and every ready entry is at or before it, the ready heap's
+//! minimum is always the global minimum — `peek` is exact and cheap, and the
+//! engine's deterministic tie-break (insertion `seq` within the same
+//! nanosecond) is preserved bit-for-bit.
+//!
+//! Cascading: when the cursor crosses a 256-tick block boundary the matching
+//! level-1 bucket is re-filed into level 0, and overflow entries within the
+//! level-1 span are pulled in. Re-filing always goes through the same
+//! `file` routine as fresh inserts, so an entry can never fire out of order
+//! no matter which path it took.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// log2 of the tick size in nanoseconds (2^17 ns ≈ 131 µs).
+const SHIFT0: u32 = 17;
+/// log2 of the bucket count per level.
+const BITS: u32 = 8;
+/// Buckets per level.
+const SLOTS: usize = 1 << BITS;
+/// Bucket index mask.
+const MASK: u64 = (SLOTS - 1) as u64;
+/// Ticks covered by level 0 + level 1 together.
+const L1_SPAN_TICKS: u64 = 1 << (2 * BITS);
+
+#[inline]
+fn tick_of(at: SimTime) -> u64 {
+    at.as_nanos() >> SHIFT0
+}
+
+/// A compact queue entry: firing time, global insertion sequence, and the
+/// arena address of the closure. Ordering is `(at, seq)`; `seq` is unique so
+/// the derived lexicographic order never reaches the address fields.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) struct Entry {
+    pub at: SimTime,
+    pub seq: u64,
+    pub slot: u32,
+    pub gen: u32,
+}
+
+/// Two-level timer wheel + overflow heap + ready heap.
+pub(crate) struct TimerWheel {
+    /// Entries whose tick has been reached, ordered by `(at, seq)`.
+    ready: BinaryHeap<Reverse<Entry>>,
+    level0: Vec<Vec<Entry>>,
+    level1: Vec<Vec<Entry>>,
+    count0: usize,
+    count1: usize,
+    /// Current tick: every entry in the wheels/overflow has tick > cursor,
+    /// every entry in `ready` has tick <= cursor.
+    cursor: u64,
+    overflow: BinaryHeap<Reverse<Entry>>,
+    /// Total entries across ready + wheels + overflow.
+    len: usize,
+    /// Recycled drain buffer so cascades don't allocate.
+    scratch: Vec<Entry>,
+}
+
+impl TimerWheel {
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            ready: BinaryHeap::new(),
+            level0: (0..SLOTS).map(|_| Vec::new()).collect(),
+            level1: (0..SLOTS).map(|_| Vec::new()).collect(),
+            count0: 0,
+            count1: 0,
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, e: Entry) {
+        self.len += 1;
+        self.file(e);
+    }
+
+    /// Earliest entry by `(at, seq)` without removing it.
+    pub(crate) fn peek(&mut self) -> Option<Entry> {
+        self.prime();
+        self.ready.peek().map(|r| r.0)
+    }
+
+    /// Removes and returns the earliest entry by `(at, seq)`.
+    pub(crate) fn pop(&mut self) -> Option<Entry> {
+        self.prime();
+        let e = self.ready.pop()?.0;
+        self.len -= 1;
+        Some(e)
+    }
+
+    /// Files an entry relative to the current cursor. Used for fresh pushes,
+    /// cascades, and overflow drains alike, so ordering invariants hold on
+    /// every path.
+    fn file(&mut self, e: Entry) {
+        let t = tick_of(e.at);
+        if t <= self.cursor {
+            self.ready.push(Reverse(e));
+        } else {
+            let delta = t - self.cursor;
+            if delta < SLOTS as u64 {
+                self.level0[(t & MASK) as usize].push(e);
+                self.count0 += 1;
+            } else if delta < L1_SPAN_TICKS {
+                self.level1[((t >> BITS) & MASK) as usize].push(e);
+                self.count1 += 1;
+            } else {
+                self.overflow.push(Reverse(e));
+            }
+        }
+    }
+
+    /// Advances the cursor until the ready heap is non-empty (or the wheel
+    /// is empty). All bucket drains re-file through [`TimerWheel::file`].
+    fn prime(&mut self) {
+        while self.ready.is_empty() {
+            if self.len == 0 {
+                return;
+            }
+            if self.count0 == 0 && self.count1 == 0 {
+                // Only far-future entries remain: jump the cursor straight
+                // to the earliest overflow tick and pull its span in.
+                let t = tick_of(self.overflow.peek().expect("len > 0").0.at);
+                if t > self.cursor {
+                    self.cursor = t;
+                }
+                self.drain_overflow();
+                continue;
+            }
+            if self.count0 == 0 {
+                // Nothing before the next block boundary; skip to it.
+                self.cursor |= MASK;
+            }
+            self.cursor += 1;
+            if self.cursor & MASK == 0 {
+                self.cascade();
+                self.drain_overflow();
+            }
+            let b = (self.cursor & MASK) as usize;
+            if !self.level0[b].is_empty() {
+                let mut scratch = std::mem::take(&mut self.scratch);
+                std::mem::swap(&mut scratch, &mut self.level0[b]);
+                self.count0 -= scratch.len();
+                for e in scratch.drain(..) {
+                    debug_assert_eq!(tick_of(e.at), self.cursor);
+                    self.ready.push(Reverse(e));
+                }
+                self.scratch = scratch;
+            }
+        }
+    }
+
+    /// Re-files the level-1 bucket for the block the cursor just entered.
+    fn cascade(&mut self) {
+        let b = ((self.cursor >> BITS) & MASK) as usize;
+        if self.level1[b].is_empty() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        std::mem::swap(&mut scratch, &mut self.level1[b]);
+        self.count1 -= scratch.len();
+        for e in scratch.drain(..) {
+            debug_assert!(tick_of(e.at) >= self.cursor);
+            self.file(e);
+        }
+        self.scratch = scratch;
+    }
+
+    /// Pulls overflow entries that now fall within the wheel span. Called at
+    /// every block crossing so an overflow entry is always re-filed before
+    /// the cursor can reach its tick — a later-scheduled wheel entry can
+    /// therefore never fire ahead of a nearer overflow entry.
+    fn drain_overflow(&mut self) {
+        let limit = self.cursor.saturating_add(L1_SPAN_TICKS);
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            if tick_of(e.at) >= limit {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked").0;
+            self.file(e);
+        }
+    }
+}

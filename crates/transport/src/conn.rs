@@ -11,7 +11,7 @@
 //! completed".
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -19,7 +19,7 @@ use bytes::Bytes;
 use netstack::{IpPacket, Node, Payload, Protocol};
 use simnet::stats::{Counter, Sampler, Throughput};
 use simnet::trace::Trace;
-use simnet::{SimDuration, Simulator};
+use simnet::{EventKey, SimDuration, Simulator};
 
 use crate::seg::{SocketAddr, TcpSegment, MSS};
 
@@ -68,11 +68,97 @@ pub struct ConnectionStats {
     pub goodput: Throughput,
 }
 
+/// The unacknowledged send stream as a queue of refcounted chunks.
+///
+/// Each [`Connection::send_bytes`] call appends its `Bytes` chunk as-is, so
+/// the page body a host queues is never copied into a linear buffer.
+/// Segmentation slices chunks zero-copy (an MSS window that straddles a
+/// chunk boundary is stitched with one small copy), and ACKs release whole
+/// chunks from the front — dropping a refcount instead of `memmove`-ing the
+/// remaining stream down, which on a multi-hundred-kilobyte transfer turns
+/// the old `O(bytes · acks)` prune into `O(chunks)`.
+struct SendBuf {
+    chunks: VecDeque<Bytes>,
+    /// Stream sequence number of the first byte of `chunks[0]`.
+    base: u64,
+    /// Total bytes across all chunks.
+    len: u64,
+}
+
+impl SendBuf {
+    fn new(base: u64) -> Self {
+        SendBuf {
+            chunks: VecDeque::new(),
+            base,
+            len: 0,
+        }
+    }
+
+    /// Stream sequence number one past the last queued byte.
+    fn end(&self) -> u64 {
+        self.base + self.len
+    }
+
+    fn push(&mut self, data: Bytes) {
+        if data.is_empty() {
+            return;
+        }
+        self.len += data.len() as u64;
+        self.chunks.push_back(data);
+    }
+
+    /// Bytes `[seq, seq + len)` as one `Bytes`; zero-copy when the range
+    /// lies within a single chunk.
+    fn slice(&self, seq: u64, len: usize) -> Bytes {
+        debug_assert!(seq >= self.base && seq + len as u64 <= self.end());
+        let mut off = seq - self.base;
+        let mut i = 0;
+        while self.chunks[i].len() as u64 <= off {
+            off -= self.chunks[i].len() as u64;
+            i += 1;
+        }
+        let off = off as usize;
+        if off + len <= self.chunks[i].len() {
+            return self.chunks[i].slice(off..off + len);
+        }
+        let mut out = Vec::with_capacity(len);
+        out.extend_from_slice(&self.chunks[i][off..]);
+        while out.len() < len {
+            i += 1;
+            let take = (len - out.len()).min(self.chunks[i].len());
+            out.extend_from_slice(&self.chunks[i][..take]);
+        }
+        Bytes::from(out)
+    }
+
+    /// Releases the acknowledged prefix up to (not including) `seq`.
+    fn release(&mut self, seq: u64) {
+        if seq <= self.base {
+            return;
+        }
+        while let Some(front) = self.chunks.front() {
+            let flen = front.len() as u64;
+            if self.base + flen > seq {
+                break;
+            }
+            self.base += flen;
+            self.len -= flen;
+            self.chunks.pop_front();
+        }
+        if seq > self.base {
+            let cut = (seq - self.base) as usize;
+            let front = self.chunks.front_mut().expect("seq < end implies a chunk");
+            *front = front.slice(cut..);
+            self.len -= cut as u64;
+            self.base = seq;
+        }
+    }
+}
+
 struct SendState {
     una: u64,
     nxt: u64,
-    buf: Vec<u8>,
-    buf_base: u64,
+    buf: SendBuf,
     cwnd: f64,
     ssthresh: f64,
     rwnd: u32,
@@ -116,7 +202,7 @@ pub struct Connection {
     on_data: RefCell<Option<DataCallback>>,
     on_established: RefCell<Vec<EventCallback>>,
     on_closed: RefCell<Vec<EventCallback>>,
-    timer_gen: Cell<u64>,
+    timer_key: Cell<Option<EventKey>>,
     /// Measurement counters.
     pub stats: ConnectionStats,
     trace: Trace,
@@ -151,8 +237,7 @@ impl Connection {
             snd: RefCell::new(SendState {
                 una: 1,
                 nxt: 1,
-                buf: Vec::new(),
-                buf_base: 1,
+                buf: SendBuf::new(1),
                 cwnd: INITIAL_CWND_SEGS * MSS as f64,
                 ssthresh: INITIAL_SSTHRESH,
                 rwnd: DEFAULT_RWND,
@@ -180,7 +265,7 @@ impl Connection {
             on_data: RefCell::new(None),
             on_established: RefCell::new(Vec::new()),
             on_closed: RefCell::new(Vec::new()),
-            timer_gen: Cell::new(0),
+            timer_key: Cell::new(None),
             stats: ConnectionStats::default(),
             trace,
         })
@@ -214,7 +299,7 @@ impl Connection {
     /// Bytes queued but not yet acknowledged.
     pub fn unacked(&self) -> u64 {
         let snd = self.snd.borrow();
-        (snd.buf_base + snd.buf.len() as u64).saturating_sub(snd.una)
+        snd.buf.end().saturating_sub(snd.una)
     }
 
     /// Installs the ordered-data callback.
@@ -254,16 +339,34 @@ impl Connection {
 
     /// Queues `data` on the send buffer and transmits as the window allows.
     ///
+    /// Copies `data` once into a shared chunk; callers that already hold a
+    /// [`Bytes`] should use [`Connection::send_bytes`], which is zero-copy.
+    ///
     /// # Panics
     ///
     /// Panics if called after [`Connection::close`].
     pub fn send(self: &Rc<Self>, sim: &mut Simulator, data: &[u8]) {
+        self.send_bytes(sim, Bytes::copy_from_slice(data));
+    }
+
+    /// Queues a refcounted chunk on the send buffer without copying it and
+    /// transmits as the window allows.
+    ///
+    /// The chunk is segmented by slicing (`Bytes::slice`), so a page body
+    /// produced once at the host is shared — not deep-cloned — all the way
+    /// down to the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Connection::close`].
+    pub fn send_bytes(self: &Rc<Self>, sim: &mut Simulator, data: Bytes) {
+        let queued = data.len() as u64;
         {
             let mut snd = self.snd.borrow_mut();
             assert!(!snd.fin_queued, "cannot send after close()");
-            snd.buf.extend_from_slice(data);
+            snd.buf.push(data);
         }
-        self.stats.bytes_queued.add(data.len() as u64);
+        self.stats.bytes_queued.add(queued);
         if self.state.get() == State::Established {
             self.try_send(sim);
         }
@@ -288,13 +391,12 @@ impl Connection {
                 if snd.nxt >= limit {
                     break;
                 }
-                let stream_end = snd.buf_base + snd.buf.len() as u64;
+                let stream_end = snd.buf.end();
                 if snd.nxt < stream_end {
                     let len = MSS
                         .min((stream_end - snd.nxt) as usize)
                         .min((limit - snd.nxt) as usize);
-                    let off = (snd.nxt - snd.buf_base) as usize;
-                    let data = Bytes::copy_from_slice(&snd.buf[off..off + len]);
+                    let data = snd.buf.slice(snd.nxt, len);
                     let mut seg = TcpSegment::new(self.local, self.remote);
                     seg.seq = snd.nxt;
                     seg.data = data;
@@ -347,13 +449,11 @@ impl Connection {
                 seg.ack = self.rcv.borrow().nxt;
                 seg.wnd = DEFAULT_RWND;
                 Some(seg)
-            } else if snd.una < snd.buf_base + snd.buf.len() as u64 {
-                let stream_end = snd.buf_base + snd.buf.len() as u64;
-                let len = MSS.min((stream_end - snd.una) as usize);
-                let off = (snd.una - snd.buf_base) as usize;
+            } else if snd.una < snd.buf.end() {
+                let len = MSS.min((snd.buf.end() - snd.una) as usize);
                 let mut seg = TcpSegment::new(self.local, self.remote);
                 seg.seq = snd.una;
-                seg.data = Bytes::copy_from_slice(&snd.buf[off..off + len]);
+                seg.data = snd.buf.slice(snd.una, len);
                 seg.ack_flag = true;
                 seg.ack = self.rcv.borrow().nxt;
                 seg.wnd = DEFAULT_RWND;
@@ -400,19 +500,20 @@ impl Connection {
     // ------------------------------------------------------------------
 
     fn arm_timer(self: &Rc<Self>, sim: &mut Simulator) {
-        let gen = self.timer_gen.get() + 1;
-        self.timer_gen.set(gen);
+        self.cancel_timer(sim);
         let rto = self.snd.borrow().rto;
         let conn = Rc::clone(self);
-        sim.schedule_in(SimDuration::from_secs_f64(rto), move |sim| {
-            if conn.timer_gen.get() == gen {
-                conn.on_rto(sim);
-            }
+        let key = sim.schedule_in_keyed(SimDuration::from_secs_f64(rto), move |sim| {
+            conn.timer_key.set(None);
+            conn.on_rto(sim);
         });
+        self.timer_key.set(Some(key));
     }
 
-    fn cancel_timer(&self) {
-        self.timer_gen.set(self.timer_gen.get() + 1);
+    fn cancel_timer(&self, sim: &mut Simulator) {
+        if let Some(key) = self.timer_key.take() {
+            sim.cancel(key);
+        }
     }
 
     fn on_rto(self: &Rc<Self>, sim: &mut Simulator) {
@@ -473,7 +574,7 @@ impl Connection {
                         let mut snd = self.snd.borrow_mut();
                         snd.rwnd = seg.wnd.max(MSS as u32);
                     }
-                    self.cancel_timer();
+                    self.cancel_timer(sim);
                     self.become_established(sim);
                     self.send_pure_ack(sim);
                     self.try_send(sim);
@@ -481,7 +582,7 @@ impl Connection {
             }
             State::SynRcvd => {
                 if seg.ack_flag && seg.ack == 1 && !seg.syn {
-                    self.cancel_timer();
+                    self.cancel_timer(sim);
                     self.become_established(sim);
                     // The ACK may carry data already.
                     if !seg.data.is_empty() || seg.fin {
@@ -582,13 +683,9 @@ impl Connection {
                     }
                 }
 
-                // Prune acked prefix of the buffer.
-                let acked_in_buf = snd.una.min(snd.buf_base + snd.buf.len() as u64);
-                if acked_in_buf > snd.buf_base {
-                    let n = (acked_in_buf - snd.buf_base) as usize;
-                    snd.buf.drain(..n);
-                    snd.buf_base = acked_in_buf;
-                }
+                // Release acked chunks from the front of the buffer.
+                let acked_in_buf = snd.una.min(snd.buf.end());
+                snd.buf.release(acked_in_buf);
             } else if seg.is_pure_ack() && seg.ack == snd.una && snd.nxt > snd.una {
                 snd.dupacks += 1;
                 if snd.in_recovery {
@@ -641,7 +738,7 @@ impl Connection {
             (snd.una >= snd.nxt, snd.una < snd.nxt)
         };
         if all_acked {
-            self.cancel_timer();
+            self.cancel_timer(sim);
         } else if outstanding && matches!(action, AckAction::None) && seg.ack > 0 {
             // Restart timer on forward progress.
             let progressed = { self.snd.borrow().una == seg.ack };
@@ -711,7 +808,7 @@ impl Connection {
         let theirs_done = self.rcv.borrow().peer_fin_done;
         if ours_done && theirs_done && self.state.get() != State::Done {
             self.state.set(State::Done);
-            self.cancel_timer();
+            self.cancel_timer(sim);
             self.trace
                 .log(sim.now(), "tcp", format!("{} closed", self.local));
             let listeners: Vec<_> = self.on_closed.borrow().clone();

@@ -102,7 +102,9 @@ impl SplitProxy {
                     Direction::Up => proxy.bytes_upstream.add(data.len() as u64),
                 }
                 if to.state() == crate::conn::State::Established {
-                    to.send(sim, &data);
+                    // Relay the refcounted chunk as-is: the proxy never
+                    // deep-copies the byte stream it splices.
+                    to.send_bytes(sim, data);
                 } else {
                     pending.borrow_mut().push(data);
                 }
@@ -113,7 +115,7 @@ impl SplitProxy {
             let pending = Rc::clone(&pending);
             to.on_established(move |sim| {
                 for data in pending.borrow_mut().drain(..) {
-                    to_flush.send(sim, &data);
+                    to_flush.send_bytes(sim, data);
                 }
             });
         }

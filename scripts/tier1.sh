@@ -6,7 +6,10 @@
 #   test (root pkg)  — the `mcommerce` facade's unit + integration
 #                      tests, including the fleet determinism
 #                      properties in tests/fleet_props.rs;
-#   clippy (-D warnings, whole workspace) — lints are errors.
+#   clippy (-D warnings, whole workspace) — lints are errors;
+#   bench (compile)  — the Criterion benches build;
+#   report smoke     — the F4 engine experiment runs end to end and
+#                      emits well-formed BENCH_engine.json.
 #
 # Run from anywhere; the script cds to the repo root.
 set -euo pipefail
@@ -15,4 +18,7 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+cargo bench --no-run
+cargo run --release -p bench --bin report -- --quick --f4
+python3 -m json.tool BENCH_engine.json > /dev/null
 echo "tier1: OK"
