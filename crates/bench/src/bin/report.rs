@@ -2,16 +2,22 @@
 //! and prints them in paper order.
 //!
 //! ```text
-//! cargo run -p bench --bin report [--quick] [--f4]
+//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--trace]
 //! ```
 //!
 //! `--quick` shrinks every workload for smoke runs; `--f4` runs only the
-//! F4 event-engine experiment (and still writes `BENCH_engine.json`).
+//! F4 event-engine experiment (and still writes `BENCH_engine.json`);
+//! `--f5` runs only the F5 observability-overhead experiment (writes
+//! `BENCH_obs.json`). `--trace` additionally exports the fixed-seed
+//! fleet trace as `TRACE_fleet.jsonl` and `TRACE_fleet.trace.json` —
+//! open the latter in `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use bench::ablations;
 use bench::engine;
 use bench::experiments;
+use bench::obs_experiment;
 use bench::tcpx;
+use mcommerce_core::fleet;
 
 fn heading(title: &str) {
     println!("\n{}", "=".repeat(78));
@@ -30,10 +36,45 @@ fn f4(quick: bool) {
     println!("\n-> wrote {path}");
 }
 
+/// Runs F5, writes `BENCH_obs.json`, and (with `--trace`) exports the
+/// fixed-seed fleet trace.
+fn f5(quick: bool, trace: bool) {
+    heading("F5 — observability: flight-recorder overhead, on and off");
+    let numbers = obs_experiment::run(quick);
+    println!("{numbers}");
+    let path = "BENCH_obs.json";
+    std::fs::write(path, numbers.to_json()).expect("write BENCH_obs.json");
+    println!("\n-> wrote {path}");
+    if trace {
+        let scenario = obs_experiment::trace_scenario(quick);
+        let (_, fleet_trace) = fleet::run_traced_on(&scenario, fleet::default_threads());
+        std::fs::write("TRACE_fleet.jsonl", fleet_trace.to_jsonl()).expect("write trace jsonl");
+        std::fs::write("TRACE_fleet.trace.json", fleet_trace.to_chrome_json())
+            .expect("write chrome trace");
+        println!(
+            "-> wrote TRACE_fleet.jsonl + TRACE_fleet.trace.json ({} events, {} dumps); \
+             open the .trace.json in chrome://tracing or https://ui.perfetto.dev",
+            fleet_trace.events.len(),
+            fleet_trace.dumps.len()
+        );
+        for dump in fleet_trace.dumps.iter().take(3) {
+            println!("{dump}");
+        }
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    if std::env::args().any(|a| a == "--f4") {
-        f4(quick);
+    let trace = std::env::args().any(|a| a == "--trace");
+    let only_f4 = std::env::args().any(|a| a == "--f4");
+    let only_f5 = std::env::args().any(|a| a == "--f5");
+    if only_f4 || only_f5 {
+        if only_f4 {
+            f4(quick);
+        }
+        if only_f5 {
+            f5(quick, trace);
+        }
         return;
     }
     let (txns, sessions, t4_bytes, x1_bytes) = if quick {
@@ -110,6 +151,7 @@ fn main() {
     );
 
     f4(quick);
+    f5(quick, trace);
 
     heading("X1 — §5.2: TCP variants over an error-prone wireless hop");
     for row in tcpx::full_sweep(x1_bytes) {

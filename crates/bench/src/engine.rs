@@ -129,7 +129,7 @@ fn mix(mut x: u64) -> u64 {
 /// Delay for a given `(timer, hop)`, spread over every wheel level:
 /// sub-tick, level 0, level 1, and overflow delays in a 16:8:7:1 mix
 /// that mirrors a fleet's blend of link transits, think times, and RTOs.
-fn delay_ns(timer: u64, hop: u64) -> u64 {
+pub(crate) fn delay_ns(timer: u64, hop: u64) -> u64 {
     let d = mix(timer.wrapping_mul(0x1_0000_0001).wrapping_add(hop));
     match d % 32 {
         0..=15 => d % 100_000,            // sub-tick / level 0

@@ -12,13 +12,17 @@
 //! | T5 | Table 5, cellular networks | [`experiments::table5`] |
 //! | F3 | fleet engine scale (users × threads) | [`experiments::fleet_scale`] |
 //! | F4 | event-engine throughput, wheel vs heap | [`engine::run`] |
+//! | F5 | observability overhead, recorder on/off | [`obs_experiment::run`] |
 //! | X1 | §5.2, TCP variants on wireless | [`tcpx::tcp_variants`] |
 //! | X2 | §1.1, five system requirements | [`experiments::independence`] |
 //!
 //! `cargo run -p bench --bin report` prints every table; the Criterion
-//! benches under `benches/` time the same functions.
+//! benches under `benches/` time the same functions. `--trace`
+//! additionally exports the fixed-seed fleet trace as JSONL and Chrome
+//! `trace_event` JSON (load the latter in Perfetto).
 
 pub mod ablations;
 pub mod engine;
 pub mod experiments;
+pub mod obs_experiment;
 pub mod tcpx;

@@ -36,6 +36,7 @@ use std::time::Instant;
 
 use hostsite::db::Database;
 use hostsite::HostComputer;
+use obs::Recorder;
 use station::DeviceProfile;
 use wireless::WlanStandard;
 
@@ -211,15 +212,87 @@ impl Scenario {
     /// Runs one user's complete workload, folding every transaction
     /// into `counters`. Depends only on `(scenario, user)`.
     pub fn run_user(&self, user: u64, counters: &mut WorkloadCounters) {
-        let app = for_category(self.app);
         let mut system = self.system_for_user(user);
+        self.run_user_on(&mut system, user, counters);
+    }
+
+    /// The shared inner loop of [`Scenario::run_user`] and
+    /// [`Scenario::run_user_traced`]: drives `system` through this
+    /// user's sessions. Depends only on `(scenario, user)` and the
+    /// state of `system`.
+    fn run_user_on(&self, system: &mut McSystem, user: u64, counters: &mut WorkloadCounters) {
+        let app = for_category(self.app);
         let session_seed = simnet::rng::sub_seed(self.seed, "fleet.session", user);
         for session in 0..self.sessions_per_user {
             let steps = app.session(session_seed, session);
-            for report in run_session(&mut system, &steps) {
+            for report in run_session(system, &steps) {
                 counters.record(&report);
             }
         }
+    }
+
+    /// Like [`Scenario::run_user`], but with the flight recorder and the
+    /// metrics registry enabled: returns the user's trace events, any
+    /// failure dumps, and the metrics the layers published.
+    ///
+    /// The workload itself is **identical** to the untraced run — the
+    /// recorder only observes, so `counters` comes out the same either
+    /// way (pinned by a unit test below).
+    pub fn run_user_traced(&self, user: u64, counters: &mut WorkloadCounters) -> UserTrace {
+        let mut system = self.system_for_user(user);
+        system.set_recorder(Recorder::ring_for_user(user));
+        let guard = obs::metrics::enable();
+        self.run_user_on(&mut system, user, counters);
+        drop(guard);
+        let metrics = obs::metrics::take();
+        let (events, dumps) = system.take_recorder().into_parts();
+        UserTrace {
+            events,
+            dumps,
+            metrics,
+        }
+    }
+}
+
+/// One user's telemetry from a traced run: sim-time trace events (in
+/// emission order), flight-recorder dumps for failed transactions, and
+/// the metrics counters/histograms the layers published.
+#[derive(Debug, Default)]
+pub struct UserTrace {
+    /// Trace events in sim-time order for this user.
+    pub events: Vec<obs::TraceEvent>,
+    /// Flight-recorder dumps, one per failed transaction.
+    pub dumps: Vec<obs::FlightDump>,
+    /// Counters and histograms published while this user ran.
+    pub metrics: obs::Metrics,
+}
+
+/// The merged telemetry of a traced fleet run.
+///
+/// Per-user traces are concatenated in **user-index order** and metrics
+/// merged the same way, so — like [`FleetSummary`] — a `FleetTrace` is
+/// byte-for-byte identical however many threads executed the fleet
+/// (pinned by `tests/trace_props.rs`).
+#[derive(Debug, Default)]
+pub struct FleetTrace {
+    /// Every user's trace events, concatenated in user-index order.
+    pub events: Vec<obs::TraceEvent>,
+    /// Every flight-recorder dump, in user-index order.
+    pub dumps: Vec<obs::FlightDump>,
+    /// Fleet-wide merged metrics.
+    pub metrics: obs::Metrics,
+}
+
+impl FleetTrace {
+    /// Renders the fleet's events as JSONL (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        obs::export::to_jsonl(&self.events)
+    }
+
+    /// Renders the fleet's events as a Chrome `trace_event` JSON
+    /// document for `chrome://tracing` / Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        obs::export::to_chrome_trace(&self.events)
     }
 }
 
@@ -345,6 +418,77 @@ pub fn run_on(scenario: &Scenario, threads: usize) -> FleetReport {
     }
 }
 
+/// Runs the scenario's fleet with tracing enabled, sharded across
+/// exactly `threads` threads.
+///
+/// Identical sharding and merge discipline to [`run_on`]; additionally
+/// each user runs with a per-user flight recorder and the metrics
+/// registry enabled, and the per-user telemetry is concatenated in
+/// user-index order into a [`FleetTrace`]. Fixed seed ⇒ the trace (and
+/// its JSONL/Chrome renderings) is byte-identical at any thread count.
+pub fn run_traced_on(scenario: &Scenario, threads: usize) -> (FleetReport, FleetTrace) {
+    let started = Instant::now();
+    let shards = threads.clamp(1, scenario.users.max(1) as usize);
+    let chunk = scenario.users.div_ceil(shards as u64).max(1);
+
+    type ShardResult = (WorkloadSummary, Vec<UserTrace>);
+    let shard_results: Vec<ShardResult> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards as u64)
+            .map(|shard| {
+                let scenario = &*scenario;
+                scope.spawn(move || {
+                    let mut counters = WorkloadCounters::default();
+                    let mut traces = Vec::new();
+                    let lo = shard * chunk;
+                    let hi = (lo + chunk).min(scenario.users);
+                    for user in lo..hi {
+                        traces.push(scenario.run_user_traced(user, &mut counters));
+                    }
+                    (
+                        counters.summary(format!("{} shard {shard}", scenario.name)),
+                        traces,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet shard panicked"))
+            .collect()
+    });
+
+    // Canonical merge: shards in index order, users in index order
+    // within each shard — the same discipline as the counters.
+    let mut trace = FleetTrace::default();
+    let mut summaries = Vec::with_capacity(shard_results.len());
+    for (summary, users) in shard_results {
+        summaries.push(summary);
+        for user in users {
+            trace.events.extend(user.events);
+            trace.dumps.extend(user.dumps);
+            trace.metrics.merge(&user.metrics);
+        }
+    }
+    let merged = summaries
+        .iter()
+        .skip(1)
+        .fold(summaries[0].clone(), |acc, s| acc.merge(s));
+    let summary = merged.counters.summary(scenario.label());
+
+    (
+        FleetReport {
+            threads: shards,
+            wall_secs: started.elapsed().as_secs_f64(),
+            summary: FleetSummary {
+                scenario: scenario.label(),
+                users: scenario.users,
+                workload: summary,
+            },
+        },
+        trace,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +575,36 @@ mod tests {
             secure.workload.energy_mean_j,
             plain.workload.energy_mean_j
         );
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_workload() {
+        let scenario = small();
+        let mut plain = WorkloadCounters::default();
+        scenario.run_user(3, &mut plain);
+        let mut traced = WorkloadCounters::default();
+        let trace = scenario.run_user_traced(3, &mut traced);
+        assert_eq!(plain, traced, "recorder must only observe");
+        assert!(!trace.events.is_empty());
+        assert!(trace.metrics.counter("station.transactions") > 0);
+    }
+
+    #[test]
+    fn traced_fleet_matches_untraced_summary() {
+        let scenario = small();
+        let untraced = run_on(&scenario, 2).summary;
+        let (report, trace) = run_traced_on(&scenario, 2);
+        assert_eq!(report.summary, untraced);
+        assert_eq!(
+            trace.metrics.counter("station.transactions"),
+            untraced.transactions()
+        );
+        // Every event carries the layer taxonomy; spot-check the first
+        // transaction traverses wireless and host layers.
+        use obs::Layer;
+        assert!(trace.events.iter().any(|e| e.layer == Layer::Wireless));
+        assert!(trace.events.iter().any(|e| e.layer == Layer::Host));
+        assert!(trace.events.iter().any(|e| e.layer == Layer::Application));
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //!   requirements,
 //! * [`fleet`] — the deterministic sharded scenario runner scaling the
 //!   model to whole user populations ([`Scenario`] → [`fleet::run`]).
+//!
+//! Telemetry (per-layer counters, latency histograms, sim-time spans and
+//! flight-recorder dumps) is published through the dependency-free
+//! [`obs`] crate; [`hist`] re-exports its log-linear histogram, the
+//! bucketing every latency percentile in [`report`] uses.
+
+pub use obs::hist;
 
 pub mod apps;
 pub mod fleet;
@@ -31,7 +38,7 @@ pub mod system;
 pub mod workload;
 
 pub use apps::Category;
-pub use fleet::{FleetReport, FleetSummary, Scenario};
+pub use fleet::{FleetReport, FleetSummary, FleetTrace, Scenario, UserTrace};
 pub use netpath::{AirLink, WiredPath, WirelessConfig};
 pub use report::{
     PhaseBreakdown, TransactionOutcome, TransactionReport, WorkloadCounters, WorkloadSummary,

@@ -154,30 +154,6 @@ impl TransactionReport {
     }
 }
 
-/// Number of linear sub-buckets per power-of-two octave in the latency
-/// histogram. 32 sub-buckets bound the quantisation error of any
-/// recorded latency by 1/32 ≈ 3%.
-const HIST_SUB_BUCKETS: u64 = 32;
-const HIST_SUB_BITS: u32 = 5; // log2(HIST_SUB_BUCKETS)
-
-fn hist_bucket(ns: u64) -> u32 {
-    if ns < HIST_SUB_BUCKETS {
-        return ns as u32;
-    }
-    let exp = ns.ilog2();
-    let sub = (ns >> (exp - HIST_SUB_BITS)) & (HIST_SUB_BUCKETS - 1);
-    (exp - HIST_SUB_BITS + 1) * HIST_SUB_BUCKETS as u32 + sub as u32
-}
-
-fn hist_bucket_low(bucket: u32) -> u64 {
-    if bucket < HIST_SUB_BUCKETS as u32 {
-        return bucket as u64;
-    }
-    let exp = bucket / HIST_SUB_BUCKETS as u32 + HIST_SUB_BITS - 1;
-    let sub = (bucket % HIST_SUB_BUCKETS as u32) as u64;
-    (1u64 << exp) | (sub << (exp - HIST_SUB_BITS))
-}
-
 fn to_ns(secs: f64) -> u64 {
     (secs * 1e9).round().max(0.0) as u64
 }
@@ -188,8 +164,9 @@ fn to_ns(secs: f64) -> u64 {
 /// [`WorkloadCounters::merge`] is exactly associative and commutative —
 /// two fleets that partition the same sessions differently produce
 /// bit-identical merged counters. Latencies and energies are quantised
-/// to nanoseconds / nanojoules on entry; the latency distribution is a
-/// log-linear histogram (3% resolution) so percentiles survive merging.
+/// to nanoseconds / nanojoules on entry; the latency distribution is an
+/// [`obs::Histogram`] (log-linear, 3% resolution — the bucketing shared
+/// with the metrics registry) so percentiles survive merging.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WorkloadCounters {
     /// Transactions attempted.
@@ -207,8 +184,8 @@ pub struct WorkloadCounters {
     /// Per-component latency sums over successes, nanoseconds, keyed
     /// `station` / `wireless` / `middleware` / `wired` / `host`.
     pub component_ns: BTreeMap<&'static str, u128>,
-    /// Log-linear latency histogram: bucket index → count.
-    pub latency_hist: BTreeMap<u32, u64>,
+    /// Log-linear latency histogram (see [`obs::hist`]).
+    pub latency_hist: obs::Histogram,
     /// Failure reason → count.
     pub failures: BTreeMap<String, u64>,
 }
@@ -238,7 +215,7 @@ impl WorkloadCounters {
         ] {
             *self.component_ns.entry(key).or_default() += to_ns(secs) as u128;
         }
-        *self.latency_hist.entry(hist_bucket(ns)).or_default() += 1;
+        self.latency_hist.record(ns);
     }
 
     /// Adds `other` into `self`. Associative and commutative.
@@ -252,9 +229,7 @@ impl WorkloadCounters {
         for (k, v) in &other.component_ns {
             *self.component_ns.entry(k).or_default() += v;
         }
-        for (k, v) in &other.latency_hist {
-            *self.latency_hist.entry(*k).or_default() += v;
-        }
+        self.latency_hist.merge(&other.latency_hist);
         for (k, v) in &other.failures {
             *self.failures.entry(k.clone()).or_default() += v;
         }
@@ -264,18 +239,7 @@ impl WorkloadCounters {
     /// Reports the lower bound of the bucket the rank falls in, so the
     /// value is within 3% below the true percentile.
     pub fn latency_percentile(&self, p: f64) -> f64 {
-        if self.succeeded == 0 {
-            return 0.0;
-        }
-        let rank = ((p / 100.0) * self.succeeded as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (&bucket, &count) in &self.latency_hist {
-            seen += count;
-            if seen >= rank {
-                return hist_bucket_low(bucket) as f64 / 1e9;
-            }
-        }
-        0.0
+        self.latency_hist.percentile(p) as f64 / 1e9
     }
 
     /// Derives the human-facing summary. A pure function of the counter
@@ -548,16 +512,17 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_are_monotonic_and_tight() {
-        let mut last = 0;
-        for ns in [0u64, 1, 31, 32, 33, 100, 1_000, 1_000_000, u32::MAX as u64] {
-            let b = hist_bucket(ns);
-            assert!(b >= last, "bucket order broke at {ns}");
-            last = b;
-            let low = hist_bucket_low(b);
-            assert!(low <= ns, "{low} > {ns}");
-            assert!(ns as f64 - low as f64 <= ns as f64 / 32.0 + 1.0);
-        }
+    fn latency_histogram_uses_the_shared_obs_bucketing() {
+        // The extraction into obs::hist must not have changed resolution:
+        // one recorded latency lands in exactly the bucket obs computes.
+        let mut counters = WorkloadCounters::default();
+        counters.record(&report(1.5, 0.5, 0.5));
+        let ns = to_ns(1.5);
+        assert_eq!(
+            counters.latency_hist.raw_buckets().keys().copied().collect::<Vec<_>>(),
+            vec![crate::hist::bucket(ns)]
+        );
+        assert_eq!(counters.latency_hist.count(), 1);
     }
 
     #[test]

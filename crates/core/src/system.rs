@@ -11,6 +11,7 @@
 use middleware::{AirFormat, Exchange, Middleware, MobileRequest};
 
 use hostsite::HostComputer;
+use obs::{Layer, Recorder};
 use rand::rngs::StdRng;
 use simnet::rng::rng_for;
 use simnet::SimDuration;
@@ -125,6 +126,15 @@ pub struct McSystem {
     wtls_established: bool,
     rng: StdRng,
     last_outcome: Option<TransactionOutcome>,
+    /// Observability sink. `Recorder::Disabled` (the default) skips all
+    /// recording; a ring recorder captures per-layer spans in simulated
+    /// time and dumps failing transactions.
+    recorder: Recorder,
+    /// This station's simulated clock, nanoseconds: transactions and
+    /// idle time advance it, so spans line up on one per-user timeline.
+    clock_ns: u64,
+    /// Transactions executed so far (the next transaction's id).
+    txn_seq: u64,
 }
 
 impl std::fmt::Debug for McSystem {
@@ -160,7 +170,28 @@ impl McSystem {
             wtls_established: false,
             rng: rng_for(seed, "mcsystem.air"),
             last_outcome: None,
+            recorder: Recorder::Disabled,
+            clock_ns: 0,
+            txn_seq: 0,
         }
+    }
+
+    /// Installs an observability sink. The default is
+    /// [`Recorder::Disabled`], which records nothing and costs nothing.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Removes and returns the observability sink (leaving `Disabled`),
+    /// so a runner can export or inspect the recorded trace.
+    pub fn take_recorder(&mut self) -> Recorder {
+        std::mem::take(&mut self.recorder)
+    }
+
+    /// The station's simulated clock: total simulated time this system
+    /// has spent executing transactions and idling, nanoseconds.
+    pub fn sim_clock_ns(&self) -> u64 {
+        self.clock_ns
     }
 
     /// Enables WTLS-style transport security (§8): a one-time handshake
@@ -182,6 +213,7 @@ impl McSystem {
     /// battery at the device/OS idle power (§4.1's battery-life lever).
     /// Returns `false` once the battery is exhausted.
     pub fn idle(&mut self, secs: f64) -> bool {
+        self.clock_ns = self.clock_ns.saturating_add(secs_to_ns(secs));
         let watts = self.station.browser.device().idle_power_w();
         self.station.battery.drain(watts * secs)
     }
@@ -227,12 +259,28 @@ impl CommerceSystem for McSystem {
     }
 
     fn execute(&mut self, req: &MobileRequest) -> TransactionReport {
+        let txn = self.txn_seq;
+        self.txn_seq += 1;
+        let t0 = self.clock_ns;
+        let mut cursor = t0;
+
         let Some(air) = self.air else {
-            return TransactionReport::failed(format!("no coverage on {}", self.wireless.name()));
+            let reason = format!("no coverage on {}", self.wireless.name());
+            obs::metrics::incr("station.txn_failures");
+            self.recorder.instant(cursor, Layer::Wireless, &reason, txn);
+            self.recorder.dump_failure(txn, &reason, Layer::Wireless);
+            return TransactionReport::failed(reason);
         };
         if self.station.battery.is_exhausted() {
+            obs::metrics::incr("station.txn_failures");
+            self.recorder
+                .instant(cursor, Layer::Station, "battery exhausted", txn);
+            self.recorder
+                .dump_failure(txn, "battery exhausted", Layer::Station);
             return TransactionReport::failed("battery exhausted");
         }
+
+        obs::metrics::incr("station.transactions");
 
         let mut breakdown = PhaseBreakdown::default();
         let mut energy = 0.0f64;
@@ -247,6 +295,14 @@ impl CommerceSystem for McSystem {
         // packet context activation).
         if !self.session_up {
             breakdown.wireless_secs += air.session_setup.as_secs_f64();
+            self.recorder.span(
+                cursor,
+                air.session_setup.as_nanos(),
+                Layer::Wireless,
+                "session_setup",
+                txn,
+            );
+            cursor += air.session_setup.as_nanos();
             self.session_up = true;
         }
 
@@ -257,9 +313,17 @@ impl CommerceSystem for McSystem {
             let hello_down = air.transfer(security::wtls::HANDSHAKE_BYTES / 2, &mut self.rng);
             breakdown.wireless_secs += (hello_up.elapsed + hello_down.elapsed).as_secs_f64();
             energy += air.tx_energy(&hello_up) + air.rx_energy(&hello_down);
+            let hs_ns = (hello_up.elapsed + hello_down.elapsed).as_nanos();
+            self.recorder
+                .span(cursor, hs_ns, Layer::Wireless, "wtls_handshake", txn);
+            cursor += hs_ns;
             // Modular exponentiation on a handheld: scale by clock speed.
             let kx_cost = 20.0 / self.station.browser.device().cpu_mhz as f64;
             breakdown.station_secs += kx_cost;
+            let kx_ns = secs_to_ns(kx_cost);
+            self.recorder
+                .span(cursor, kx_ns, Layer::Station, "wtls_key_exchange", txn);
+            cursor += kx_ns;
             self.wtls_established = true;
         }
 
@@ -275,29 +339,58 @@ impl CommerceSystem for McSystem {
             ex.downlink_bytes = security::WtlsSession::sealed_size(ex.downlink_bytes);
             let sealed_kb = ((ex.uplink_bytes + ex.downlink_bytes) as u32).div_ceil(1024);
             let scale = 100.0 / self.station.browser.device().cpu_mhz as f64;
-            breakdown.station_secs += (WTLS_CPU_PER_KB * sealed_kb).as_secs_f64() * scale;
+            let seal_cost = (WTLS_CPU_PER_KB * sealed_kb).as_secs_f64() * scale;
+            breakdown.station_secs += seal_cost;
+            let seal_ns = secs_to_ns(seal_cost);
+            self.recorder
+                .span(cursor, seal_ns, Layer::Station, "wtls_seal", txn);
+            cursor += seal_ns;
         }
 
         // Station CPU: building and serialising the request.
         let device = self.station.browser.device();
         let build_cost = device.parse_cost(ex.uplink_bytes);
         breakdown.station_secs += build_cost.as_secs_f64();
+        self.recorder.span(
+            cursor,
+            build_cost.as_nanos(),
+            Layer::Station,
+            "build_request",
+            txn,
+        );
+        cursor += build_cost.as_nanos();
 
         // Extra protocol round trips (e.g. WSP session setup): one small
         // frame each way per round trip.
+        let mut rt_elapsed = simnet::SimDuration::ZERO;
         for _ in 0..ex.extra_round_trips {
             let up = air.transfer(32, &mut self.rng);
             let down = air.transfer(32, &mut self.rng);
             breakdown.wireless_secs += (up.elapsed + down.elapsed).as_secs_f64();
             energy += air.tx_energy(&up) + air.rx_energy(&down);
+            rt_elapsed += up.elapsed + down.elapsed;
         }
+        if ex.extra_round_trips > 0 {
+            self.recorder.span(
+                cursor,
+                rt_elapsed.as_nanos(),
+                Layer::Wireless,
+                "wsp_round_trips",
+                txn,
+            );
+        }
+        cursor += rt_elapsed.as_nanos();
 
         // Air uplink.
         let up = air.transfer(ex.uplink_bytes, &mut self.rng);
         energy += air.tx_energy(&up);
         breakdown.wireless_secs += up.elapsed.as_secs_f64();
+        self.recorder
+            .span(cursor, up.elapsed.as_nanos(), Layer::Wireless, "uplink", txn);
+        cursor += up.elapsed.as_nanos();
         if up.failed {
             self.drain(breakdown, energy);
+            self.fail_txn(txn, cursor, "uplink failed (ARQ exhausted)", Layer::Wireless);
             return TransactionReport {
                 total: breakdown.total_secs(),
                 breakdown,
@@ -311,19 +404,48 @@ impl CommerceSystem for McSystem {
             };
         }
 
-        // Wired hop both ways, middleware CPU, host CPU.
-        breakdown.wired_secs += (self.wired.transfer(ex.wired_bytes.0)
-            + self.wired.transfer(ex.wired_bytes.1))
-        .as_secs_f64();
+        // Wired hop both ways, middleware CPU, host CPU. The traversal
+        // order of the spans follows Figure 2 (middleware → wired → host
+        // → wired), while the breakdown sums stay computed exactly as
+        // before.
+        let wired_up = self.wired.transfer(ex.wired_bytes.0);
+        let wired_down = self.wired.transfer(ex.wired_bytes.1);
+        breakdown.wired_secs += (wired_up + wired_down).as_secs_f64();
         breakdown.middleware_secs += ex.middleware_cpu.as_secs_f64();
         breakdown.host_secs += ex.host_cpu.as_secs_f64();
+        self.recorder.span(
+            cursor,
+            ex.middleware_cpu.as_nanos(),
+            Layer::Middleware,
+            "gateway",
+            txn,
+        );
+        cursor += ex.middleware_cpu.as_nanos();
+        self.recorder
+            .span(cursor, wired_up.as_nanos(), Layer::Wired, "wired_up", txn);
+        cursor += wired_up.as_nanos();
+        self.recorder
+            .span(cursor, ex.host_cpu.as_nanos(), Layer::Host, "host", txn);
+        cursor += ex.host_cpu.as_nanos();
+        self.recorder
+            .span(cursor, wired_down.as_nanos(), Layer::Wired, "wired_down", txn);
+        cursor += wired_down.as_nanos();
 
         // Air downlink.
         let down = air.transfer(ex.downlink_bytes, &mut self.rng);
         energy += air.rx_energy(&down);
         breakdown.wireless_secs += down.elapsed.as_secs_f64();
+        self.recorder.span(
+            cursor,
+            down.elapsed.as_nanos(),
+            Layer::Wireless,
+            "downlink",
+            txn,
+        );
+        cursor += down.elapsed.as_nanos();
         if down.failed {
             self.drain(breakdown, energy);
+            self.fail_txn(txn, cursor, "downlink failed (ARQ exhausted)", Layer::Wireless);
             return TransactionReport {
                 total: breakdown.total_secs(),
                 breakdown,
@@ -343,6 +465,9 @@ impl CommerceSystem for McSystem {
         let render_failure = match &render {
             Ok(page) => {
                 breakdown.station_secs += page.cost.as_secs_f64();
+                self.recorder
+                    .span(cursor, page.cost.as_nanos(), Layer::Station, "render", txn);
+                cursor += page.cost.as_nanos();
                 self.last_outcome = Some(TransactionOutcome {
                     page_text: page.lines.join("\n"),
                     title: page.title.clone(),
@@ -364,6 +489,7 @@ impl CommerceSystem for McSystem {
         energy += breakdown.station_secs * STATION_ACTIVE_W * os_factor;
         let alive = self.station.battery.drain(energy);
 
+        let render_failed = render_failure.is_some();
         let success = ex.status.is_success() && render_failure.is_none() && alive;
         let failure = if !alive {
             Some("battery exhausted mid-transaction".into())
@@ -374,6 +500,45 @@ impl CommerceSystem for McSystem {
         } else {
             None
         };
+
+        if let Some(reason) = &failure {
+            // Attribute the failure to the layer that produced it.
+            let layer = if !alive || render_failed {
+                Layer::Station
+            } else {
+                Layer::Host
+            };
+            self.fail_txn(txn, cursor, reason, layer);
+        } else if self.recorder.is_enabled() {
+            // Root span on the station covering the whole transaction.
+            self.recorder
+                .span(t0, cursor - t0, Layer::Application, &req.url, txn);
+        }
+        self.clock_ns = cursor;
+
+        // Per-layer metrics: service time, air costs, and outcome.
+        if obs::metrics::enabled() {
+            obs::metrics::add("station.service_ns", secs_to_ns(breakdown.station_secs));
+            obs::metrics::add("wireless.service_ns", secs_to_ns(breakdown.wireless_secs));
+            obs::metrics::add(
+                "middleware.service_ns",
+                secs_to_ns(breakdown.middleware_secs),
+            );
+            obs::metrics::add("wired.service_ns", secs_to_ns(breakdown.wired_secs));
+            obs::metrics::add("host.service_ns", secs_to_ns(breakdown.host_secs));
+            obs::metrics::add(
+                "wireless.retransmissions",
+                (up.retransmissions + down.retransmissions) as u64,
+            );
+            obs::metrics::add(
+                "wireless.air_bytes",
+                up.bytes_on_medium + down.bytes_on_medium,
+            );
+            obs::metrics::observe("txn.latency_ns", secs_to_ns(breakdown.total_secs()));
+            if !success {
+                obs::metrics::incr("station.txn_failures");
+            }
+        }
 
         TransactionReport {
             total: breakdown.total_secs(),
@@ -399,6 +564,21 @@ impl McSystem {
         let energy = radio_energy + breakdown.station_secs * STATION_ACTIVE_W * os_factor;
         let _ = self.station.battery.drain(energy);
     }
+
+    /// Records a transaction failure: instant event, flight-recorder
+    /// dump attributed to `layer`, failure counter, and clock advance.
+    fn fail_txn(&mut self, txn: u64, cursor: u64, reason: &str, layer: Layer) {
+        obs::metrics::incr("station.txn_failures");
+        self.recorder.instant(cursor, layer, reason, txn);
+        self.recorder.dump_failure(txn, reason, layer);
+        self.clock_ns = cursor;
+    }
+}
+
+/// Converts a (non-negative) model duration in seconds to whole
+/// nanoseconds, the unit the recorder and metrics registry use.
+fn secs_to_ns(secs: f64) -> u64 {
+    (secs * 1e9).max(0.0).round() as u64
 }
 
 /// The four-component electronic commerce baseline (Figure 1): desktop

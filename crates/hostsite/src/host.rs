@@ -64,6 +64,8 @@ impl HostComputer {
     pub fn process(&mut self, req: HttpRequest) -> (HttpResponse, SimDuration) {
         let resp = self.web.handle(req);
         let cost = self.cpu.cost(resp.body.len());
+        obs::metrics::incr("host.requests");
+        obs::metrics::observe("host.cpu_ns", cost.as_nanos());
         (resp, cost)
     }
 }

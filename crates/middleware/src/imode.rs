@@ -90,6 +90,9 @@ impl Middleware for IModeService {
             }
         };
         let downlink_bytes = IMODE_RESPONSE_OVERHEAD + content.len();
+        obs::metrics::incr("middleware.exchanges");
+        obs::metrics::add("middleware.transcode_in_bytes", resp.body.len() as u64);
+        obs::metrics::add("middleware.transcode_out_bytes", content.len() as u64);
 
         Exchange {
             status: resp.status,

@@ -128,6 +128,9 @@ impl Middleware for WapGateway {
             (Bytes::from(deck.to_markup()), AirFormat::WmlText)
         };
         let downlink_bytes = WSP_RESPONSE_OVERHEAD + content.len();
+        obs::metrics::incr("middleware.exchanges");
+        obs::metrics::add("middleware.transcode_in_bytes", html_len as u64);
+        obs::metrics::add("middleware.transcode_out_bytes", content.len() as u64);
 
         Exchange {
             status: resp.status,

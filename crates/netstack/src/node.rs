@@ -216,6 +216,7 @@ impl Node {
             return;
         }
         pkt.ttl -= 1;
+        obs::metrics::incr("netstack.forwarded");
         self.transmit(sim, pkt);
     }
 
@@ -223,6 +224,7 @@ impl Node {
     ///
     /// Packets addressed to this node loop back to the upper layer.
     pub fn send(self: &Rc<Self>, sim: &mut Simulator, pkt: IpPacket) {
+        obs::metrics::incr("netstack.sent");
         if self.has_addr(pkt.dst) {
             self.deliver_up(sim, pkt);
             return;

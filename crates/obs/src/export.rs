@@ -1,0 +1,149 @@
+//! Trace exporters: JSONL event logs and Chrome `trace_event` JSON.
+//!
+//! Both exporters are pure functions of the event slice: same events in,
+//! byte-identical text out. Numbers are formatted from integers only
+//! (nanoseconds split into microsecond + fractional parts), so there is
+//! no floating-point formatting to drift across platforms.
+//!
+//! The Chrome format is the `trace_event` "JSON Object Format" consumed
+//! by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): each
+//! span is a complete (`"ph":"X"`) event, each instant an `"i"` event;
+//! `pid` is the simulated user and `tid` the paper layer, so the UI
+//! renders one process per user with six layer swim-lanes.
+
+use crate::span::{EventKind, TraceEvent};
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds rendered as fractional microseconds (`"1234.567"`),
+/// the unit Chrome trace timestamps use. Integer-only formatting keeps
+/// the output byte-stable.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Renders events as JSONL: one JSON object per line, in event order.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!(
+            "{{\"at_ns\":{},\"dur_ns\":{},\"user\":{},\"txn\":{},\"layer\":\"{}\",\"name\":\"{}\",\"kind\":\"{}\"}}\n",
+            e.at_ns,
+            e.dur_ns,
+            e.user,
+            e.txn,
+            e.layer.name(),
+            escape(&e.name),
+            match e.kind {
+                EventKind::Span => "span",
+                EventKind::Instant => "instant",
+            },
+        ));
+    }
+    out
+}
+
+/// Renders events as a Chrome `trace_event` JSON document.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match e.kind {
+            EventKind::Span => out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\"txn\":{}}}}}",
+                escape(&e.name),
+                e.layer.name(),
+                micros(e.at_ns),
+                micros(e.dur_ns),
+                e.user,
+                e.layer.tid(),
+                e.txn,
+            )),
+            EventKind::Instant => out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"txn\":{}}}}}",
+                escape(&e.name),
+                e.layer.name(),
+                micros(e.at_ns),
+                e.user,
+                e.layer.tid(),
+                e.txn,
+            )),
+        }
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Layer;
+
+    fn events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                at_ns: 1_234_567,
+                dur_ns: 890,
+                layer: Layer::Wireless,
+                name: "uplink".into(),
+                kind: EventKind::Span,
+                user: 3,
+                txn: 0,
+            },
+            TraceEvent {
+                at_ns: 2_000_000,
+                dur_ns: 0,
+                layer: Layer::Host,
+                name: "served \"x\"".into(),
+                kind: EventKind::Instant,
+                user: 3,
+                txn: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event() {
+        let jsonl = to_jsonl(&events());
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"layer\":\"wireless\""));
+        assert!(jsonl.contains("\"kind\":\"instant\""));
+        assert!(jsonl.contains("served \\\"x\\\""), "{jsonl}");
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_json_with_micro_timestamps() {
+        let json = to_chrome_trace(&events());
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"ts\":1234.567"), "{json}");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"pid\":3"));
+        assert!(json.contains(&format!("\"tid\":{}", Layer::Wireless.tid())));
+    }
+
+    #[test]
+    fn exporters_are_deterministic() {
+        let evs = events();
+        assert_eq!(to_jsonl(&evs), to_jsonl(&evs));
+        assert_eq!(to_chrome_trace(&evs), to_chrome_trace(&evs));
+        assert_eq!(to_chrome_trace(&[]), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+    }
+}

@@ -1,0 +1,197 @@
+//! Log-linear histogram with bounded relative error.
+//!
+//! Values (nanoseconds, nanojoules, bytes — any `u64`) are bucketed into
+//! 32 linear sub-buckets per power-of-two octave, so any recorded value
+//! is reproducible from its bucket's lower bound within 1/32 ≈ 3%.
+//! Buckets are integral counts in a `BTreeMap`, which makes
+//! [`Histogram::merge`] exactly associative and commutative — the
+//! property the fleet engine's thread-count-invariant summaries rest on.
+//!
+//! This module was extracted from `mcommerce-core`'s report aggregation
+//! so the metrics registry and the workload counters share one bucketing
+//! scheme; core re-exports it as `mcommerce_core::hist`.
+
+use std::collections::BTreeMap;
+
+/// Number of linear sub-buckets per power-of-two octave. 32 sub-buckets
+/// bound the quantisation error of any recorded value by 1/32 ≈ 3%.
+pub const SUB_BUCKETS: u64 = 32;
+
+/// log2([`SUB_BUCKETS`]).
+pub const SUB_BITS: u32 = 5;
+
+/// Maps a value to its bucket index. Monotonic: `a <= b` implies
+/// `bucket(a) <= bucket(b)`.
+pub fn bucket(value: u64) -> u32 {
+    if value < SUB_BUCKETS {
+        return value as u32;
+    }
+    let exp = value.ilog2();
+    let sub = (value >> (exp - SUB_BITS)) & (SUB_BUCKETS - 1);
+    (exp - SUB_BITS + 1) * SUB_BUCKETS as u32 + sub as u32
+}
+
+/// The smallest value mapping to `bucket` — the round-trip lower bound.
+/// For any `v`, `bucket_low(bucket(v)) <= v` and the gap is at most
+/// `v / 32 + 1`.
+pub fn bucket_low(bucket: u32) -> u64 {
+    if bucket < SUB_BUCKETS as u32 {
+        return bucket as u64;
+    }
+    let exp = bucket / SUB_BUCKETS as u32 + SUB_BITS - 1;
+    let sub = (bucket % SUB_BUCKETS as u32) as u64;
+    (1u64 << exp) | (sub << (exp - SUB_BITS))
+}
+
+/// A mergeable log-linear histogram: bucket index → count.
+///
+/// ```
+/// use obs::Histogram;
+/// let mut h = Histogram::default();
+/// for v in [100, 200, 300, 400] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// let p50 = h.percentile(50.0);
+/// assert!(p50 <= 200 && p50 >= 193); // lower bucket bound, within 3%
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        *self.buckets.entry(bucket(value)).or_default() += 1;
+        self.count += 1;
+    }
+
+    /// Records `n` occurrences of one value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.buckets.entry(bucket(value)).or_default() += n;
+        self.count += n;
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds `other` into `self`. Associative and commutative: any
+    /// grouping or ordering of merges over the same recordings yields
+    /// bit-identical histograms.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (k, v) in &other.buckets {
+            *self.buckets.entry(*k).or_default() += v;
+        }
+        self.count += other.count;
+    }
+
+    /// Nearest-rank percentile, reported as the lower bound of the
+    /// bucket the rank falls in — within 3% below the true percentile.
+    /// Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&b, &c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return bucket_low(b);
+            }
+        }
+        0
+    }
+
+    /// Iterates `(bucket_lower_bound, count)` in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&b, &c)| (bucket_low(b), c))
+    }
+
+    /// The raw `bucket index → count` map, for code that needs to merge
+    /// by index without re-bucketing.
+    pub fn raw_buckets(&self) -> &BTreeMap<u32, u64> {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotonic_and_tight() {
+        let mut last = 0;
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 1_000_000, u32::MAX as u64] {
+            let b = bucket(v);
+            assert!(b >= last, "bucket order broke at {v}");
+            last = b;
+            let low = bucket_low(b);
+            assert!(low <= v, "{low} > {v}");
+            assert!(v as f64 - low as f64 <= v as f64 / 32.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn merge_is_grouping_invariant() {
+        let values: Vec<u64> = (0..200).map(|i| i * 977 + 13).collect();
+        let mut whole = Histogram::default();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        for &v in &values[..77] {
+            left.record(v);
+        }
+        for &v in &values[77..] {
+            right.record(v);
+        }
+        left.merge(&right);
+        assert_eq!(whole, left);
+        assert_eq!(whole.count(), 200);
+    }
+
+    #[test]
+    fn percentile_of_uniform_ramp_is_close() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v * 1_000);
+        }
+        let p90 = h.percentile(90.0);
+        assert!(p90 <= 900_000, "{p90}");
+        assert!(p90 as f64 >= 900_000.0 * (1.0 - 1.0 / 32.0), "{p90}");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.iter().count(), 0);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.record_n(12345, 7);
+        a.record_n(99, 0);
+        for _ in 0..7 {
+            b.record(12345);
+        }
+        assert_eq!(a, b);
+    }
+}

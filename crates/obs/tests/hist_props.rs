@@ -1,0 +1,76 @@
+//! Property tests for the log-linear histogram's documented error bound:
+//! any recorded value round-trips through its bucket's lower bound
+//! within 3% (1/32) below the true value — the resolution every latency
+//! percentile in the workspace inherits.
+
+use proptest::prelude::*;
+
+use obs::hist::{bucket, bucket_low, Histogram};
+
+proptest! {
+    #[test]
+    fn bucket_round_trip_error_is_within_three_percent(value in any::<u64>()) {
+        let b = bucket(value);
+        let low = bucket_low(b);
+        prop_assert!(low <= value, "lower bound {low} above value {value}");
+        // Documented bound: error <= value/32 (+1 for the integer floor).
+        let error = value - low;
+        prop_assert!(
+            error <= value / 32 + 1,
+            "error {error} exceeds 3% bound for {value} (bucket {b}, low {low})"
+        );
+    }
+
+    #[test]
+    fn bucketing_is_monotonic(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket(lo) <= bucket(hi));
+    }
+
+    #[test]
+    fn bucket_low_is_a_fixed_point(value in any::<u64>()) {
+        // The lower bound of a bucket buckets to the same bucket.
+        let b = bucket(value);
+        prop_assert_eq!(bucket(bucket_low(b)), b);
+    }
+
+    #[test]
+    fn percentile_never_overshoots(mut values in proptest::collection::vec(1u64..u32::MAX as u64, 1..200)) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for p in [50.0f64, 90.0, 99.0] {
+            let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize - 1;
+            let truth = values[rank];
+            let est = h.percentile(p);
+            prop_assert!(est <= truth, "p{p}: estimate {est} above true {truth}");
+            prop_assert!(
+                est >= truth - truth / 32 - 1,
+                "p{p}: estimate {est} more than 3% below true {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenation(
+        xs in proptest::collection::vec(any::<u64>(), 0..100),
+        ys in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut whole = Histogram::default();
+        for &v in xs.iter().chain(&ys) {
+            whole.record(v);
+        }
+        let mut left = Histogram::default();
+        for &v in &xs {
+            left.record(v);
+        }
+        let mut right = Histogram::default();
+        for &v in &ys {
+            right.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(whole, left);
+    }
+}

@@ -45,6 +45,7 @@ mod wheel;
 
 pub use baseline::BaselineSimulator;
 pub use event::EventKey;
+pub use obs::metrics;
 pub use link::{Link, LinkParams, LossModel, Wire};
 pub use sim::Simulator;
 pub use time::{SimDuration, SimTime};

@@ -266,12 +266,14 @@ impl<M: Wire + 'static> Link<M> {
             if state.queued >= params.queue_capacity {
                 drop(state);
                 self.dropped_queue.incr();
+                crate::metrics::incr("link.dropped_queue");
                 return;
             }
         }
 
         if self.sample_loss(&params, size) {
             self.dropped_loss.incr();
+            crate::metrics::incr("link.dropped_loss");
             return;
         }
 
@@ -298,6 +300,7 @@ impl<M: Wire + 'static> Link<M> {
             };
             link.delivered.incr();
             link.bytes_delivered.add(size as u64);
+            crate::metrics::incr("link.delivered");
             receiver(sim, msg);
         });
     }

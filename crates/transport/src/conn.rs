@@ -464,6 +464,7 @@ impl Connection {
         };
         if let Some(seg) = seg {
             self.stats.retransmits.incr();
+            obs::metrics::incr("transport.retransmits");
             self.trace.log(
                 sim.now(),
                 "tcp",
@@ -525,6 +526,7 @@ impl Connection {
             return;
         }
         self.stats.rtos.incr();
+        obs::metrics::incr("transport.rto_fired");
         {
             let mut snd = self.snd.borrow_mut();
             let flight = (snd.nxt - snd.una) as f64;
@@ -717,6 +719,7 @@ impl Connection {
         match action {
             AckAction::FastRetransmit => {
                 self.stats.fast_retransmits.incr();
+                obs::metrics::incr("transport.fast_retransmits");
                 self.trace.log(
                     sim.now(),
                     "tcp",
@@ -847,6 +850,7 @@ impl Connection {
                 snd.recovery_retx_at = sim.now();
             }
             self.stats.fast_retransmits.incr();
+            obs::metrics::incr("transport.fast_retransmits");
             self.trace.log(
                 sim.now(),
                 "tcp",

@@ -120,6 +120,7 @@ impl<M: Wire + 'static> HandoffController<M> {
         drop(saved);
         drop(links);
         self.in_blackout.set(true);
+        obs::metrics::incr("wireless.handoffs_begun");
 
         let ctl = Rc::clone(&self);
         sim.schedule_in(self.blackout, move |sim| ctl.end_blackout(sim));
@@ -131,6 +132,7 @@ impl<M: Wire + 'static> HandoffController<M> {
         }
         self.in_blackout.set(false);
         self.completed.incr();
+        obs::metrics::incr("wireless.handoffs");
         let listeners: Vec<_> = self.listeners.borrow().clone();
         for l in listeners {
             l(sim);

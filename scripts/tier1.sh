@@ -5,11 +5,16 @@
 #                      report binary and benches are actually run;
 #   test (root pkg)  — the `mcommerce` facade's unit + integration
 #                      tests, including the fleet determinism
-#                      properties in tests/fleet_props.rs;
+#                      properties in tests/fleet_props.rs and the trace
+#                      determinism properties in tests/trace_props.rs;
 #   clippy (-D warnings, whole workspace) — lints are errors;
 #   bench (compile)  — the Criterion benches build;
 #   report smoke     — the F4 engine experiment runs end to end and
-#                      emits well-formed BENCH_engine.json.
+#                      emits well-formed BENCH_engine.json;
+#   obs smoke        — the F5 observability experiment runs with
+#                      --trace, emits well-formed BENCH_obs.json and
+#                      Chrome-trace JSON, and the disabled-recorder
+#                      overhead stays within the 3% budget.
 #
 # Run from anywhere; the script cds to the repo root.
 set -euo pipefail
@@ -21,4 +26,15 @@ cargo clippy --workspace -- -D warnings
 cargo bench --no-run
 cargo run --release -p bench --bin report -- --quick --f4
 python3 -m json.tool BENCH_engine.json > /dev/null
+cargo run --release -p bench --bin report -- --quick --f5 --trace
+python3 -m json.tool BENCH_obs.json > /dev/null
+python3 -m json.tool TRACE_fleet.trace.json > /dev/null
+python3 - <<'PY'
+import json
+doc = json.load(open("BENCH_obs.json"))
+pct = doc["storm"]["overhead_disabled_pct"]
+assert pct <= 3.0, f"disabled-recorder overhead {pct:.2f}% exceeds the 3% budget"
+assert doc["fleet"]["trace_events"] > 0, "traced fleet produced no events"
+print(f"obs gate: disabled overhead {pct:+.2f}% (budget 3%)")
+PY
 echo "tier1: OK"

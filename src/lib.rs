@@ -16,13 +16,17 @@
 //! | (vi) host computers | [`hostsite`] |
 //!
 //! plus [`security`] for the payment/security concern the paper flags in its
-//! summary, and [`simnet`] as the deterministic discrete-event substrate.
+//! summary, [`simnet`] as the deterministic discrete-event substrate, and
+//! [`obs`] as the dependency-free observability layer (metrics, sim-time
+//! span tracing, flight recorder, trace exporters) every crate above
+//! publishes into.
 //!
 //! See `DESIGN.md` for the complete system inventory and `EXPERIMENTS.md`
 //! for the per-table/figure reproduction index.
 
 pub use hostsite;
 pub use markup;
+pub use obs;
 pub use mcommerce_core as core;
 pub use middleware;
 pub use netstack;
