@@ -2,19 +2,21 @@
 //! and prints them in paper order.
 //!
 //! ```text
-//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--trace]
+//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--trace]
 //! ```
 //!
 //! `--quick` shrinks every workload for smoke runs; `--f4` runs only the
 //! F4 event-engine experiment (and still writes `BENCH_engine.json`);
 //! `--f5` runs only the F5 observability-overhead experiment (writes
-//! `BENCH_obs.json`). `--trace` additionally exports the fixed-seed
+//! `BENCH_obs.json`); `--f6` runs only the F6 fault-injection experiment
+//! (writes `BENCH_faults.json`). `--trace` additionally exports the fixed-seed
 //! fleet trace as `TRACE_fleet.jsonl` and `TRACE_fleet.trace.json` —
 //! open the latter in `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use bench::ablations;
 use bench::engine;
 use bench::experiments;
+use bench::faults_experiment;
 use bench::obs_experiment;
 use bench::tcpx;
 use mcommerce_core::fleet;
@@ -63,17 +65,31 @@ fn f5(quick: bool, trace: bool) {
     }
 }
 
+/// Runs F6 and writes the `BENCH_faults.json` artefact.
+fn f6(quick: bool) {
+    heading("F6 — fault injection: availability + tail latency under storms, MC vs EC");
+    let numbers = faults_experiment::run(quick);
+    println!("{numbers}");
+    let path = "BENCH_faults.json";
+    std::fs::write(path, numbers.to_json()).expect("write BENCH_faults.json");
+    println!("\n-> wrote {path}");
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = std::env::args().any(|a| a == "--trace");
     let only_f4 = std::env::args().any(|a| a == "--f4");
     let only_f5 = std::env::args().any(|a| a == "--f5");
-    if only_f4 || only_f5 {
+    let only_f6 = std::env::args().any(|a| a == "--f6");
+    if only_f4 || only_f5 || only_f6 {
         if only_f4 {
             f4(quick);
         }
         if only_f5 {
             f5(quick, trace);
+        }
+        if only_f6 {
+            f6(quick);
         }
         return;
     }
@@ -152,6 +168,7 @@ fn main() {
 
     f4(quick);
     f5(quick, trace);
+    f6(quick);
 
     heading("X1 — §5.2: TCP variants over an error-prone wireless hop");
     for row in tcpx::full_sweep(x1_bytes) {

@@ -13,6 +13,7 @@
 //! | F3 | fleet engine scale (users × threads) | [`experiments::fleet_scale`] |
 //! | F4 | event-engine throughput, wheel vs heap | [`engine::run`] |
 //! | F5 | observability overhead, recorder on/off | [`obs_experiment::run`] |
+//! | F6 | fault injection: availability under storms | [`faults_experiment::run`] |
 //! | X1 | §5.2, TCP variants on wireless | [`tcpx::tcp_variants`] |
 //! | X2 | §1.1, five system requirements | [`experiments::independence`] |
 //!
@@ -24,5 +25,6 @@
 pub mod ablations;
 pub mod engine;
 pub mod experiments;
+pub mod faults_experiment;
 pub mod obs_experiment;
 pub mod tcpx;

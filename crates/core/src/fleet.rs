@@ -87,8 +87,24 @@ pub struct Scenario {
     pub sessions_per_user: u64,
     /// Whether WTLS-style transport security is on (§8).
     pub secure: bool,
+    /// User think time between sessions, seconds of sim time: the
+    /// station idles (draining idle battery) and the user's clock moves
+    /// through any scheduled fault windows. Zero (the default) keeps
+    /// the pre-existing back-to-back behaviour.
+    pub think_secs: f64,
     /// Root seed every per-user stream derives from.
     pub seed: u64,
+    /// Fault schedule installed on every user's system (each user's
+    /// windows are evaluated against their own sim clock). Empty by
+    /// default — and an empty plan draws no randomness, so a fleet
+    /// carrying `FaultPlan::none()` is bit-identical to a plan-free one.
+    pub faults: faults::FaultPlan,
+    /// Per-transaction retry policy. [`RetryPolicy::none`] (the
+    /// default) keeps the exact pre-policy execution path.
+    pub retry: faults::RetryPolicy,
+    /// Fallback middleware for graceful degradation under gateway or
+    /// transcoder faults.
+    pub fallback: Option<MiddlewareKind>,
 }
 
 impl Scenario {
@@ -109,7 +125,11 @@ impl Scenario {
             users: 1,
             sessions_per_user: 1,
             secure: false,
+            think_secs: 0.0,
             seed: 1,
+            faults: faults::FaultPlan::none(),
+            retry: faults::RetryPolicy::none(),
+            fallback: None,
         }
     }
 
@@ -167,6 +187,31 @@ impl Scenario {
         self
     }
 
+    /// Sets the think time between sessions, seconds of sim time.
+    pub fn think_time(mut self, secs: f64) -> Self {
+        self.think_secs = secs;
+        self
+    }
+
+    /// Installs a fault schedule on every user's system.
+    pub fn faults(mut self, plan: faults::FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Sets the per-transaction retry policy.
+    pub fn retry(mut self, policy: faults::RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Selects the fallback middleware swapped in when the primary path
+    /// degrades (requires a retrying policy to take effect).
+    pub fn fallback_middleware(mut self, kind: MiddlewareKind) -> Self {
+        self.fallback = Some(kind);
+        self
+    }
+
     /// Label summarising the configuration for reports.
     pub fn label(&self) -> String {
         format!(
@@ -200,6 +245,10 @@ impl Scenario {
             simnet::rng::sub_seed(self.seed, "fleet.air", user),
         );
         system.set_secure(self.secure);
+        if !self.faults.is_empty() {
+            system.set_fault_plan(self.faults.clone());
+        }
+        system.set_fallback_middleware(self.fallback);
         system
     }
 
@@ -223,10 +272,30 @@ impl Scenario {
     fn run_user_on(&self, system: &mut McSystem, user: u64, counters: &mut WorkloadCounters) {
         let app = for_category(self.app);
         let session_seed = simnet::rng::sub_seed(self.seed, "fleet.session", user);
-        for session in 0..self.sessions_per_user {
-            let steps = app.session(session_seed, session);
-            for report in run_session(system, &steps) {
-                counters.record(&report);
+        if self.retry.is_none() {
+            for session in 0..self.sessions_per_user {
+                if session > 0 && self.think_secs > 0.0 {
+                    system.idle(self.think_secs);
+                }
+                let steps = app.session(session_seed, session);
+                for report in run_session(system, &steps) {
+                    counters.record(&report);
+                }
+            }
+        } else {
+            // Jitter stream keyed by (seed, user), never by thread or
+            // shard — the determinism rule the module docs state.
+            let mut retry_rng = simnet::rng::rng_for_indexed(self.seed, "fleet.retry", user);
+            for session in 0..self.sessions_per_user {
+                if session > 0 && self.think_secs > 0.0 {
+                    system.idle(self.think_secs);
+                }
+                let steps = app.session(session_seed, session);
+                for report in
+                    crate::workload::run_session_with_policy(system, &steps, &self.retry, &mut retry_rng)
+                {
+                    counters.record(&report);
+                }
             }
         }
     }
@@ -605,6 +674,61 @@ mod tests {
         assert!(trace.events.iter().any(|e| e.layer == Layer::Wireless));
         assert!(trace.events.iter().any(|e| e.layer == Layer::Host));
         assert!(trace.events.iter().any(|e| e.layer == Layer::Application));
+    }
+
+    #[test]
+    fn zero_fault_plan_and_none_policy_are_byte_identical_to_defaults() {
+        let plain = run_on(&small(), 2).summary;
+        let armed = run_on(
+            &small()
+                .faults(faults::FaultPlan::none())
+                .retry(faults::RetryPolicy::none()),
+            2,
+        )
+        .summary;
+        assert_eq!(plain, armed);
+    }
+
+    #[test]
+    fn retry_policy_improves_availability_under_a_fault_storm() {
+        use crate::system::MiddlewareKind;
+        let storm = faults::FaultPlan::storm(77, simnet::SimDuration::from_secs(60), 1.5);
+        let base = small()
+            .users(8)
+            .sessions_per_user(8)
+            .think_time(3.0)
+            .faults(storm);
+        let bare = run_on(&base.clone(), 2).summary;
+        let hardened = run_on(
+            &base
+                .retry(faults::RetryPolicy::standard())
+                .fallback_middleware(MiddlewareKind::WapTextual),
+            2,
+        )
+        .summary;
+        assert!(
+            hardened.workload.success_rate() > bare.workload.success_rate(),
+            "retry {} must beat bare {} ({:?})",
+            hardened.workload.success_rate(),
+            bare.workload.success_rate(),
+            bare.workload.counters.failures,
+        );
+        assert!(hardened.workload.counters.retries > 0);
+        assert_eq!(bare.workload.counters.retries, 0);
+    }
+
+    #[test]
+    fn faulted_fleets_are_thread_count_invariant() {
+        let scenario = small()
+            .users(6)
+            .sessions_per_user(6)
+            .think_time(4.0)
+            .faults(faults::FaultPlan::storm(13, simnet::SimDuration::from_secs(90), 1.5))
+            .retry(faults::RetryPolicy::standard())
+            .fallback_middleware(crate::system::MiddlewareKind::WapTextual);
+        let one = run_on(&scenario, 1).summary;
+        let many = run_on(&scenario, 64).summary;
+        assert_eq!(one, many);
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub mod system;
 pub mod workload;
 
 pub use apps::Category;
+pub use faults::{
+    classify, FailureClass, FaultEvent, FaultKind, FaultPlan, FaultState, FaultWindow, RetryPolicy,
+};
 pub use fleet::{FleetReport, FleetSummary, FleetTrace, Scenario, UserTrace};
 pub use netpath::{AirLink, WiredPath, WirelessConfig};
 pub use report::{

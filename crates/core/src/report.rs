@@ -95,6 +95,10 @@ pub struct TransactionReport {
     pub failure: Option<String>,
     /// The rendered result, when the transaction completed.
     pub outcome: Option<TransactionOutcome>,
+    /// End-to-end execution attempts this report covers (`1` = no
+    /// retries). When a retry policy re-drives a transaction, the final
+    /// report absorbs the failed attempts' costs and counts them here.
+    pub attempts: u32,
 }
 
 impl TransactionReport {
@@ -111,6 +115,7 @@ impl TransactionReport {
             success: false,
             failure: Some(reason.into()),
             outcome: None,
+            attempts: 1,
         }
     }
 
@@ -137,6 +142,7 @@ impl TransactionReport {
         json_raw(&mut out, "air_bytes_down", &self.air_bytes_down.to_string());
         json_raw(&mut out, "retransmissions", &self.retransmissions.to_string());
         json_f64(&mut out, "energy_j", self.energy_j);
+        json_raw(&mut out, "attempts", &self.attempts.to_string());
         json_raw(&mut out, "success", if self.success { "true" } else { "false" });
         match &self.failure {
             Some(f) => json_str(&mut out, "failure", f),
@@ -181,6 +187,10 @@ pub struct WorkloadCounters {
     pub energy_nj: u128,
     /// Link-layer retransmissions over successes.
     pub retransmissions: u64,
+    /// Transaction-level retries (attempts beyond the first), counted
+    /// over every transaction — a failed transaction's spent retries
+    /// still cost battery and airtime.
+    pub retries: u64,
     /// Per-component latency sums over successes, nanoseconds, keyed
     /// `station` / `wireless` / `middleware` / `wired` / `host`.
     pub component_ns: BTreeMap<&'static str, u128>,
@@ -194,6 +204,7 @@ impl WorkloadCounters {
     /// Folds one transaction into the counters.
     pub fn record(&mut self, report: &TransactionReport) {
         self.attempted += 1;
+        self.retries += report.attempts.saturating_sub(1) as u64;
         if !report.success {
             let reason = report.failure.clone().unwrap_or_else(|| "unknown".into());
             *self.failures.entry(reason).or_default() += 1;
@@ -226,6 +237,7 @@ impl WorkloadCounters {
         self.air_bytes += other.air_bytes;
         self.energy_nj += other.energy_nj;
         self.retransmissions += other.retransmissions;
+        self.retries += other.retries;
         for (k, v) in &other.component_ns {
             *self.component_ns.entry(k).or_default() += v;
         }
@@ -433,6 +445,7 @@ mod tests {
                 title: "Page".into(),
                 status: Status::Ok,
             }),
+            attempts: 1,
         }
     }
 

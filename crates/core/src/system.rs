@@ -10,6 +10,7 @@
 
 use middleware::{AirFormat, Exchange, Middleware, MobileRequest};
 
+use faults::{classify, FailureClass, FaultKind, FaultPlan, FaultState, RetryPolicy};
 use hostsite::HostComputer;
 use obs::{Layer, Recorder};
 use rand::rngs::StdRng;
@@ -27,6 +28,21 @@ const STATION_ACTIVE_W: f64 = 0.35;
 /// CPU time a handheld spends sealing/opening one WTLS record per
 /// kilobyte of payload, on a 100 MHz reference clock.
 const WTLS_CPU_PER_KB: SimDuration = SimDuration::from_micros(400);
+
+/// Sim time a station burns probing a dark access point before giving
+/// up on the transaction (the failed-attempt cost of a wireless outage).
+const OUTAGE_PROBE: SimDuration = SimDuration::from_millis(500);
+
+/// Sim time a request burns discovering the host is still replaying its
+/// journal (connection accepted, service refused).
+const HOST_PROBE: SimDuration = SimDuration::from_millis(200);
+
+/// Fixed cost of a host database crash: process restart before journal
+/// replay begins.
+const DB_RECOVERY_BASE: SimDuration = SimDuration::from_secs(2);
+
+/// Journal replay cost per committed entry during crash recovery.
+const DB_RECOVERY_PER_ENTRY: SimDuration = SimDuration::from_millis(5);
 
 /// Anything that can execute a commerce transaction end to end.
 pub trait CommerceSystem {
@@ -135,6 +151,21 @@ pub struct McSystem {
     clock_ns: u64,
     /// Transactions executed so far (the next transaction's id).
     txn_seq: u64,
+    /// The injected-fault schedule, evaluated against `clock_ns`. The
+    /// default empty plan is checked with pure clock comparisons and
+    /// draws no randomness, so a plan-free system is bit-identical to
+    /// one carrying `FaultPlan::none()`.
+    faults: FaultPlan,
+    /// Cursor over the plan's one-shot faults.
+    fault_state: FaultState,
+    /// Whether the middleware has been swapped to its degraded fallback.
+    middleware_degraded: bool,
+    /// The fallback middleware to swap in on gateway/transcoder faults.
+    fallback_kind: Option<MiddlewareKind>,
+    /// The primary middleware, parked while the fallback serves.
+    degraded_primary: Option<Box<dyn Middleware>>,
+    /// Until this instant the host refuses service (journal replay).
+    host_recovering_until_ns: u64,
 }
 
 impl std::fmt::Debug for McSystem {
@@ -173,6 +204,12 @@ impl McSystem {
             recorder: Recorder::Disabled,
             clock_ns: 0,
             txn_seq: 0,
+            faults: FaultPlan::none(),
+            fault_state: FaultState::default(),
+            middleware_degraded: false,
+            fallback_kind: None,
+            degraded_primary: None,
+            host_recovering_until_ns: 0,
         }
     }
 
@@ -238,6 +275,68 @@ impl McSystem {
         self.session_up = false;
     }
 
+    /// Installs a fault schedule, evaluated against this station's sim
+    /// clock. Replacing the plan resets the one-shot cursor.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_state = plan.state();
+        self.faults = plan;
+    }
+
+    /// The installed fault schedule (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Selects the middleware kind [`execute_with_retry`] swaps in when
+    /// the primary path degrades (gateway outage, wedged transcoder).
+    ///
+    /// [`execute_with_retry`]: McSystem::execute_with_retry
+    pub fn set_fallback_middleware(&mut self, kind: Option<MiddlewareKind>) {
+        self.fallback_kind = kind;
+    }
+
+    /// Whether the system is currently serving through its fallback
+    /// middleware.
+    pub fn is_middleware_degraded(&self) -> bool {
+        self.middleware_degraded
+    }
+
+    /// Fires every one-shot fault due at `now_ns`: battery drains hit
+    /// the battery, database crashes restart the host and open a
+    /// recovery window proportional to the replayed journal.
+    fn apply_due_oneshots(&mut self, now_ns: u64) {
+        if self.faults.is_empty() {
+            return;
+        }
+        let due: Vec<FaultKind> = self
+            .faults
+            .oneshots_due(&mut self.fault_state, now_ns)
+            .iter()
+            .map(|e| e.kind)
+            .collect();
+        for kind in due {
+            match kind {
+                FaultKind::BatteryDrain { joules } => {
+                    let _ = self.station.battery.drain(joules);
+                    self.recorder
+                        .instant(now_ns, Layer::Station, "fault: battery drain", self.txn_seq);
+                }
+                FaultKind::DbCrash => {
+                    let replayed = self.host.web.crash_and_recover_db().map_or(0, |n| n as u64);
+                    let recovery = DB_RECOVERY_BASE
+                        .as_nanos()
+                        .saturating_add(DB_RECOVERY_PER_ENTRY.as_nanos().saturating_mul(replayed));
+                    self.host_recovering_until_ns = self
+                        .host_recovering_until_ns
+                        .max(now_ns.saturating_add(recovery));
+                    self.recorder
+                        .instant(now_ns, Layer::Host, "fault: db crash, replaying journal", self.txn_seq);
+                }
+                _ => {}
+            }
+        }
+    }
+
     fn content_kind(format: AirFormat) -> ContentKind {
         match format {
             AirFormat::WmlBinary => ContentKind::WmlBinary,
@@ -259,12 +358,15 @@ impl CommerceSystem for McSystem {
     }
 
     fn execute(&mut self, req: &MobileRequest) -> TransactionReport {
+        let t0 = self.clock_ns;
+        // One-shot faults due by now (battery drains, host crashes)
+        // strike before the transaction leaves the station.
+        self.apply_due_oneshots(t0);
         let txn = self.txn_seq;
         self.txn_seq += 1;
-        let t0 = self.clock_ns;
         let mut cursor = t0;
 
-        let Some(air) = self.air else {
+        let Some(mut air) = self.air else {
             let reason = format!("no coverage on {}", self.wireless.name());
             obs::metrics::incr("station.txn_failures");
             self.recorder.instant(cursor, Layer::Wireless, &reason, txn);
@@ -278,6 +380,44 @@ impl CommerceSystem for McSystem {
             self.recorder
                 .dump_failure(txn, "battery exhausted", Layer::Station);
             return TransactionReport::failed("battery exhausted");
+        }
+
+        // Injected wireless outage: the AP is dark. The station probes,
+        // loses its session (forced handoff), and gives up — a retry
+        // policy can come back once the window passes.
+        if self.faults.outage_active(t0) {
+            let reason = "wireless outage (handoff in progress)";
+            self.session_up = false;
+            self.wtls_established = false;
+            let probe_secs = OUTAGE_PROBE.as_secs_f64();
+            let probe_energy = self.station.browser.device().idle_power_w() * probe_secs;
+            let _ = self.station.battery.drain(probe_energy);
+            cursor += OUTAGE_PROBE.as_nanos();
+            self.fail_txn(txn, cursor, reason, Layer::Wireless);
+            let mut report = TransactionReport::failed(reason);
+            report.total = probe_secs;
+            report.breakdown.wireless_secs = probe_secs;
+            report.energy_j = probe_energy;
+            return report;
+        }
+
+        // Host still replaying its journal after an injected crash: the
+        // connection is accepted but service refused.
+        if t0 < self.host_recovering_until_ns {
+            let reason = "host database recovering after crash";
+            let probe_secs = HOST_PROBE.as_secs_f64();
+            cursor += HOST_PROBE.as_nanos();
+            self.fail_txn(txn, cursor, reason, Layer::Host);
+            let mut report = TransactionReport::failed(reason);
+            report.total = probe_secs;
+            report.breakdown.wired_secs = probe_secs;
+            return report;
+        }
+
+        // A loss burst raises the air link's BER for this transaction
+        // (the `air` binding is a copy — the baseline link is untouched).
+        if let Some(burst) = self.faults.burst_ber(t0) {
+            air.ber = air.ber.max(burst);
         }
 
         obs::metrics::incr("station.transactions");
@@ -327,10 +467,57 @@ impl CommerceSystem for McSystem {
             self.wtls_established = true;
         }
 
+        // Injected gateway outage: the primary middleware is
+        // unreachable. A system serving through its fallback middleware
+        // bypasses the failed gateway and is unaffected.
+        if !self.middleware_degraded && self.faults.gateway_down(t0) {
+            let reason = "middleware gateway unavailable (outage)";
+            self.drain(breakdown, energy);
+            self.fail_txn(txn, cursor, reason, Layer::Middleware);
+            return TransactionReport {
+                total: breakdown.total_secs(),
+                breakdown,
+                air_bytes_up: 0,
+                air_bytes_down: 0,
+                retransmissions: 0,
+                energy_j: energy,
+                success: false,
+                failure: Some(reason.into()),
+                outcome: None,
+                attempts: 1,
+            };
+        }
+
         // The middleware performs the exchange against the host; the
         // byte counts and CPU costs it reports are then charged to the
         // network and component models.
         let mut ex: Exchange = self.middleware.exchange(&mut self.host, &req);
+
+        // Injected transcoder degradation: the gateway's binary WML
+        // encoder is wedged and emits corrupt decks. Only binary-WML
+        // paths are affected — the textual fallback sails through.
+        if ex.format == AirFormat::WmlBinary
+            && !self.middleware_degraded
+            && self.faults.transcode_degraded(t0)
+        {
+            let reason = "transcode degraded (corrupt binary deck)";
+            breakdown.middleware_secs += ex.middleware_cpu.as_secs_f64();
+            cursor += ex.middleware_cpu.as_nanos();
+            self.drain(breakdown, energy);
+            self.fail_txn(txn, cursor, reason, Layer::Middleware);
+            return TransactionReport {
+                total: breakdown.total_secs(),
+                breakdown,
+                air_bytes_up: 0,
+                air_bytes_down: 0,
+                retransmissions: 0,
+                energy_j: energy,
+                success: false,
+                failure: Some(reason.into()),
+                outcome: None,
+                attempts: 1,
+            };
+        }
 
         // Security: every over-the-air payload is sealed into a WTLS
         // record (header + sequence + MAC) and costs handset CPU.
@@ -401,6 +588,7 @@ impl CommerceSystem for McSystem {
                 success: false,
                 failure: Some("uplink failed (ARQ exhausted)".into()),
                 outcome: None,
+                attempts: 1,
             };
         }
 
@@ -456,6 +644,7 @@ impl CommerceSystem for McSystem {
                 success: false,
                 failure: Some("downlink failed (ARQ exhausted)".into()),
                 outcome: None,
+                attempts: 1,
             };
         }
 
@@ -550,6 +739,7 @@ impl CommerceSystem for McSystem {
             success,
             failure,
             outcome: self.last_outcome.clone(),
+            attempts: 1,
         }
     }
 
@@ -559,6 +749,112 @@ impl CommerceSystem for McSystem {
 }
 
 impl McSystem {
+    /// Executes one transaction under a [`RetryPolicy`]: failed attempts
+    /// are triaged ([`classify`]) and — for transient faults — retried
+    /// after exponential, jittered backoff on the station's sim clock
+    /// (draining idle battery), or — for degraded-path faults — retried
+    /// immediately through the fallback middleware installed with
+    /// [`set_fallback_middleware`](McSystem::set_fallback_middleware).
+    ///
+    /// The final report absorbs every failed attempt's paid costs
+    /// (latency, breakdown, energy, air bytes, retransmissions) and
+    /// counts all attempts in [`TransactionReport::attempts`]. Backoff
+    /// time advances the clock and drains the battery but is user wait,
+    /// not transaction latency. The primary middleware is restored once
+    /// the transaction settles, so a later gateway window degrades (and
+    /// is counted) again.
+    ///
+    /// Jitter draws come only from `rng` — pass a stream derived from
+    /// the scenario seed and user index to keep fleets bit-identical at
+    /// any thread count.
+    pub fn execute_with_retry(
+        &mut self,
+        req: &MobileRequest,
+        policy: &RetryPolicy,
+        rng: &mut StdRng,
+    ) -> TransactionReport {
+        let mut report = self.execute(req);
+        if policy.is_none() {
+            return report;
+        }
+        // The retry budget runs from the end of the first attempt.
+        let deadline_end = self.clock_ns.saturating_add(policy.deadline.as_nanos());
+        let mut attempts: u32 = 1;
+        let mut prior = PhaseBreakdown::default();
+        let mut prior_total = 0.0f64;
+        let mut prior_energy = 0.0f64;
+        let mut prior_up = 0u64;
+        let mut prior_down = 0u64;
+        let mut prior_retx = 0u32;
+        while !report.success && attempts < policy.max_attempts {
+            let reason = report.failure.clone().unwrap_or_default();
+            match classify(&reason) {
+                FailureClass::Permanent => break,
+                FailureClass::Degraded => {
+                    let Some(kind) = self.fallback_kind else { break };
+                    if self.middleware_degraded {
+                        // Already on the fallback and still degraded:
+                        // another swap cannot help.
+                        break;
+                    }
+                    let primary = std::mem::replace(&mut self.middleware, kind.build());
+                    self.degraded_primary = Some(primary);
+                    self.middleware_degraded = true;
+                    self.session_up = false;
+                    obs::metrics::incr("policy.degraded");
+                }
+                FailureClass::Transient => {
+                    let backoff = policy.backoff(attempts, rng);
+                    if self.clock_ns.saturating_add(backoff.as_nanos()) > deadline_end {
+                        break;
+                    }
+                    self.recorder.span(
+                        self.clock_ns,
+                        backoff.as_nanos(),
+                        Layer::Application,
+                        "retry_backoff",
+                        self.txn_seq,
+                    );
+                    if !self.idle(backoff.as_secs_f64()) {
+                        break; // battery died while waiting
+                    }
+                }
+            }
+            prior_total += report.total;
+            prior.station_secs += report.breakdown.station_secs;
+            prior.wireless_secs += report.breakdown.wireless_secs;
+            prior.middleware_secs += report.breakdown.middleware_secs;
+            prior.wired_secs += report.breakdown.wired_secs;
+            prior.host_secs += report.breakdown.host_secs;
+            prior_energy += report.energy_j;
+            prior_up += report.air_bytes_up;
+            prior_down += report.air_bytes_down;
+            prior_retx += report.retransmissions;
+            attempts += 1;
+            obs::metrics::incr("policy.retries");
+            report = self.execute(req);
+        }
+        // Settle: the primary middleware comes back for the next
+        // transaction (fresh session, since the gateway path changed).
+        if let Some(primary) = self.degraded_primary.take() {
+            self.middleware = primary;
+            self.middleware_degraded = false;
+            self.session_up = false;
+        }
+        report.attempts = attempts;
+        report.total += prior_total;
+        report.breakdown.station_secs += prior.station_secs;
+        report.breakdown.wireless_secs += prior.wireless_secs;
+        report.breakdown.middleware_secs += prior.middleware_secs;
+        report.breakdown.wired_secs += prior.wired_secs;
+        report.breakdown.host_secs += prior.host_secs;
+        report.energy_j += prior_energy;
+        report.air_bytes_up += prior_up;
+        report.air_bytes_down += prior_down;
+        report.retransmissions += prior_retx;
+        report
+    }
+
     fn drain(&mut self, breakdown: PhaseBreakdown, radio_energy: f64) {
         let os_factor = self.station.browser.device().os.cpu_overhead_factor();
         let energy = radio_energy + breakdown.station_secs * STATION_ACTIVE_W * os_factor;
@@ -669,6 +965,7 @@ impl CommerceSystem for EcSystem {
                 Some(format!("host returned {}", resp.status))
             },
             outcome: self.last_outcome.clone(),
+            attempts: 1,
         }
     }
 
@@ -900,6 +1197,199 @@ mod tests {
             sys.host.web.db().get("orders", &1.into()).unwrap().unwrap()[1],
             hostsite::db::Value::Text("widget".into())
         );
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use hostsite::db::Database;
+    use markup::html;
+    use middleware::WapGateway;
+    use simnet::rng::rng_for;
+    use wireless::WlanStandard;
+
+    fn host() -> HostComputer {
+        let mut host = HostComputer::new(Database::new(), 17);
+        host.web.static_page(
+            "/",
+            html::page("Store", vec![html::p("open for business").into()]).to_markup(),
+        );
+        host
+    }
+
+    fn system() -> McSystem {
+        McSystem::new(
+            host(),
+            Box::new(WapGateway::default()),
+            DeviceProfile::ipaq_h3870(),
+            WirelessConfig::Wlan {
+                standard: WlanStandard::Dot11b,
+                distance_m: 20.0,
+            },
+            WiredPath::wan(),
+            5,
+        )
+    }
+
+    #[test]
+    fn outage_window_fails_transactions_then_clears() {
+        let mut sys = system();
+        sys.set_fault_plan(FaultPlan::none().window(
+            SimDuration::ZERO,
+            SimDuration::from_secs(1),
+            FaultKind::WirelessOutage,
+        ));
+        let r = sys.execute(&MobileRequest::get("/"));
+        assert!(!r.success);
+        assert!(r.failure.as_deref().unwrap().contains("wireless outage"));
+        // The probe took finite time and energy even though it failed.
+        assert!(r.total > 0.0);
+        assert!(r.energy_j > 0.0);
+        sys.idle(2.0);
+        assert!(sys.execute(&MobileRequest::get("/")).success);
+    }
+
+    #[test]
+    fn db_crash_opens_a_recovery_window_and_replays_the_journal() {
+        let mut sys = system();
+        sys.set_fault_plan(
+            FaultPlan::none().oneshot(SimDuration::from_millis(1), FaultKind::DbCrash),
+        );
+        assert!(sys.execute(&MobileRequest::get("/")).success, "before the crash");
+        sys.idle(0.01); // cross the crash instant
+        let r = sys.execute(&MobileRequest::get("/"));
+        assert!(!r.success);
+        assert!(r.failure.as_deref().unwrap().contains("recovering"), "{:?}", r.failure);
+        sys.idle(10.0); // wait out journal replay
+        assert!(sys.execute(&MobileRequest::get("/")).success, "after recovery");
+    }
+
+    #[test]
+    fn battery_drain_oneshot_kills_the_station() {
+        let mut sys = system();
+        sys.set_fault_plan(
+            FaultPlan::none().oneshot(SimDuration::ZERO, FaultKind::BatteryDrain { joules: 1e9 }),
+        );
+        let r = sys.execute(&MobileRequest::get("/"));
+        assert!(!r.success);
+        assert!(r.failure.as_deref().unwrap().contains("battery"));
+        assert_eq!(classify(r.failure.as_deref().unwrap()), FailureClass::Permanent);
+    }
+
+    #[test]
+    fn loss_burst_raises_retransmissions() {
+        let run = |burst: Option<f64>| {
+            let mut sys = system();
+            if let Some(ber) = burst {
+                sys.set_fault_plan(FaultPlan::none().window(
+                    SimDuration::ZERO,
+                    SimDuration::from_secs(3600),
+                    FaultKind::LossBurst { ber },
+                ));
+            }
+            let mut retx = 0u32;
+            for _ in 0..40 {
+                retx += sys.execute(&MobileRequest::get("/")).retransmissions;
+            }
+            retx
+        };
+        assert!(run(Some(2e-4)) > run(None), "burst BER must cost retransmissions");
+    }
+
+    #[test]
+    fn retry_rides_out_a_transient_outage() {
+        let mut sys = system();
+        sys.set_fault_plan(FaultPlan::none().window(
+            SimDuration::ZERO,
+            SimDuration::from_millis(600),
+            FaultKind::WirelessOutage,
+        ));
+        let policy = RetryPolicy::standard();
+        let mut rng = rng_for(9, "test.retry");
+        let r = sys.execute_with_retry(&MobileRequest::get("/"), &policy, &mut rng);
+        assert!(r.success, "{:?}", r.failure);
+        assert!(r.attempts >= 2, "should have retried, attempts={}", r.attempts);
+        // The failed probes' costs are folded into the settled report.
+        assert!(r.breakdown.wireless_secs > OUTAGE_PROBE.as_secs_f64());
+    }
+
+    #[test]
+    fn gateway_outage_degrades_to_the_fallback_middleware() {
+        let mut sys = system();
+        sys.set_fault_plan(FaultPlan::none().window(
+            SimDuration::ZERO,
+            SimDuration::from_secs(3600),
+            FaultKind::GatewayOutage,
+        ));
+        sys.set_fallback_middleware(Some(MiddlewareKind::WapTextual));
+        let policy = RetryPolicy::standard();
+        let mut rng = rng_for(10, "test.degrade");
+        let r = sys.execute_with_retry(&MobileRequest::get("/"), &policy, &mut rng);
+        assert!(r.success, "{:?}", r.failure);
+        assert_eq!(r.attempts, 2);
+        // The primary middleware is restored after the transaction.
+        assert!(!sys.is_middleware_degraded());
+        assert_eq!(sys.middleware.name(), WapGateway::default().name());
+    }
+
+    #[test]
+    fn gateway_outage_without_fallback_or_retry_just_fails() {
+        let mut sys = system();
+        sys.set_fault_plan(FaultPlan::none().window(
+            SimDuration::ZERO,
+            SimDuration::from_secs(3600),
+            FaultKind::GatewayOutage,
+        ));
+        let r = sys.execute(&MobileRequest::get("/"));
+        assert!(!r.success);
+        assert_eq!(
+            classify(r.failure.as_deref().unwrap()),
+            FailureClass::Degraded
+        );
+        let policy = RetryPolicy::standard();
+        let mut rng = rng_for(11, "test.nofallback");
+        // A retrying policy without a fallback cannot fix a degraded path.
+        let r = sys.execute_with_retry(&MobileRequest::get("/"), &policy, &mut rng);
+        assert!(!r.success);
+        assert_eq!(r.attempts, 1);
+    }
+
+    #[test]
+    fn transcoder_fault_corrupts_binary_wml_only() {
+        let mut sys = system();
+        sys.set_fault_plan(FaultPlan::none().window(
+            SimDuration::ZERO,
+            SimDuration::from_secs(3600),
+            FaultKind::TranscodeDegraded,
+        ));
+        let r = sys.execute(&MobileRequest::get("/"));
+        assert!(!r.success);
+        assert!(r.failure.as_deref().unwrap().contains("transcode degraded"));
+        // The textual fallback ships no binary deck, so it sails through.
+        sys.set_fallback_middleware(Some(MiddlewareKind::WapTextual));
+        let policy = RetryPolicy::standard();
+        let mut rng = rng_for(12, "test.transcode");
+        let r = sys.execute_with_retry(&MobileRequest::get("/"), &policy, &mut rng);
+        assert!(r.success, "{:?}", r.failure);
+        assert_eq!(r.attempts, 2);
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut sys = system();
+            if let Some(plan) = plan {
+                sys.set_fault_plan(plan);
+            }
+            let mut out = Vec::new();
+            for _ in 0..10 {
+                let r = sys.execute(&MobileRequest::get("/"));
+                out.push((r.total.to_bits(), r.energy_j.to_bits(), r.retransmissions));
+            }
+            out
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::none())));
     }
 }
 

@@ -1,8 +1,27 @@
 //! Workload runner: drives application sessions through a commerce system.
 
+use faults::RetryPolicy;
+use rand::rngs::StdRng;
+
 use crate::apps::{Application, Step};
 use crate::report::{TransactionReport, WorkloadSummary};
 use crate::system::{CommerceSystem, McSystem};
+
+/// Marks `report` failed when the step's expectation is missing from the
+/// rendered page. Narrow screens wrap words onto new lines, so the
+/// comparison is whitespace-normalised.
+fn check_expectation(report: &mut TransactionReport, step: &Step) {
+    if !report.success {
+        return;
+    }
+    if let Some(expect) = &step.expect {
+        let page = normalise(report.page_text().unwrap_or_default());
+        if !page.contains(&normalise(expect)) {
+            report.success = false;
+            report.failure = Some(format!("expected {expect:?} on page, got {:.60?}…", page));
+        }
+    }
+}
 
 /// Runs one session (a sequence of steps) through `system`, returning a
 /// report per step. A step whose expectation is not met on the rendered
@@ -11,18 +30,27 @@ pub fn run_session(system: &mut dyn CommerceSystem, steps: &[Step]) -> Vec<Trans
     let mut reports = Vec::with_capacity(steps.len());
     for step in steps {
         let mut report = system.execute(&step.req);
-        if report.success {
-            if let Some(expect) = &step.expect {
-                // Narrow screens wrap words onto new lines, so compare
-                // whitespace-normalised text.
-                let page = normalise(report.page_text().unwrap_or_default());
-                if !page.contains(&normalise(expect)) {
-                    report.success = false;
-                    report.failure =
-                        Some(format!("expected {expect:?} on page, got {:.60?}…", page));
-                }
-            }
-        }
+        check_expectation(&mut report, step);
+        reports.push(report);
+    }
+    reports
+}
+
+/// Runs one session through an [`McSystem`] under a [`RetryPolicy`]:
+/// each step executes via [`McSystem::execute_with_retry`], so transient
+/// injected faults are retried with backoff and degraded-path faults
+/// fall back to the alternate middleware. Expectations are checked on
+/// the settled (post-retry) report.
+pub fn run_session_with_policy(
+    system: &mut McSystem,
+    steps: &[Step],
+    policy: &RetryPolicy,
+    rng: &mut StdRng,
+) -> Vec<TransactionReport> {
+    let mut reports = Vec::with_capacity(steps.len());
+    for step in steps {
+        let mut report = system.execute_with_retry(&step.req, policy, rng);
+        check_expectation(&mut report, step);
         reports.push(report);
     }
     reports

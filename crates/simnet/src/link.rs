@@ -72,6 +72,12 @@ pub enum LossModel {
 }
 
 impl LossModel {
+    /// True when sampling this model consumes randomness (everything but
+    /// [`LossModel::None`]).
+    pub fn is_stochastic(&self) -> bool {
+        !matches!(self, LossModel::None)
+    }
+
     fn validate(&self) {
         let ok = |p: f64| (0.0..=1.0).contains(&p);
         let valid = match *self {
@@ -130,6 +136,51 @@ impl LinkParams {
 /// A delivery callback shared between the link and its scheduled events.
 type Receiver<M> = Rc<dyn Fn(&mut Simulator, M)>;
 
+/// Derives the deterministic fallback seed for a link that was given a
+/// stochastic loss model but no RNG: a stable FNV-1a fold of the link
+/// parameters. Identical parameters always yield the identical stream, so
+/// auto-seeded links keep fixed-seed runs reproducible; links that need
+/// *independent* streams should still call [`Link::set_rng`] with a
+/// [`crate::rng::rng_for`]-derived RNG.
+fn auto_seed(params: &LinkParams) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    fold(params.bandwidth_bps);
+    fold(params.propagation.as_nanos());
+    fold(params.queue_capacity as u64);
+    match params.loss {
+        LossModel::None => fold(0),
+        LossModel::Bernoulli { p } => {
+            fold(1);
+            fold(p.to_bits());
+        }
+        LossModel::BitError { ber } => {
+            fold(2);
+            fold(ber.to_bits());
+        }
+        LossModel::Gilbert {
+            p_enter_bad,
+            p_exit_bad,
+            loss_in_bad,
+        } => {
+            fold(3);
+            fold(p_enter_bad.to_bits());
+            fold(p_exit_bad.to_bits());
+            fold(loss_in_bad.to_bits());
+        }
+    }
+    hash
+}
+
+fn auto_rng(params: &LinkParams) -> StdRng {
+    crate::rng::rng_for(auto_seed(params), "link.autoseed")
+}
+
 struct LinkState<M> {
     /// Virtual time at which the transmitter becomes idle.
     tx_free_at: SimTime,
@@ -183,11 +234,15 @@ impl<M> fmt::Debug for Link<M> {
 }
 
 impl<M: Wire + 'static> Link<M> {
-    /// Creates a link with the given parameters and no random loss stream.
+    /// Creates a link with the given parameters.
     ///
-    /// If `params.loss` is stochastic, pair this constructor with
-    /// [`Link::set_rng`] or use [`Link::with_rng`]; sending a message
-    /// through a stochastic model with no RNG panics.
+    /// If `params.loss` is stochastic and no RNG is ever attached via
+    /// [`Link::set_rng`] / [`Link::with_rng`], the link deterministically
+    /// auto-seeds one from a stable hash of its parameters, so a fault
+    /// plan swapping a loss model onto a plain link mid-simulation keeps
+    /// working — and keeps fixed-seed runs byte-identical. Attach an
+    /// explicit RNG when several identically-configured links must see
+    /// independent loss streams.
     ///
     /// # Panics
     ///
@@ -195,13 +250,14 @@ impl<M: Wire + 'static> Link<M> {
     pub fn new(params: LinkParams) -> Rc<Self> {
         assert!(params.bandwidth_bps > 0, "link bandwidth must be positive");
         params.loss.validate();
+        let rng = params.loss.is_stochastic().then(|| auto_rng(&params));
         Rc::new(Link {
             params: RefCell::new(params),
             state: RefCell::new(LinkState {
                 tx_free_at: SimTime::ZERO,
                 queued: 0,
                 gilbert_bad: false,
-                rng: None,
+                rng,
                 receiver: None,
             }),
             offered: Counter::new(),
@@ -244,6 +300,15 @@ impl<M: Wire + 'static> Link<M> {
     pub fn set_params(&self, params: LinkParams) {
         assert!(params.bandwidth_bps > 0, "link bandwidth must be positive");
         params.loss.validate();
+        if params.loss.is_stochastic() {
+            // A link that has never needed randomness may be handed a
+            // stochastic model mid-simulation (fault plans do exactly
+            // this); auto-seed rather than letting the next send fail.
+            let mut state = self.state.borrow_mut();
+            if state.rng.is_none() {
+                state.rng = Some(auto_rng(&params));
+            }
+        }
         *self.params.borrow_mut() = params;
     }
 
@@ -252,10 +317,6 @@ impl<M: Wire + 'static> Link<M> {
     /// The message is dropped (with the appropriate counter bumped) on queue
     /// overflow or stochastic loss; otherwise the receiver callback fires
     /// after queueing + serialisation + propagation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the loss model is stochastic and no RNG was attached.
     pub fn send(self: &Rc<Self>, sim: &mut Simulator, msg: M) {
         self.offered.incr();
         let size = msg.wire_size();
@@ -313,10 +374,10 @@ impl<M: Wire + 'static> Link<M> {
         }
         let mut state = self.state.borrow_mut();
         let state = &mut *state;
-        let rng = state
-            .rng
-            .as_mut()
-            .expect("stochastic loss model requires an RNG: call Link::set_rng");
+        // Belt and braces: `new`/`set_params` already auto-seed, but a
+        // caller mutating loss through some future path must never panic
+        // mid-simulation over a missing RNG.
+        let rng = state.rng.get_or_insert_with(|| auto_rng(params));
         match params.loss {
             LossModel::None => false,
             LossModel::Bernoulli { p } => rng.random_bool(p),
@@ -489,13 +550,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "requires an RNG")]
-    fn stochastic_loss_without_rng_panics() {
+    fn stochastic_loss_without_rng_auto_seeds_deterministically() {
+        // Regression: this used to panic via `expect`. Two links with
+        // identical parameters and no explicit RNG must now (a) work and
+        // (b) produce the identical loss pattern.
+        let run = || {
+            let mut sim = Simulator::new();
+            let mut params = LinkParams::reliable(1_000_000_000, SimDuration::ZERO);
+            params.loss = LossModel::Bernoulli { p: 0.5 };
+            params.queue_capacity = 10_000;
+            let (link, got) = collect_link(params);
+            for _ in 0..1000 {
+                link.send(&mut sim, vec![0u8; 10]);
+            }
+            sim.run();
+            let delivered = got.borrow().len();
+            (delivered, link.dropped_loss.get())
+        };
+        let (a_delivered, a_lost) = run();
+        let (b_delivered, b_lost) = run();
+        assert_eq!(a_delivered, b_delivered);
+        assert_eq!(a_lost, b_lost);
+        assert!(a_delivered > 0 && a_lost > 0, "p=0.5 must drop some");
+    }
+
+    #[test]
+    fn set_params_swap_to_stochastic_auto_seeds() {
+        // The fault-plan case: a reliable link is handed a burst-loss
+        // model mid-simulation without anyone attaching an RNG.
         let mut sim = Simulator::new();
-        let mut params = LinkParams::reliable(1_000_000, SimDuration::ZERO);
-        params.loss = LossModel::Bernoulli { p: 0.5 };
-        let (link, _got) = collect_link(params);
+        let (link, got) = collect_link(LinkParams::reliable(1_000_000_000, SimDuration::ZERO));
         link.send(&mut sim, vec![0u8; 10]);
+        sim.run();
+        let mut params = link.params();
+        params.loss = LossModel::Gilbert {
+            p_enter_bad: 0.3,
+            p_exit_bad: 0.1,
+            loss_in_bad: 1.0,
+        };
+        params.queue_capacity = 10_000;
+        link.set_params(params);
+        for _ in 0..500 {
+            link.send(&mut sim, vec![0u8; 10]);
+        }
+        sim.run();
+        assert!(link.dropped_loss.get() > 0, "burst model never dropped");
+        assert!(got.borrow().len() > 1, "burst model dropped everything");
     }
 
     #[test]

@@ -48,6 +48,9 @@ impl Counter {
 }
 
 /// Summary statistics over a set of `f64` samples.
+///
+/// Percentiles use linear interpolation between closest ranks (the R-7
+/// scheme), so e.g. the median of `[1, 3]` is `2.0`, not either sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
@@ -160,9 +163,15 @@ impl Sampler {
         let sum: f64 = sorted.iter().sum();
         let mean = sum / count as f64;
         let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        // Linear interpolation between closest ranks (the R-7 / NumPy
+        // default). Rounding the rank instead is subtly wrong at small
+        // counts: the median of two samples would come back as the max.
         let q = |p: f64| -> f64 {
-            let idx = ((count as f64 - 1.0) * p).round() as usize;
-            sorted[idx.min(count - 1)]
+            let rank = (count as f64 - 1.0) * p;
+            let lo = rank.floor() as usize;
+            let hi = (lo + 1).min(count - 1);
+            let frac = rank - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
         };
         Summary {
             count,
@@ -302,6 +311,41 @@ mod tests {
         assert!((sum.p50 - 50.0).abs() <= 1.0);
         assert!((sum.p90 - 90.0).abs() <= 1.0);
         assert!((sum.p99 - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn median_of_two_samples_interpolates() {
+        // Regression: rank rounding used to return the max here.
+        let s = Sampler::new();
+        s.record(1.0);
+        s.record(3.0);
+        let sum = s.summary();
+        assert_eq!(sum.p50, 2.0);
+        assert!((sum.p90 - 2.8).abs() < 1e-9);
+        assert!((sum.p99 - 2.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_the_sample() {
+        let s = Sampler::new();
+        s.record(7.5);
+        let sum = s.summary();
+        assert_eq!(sum.p50, 7.5);
+        assert_eq!(sum.p90, 7.5);
+        assert_eq!(sum.p99, 7.5);
+    }
+
+    #[test]
+    fn tiny_count_percentiles_interpolate() {
+        // Three samples: p50 lands exactly on the middle one, p90 sits
+        // 80% of the way between the 2nd and 3rd.
+        let s = Sampler::new();
+        for v in [10.0, 20.0, 30.0] {
+            s.record(v);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.p50, 20.0);
+        assert!((sum.p90 - 28.0).abs() < 1e-9);
     }
 
     #[test]

@@ -27,6 +27,12 @@ use crate::seg::{SocketAddr, TcpSegment, MSS};
 pub const MIN_RTO: f64 = 0.2;
 /// Upper bound on the retransmission timeout.
 pub const MAX_RTO: f64 = 60.0;
+/// Consecutive RTOs on the same unacknowledged data after which the
+/// connection gives up and aborts (RFC 1122 §4.2.3.5 "R2"-style). With
+/// exponential backoff this tolerates roughly two minutes of total
+/// silence, so only a dead peer or a permanent partition trips it —
+/// handoff blackouts are orders of magnitude shorter.
+pub const MAX_CONSECUTIVE_RTOS: u32 = 7;
 /// Default advertised receive window (bytes).
 pub const DEFAULT_RWND: u32 = 1 << 20;
 /// Initial congestion window (segments).
@@ -47,6 +53,10 @@ pub enum State {
     Established,
     /// Both sides have exchanged and acknowledged FINs.
     Done,
+    /// The connection gave up after [`MAX_CONSECUTIVE_RTOS`] consecutive
+    /// retransmission timeouts: the peer is presumed dead. Terminal — no
+    /// further segments are sent or accepted.
+    Aborted,
 }
 
 /// Measurement counters exposed by every connection.
@@ -62,6 +72,8 @@ pub struct ConnectionStats {
     pub fast_retransmits: Counter,
     /// Retransmission timeouts taken.
     pub rtos: Counter,
+    /// Aborts after the consecutive-RTO limit (0 or 1 per connection).
+    pub aborts: Counter,
     /// Smoothed round-trip samples (seconds).
     pub rtt: Sampler,
     /// Goodput meter over delivered bytes.
@@ -187,6 +199,7 @@ struct RecvState {
 
 type DataCallback = Rc<dyn Fn(&mut Simulator, Bytes)>;
 type EventCallback = Rc<dyn Fn(&mut Simulator)>;
+type ErrorCallback = Rc<dyn Fn(&mut Simulator, &str)>;
 
 /// One endpoint of a TCP connection.
 ///
@@ -202,6 +215,7 @@ pub struct Connection {
     on_data: RefCell<Option<DataCallback>>,
     on_established: RefCell<Vec<EventCallback>>,
     on_closed: RefCell<Vec<EventCallback>>,
+    on_error: RefCell<Vec<ErrorCallback>>,
     timer_key: Cell<Option<EventKey>>,
     /// Measurement counters.
     pub stats: ConnectionStats,
@@ -265,6 +279,7 @@ impl Connection {
             on_data: RefCell::new(None),
             on_established: RefCell::new(Vec::new()),
             on_closed: RefCell::new(Vec::new()),
+            on_error: RefCell::new(Vec::new()),
             timer_key: Cell::new(None),
             stats: ConnectionStats::default(),
             trace,
@@ -317,6 +332,14 @@ impl Connection {
     /// [`State::Done`].
     pub fn on_closed(&self, f: impl Fn(&mut Simulator) + 'static) {
         self.on_closed.borrow_mut().push(Rc::new(f));
+    }
+
+    /// Registers a callback fired if the connection aborts — today only
+    /// via the [`MAX_CONSECUTIVE_RTOS`] give-up — with a human-readable
+    /// reason. A resilience layer should treat this as a *retryable*
+    /// transport failure: the peer may return after a handoff or outage.
+    pub fn on_error(&self, f: impl Fn(&mut Simulator, &str) + 'static) {
+        self.on_error.borrow_mut().push(Rc::new(f));
     }
 
     // ------------------------------------------------------------------
@@ -527,16 +550,21 @@ impl Connection {
         }
         self.stats.rtos.incr();
         obs::metrics::incr("transport.rto_fired");
-        {
+        let give_up = {
             let mut snd = self.snd.borrow_mut();
             let flight = (snd.nxt - snd.una) as f64;
             snd.ssthresh = (flight / 2.0).max(2.0 * MSS as f64);
             snd.cwnd = MSS as f64;
             snd.dupacks = 0;
             snd.in_recovery = false;
-            snd.backoff = (snd.backoff + 1).min(10);
+            snd.backoff += 1;
             snd.rto = (snd.rto * 2.0).clamp(MIN_RTO, MAX_RTO);
             snd.rtt_pending = false; // Karn: no samples across retransmits
+            snd.backoff >= MAX_CONSECUTIVE_RTOS
+        };
+        if give_up {
+            self.abort(sim, "retransmission limit reached: peer unreachable");
+            return;
         }
         self.trace.log(
             sim.now(),
@@ -545,6 +573,25 @@ impl Connection {
         );
         self.retransmit_una(sim);
         self.arm_timer(sim);
+    }
+
+    /// Tears the connection down unilaterally, cancelling its timer and
+    /// firing the [`Connection::on_error`] callbacks with `reason`.
+    /// Idempotent; a no-op once the connection is `Done` or `Aborted`.
+    pub fn abort(self: &Rc<Self>, sim: &mut Simulator, reason: &str) {
+        if matches!(self.state.get(), State::Done | State::Aborted) {
+            return;
+        }
+        self.state.set(State::Aborted);
+        self.cancel_timer(sim);
+        self.stats.aborts.incr();
+        obs::metrics::incr("transport.aborts");
+        self.trace
+            .log(sim.now(), "tcp", format!("{} ABORT: {reason}", self.local));
+        let listeners: Vec<_> = self.on_error.borrow().clone();
+        for l in listeners {
+            l(sim, reason);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -608,6 +655,9 @@ impl Connection {
                 if seg.fin {
                     self.send_pure_ack(sim);
                 }
+            }
+            State::Aborted => {
+                // The connection is dead; late segments are dropped.
             }
         }
     }
@@ -833,6 +883,9 @@ impl Connection {
     /// duplicate ACKs so the *peer* fast-retransmits anything lost in the
     /// blackout. Both actions are cheap no-ops when nothing is in flight.
     pub fn handoff_complete(self: &Rc<Self>, sim: &mut Simulator) {
+        if matches!(self.state.get(), State::Done | State::Aborted) {
+            return;
+        }
         let has_unacked = {
             let snd = self.snd.borrow();
             snd.una < snd.nxt

@@ -31,7 +31,7 @@ pub mod split;
 pub mod tcp;
 pub mod udp;
 
-pub use conn::{Connection, ConnectionStats};
+pub use conn::{Connection, ConnectionStats, State, MAX_CONSECUTIVE_RTOS};
 pub use seg::{SocketAddr, TcpSegment, MSS, TCP_HEADER_BYTES};
 pub use snoop::SnoopAgent;
 pub use split::SplitProxy;

@@ -365,6 +365,42 @@ mod tests {
     }
 
     #[test]
+    fn dead_peer_aborts_after_consecutive_rtos() {
+        let mut p = pair(LinkParams::reliable(
+            10_000_000,
+            SimDuration::from_millis(5),
+        ));
+        let _sink = server_sink(&p.tcp_b);
+        let conn = p.tcp_a.connect(&mut p.sim, A, SocketAddr::new(B, 80));
+        let errors: Rc<RefCell<Vec<String>>> = Rc::default();
+        {
+            let e = Rc::clone(&errors);
+            conn.on_error(move |_sim, reason| e.borrow_mut().push(reason.to_string()));
+        }
+        conn.send(&mut p.sim, &vec![3u8; 500_000]);
+        // Mid-transfer the path dies permanently, in both directions.
+        {
+            let (ab, ba) = (Rc::clone(&p.links.0), Rc::clone(&p.links.1));
+            p.sim.schedule_at(SimTime::from_millis(50), move |_| {
+                let mut dead = ab.params();
+                dead.loss = LossModel::Bernoulli { p: 1.0 };
+                ab.set_params(dead.clone());
+                ba.set_params(dead);
+            });
+        }
+        p.sim.run();
+        // Regression: this used to retransmit at MAX_RTO forever (the
+        // backoff counter was written but never read). Now it gives up.
+        assert_eq!(conn.state(), State::Aborted);
+        assert_eq!(conn.stats.aborts.get(), 1);
+        assert!(conn.stats.rtos.get() >= crate::conn::MAX_CONSECUTIVE_RTOS as u64);
+        assert_eq!(errors.borrow().len(), 1);
+        assert!(errors.borrow()[0].contains("retransmission limit"));
+        // ... and promptly: well before a MAX_RTO treadmill would.
+        assert!(p.sim.now().as_secs_f64() < 180.0);
+    }
+
+    #[test]
     fn syn_is_retransmitted_after_rto() {
         let mut p = pair(LinkParams::reliable(
             10_000_000,

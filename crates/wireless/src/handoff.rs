@@ -106,9 +106,29 @@ impl<M: Wire + 'static> HandoffController<M> {
         sim.schedule_in(self.period, move |sim| ctl.begin_blackout(sim));
     }
 
-    fn begin_blackout(self: Rc<Self>, sim: &mut Simulator) {
-        // Capture the latest "normal" parameters so distance-driven rate
-        // changes made since the last handoff survive restoration.
+    /// Forces an immediate, out-of-schedule handoff: the serving AP/cell
+    /// died and the station must re-associate elsewhere, severing the
+    /// radio for `blackout`. Completion listeners fire when it ends, just
+    /// as for a scheduled handoff — the fast-retransmit signal of \[2\]
+    /// keys on fault-driven handoffs too. A no-op if the links are
+    /// already blacked out (the radio cannot get more severed).
+    ///
+    /// Works on controllers that were never [started](Self::start): a
+    /// purely fault-driven controller performs no periodic handoffs.
+    pub fn force_handoff(self: &Rc<Self>, sim: &mut Simulator, blackout: SimDuration) {
+        if self.in_blackout.get() {
+            return;
+        }
+        self.sever(sim);
+        obs::metrics::incr("wireless.handoffs_forced");
+        let ctl = Rc::clone(self);
+        sim.schedule_in(blackout, move |sim| ctl.restore(sim));
+    }
+
+    /// Cuts every controlled link and saves its parameters. The caller
+    /// schedules the matching [`Self::restore`].
+    fn sever(&self, sim: &mut Simulator) {
+        let _ = sim;
         let links = self.links.borrow();
         let mut saved = self.normal.borrow_mut();
         for (i, link) in links.iter().enumerate() {
@@ -117,16 +137,11 @@ impl<M: Wire + 'static> HandoffController<M> {
             params.loss = LossModel::Bernoulli { p: 1.0 };
             link.set_params(params);
         }
-        drop(saved);
-        drop(links);
         self.in_blackout.set(true);
-        obs::metrics::incr("wireless.handoffs_begun");
-
-        let ctl = Rc::clone(&self);
-        sim.schedule_in(self.blackout, move |sim| ctl.end_blackout(sim));
     }
 
-    fn end_blackout(self: Rc<Self>, sim: &mut Simulator) {
+    /// Restores every controlled link and notifies listeners.
+    fn restore(self: Rc<Self>, sim: &mut Simulator) {
         for (link, params) in self.links.borrow().iter().zip(self.normal.borrow().iter()) {
             link.set_params(params.clone());
         }
@@ -137,10 +152,32 @@ impl<M: Wire + 'static> HandoffController<M> {
         for l in listeners {
             l(sim);
         }
+    }
+
+    fn begin_blackout(self: Rc<Self>, sim: &mut Simulator) {
+        if self.in_blackout.get() {
+            // A forced handoff is already severing the links; saving their
+            // parameters now would capture the blackout as "normal". Skip
+            // this cycle and stay on the periodic schedule.
+            let ctl = Rc::clone(&self);
+            sim.schedule_in(self.period, move |sim| ctl.begin_blackout(sim));
+            return;
+        }
+        // `sever` captures the latest "normal" parameters so
+        // distance-driven rate changes made since the last handoff
+        // survive restoration.
+        self.sever(sim);
+        obs::metrics::incr("wireless.handoffs_begun");
+
         let ctl = Rc::clone(&self);
-        sim.schedule_in(self.period - self.blackout, move |sim| {
-            ctl.begin_blackout(sim)
-        });
+        sim.schedule_in(self.blackout, move |sim| ctl.end_blackout(sim));
+    }
+
+    fn end_blackout(self: Rc<Self>, sim: &mut Simulator) {
+        let ctl = Rc::clone(&self);
+        self.restore(sim);
+        let wait = ctl.period - ctl.blackout;
+        sim.schedule_in(wait, move |sim| ctl.begin_blackout(sim));
     }
 }
 
@@ -231,6 +268,66 @@ mod tests {
         sim.run_until(SimTime::from_millis(1_200));
         assert!(!ctl.in_blackout());
         assert_eq!(link.params().bandwidth_bps, 500_000);
+        assert_eq!(link.params().loss, LossModel::None);
+    }
+
+    #[test]
+    fn forced_handoff_severs_now_and_reassociates_after_the_blackout() {
+        let mut sim = Simulator::new();
+        let (link, got) = lossless_link();
+        let ctl = HandoffController::new(
+            Rc::clone(&link),
+            SimDuration::from_secs(3600),
+            SimDuration::from_millis(1),
+        );
+        // Never start()ed: no periodic handoffs, only the forced one.
+        {
+            let ctl = Rc::clone(&ctl);
+            sim.schedule_at(SimTime::from_millis(500), move |sim| {
+                ctl.force_handoff(sim, SimDuration::from_millis(300));
+            });
+        }
+        for i in 0..10u64 {
+            let link = Rc::clone(&link);
+            sim.schedule_at(SimTime::from_millis(i * 100 + 50), move |sim| {
+                link.send(sim, vec![0u8; 100]);
+            });
+        }
+        sim.run_until(SimTime::from_millis(1_100));
+        // Frames at 550, 650 and 750 ms die in the forced blackout.
+        assert_eq!(got.borrow().len(), 7);
+        assert_eq!(ctl.completed.get(), 1);
+        assert_eq!(link.params().loss, LossModel::None);
+    }
+
+    #[test]
+    fn periodic_schedule_survives_an_overlapping_forced_handoff() {
+        let mut sim = Simulator::new();
+        let (link, _got) = lossless_link();
+        let ctl = HandoffController::new(
+            Rc::clone(&link),
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(100),
+        );
+        ctl.start(&mut sim);
+        // A forced blackout spanning the first periodic begin (at 1 s):
+        // the periodic cycle must skip, not capture the severed link's
+        // parameters as "normal" and black it out forever.
+        {
+            let ctl = Rc::clone(&ctl);
+            sim.schedule_at(SimTime::from_millis(900), move |sim| {
+                ctl.force_handoff(sim, SimDuration::from_millis(400));
+            });
+        }
+        sim.run_until(SimTime::from_millis(1_400));
+        assert!(!ctl.in_blackout());
+        assert_eq!(link.params().loss, LossModel::None);
+        // And the periodic schedule keeps going afterwards: the skipped
+        // cycle re-arms one period later, blacking out [2000, 2100) ms.
+        sim.run_until(SimTime::from_millis(2_050));
+        assert!(ctl.in_blackout());
+        sim.run_until(SimTime::from_millis(2_150));
+        assert!(!ctl.in_blackout());
         assert_eq!(link.params().loss, LossModel::None);
     }
 

@@ -5,8 +5,10 @@
 #                      report binary and benches are actually run;
 #   test (root pkg)  — the `mcommerce` facade's unit + integration
 #                      tests, including the fleet determinism
-#                      properties in tests/fleet_props.rs and the trace
-#                      determinism properties in tests/trace_props.rs;
+#                      properties in tests/fleet_props.rs, the trace
+#                      determinism properties in tests/trace_props.rs,
+#                      and the fault-injection properties in
+#                      tests/fault_props.rs;
 #   clippy (-D warnings, whole workspace) — lints are errors;
 #   bench (compile)  — the Criterion benches build;
 #   report smoke     — the F4 engine experiment runs end to end and
@@ -14,7 +16,13 @@
 #   obs smoke        — the F5 observability experiment runs with
 #                      --trace, emits well-formed BENCH_obs.json and
 #                      Chrome-trace JSON, and the disabled-recorder
-#                      overhead stays within the 3% budget.
+#                      overhead stays within the 3% budget;
+#   faults smoke     — the F6 fault-injection experiment runs end to
+#                      end, emits well-formed BENCH_faults.json, the
+#                      retry policy strictly beats the bare fleet at
+#                      every non-zero storm intensity, a zero-fault
+#                      plan is byte-identical to no plan, and the TCP
+#                      sender aborts against a dead peer.
 #
 # Run from anywhere; the script cds to the repo root.
 set -euo pipefail
@@ -36,5 +44,24 @@ pct = doc["storm"]["overhead_disabled_pct"]
 assert pct <= 3.0, f"disabled-recorder overhead {pct:.2f}% exceeds the 3% budget"
 assert doc["fleet"]["trace_events"] > 0, "traced fleet produced no events"
 print(f"obs gate: disabled overhead {pct:+.2f}% (budget 3%)")
+PY
+cargo run --release -p bench --bin report -- --quick --f6
+python3 -m json.tool BENCH_faults.json > /dev/null
+python3 - <<'PY'
+import json
+doc = json.load(open("BENCH_faults.json"))
+for row in doc["sweep"]:
+    if row["intensity"] > 0:
+        assert row["retry_availability"] > row["bare_availability"], (
+            f"intensity {row['intensity']}: retry {row['retry_availability']} "
+            f"does not beat bare {row['bare_availability']}"
+        )
+assert doc["zero_fault_identical"], "zero-fault fleet diverged from plan-free fleet"
+assert doc["dead_peer"]["aborted"], "TCP sender failed to abort against a dead peer"
+assert doc["trace"]["fault_events"] > 0, "no fault events reached the flight recorder"
+worst = min(r["retry_availability"] - r["bare_availability"]
+            for r in doc["sweep"] if r["intensity"] > 0)
+print(f"faults gate: retry dominates bare (min margin {worst:+.4f}); "
+      f"dead peer aborted at {doc['dead_peer']['abort_secs']:.0f}s")
 PY
 echo "tier1: OK"

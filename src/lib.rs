@@ -24,6 +24,7 @@
 //! See `DESIGN.md` for the complete system inventory and `EXPERIMENTS.md`
 //! for the per-table/figure reproduction index.
 
+pub use faults;
 pub use hostsite;
 pub use markup;
 pub use obs;

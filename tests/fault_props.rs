@@ -1,0 +1,173 @@
+//! Property tests for the fault-injection subsystem (DESIGN.md §2.13):
+//! injected storms and the retry policy must preserve the fleet
+//! engine's determinism contract, and the log-linear histogram the
+//! percentiles ride on must agree with an exact sampler.
+//!
+//! The load-bearing invariants:
+//!
+//! 1. A faulted fleet (storm + retry + fallback) merges to bit-identical
+//!    summaries at any thread count, and across reruns — faults are part
+//!    of each user's sim-time world, not wall-clock noise.
+//! 2. An *empty* fault plan plus the no-retry policy is byte-identical
+//!    to a fleet that never heard of faults: the subsystem is provably
+//!    free when unused.
+//! 3. The retry policy never lowers availability, and strictly raises it
+//!    once a storm actually injects faults into the timeline.
+//! 4. `obs::Histogram::percentile` tracks the exact nearest-rank value
+//!    within its documented 1/32 bucket error, and lands close to the
+//!    `simnet` Sampler's interpolated quantiles on dense data.
+
+use proptest::prelude::*;
+
+use mcommerce::core::{fleet, Category, MiddlewareKind, Scenario};
+use mcommerce::faults::{FaultPlan, RetryPolicy};
+use mcommerce::obs::Histogram;
+use mcommerce::simnet::stats::Sampler;
+use mcommerce::simnet::SimDuration;
+
+const HORIZON: SimDuration = SimDuration::from_secs(30);
+
+/// A fleet whose users' sim-time sessions overlap a fixed-seed storm.
+fn stormy_scenario(users: u64, fleet_seed: u64, storm_seed: u64, intensity: f64) -> Scenario {
+    Scenario::new("fault-prop")
+        .app(Category::Commerce)
+        .users(users)
+        .sessions_per_user(4)
+        .think_time(3.0)
+        .seed(fleet_seed)
+        .faults(FaultPlan::storm(storm_seed, HORIZON, intensity))
+        .retry(RetryPolicy::standard())
+        .fallback_middleware(MiddlewareKind::WapTextual)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn faulted_fleet_summary_is_thread_count_invariant(
+        users in 2..6u64,
+        fleet_seed in any::<u64>(),
+        storm_seed in any::<u64>(),
+        intensity in 0.5..2.0f64,
+    ) {
+        let scenario = stormy_scenario(users, fleet_seed, storm_seed, intensity);
+        let one = fleet::run_on(&scenario, 1).summary;
+        let two = fleet::run_on(&scenario, 2).summary;
+        let four = fleet::run_on(&scenario, 4).summary;
+        let eight = fleet::run_on(&scenario, 8).summary;
+        prop_assert_eq!(&one, &two);
+        prop_assert_eq!(&one, &four);
+        prop_assert_eq!(&one, &eight);
+        // Rerun at the same thread count: no hidden wall-clock state.
+        let again = fleet::run_on(&scenario, 4).summary;
+        prop_assert_eq!(&one, &again);
+    }
+
+    #[test]
+    fn faulted_fleet_trace_is_thread_count_invariant(
+        fleet_seed in any::<u64>(),
+        storm_seed in any::<u64>(),
+    ) {
+        let scenario = stormy_scenario(3, fleet_seed, storm_seed, 1.5);
+        let (report_1, trace_1) = fleet::run_traced_on(&scenario, 1);
+        let (report_4, trace_4) = fleet::run_traced_on(&scenario, 4);
+        prop_assert_eq!(&report_1.summary, &report_4.summary);
+        // The exported artefacts must be byte-identical, not just
+        // semantically equal — CI diffs them.
+        prop_assert_eq!(trace_1.to_jsonl(), trace_4.to_jsonl());
+    }
+
+    #[test]
+    fn empty_fault_plan_and_no_retry_are_free(
+        users in 1..6u64,
+        sessions in 1..3u64,
+        seed in any::<u64>(),
+    ) {
+        let plain = Scenario::new("fault-prop")
+            .users(users)
+            .sessions_per_user(sessions)
+            .seed(seed);
+        let armed = plain
+            .clone()
+            .faults(FaultPlan::none())
+            .retry(RetryPolicy::none());
+        let baseline = fleet::run_on(&plain, 2).summary;
+        let with_machinery = fleet::run_on(&armed, 4).summary;
+        prop_assert_eq!(baseline, with_machinery);
+    }
+
+    #[test]
+    fn histogram_percentile_tracks_nearest_rank_within_bucket_error(
+        mut values in proptest::collection::vec(1u64..5_000_000_000, 1..200),
+        p in 1.0..100.0f64,
+    ) {
+        let mut hist = Histogram::default();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize;
+        let exact = values[rank - 1];
+        let reported = hist.percentile(p);
+        prop_assert!(reported <= exact, "{reported} > exact {exact}");
+        prop_assert!(
+            reported >= exact.saturating_sub(exact / 32 + 1),
+            "{reported} more than one sub-bucket below exact {exact}"
+        );
+    }
+}
+
+/// With a fixed storm, the hardened fleet must strictly beat the bare
+/// one — and never do worse at any intensity, including zero.
+#[test]
+fn retry_policy_never_lowers_and_eventually_raises_availability() {
+    for &intensity in &[0.0, 0.75, 1.5] {
+        let storm = FaultPlan::storm(99, HORIZON, intensity);
+        let bare = Scenario::new("fault-prop")
+            .app(Category::Commerce)
+            .users(6)
+            .sessions_per_user(6)
+            .think_time(3.0)
+            .seed(17)
+            .faults(storm.clone());
+        let hardened = bare
+            .clone()
+            .retry(RetryPolicy::standard())
+            .fallback_middleware(MiddlewareKind::WapTextual);
+        let bare_rate = fleet::run_on(&bare, 2).summary.workload.success_rate();
+        let hard_rate = fleet::run_on(&hardened, 2).summary.workload.success_rate();
+        assert!(
+            hard_rate >= bare_rate,
+            "intensity {intensity}: hardened {hard_rate} < bare {bare_rate}"
+        );
+        if intensity > 1.0 {
+            assert!(
+                hard_rate > bare_rate,
+                "intensity {intensity}: retry bought nothing ({hard_rate} vs {bare_rate})"
+            );
+        }
+    }
+}
+
+/// On dense data the bucketed histogram and the exact interpolating
+/// sampler must tell the same story, within the histogram's ~3%
+/// quantisation (plus the interpolation gap at small strides).
+#[test]
+fn histogram_and_sampler_quantiles_agree_on_dense_data() {
+    let sampler = Sampler::new();
+    let mut hist = Histogram::default();
+    for v in 1_000u64..=2_000 {
+        sampler.record(v as f64);
+        hist.record(v);
+    }
+    let summary = sampler.summary();
+    for (p, exact) in [(50.0, summary.p50), (90.0, summary.p90), (99.0, summary.p99)] {
+        let bucketed = hist.percentile(p) as f64;
+        let rel = (exact - bucketed).abs() / exact;
+        assert!(
+            rel < 0.04,
+            "p{p}: histogram {bucketed} vs sampler {exact} ({:.1}% apart)",
+            rel * 100.0
+        );
+    }
+}
