@@ -2,18 +2,20 @@
 //! and prints them in paper order.
 //!
 //! ```text
-//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--trace]
+//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--f7] [--trace]
 //! ```
 //!
 //! `--quick` shrinks every workload for smoke runs; `--f4` runs only the
 //! F4 event-engine experiment (and still writes `BENCH_engine.json`);
 //! `--f5` runs only the F5 observability-overhead experiment (writes
 //! `BENCH_obs.json`); `--f6` runs only the F6 fault-injection experiment
-//! (writes `BENCH_faults.json`). `--trace` additionally exports the fixed-seed
+//! (writes `BENCH_faults.json`); `--f7` runs only the F7 caching-hierarchy
+//! experiment (writes `BENCH_cache.json`). `--trace` additionally exports the fixed-seed
 //! fleet trace as `TRACE_fleet.jsonl` and `TRACE_fleet.trace.json` —
 //! open the latter in `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use bench::ablations;
+use bench::cache_experiment;
 use bench::engine;
 use bench::experiments;
 use bench::faults_experiment;
@@ -75,13 +77,24 @@ fn f6(quick: bool) {
     println!("\n-> wrote {path}");
 }
 
+/// Runs F7 and writes the `BENCH_cache.json` artefact.
+fn f7(quick: bool) {
+    heading("F7 — caching hierarchy: cold vs warm latency, zero-TTL identity");
+    let numbers = cache_experiment::run(quick);
+    println!("{numbers}");
+    let path = "BENCH_cache.json";
+    std::fs::write(path, numbers.to_json()).expect("write BENCH_cache.json");
+    println!("\n-> wrote {path}");
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = std::env::args().any(|a| a == "--trace");
     let only_f4 = std::env::args().any(|a| a == "--f4");
     let only_f5 = std::env::args().any(|a| a == "--f5");
     let only_f6 = std::env::args().any(|a| a == "--f6");
-    if only_f4 || only_f5 || only_f6 {
+    let only_f7 = std::env::args().any(|a| a == "--f7");
+    if only_f4 || only_f5 || only_f6 || only_f7 {
         if only_f4 {
             f4(quick);
         }
@@ -90,6 +103,9 @@ fn main() {
         }
         if only_f6 {
             f6(quick);
+        }
+        if only_f7 {
+            f7(quick);
         }
         return;
     }
@@ -169,6 +185,7 @@ fn main() {
     f4(quick);
     f5(quick, trace);
     f6(quick);
+    f7(quick);
 
     heading("X1 — §5.2: TCP variants over an error-prone wireless hop");
     for row in tcpx::full_sweep(x1_bytes) {

@@ -14,6 +14,7 @@
 //! | F4 | event-engine throughput, wheel vs heap | [`engine::run`] |
 //! | F5 | observability overhead, recorder on/off | [`obs_experiment::run`] |
 //! | F6 | fault injection: availability under storms | [`faults_experiment::run`] |
+//! | F7 | caching hierarchy: cold vs warm, zero-TTL identity | [`cache_experiment::run`] |
 //! | X1 | §5.2, TCP variants on wireless | [`tcpx::tcp_variants`] |
 //! | X2 | §1.1, five system requirements | [`experiments::independence`] |
 //!
@@ -23,6 +24,7 @@
 //! `trace_event` JSON (load the latter in Perfetto).
 
 pub mod ablations;
+pub mod cache_experiment;
 pub mod engine;
 pub mod experiments;
 pub mod faults_experiment;

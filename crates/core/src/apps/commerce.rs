@@ -139,7 +139,8 @@ impl Application for PaymentsApp {
 
                 // Reserve the item under the hold.
                 let reserved: Result<(), DbError> = ctx.db.transaction(|tx| {
-                    let mut row = tx.get("products", &sku.into())?.ok_or(DbError::NotFound)?;
+                    let mut row =
+                        (*tx.get("products", &sku.into())?.ok_or(DbError::NotFound)?).clone();
                     let Value::Int(stock) = row[3] else {
                         return Err(DbError::NotFound);
                     };

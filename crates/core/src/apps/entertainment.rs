@@ -71,9 +71,10 @@ impl Application for EntertainmentApp {
                 let Some(id) = req.param("id").and_then(|s| s.parse::<i64>().ok()) else {
                     return HttpResponse::error(Status::BadRequest, "bad media id");
                 };
-                let Ok(Some(mut row)) = ctx.db.get("media", &id.into()) else {
+                let Ok(Some(row)) = ctx.db.get("media", &id.into()) else {
                     return HttpResponse::error(Status::NotFound, "no such item");
                 };
+                let mut row = (*row).clone();
                 let Value::Int(kb) = row[3] else {
                     return HttpResponse::error(Status::ServerError, "bad row");
                 };

@@ -100,14 +100,16 @@ impl Application for ErpApp {
                 };
                 let worker = req.param("worker").unwrap_or("crew").to_owned();
                 let result: Result<String, DbError> = ctx.db.transaction(|tx| {
-                    let mut row = tx.get("tasks", &task.into())?.ok_or(DbError::NotFound)?;
+                    let mut row =
+                        (*tx.get("tasks", &task.into())?.ok_or(DbError::NotFound)?).clone();
                     if row[3] != Value::Text("open".into()) {
                         return Err(DbError::NotFound); // already done
                     }
                     let part = row[2].to_string();
-                    let mut stock = tx
+                    let mut stock = (*tx
                         .get("stock", &part.clone().into())?
-                        .ok_or(DbError::NotFound)?;
+                        .ok_or(DbError::NotFound)?)
+                    .clone();
                     let Value::Int(qty) = stock[1] else {
                         return Err(DbError::NotFound);
                     };

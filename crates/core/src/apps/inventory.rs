@@ -68,7 +68,8 @@ impl Application for InventoryApp {
                 let location = req.param("location").unwrap_or("unknown").to_owned();
                 let delivered = req.param("delivered") == Some("1");
                 let result: Result<(), DbError> = ctx.db.transaction(|tx| {
-                    let mut row = tx.get("packages", &id.into())?.ok_or(DbError::NotFound)?;
+                    let mut row =
+                        (*tx.get("packages", &id.into())?.ok_or(DbError::NotFound)?).clone();
                     row[2] = location.clone().into();
                     if delivered {
                         row[3] = "delivered".into();
@@ -97,7 +98,8 @@ impl Application for InventoryApp {
                 };
                 let driver = req.param("driver").unwrap_or("unknown").to_owned();
                 let result: Result<(), DbError> = ctx.db.transaction(|tx| {
-                    let mut row = tx.get("packages", &id.into())?.ok_or(DbError::NotFound)?;
+                    let mut row =
+                        (*tx.get("packages", &id.into())?.ok_or(DbError::NotFound)?).clone();
                     row[4] = driver.clone().into();
                     tx.update("packages", row)
                 });

@@ -76,7 +76,8 @@ impl Application for TrafficApp {
                     .unwrap_or(0)
                     .clamp(0, 9);
                 let result: Result<(), DbError> = ctx.db.transaction(|tx| {
-                    let mut row = tx.get("roads", &id.into())?.ok_or(DbError::NotFound)?;
+                    let mut row =
+                        (*tx.get("roads", &id.into())?.ok_or(DbError::NotFound)?).clone();
                     row[4] = level.into();
                     tx.update("roads", row)
                 });

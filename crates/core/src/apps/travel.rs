@@ -99,9 +99,10 @@ impl Application for TravelApp {
                 };
                 let passenger = req.param("passenger").unwrap_or("guest").to_owned();
                 let ticket_id: Result<i64, DbError> = ctx.db.transaction(|tx| {
-                    let mut row = tx
+                    let mut row = (*tx
                         .get("flights", &flight.into())?
-                        .ok_or(DbError::NotFound)?;
+                        .ok_or(DbError::NotFound)?)
+                    .clone();
                     let Value::Int(seats) = row[4] else {
                         return Err(DbError::NotFound);
                     };
@@ -159,9 +160,10 @@ impl Application for TravelApp {
                         return Err(DbError::NotFound);
                     };
                     tx.delete("tickets", &id.into())?;
-                    let mut row = tx
+                    let mut row = (*tx
                         .get("flights", &flight.into())?
-                        .ok_or(DbError::NotFound)?;
+                        .ok_or(DbError::NotFound)?)
+                    .clone();
                     let Value::Int(seats) = row[4] else {
                         return Err(DbError::NotFound);
                     };

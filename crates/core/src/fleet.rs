@@ -43,7 +43,7 @@ use wireless::WlanStandard;
 use crate::apps::{for_category, Category};
 use crate::netpath::{WiredPath, WirelessConfig};
 use crate::report::{WorkloadCounters, WorkloadSummary};
-use crate::system::{McSystem, MiddlewareKind};
+use crate::system::{CachePolicy, McSystem, MiddlewareKind};
 use crate::workload::run_session;
 
 /// A declarative description of one fleet experiment: who the users
@@ -105,6 +105,12 @@ pub struct Scenario {
     /// Fallback middleware for graceful degradation under gateway or
     /// transcoder faults.
     pub fallback: Option<MiddlewareKind>,
+    /// Cache policy applied to every user's system. Disabled by default
+    /// — and a disabled policy executes the exact pre-cache path, so a
+    /// cache-free fleet is bit-identical to one carrying
+    /// `CachePolicy::disabled()`. Caches are strictly per-user (each
+    /// user owns a full system), preserving thread-count invariance.
+    pub cache: CachePolicy,
 }
 
 impl Scenario {
@@ -130,6 +136,7 @@ impl Scenario {
             faults: faults::FaultPlan::none(),
             retry: faults::RetryPolicy::none(),
             fallback: None,
+            cache: CachePolicy::disabled(),
         }
     }
 
@@ -212,6 +219,12 @@ impl Scenario {
         self
     }
 
+    /// Sets the cache policy applied to every user's system.
+    pub fn cache(mut self, policy: CachePolicy) -> Self {
+        self.cache = policy;
+        self
+    }
+
     /// Label summarising the configuration for reports.
     pub fn label(&self) -> String {
         format!(
@@ -249,6 +262,9 @@ impl Scenario {
             system.set_fault_plan(self.faults.clone());
         }
         system.set_fallback_middleware(self.fallback);
+        if self.cache.enabled {
+            system.set_cache_policy(self.cache);
+        }
         system
     }
 
@@ -715,6 +731,53 @@ mod tests {
         );
         assert!(hardened.workload.counters.retries > 0);
         assert_eq!(bare.workload.counters.retries, 0);
+    }
+
+    #[test]
+    fn workload_retry_counters_match_the_policy_metric() {
+        let storm = faults::FaultPlan::storm(77, simnet::SimDuration::from_secs(60), 1.5);
+        let scenario = small()
+            .users(6)
+            .sessions_per_user(6)
+            .think_time(3.0)
+            .faults(storm)
+            .retry(faults::RetryPolicy::standard())
+            .fallback_middleware(MiddlewareKind::WapTextual);
+        let (report, trace) = run_traced_on(&scenario, 2);
+        let counters = &report.summary.workload.counters;
+        assert!(counters.retries > 0);
+        // Every re-drive increments `policy.retries` exactly once, and
+        // the counter fold adds exactly attempts−1 per settled
+        // transaction: a degraded-fallback success is one retry, never
+        // a double count. The two tallies must agree.
+        assert_eq!(trace.metrics.counter("policy.retries"), counters.retries);
+    }
+
+    #[test]
+    fn cached_fleets_hit_every_cache_layer() {
+        use crate::system::CachePolicy;
+        // Standard policy: the gateway cache intercepts repeat GETs
+        // before they reach the host.
+        let scenario = small()
+            .users(3)
+            .sessions_per_user(3)
+            .cache(CachePolicy::standard());
+        let (report, trace) = run_traced_on(&scenario, 2);
+        assert!(report.summary.workload.success_rate() > 0.99);
+        assert!(trace.metrics.counter("middleware.cache.hits") > 0);
+        // The gateway-cache span shows up on the sim-time timeline.
+        assert!(trace.events.iter().any(|e| e.name == "gateway_cache"));
+
+        // Gateway TTL zero: repeat GETs reach the host and the page
+        // cache answers them instead.
+        let host_only = CachePolicy {
+            gateway_ttl: simnet::SimDuration::ZERO,
+            ..CachePolicy::standard()
+        };
+        let (report, trace) = run_traced_on(&small().sessions_per_user(3).cache(host_only), 1);
+        assert!(report.summary.workload.success_rate() > 0.99);
+        assert_eq!(trace.metrics.counter("middleware.cache.hits"), 0);
+        assert!(trace.metrics.counter("host.page_cache.hits") > 0);
     }
 
     #[test]

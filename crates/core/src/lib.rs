@@ -46,4 +46,4 @@ pub use netpath::{AirLink, WiredPath, WirelessConfig};
 pub use report::{
     PhaseBreakdown, TransactionOutcome, TransactionReport, WorkloadCounters, WorkloadSummary,
 };
-pub use system::{CommerceSystem, EcSystem, McSystem, MiddlewareKind, StationState};
+pub use system::{CachePolicy, CommerceSystem, EcSystem, McSystem, MiddlewareKind, StationState};

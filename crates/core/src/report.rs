@@ -187,9 +187,13 @@ pub struct WorkloadCounters {
     pub energy_nj: u128,
     /// Link-layer retransmissions over successes.
     pub retransmissions: u64,
-    /// Transaction-level retries (attempts beyond the first), counted
-    /// over every transaction — a failed transaction's spent retries
-    /// still cost battery and airtime.
+    /// Transaction-level retries: exactly `Σ(attempts − 1)` over every
+    /// recorded transaction, successes and failures alike (a failed
+    /// transaction's spent retries still cost battery and airtime). A
+    /// transaction that settles through the degraded fallback counts
+    /// once here — as a retry, never as an extra attempted or succeeded
+    /// transaction — and the sum equals the `policy.retries` obs
+    /// counter over a traced run (both pinned by tests).
     pub retries: u64,
     /// Per-component latency sums over successes, nanoseconds, keyed
     /// `station` / `wireless` / `middleware` / `wired` / `host`.
@@ -536,6 +540,29 @@ mod tests {
             vec![crate::hist::bucket(ns)]
         );
         assert_eq!(counters.latency_hist.count(), 1);
+    }
+
+    #[test]
+    fn retry_counter_algebra_is_pinned() {
+        // A retried success (attempts = 2, e.g. one degraded-fallback
+        // swap) folds into ONE attempted transaction, one success and
+        // exactly one retry — never a double count.
+        let mut swapped = report(1.0, 0.5, 0.5);
+        swapped.attempts = 2;
+        // A transaction that exhausted three attempts and still failed:
+        // one attempted, one failure, two retries.
+        let mut exhausted = TransactionReport::failed("wireless outage (handoff in progress)");
+        exhausted.attempts = 3;
+        let mut counters = WorkloadCounters::default();
+        counters.record(&swapped);
+        counters.record(&exhausted);
+        counters.record(&report(1.0, 0.5, 0.5)); // plain first-try success
+        assert_eq!(counters.attempted, 3);
+        assert_eq!(counters.succeeded, 2);
+        assert_eq!(counters.retries, (2 - 1) + (3 - 1));
+        // Attempted always partitions into successes and failures.
+        let failures: u64 = counters.failures.values().sum();
+        assert_eq!(counters.attempted, counters.succeeded + failures);
     }
 
     #[test]

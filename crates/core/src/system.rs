@@ -8,7 +8,7 @@
 //! each [`TransactionReport`] is the executable counterpart of the
 //! figures' block diagrams.
 
-use middleware::{AirFormat, Exchange, Middleware, MobileRequest};
+use middleware::{AirFormat, ContentCache, ContentKey, Exchange, Middleware, MobileRequest};
 
 use faults::{classify, FailureClass, FaultKind, FaultPlan, FaultState, RetryPolicy};
 use hostsite::HostComputer;
@@ -103,6 +103,65 @@ impl std::fmt::Display for MiddlewareKind {
     }
 }
 
+/// Declarative configuration of the deterministic caching hierarchy
+/// (DESIGN.md §2.14): the middleware gateway's content cache, the host
+/// web server's page cache, and the host database's query cache.
+///
+/// The default policy is fully disabled, and a system carrying it
+/// executes the exact pre-cache path bit for bit. Every knob is in
+/// simulated time or plain bytes — never wall clock — so cached fleets
+/// stay bit-identical at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePolicy {
+    /// Master switch. Off ⇒ no cache exists at any layer and no cache
+    /// metrics are emitted.
+    pub enabled: bool,
+    /// TTL of the host web server's page cache, sim time. Zero keeps
+    /// the page cache off even when `enabled` is set.
+    pub host_ttl: SimDuration,
+    /// TTL of the middleware gateway's content cache, sim time. Zero
+    /// keeps the gateway cache off even when `enabled` is set.
+    pub gateway_ttl: SimDuration,
+    /// Byte budget each cache layer may hold before LRU eviction.
+    pub byte_budget: usize,
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        CachePolicy::disabled()
+    }
+}
+
+impl CachePolicy {
+    /// No caching anywhere — the exact pre-cache execution path.
+    pub fn disabled() -> Self {
+        CachePolicy {
+            enabled: false,
+            host_ttl: SimDuration::ZERO,
+            gateway_ttl: SimDuration::ZERO,
+            byte_budget: 0,
+        }
+    }
+
+    /// Workshop defaults: 30 s sim-time TTL at both layers, 256 KiB
+    /// per layer, everything on.
+    pub fn standard() -> Self {
+        CachePolicy {
+            enabled: true,
+            host_ttl: SimDuration::from_secs(30),
+            gateway_ttl: SimDuration::from_secs(30),
+            byte_budget: 256 * 1024,
+        }
+    }
+
+    /// Sets both TTLs at once (builder style).
+    pub fn ttl(mut self, ttl: SimDuration) -> Self {
+        self.host_ttl = ttl;
+        self.gateway_ttl = ttl;
+        self
+    }
+}
+
 /// The mobile station's aggregate state inside an [`McSystem`].
 #[derive(Debug)]
 pub struct StationState {
@@ -166,6 +225,10 @@ pub struct McSystem {
     degraded_primary: Option<Box<dyn Middleware>>,
     /// Until this instant the host refuses service (journal replay).
     host_recovering_until_ns: u64,
+    /// The caching hierarchy's configuration (disabled by default).
+    cache: CachePolicy,
+    /// The gateway content cache, present iff the policy enables it.
+    gateway_cache: Option<ContentCache>,
 }
 
 impl std::fmt::Debug for McSystem {
@@ -210,7 +273,37 @@ impl McSystem {
             fallback_kind: None,
             degraded_primary: None,
             host_recovering_until_ns: 0,
+            cache: CachePolicy::disabled(),
+            gateway_cache: None,
         }
+    }
+
+    /// Applies a cache policy across the hierarchy: (re)builds the
+    /// gateway content cache and configures the host's page and query
+    /// caches. Replacing the policy drops anything previously cached.
+    pub fn set_cache_policy(&mut self, policy: CachePolicy) {
+        self.cache = policy;
+        self.gateway_cache = if policy.enabled && policy.gateway_ttl > SimDuration::ZERO {
+            Some(ContentCache::new(
+                policy.gateway_ttl.as_nanos(),
+                policy.byte_budget,
+            ))
+        } else {
+            None
+        };
+        if policy.enabled && policy.host_ttl > SimDuration::ZERO {
+            self.host
+                .web
+                .configure_page_cache(policy.host_ttl.as_nanos(), policy.byte_budget);
+        } else {
+            self.host.web.disable_page_cache();
+        }
+        self.host.web.db_mut().set_query_cache(policy.enabled);
+    }
+
+    /// The cache policy in force (disabled by default).
+    pub fn cache_policy(&self) -> CachePolicy {
+        self.cache
     }
 
     /// Installs an observability sink. The default is
@@ -488,10 +581,52 @@ impl CommerceSystem for McSystem {
             };
         }
 
-        // The middleware performs the exchange against the host; the
-        // byte counts and CPU costs it reports are then charged to the
-        // network and component models.
-        let mut ex: Exchange = self.middleware.exchange(&mut self.host, &req);
+        // The middleware performs the exchange against the host — unless
+        // the gateway content cache holds a fresh adapted deck for this
+        // exact (url, device, middleware, cookies) key, in which case
+        // neither the wired network nor the host is touched. An active
+        // transcoder fault bypasses lookup *and* store: a wedged encoder
+        // must not serve — or capture — decks.
+        if self.cache.enabled {
+            self.host.web.set_sim_now_ns(t0);
+        }
+        let cache_key = match &self.gateway_cache {
+            Some(_)
+                if ContentCache::cacheable_request(&req)
+                    && !self.faults.transcode_degraded(t0) =>
+            {
+                Some(ContentKey::for_request(
+                    &req,
+                    self.station.browser.device().name,
+                    self.middleware.name(),
+                ))
+            }
+            _ => None,
+        };
+        let cached = match (self.gateway_cache.as_mut(), &cache_key) {
+            (Some(cache), Some(key)) => cache.lookup(key, t0),
+            _ => None,
+        };
+        let gateway_hit = cached.is_some();
+        let mut ex: Exchange = match cached {
+            Some(hit) => {
+                obs::metrics::incr("middleware.cache.hits");
+                obs::metrics::add("middleware.cache.bytes_saved", hit.content.len() as u64);
+                hit
+            }
+            None => {
+                let ex = self.middleware.exchange(&mut self.host, &req);
+                if let Some(key) = cache_key {
+                    obs::metrics::incr("middleware.cache.misses");
+                    if ContentCache::cacheable_exchange(&ex) {
+                        let cache = self.gateway_cache.as_mut().expect("key implies cache");
+                        let evicted = cache.store(key, &ex, t0);
+                        obs::metrics::add("middleware.cache.evictions", evicted as u64);
+                    }
+                }
+                ex
+            }
+        };
 
         // Injected transcoder degradation: the gateway's binary WML
         // encoder is wedged and emits corrupt decks. Only binary-WML
@@ -595,9 +730,16 @@ impl CommerceSystem for McSystem {
         // Wired hop both ways, middleware CPU, host CPU. The traversal
         // order of the spans follows Figure 2 (middleware → wired → host
         // → wired), while the breakdown sums stay computed exactly as
-        // before.
-        let wired_up = self.wired.transfer(ex.wired_bytes.0);
-        let wired_down = self.wired.transfer(ex.wired_bytes.1);
+        // before. A gateway cache hit never leaves the middleware: both
+        // wired legs and the host visit collapse to zero.
+        let (wired_up, wired_down) = if gateway_hit {
+            (SimDuration::ZERO, SimDuration::ZERO)
+        } else {
+            (
+                self.wired.transfer(ex.wired_bytes.0),
+                self.wired.transfer(ex.wired_bytes.1),
+            )
+        };
         breakdown.wired_secs += (wired_up + wired_down).as_secs_f64();
         breakdown.middleware_secs += ex.middleware_cpu.as_secs_f64();
         breakdown.host_secs += ex.host_cpu.as_secs_f64();
@@ -605,19 +747,21 @@ impl CommerceSystem for McSystem {
             cursor,
             ex.middleware_cpu.as_nanos(),
             Layer::Middleware,
-            "gateway",
+            if gateway_hit { "gateway_cache" } else { "gateway" },
             txn,
         );
         cursor += ex.middleware_cpu.as_nanos();
-        self.recorder
-            .span(cursor, wired_up.as_nanos(), Layer::Wired, "wired_up", txn);
-        cursor += wired_up.as_nanos();
-        self.recorder
-            .span(cursor, ex.host_cpu.as_nanos(), Layer::Host, "host", txn);
-        cursor += ex.host_cpu.as_nanos();
-        self.recorder
-            .span(cursor, wired_down.as_nanos(), Layer::Wired, "wired_down", txn);
-        cursor += wired_down.as_nanos();
+        if !gateway_hit {
+            self.recorder
+                .span(cursor, wired_up.as_nanos(), Layer::Wired, "wired_up", txn);
+            cursor += wired_up.as_nanos();
+            self.recorder
+                .span(cursor, ex.host_cpu.as_nanos(), Layer::Host, "host", txn);
+            cursor += ex.host_cpu.as_nanos();
+            self.recorder
+                .span(cursor, wired_down.as_nanos(), Layer::Wired, "wired_down", txn);
+            cursor += wired_down.as_nanos();
+        }
 
         // Air downlink.
         let down = air.transfer(ex.downlink_bytes, &mut self.rng);
@@ -1390,6 +1534,119 @@ mod fault_tests {
             out
         };
         assert_eq!(run(None), run(Some(FaultPlan::none())));
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use hostsite::db::Database;
+    use markup::html;
+    use middleware::WapGateway;
+    use wireless::WlanStandard;
+
+    fn system() -> McSystem {
+        let mut host = HostComputer::new(Database::new(), 71);
+        host.web.static_page(
+            "/",
+            html::page("Store", vec![html::p("open for business").into()]).to_markup(),
+        );
+        McSystem::new(
+            host,
+            Box::new(WapGateway::default()),
+            DeviceProfile::ipaq_h3870(),
+            WirelessConfig::Wlan {
+                standard: WlanStandard::Dot11b,
+                distance_m: 20.0,
+            },
+            WiredPath::wan(),
+            72,
+        )
+    }
+
+    #[test]
+    fn warm_hits_skip_the_wired_network_and_the_host() {
+        let mut sys = system();
+        sys.set_cache_policy(CachePolicy::standard());
+        let guard = obs::metrics::enable();
+        let cold = sys.execute(&MobileRequest::get("/"));
+        let warm = sys.execute(&MobileRequest::get("/"));
+        drop(guard);
+        let metrics = obs::metrics::take();
+        assert!(cold.success && warm.success, "{:?}", warm.failure);
+        assert_eq!(metrics.counter("middleware.cache.misses"), 1);
+        assert_eq!(metrics.counter("middleware.cache.hits"), 1);
+        assert!(metrics.counter("middleware.cache.bytes_saved") > 0);
+        // The hit never left the middleware.
+        assert_eq!(warm.breakdown.wired_secs, 0.0);
+        assert_eq!(warm.breakdown.host_secs, 0.0);
+        assert!(warm.total < cold.total);
+        // Same payload either way.
+        assert_eq!(
+            warm.outcome.as_ref().unwrap().page_text,
+            cold.outcome.as_ref().unwrap().page_text
+        );
+    }
+
+    #[test]
+    fn a_disabled_policy_is_byte_identical_to_no_policy() {
+        let run = |policy: Option<CachePolicy>| {
+            let mut sys = system();
+            if let Some(p) = policy {
+                sys.set_cache_policy(p);
+            }
+            (0..6)
+                .map(|_| {
+                    let r = sys.execute(&MobileRequest::get("/"));
+                    (r.total.to_bits(), r.energy_j.to_bits(), r.air_bytes_down)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(None), run(Some(CachePolicy::disabled())));
+        // Zero TTLs with the master switch on: the query cache runs (it
+        // is sim-time transparent) but the numbers must not move.
+        assert_eq!(
+            run(None),
+            run(Some(CachePolicy {
+                enabled: true,
+                ..CachePolicy::disabled()
+            }))
+        );
+    }
+
+    #[test]
+    fn a_transcoder_fault_bypasses_the_gateway_cache() {
+        let mut sys = system();
+        sys.set_cache_policy(CachePolicy::standard());
+        // Prime the cache, then wedge the transcoder.
+        assert!(sys.execute(&MobileRequest::get("/")).success);
+        sys.set_fault_plan(FaultPlan::none().window(
+            SimDuration::ZERO,
+            SimDuration::from_secs(3600),
+            FaultKind::TranscodeDegraded,
+        ));
+        let guard = obs::metrics::enable();
+        let r = sys.execute(&MobileRequest::get("/"));
+        drop(guard);
+        let metrics = obs::metrics::take();
+        // The cached deck must not mask the fault.
+        assert!(!r.success);
+        assert!(r.failure.as_deref().unwrap().contains("transcode degraded"));
+        assert_eq!(metrics.counter("middleware.cache.hits"), 0);
+    }
+
+    #[test]
+    fn ttl_expiry_sends_the_next_request_back_to_the_host() {
+        let mut sys = system();
+        sys.set_cache_policy(CachePolicy::standard().ttl(SimDuration::from_secs(2)));
+        let guard = obs::metrics::enable();
+        assert!(sys.execute(&MobileRequest::get("/")).success);
+        sys.idle(5.0); // outlive the 2 s TTL
+        assert!(sys.execute(&MobileRequest::get("/")).success);
+        drop(guard);
+        let metrics = obs::metrics::take();
+        assert_eq!(metrics.counter("middleware.cache.hits"), 0);
+        assert_eq!(metrics.counter("middleware.cache.misses"), 2);
     }
 }
 

@@ -1,0 +1,194 @@
+//! The host web-server page cache.
+//!
+//! The paper's host computers "usually store and manage most of the
+//! content" — and a production web server in that role fronts its
+//! application programs with a page cache. This one is deterministic and
+//! sim-time native: entries are keyed by the canonical request (method,
+//! path, query, accept format, cookies, auth user), expire after a TTL
+//! measured in simulated nanoseconds, and are bounded by a byte budget
+//! with least-recently-used eviction driven by a logical tick counter —
+//! no wall clock anywhere, so fleet runs stay bit-identical at any
+//! thread count.
+//!
+//! Only successful `GET` responses that set no cookies are stored;
+//! `POST`s (which mutate the database and session state) always reach
+//! the application program.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::http::{HttpRequest, HttpResponse};
+
+#[derive(Debug, Clone)]
+struct Entry {
+    resp: HttpResponse,
+    stored_ns: u64,
+    last_used: u64,
+    bytes: usize,
+}
+
+/// A TTL + LRU page cache over canonical-request keys.
+#[derive(Debug)]
+pub struct PageCache {
+    ttl_ns: u64,
+    byte_budget: usize,
+    entries: HashMap<String, Entry>,
+    bytes: usize,
+    /// Logical LRU clock: bumped on every touch, so the eviction victim
+    /// (minimum tick) is unique and deterministic.
+    tick: u64,
+}
+
+impl PageCache {
+    /// Creates a cache holding entries for `ttl_ns` simulated nanoseconds
+    /// within a `byte_budget` of body bytes.
+    pub fn new(ttl_ns: u64, byte_budget: usize) -> Self {
+        PageCache {
+            ttl_ns,
+            byte_budget,
+            entries: HashMap::new(),
+            bytes: 0,
+            tick: 0,
+        }
+    }
+
+    /// The canonical cache key for a request. Query parameters and
+    /// cookies live in `BTreeMap`s, so the rendering is order-stable.
+    pub fn key(req: &HttpRequest) -> String {
+        let mut key = format!("{:?} {}", req.method, req.path);
+        for (name, value) in &req.params {
+            let _ = write!(key, "&{name}={value}");
+        }
+        let _ = write!(key, "|{:?}", req.accept);
+        for (name, value) in &req.cookies {
+            let _ = write!(key, ";{name}={value}");
+        }
+        if let Some((user, _)) = &req.auth {
+            let _ = write!(key, "|u={user}");
+        }
+        key
+    }
+
+    /// Returns the cached response when an entry exists and is still
+    /// fresh at `now_ns`. Expired entries are dropped on the way.
+    pub fn lookup(&mut self, key: &str, now_ns: u64) -> Option<HttpResponse> {
+        let fresh = match self.entries.get(key) {
+            Some(entry) => now_ns.saturating_sub(entry.stored_ns) < self.ttl_ns,
+            None => return None,
+        };
+        if !fresh {
+            if let Some(old) = self.entries.remove(key) {
+                self.bytes -= old.bytes;
+            }
+            return None;
+        }
+        self.tick += 1;
+        let entry = self.entries.get_mut(key).expect("checked above");
+        entry.last_used = self.tick;
+        Some(entry.resp.clone())
+    }
+
+    /// Stores a response, evicting least-recently-used entries until the
+    /// byte budget holds. Returns how many entries were evicted.
+    /// Responses larger than the whole budget are not stored.
+    pub fn store(&mut self, key: String, resp: &HttpResponse, now_ns: u64) -> usize {
+        let bytes = key.len() + resp.body.len();
+        if bytes > self.byte_budget {
+            return 0;
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= old.bytes;
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                resp: resp.clone(),
+                stored_ns: now_ns,
+                last_used: self.tick,
+                bytes,
+            },
+        );
+        self.bytes += bytes;
+        let mut evicted = 0;
+        while self.bytes > self.byte_budget {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over budget implies non-empty");
+            let old = self.entries.remove(&victim).expect("victim exists");
+            self.bytes -= old.bytes;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Body + key bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(body: &str) -> HttpResponse {
+        HttpResponse::ok(body.to_owned())
+    }
+
+    #[test]
+    fn entries_expire_after_the_ttl() {
+        let mut cache = PageCache::new(1_000, 10_000);
+        cache.store("k".into(), &resp("<html><body>x</body></html>"), 0);
+        assert!(cache.lookup("k", 999).is_some());
+        assert!(cache.lookup("k", 1_000).is_none());
+        assert!(cache.is_empty(), "expired entry is dropped");
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let mut cache = PageCache::new(u64::MAX, 60);
+        cache.store("a".into(), &resp("<html>aaaaaaaaaa</html>"), 0);
+        cache.store("b".into(), &resp("<html>bbbbbbbbbb</html>"), 0);
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.lookup("a", 1).is_some());
+        let evicted = cache.store("c".into(), &resp("<html>cccccccccc</html>"), 2);
+        assert_eq!(evicted, 1);
+        assert!(cache.lookup("a", 3).is_some());
+        assert!(cache.lookup("b", 3).is_none());
+        assert!(cache.lookup("c", 3).is_some());
+        assert!(cache.bytes() <= 60);
+    }
+
+    #[test]
+    fn oversized_responses_are_not_stored() {
+        let mut cache = PageCache::new(u64::MAX, 10);
+        let evicted = cache.store("k".into(), &resp(&"x".repeat(100)), 0);
+        assert_eq!(evicted, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn keys_are_canonical_over_request_fields() {
+        let a = PageCache::key(&HttpRequest::get("/shop?x=1&y=2"));
+        let b = PageCache::key(&HttpRequest::get("/shop?y=2&x=1"));
+        assert_eq!(a, b, "query order does not change the key");
+        let c = PageCache::key(&HttpRequest::get("/shop?x=1&y=3"));
+        assert_ne!(a, c);
+        let d = PageCache::key(&HttpRequest::get("/shop?x=1&y=2").with_cookie("sid", "s1"));
+        assert_ne!(a, d, "cookies partition the key space");
+    }
+}

@@ -11,9 +11,18 @@
 //! key, optional secondary indexes, ACID transactions with undo-log
 //! rollback, and a write-ahead journal from which a fresh instance can be
 //! recovered after a crash.
+//!
+//! Rows are stored and returned as [`Arc<Row>`], so reads hand out shared
+//! handles instead of deep copies. An optional query cache (see
+//! [`Database::set_query_cache`]) memoizes [`Database::select_eq`] result
+//! sets per table and is invalidated transactionally: any `insert`,
+//! `update`, or `delete` against a table drops that table's cached
+//! queries — and only that table's.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// A typed cell value.
 #[derive(Debug, Clone, PartialEq, PartialOrd)]
@@ -205,7 +214,7 @@ pub enum JournalEntry {
 #[derive(Debug, Clone)]
 struct Table {
     columns: Vec<String>,
-    rows: BTreeMap<OrdKey, Row>,
+    rows: BTreeMap<OrdKey, Arc<Row>>,
     /// column name → (value key → primary keys)
     indexes: HashMap<String, BTreeMap<OrdKey, Vec<OrdKey>>>,
 }
@@ -217,8 +226,12 @@ impl Table {
 
     fn index_insert(&mut self, row: &Row) {
         let pk = row[0].ord_key();
-        let columns = self.columns.clone();
-        for (col, index) in self.indexes.iter_mut() {
+        // Split-borrow the schema next to the mutable index maps so index
+        // maintenance never has to clone the column list per write.
+        let Table {
+            columns, indexes, ..
+        } = self;
+        for (col, index) in indexes.iter_mut() {
             let ci = columns
                 .iter()
                 .position(|c| c == col)
@@ -229,8 +242,10 @@ impl Table {
 
     fn index_remove(&mut self, row: &Row) {
         let pk = row[0].ord_key();
-        let columns = self.columns.clone();
-        for (col, index) in self.indexes.iter_mut() {
+        let Table {
+            columns, indexes, ..
+        } = self;
+        for (col, index) in indexes.iter_mut() {
             let ci = columns
                 .iter()
                 .position(|c| c == col)
@@ -250,9 +265,12 @@ impl Table {
 #[derive(Debug)]
 enum Undo {
     RemoveRow { table: String, key: OrdKey },
-    RestoreRow { table: String, row: Row },
+    RestoreRow { table: String, row: Arc<Row> },
     DropTable { name: String },
 }
+
+/// table name → ((column, value key) → memoized result set).
+type QueryCache = HashMap<String, HashMap<(String, OrdKey), Vec<Arc<Row>>>>;
 
 /// The embedded database engine.
 ///
@@ -275,6 +293,11 @@ pub struct Database {
     tx_depth: u32,
     undo: Vec<Undo>,
     tx_journal: Vec<JournalEntry>,
+    /// Memoized `select_eq` result sets; interior mutability because the
+    /// read path takes `&self`. Off by default so uncached behaviour is
+    /// untouched.
+    query_cache: RefCell<QueryCache>,
+    query_cache_enabled: bool,
 }
 
 impl Database {
@@ -300,6 +323,38 @@ impl Database {
     /// The write-ahead journal accumulated so far.
     pub fn journal(&self) -> &[JournalEntry] {
         &self.journal
+    }
+
+    /// Enables or disables the `select_eq` query cache. Disabling also
+    /// flushes it. The cache changes no observable query results — writes
+    /// invalidate the touched table's entries before they land in the
+    /// journal — so flipping this knob never changes simulation numbers.
+    pub fn set_query_cache(&mut self, enabled: bool) {
+        self.query_cache_enabled = enabled;
+        if !enabled {
+            self.query_cache.borrow_mut().clear();
+        }
+    }
+
+    /// True when the query cache is on.
+    pub fn query_cache_enabled(&self) -> bool {
+        self.query_cache_enabled
+    }
+
+    /// Drops every cached query result (all tables).
+    pub fn flush_query_cache(&mut self) {
+        self.query_cache.borrow_mut().clear();
+    }
+
+    /// Drops cached query results for one table — the transactional
+    /// invalidation hook called by every successful write.
+    fn invalidate_table(&self, table_name: &str) {
+        if !self.query_cache_enabled {
+            return;
+        }
+        if self.query_cache.borrow_mut().remove(table_name).is_some() {
+            obs::metrics::incr("host.db_cache.invalidations");
+        }
     }
 
     /// Rebuilds a database by replaying a journal — crash recovery.
@@ -479,7 +534,8 @@ impl Database {
         let key = row[0].ord_key();
         let table = self.tables.get_mut(table_name).expect("checked above");
         table.index_insert(&row);
-        table.rows.insert(key.clone(), row.clone());
+        table.rows.insert(key.clone(), Arc::new(row.clone()));
+        self.invalidate_table(table_name);
         self.record(JournalEntry::Insert {
             table: table_name.to_owned(),
             row,
@@ -493,12 +549,14 @@ impl Database {
         Ok(())
     }
 
-    /// Fetches a row by primary key.
+    /// Fetches a row by primary key. The returned [`Arc`] is a shared
+    /// handle into the row store — cloning it is a refcount bump, not a
+    /// deep copy; callers that want to mutate clone the inner `Row`.
     ///
     /// # Errors
     ///
     /// [`DbError::NoSuchTable`] when the table does not exist.
-    pub fn get(&self, table_name: &str, key: &Value) -> Result<Option<Row>, DbError> {
+    pub fn get(&self, table_name: &str, key: &Value) -> Result<Option<Arc<Row>>, DbError> {
         Ok(self.table(table_name)?.rows.get(&key.ord_key()).cloned())
     }
 
@@ -529,7 +587,8 @@ impl Database {
         let table = self.tables.get_mut(table_name).expect("checked above");
         table.index_remove(&old);
         table.index_insert(&row);
-        table.rows.insert(key, row.clone());
+        table.rows.insert(key, Arc::new(row.clone()));
+        self.invalidate_table(table_name);
         self.record(JournalEntry::Update {
             table: table_name.to_owned(),
             row,
@@ -561,6 +620,7 @@ impl Database {
         let table = self.tables.get_mut(table_name).expect("checked above");
         table.index_remove(&old);
         table.rows.remove(&key.ord_key());
+        self.invalidate_table(table_name);
         self.record(JournalEntry::Delete {
             table: table_name.to_owned(),
             key: key.clone(),
@@ -575,6 +635,7 @@ impl Database {
     }
 
     /// Full scan returning rows matching `predicate`, in primary-key order.
+    /// Rows come back as shared handles ([`Arc<Row>`]), not copies.
     ///
     /// # Errors
     ///
@@ -583,19 +644,21 @@ impl Database {
         &self,
         table_name: &str,
         predicate: impl Fn(&Row) -> bool,
-    ) -> Result<Vec<Row>, DbError> {
+    ) -> Result<Vec<Arc<Row>>, DbError> {
         Ok(self
             .table(table_name)?
             .rows
             .values()
-            .filter(|r| predicate(r))
+            .filter(|r| predicate(r.as_ref()))
             .cloned()
             .collect())
     }
 
     /// Index lookup: rows whose `column` equals `value`. Uses the
     /// secondary index when one exists, otherwise falls back to a scan
-    /// (the trivial query planner).
+    /// (the trivial query planner). When the query cache is enabled the
+    /// result set is memoized per table and served until the next write
+    /// to that table invalidates it.
     ///
     /// # Errors
     ///
@@ -605,7 +668,7 @@ impl Database {
         table_name: &str,
         column: &str,
         value: &Value,
-    ) -> Result<Vec<Row>, DbError> {
+    ) -> Result<Vec<Arc<Row>>, DbError> {
         let table = self.table(table_name)?;
         let ci = table
             .column_index(column)
@@ -613,22 +676,45 @@ impl Database {
                 table: table_name.to_owned(),
                 column: column.to_owned(),
             })?;
-        if let Some(index) = table.indexes.get(column) {
-            let Some(pks) = index.get(&value.ord_key()) else {
-                return Ok(Vec::new());
-            };
-            return Ok(pks
-                .iter()
-                .filter_map(|pk| table.rows.get(pk))
-                .cloned()
-                .collect());
+        let cache_key = (column.to_owned(), value.ord_key());
+        if self.query_cache_enabled {
+            if let Some(rows) = self
+                .query_cache
+                .borrow()
+                .get(table_name)
+                .and_then(|queries| queries.get(&cache_key))
+            {
+                obs::metrics::incr("host.db_cache.hits");
+                return Ok(rows.clone());
+            }
         }
-        Ok(table
-            .rows
-            .values()
-            .filter(|r| r[ci] == *value)
-            .cloned()
-            .collect())
+        let rows: Vec<Arc<Row>> = if let Some(index) = table.indexes.get(column) {
+            index
+                .get(&value.ord_key())
+                .map(|pks| {
+                    pks.iter()
+                        .filter_map(|pk| table.rows.get(pk))
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default()
+        } else {
+            table
+                .rows
+                .values()
+                .filter(|r| r[ci] == *value)
+                .cloned()
+                .collect()
+        };
+        if self.query_cache_enabled {
+            obs::metrics::incr("host.db_cache.misses");
+            self.query_cache
+                .borrow_mut()
+                .entry(table_name.to_owned())
+                .or_default()
+                .insert(cache_key, rows.clone());
+        }
+        Ok(rows)
     }
 
     /// True when `column` has a secondary index on `table`.
@@ -669,6 +755,18 @@ impl Database {
             }
             Err(e) => {
                 let undo = std::mem::take(&mut self.undo);
+                // Rolling back mutates tables again, so any query results
+                // cached *inside* the failed transaction are stale too —
+                // re-invalidate every touched table after the replay.
+                let touched: Vec<String> = undo
+                    .iter()
+                    .map(|op| match op {
+                        Undo::RemoveRow { table, .. } | Undo::RestoreRow { table, .. } => {
+                            table.clone()
+                        }
+                        Undo::DropTable { name } => name.clone(),
+                    })
+                    .collect();
                 for op in undo.into_iter().rev() {
                     match op {
                         Undo::RemoveRow { table, key } => {
@@ -698,6 +796,9 @@ impl Database {
                             self.tables.remove(&name);
                         }
                     }
+                }
+                for table in touched {
+                    self.invalidate_table(&table);
                 }
                 self.tx_journal.clear();
                 Err(e)
@@ -1013,6 +1114,102 @@ mod tests {
             db.create_table("alpha", &["k"], &[]),
             Err(DbError::TableExists(_))
         ));
+    }
+
+    #[test]
+    fn query_cache_is_transparent_and_invalidated_by_writes() {
+        let mut cached = products();
+        cached.set_query_cache(true);
+        let plain = products();
+        // Warm the cache, then re-read: both reads equal the uncached DB.
+        for _ in 0..2 {
+            assert_eq!(
+                cached.select_eq("products", "name", &"widget".into()).unwrap(),
+                plain.select_eq("products", "name", &"widget".into()).unwrap()
+            );
+        }
+        // A write to the table invalidates the memoized result.
+        cached
+            .update(
+                "products",
+                vec![1.into(), "renamed".into(), Value::Float(4.99), 10.into()],
+            )
+            .unwrap();
+        assert!(cached
+            .select_eq("products", "name", &"widget".into())
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            cached
+                .select_eq("products", "name", &"renamed".into())
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn query_cache_survives_rollback_without_staleness() {
+        let mut db = products();
+        db.set_query_cache(true);
+        // Cache a result, mutate + re-cache inside a failing transaction,
+        // then make sure the rollback did not leave the in-tx result
+        // memoized.
+        assert_eq!(
+            db.select_eq("products", "name", &"widget".into()).unwrap().len(),
+            1
+        );
+        let result: Result<(), DbError> = db.transaction(|tx| {
+            tx.update(
+                "products",
+                vec![1.into(), "poked".into(), Value::Float(0.0), 0.into()],
+            )?;
+            assert_eq!(
+                tx.select_eq("products", "name", &"poked".into())?.len(),
+                1
+            );
+            Err(DbError::NotFound)
+        });
+        assert!(result.is_err());
+        assert!(db
+            .select_eq("products", "name", &"poked".into())
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            db.select_eq("products", "name", &"widget".into()).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn query_cache_invalidation_is_table_scoped() {
+        let mut db = products();
+        db.set_query_cache(true);
+        db.create_table("orders", &["id", "sku"], &["sku"]).unwrap();
+        db.insert("orders", vec![1.into(), 1.into()]).unwrap();
+        // Warm both tables' caches.
+        db.select_eq("products", "name", &"widget".into()).unwrap();
+        db.select_eq("orders", "sku", &1.into()).unwrap();
+        let _guard = obs::metrics::enable();
+        // A write to `orders` must not disturb the `products` entry: the
+        // next products read is a hit, the next orders read a miss.
+        db.insert("orders", vec![2.into(), 2.into()]).unwrap();
+        db.select_eq("products", "name", &"widget".into()).unwrap();
+        db.select_eq("orders", "sku", &1.into()).unwrap();
+        let metrics = obs::metrics::take();
+        assert_eq!(metrics.counter("host.db_cache.hits"), 1);
+        assert_eq!(metrics.counter("host.db_cache.misses"), 1);
+        assert_eq!(metrics.counter("host.db_cache.invalidations"), 1);
+    }
+
+    #[test]
+    fn reads_share_storage_instead_of_copying() {
+        let db = products();
+        let a = db.get("products", &1.into()).unwrap().unwrap();
+        let b = db.get("products", &1.into()).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "get must hand out shared row handles");
+        let selected = db.select("products", |_| true).unwrap();
+        assert!(selected.iter().any(|r| Arc::ptr_eq(r, &a)));
     }
 
     #[test]

@@ -60,10 +60,16 @@ impl HostComputer {
     }
 
     /// Handles a request, returning the response and the simulated CPU
-    /// time it took the host to produce it.
+    /// time it took the host to produce it. A page-cache hit skips the
+    /// application program, so it is charged only the fixed dispatch
+    /// cost, not per-body generation.
     pub fn process(&mut self, req: HttpRequest) -> (HttpResponse, SimDuration) {
-        let resp = self.web.handle(req);
-        let cost = self.cpu.cost(resp.body.len());
+        let (resp, from_cache) = self.web.handle_cached(req);
+        let cost = if from_cache {
+            self.cpu.per_request
+        } else {
+            self.cpu.cost(resp.body.len())
+        };
         obs::metrics::incr("host.requests");
         obs::metrics::observe("host.cpu_ns", cost.as_nanos());
         (resp, cost)

@@ -18,12 +18,16 @@
 //!   logging and cookie-based sessions (the Apache feature set §7 name-checks).
 //! * [`host`] — the assembled host computer with a CPU cost model so the
 //!   end-to-end system can charge realistic processing latency.
+//! * [`cache`] — the deterministic sim-time page cache (TTL + LRU byte
+//!   budget) the web server fronts its application programs with.
 
+pub mod cache;
 pub mod db;
 pub mod host;
 pub mod http;
 pub mod server;
 
+pub use cache::PageCache;
 pub use db::{Database, DbError, Value};
 pub use host::HostComputer;
 pub use http::{ContentFormat, HttpRequest, HttpResponse, Method, Status};

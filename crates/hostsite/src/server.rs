@@ -14,6 +14,7 @@ use std::collections::{BTreeMap, HashMap};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
+use crate::cache::PageCache;
 use crate::db::Database;
 use crate::http::{HttpRequest, HttpResponse, Method, Status};
 
@@ -91,6 +92,10 @@ pub struct WebServer {
     sessions: RefCell<HashMap<String, BTreeMap<String, String>>>,
     access_log: RefCell<Vec<AccessLogEntry>>,
     rng: RefCell<StdRng>,
+    /// Page cache (disabled unless configured); freshness is judged
+    /// against `now_ns`, the simulation clock pushed down by the system.
+    page_cache: Option<PageCache>,
+    now_ns: u64,
 }
 
 impl std::fmt::Debug for WebServer {
@@ -115,7 +120,37 @@ impl WebServer {
             sessions: RefCell::new(HashMap::new()),
             access_log: RefCell::new(Vec::new()),
             rng: RefCell::new(simnet::rng::rng_for(seed, "webserver.sessions")),
+            page_cache: None,
+            now_ns: 0,
         }
+    }
+
+    /// Enables the page cache with the given TTL (simulated nanoseconds)
+    /// and byte budget. A zero TTL disables it — the cached path is
+    /// bypassed entirely, leaving request handling byte-identical to an
+    /// uncached server.
+    pub fn configure_page_cache(&mut self, ttl_ns: u64, byte_budget: usize) {
+        self.page_cache = if ttl_ns > 0 {
+            Some(PageCache::new(ttl_ns, byte_budget))
+        } else {
+            None
+        };
+    }
+
+    /// Drops the page cache and every entry in it.
+    pub fn disable_page_cache(&mut self) {
+        self.page_cache = None;
+    }
+
+    /// True when a page cache is configured.
+    pub fn page_cache_enabled(&self) -> bool {
+        self.page_cache.is_some()
+    }
+
+    /// Advances the server's view of simulated time; cache freshness is
+    /// judged against this clock.
+    pub fn set_sim_now_ns(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
     }
 
     /// The database server (mutable — application setup uses this).
@@ -141,7 +176,14 @@ impl WebServer {
     pub fn crash_and_recover_db(&mut self) -> Result<usize, crate::db::DbError> {
         let journal = self.db.journal().to_vec();
         let replayed = journal.len();
+        let cache_enabled = self.db.query_cache_enabled();
         self.db = Database::recover(&journal)?;
+        // The crash flushes the query cache with the rest of the in-memory
+        // state; the recovered instance starts cold but keeps the knob.
+        if cache_enabled {
+            self.db.set_query_cache(true);
+            obs::metrics::incr("host.db_cache.flushes");
+        }
         Ok(replayed)
     }
 
@@ -195,11 +237,46 @@ impl WebServer {
     /// Handles one request end to end: auth, routing, app dispatch,
     /// session cookie management, error pages, logging.
     pub fn handle(&mut self, req: HttpRequest) -> HttpResponse {
+        self.handle_cached(req).0
+    }
+
+    /// Like [`WebServer::handle`], additionally reporting whether the
+    /// response came from the page cache (so the host can charge lookup
+    /// cost instead of page-generation cost).
+    pub fn handle_cached(&mut self, req: HttpRequest) -> (HttpResponse, bool) {
+        // Only GETs are cache candidates; POSTs mutate database and
+        // session state and always run the application program.
+        let cache_key = match &self.page_cache {
+            Some(_) if req.method == Method::Get => Some(PageCache::key(&req)),
+            _ => None,
+        };
+        if let (Some(cache), Some(key)) = (self.page_cache.as_mut(), cache_key.as_deref()) {
+            if let Some(resp) = cache.lookup(key, self.now_ns) {
+                obs::metrics::incr("host.page_cache.hits");
+                obs::metrics::add("host.page_cache.bytes_saved", resp.body.len() as u64);
+                self.access_log.borrow_mut().push(AccessLogEntry {
+                    method: req.method,
+                    path: req.path.clone(),
+                    status: resp.status.code(),
+                    bytes: resp.body.len(),
+                });
+                return (resp, true);
+            }
+        }
         let mut resp = self.dispatch(&req);
         // Error-page substitution.
         if !resp.status.is_success() {
             if let Some(body) = self.error_pages.get(&resp.status.code()) {
                 resp.body = body.clone();
+            }
+        }
+        if let (Some(cache), Some(key)) = (self.page_cache.as_mut(), cache_key) {
+            obs::metrics::incr("host.page_cache.misses");
+            // Responses that mint cookies are per-client; keep them out.
+            if resp.status.is_success() && resp.set_cookies.is_empty() {
+                let now_ns = self.now_ns;
+                let evicted = cache.store(key, &resp, now_ns);
+                obs::metrics::add("host.page_cache.evictions", evicted as u64);
             }
         }
         self.access_log.borrow_mut().push(AccessLogEntry {
@@ -208,7 +285,7 @@ impl WebServer {
             status: resp.status.code(),
             bytes: resp.body.len(),
         });
-        resp
+        (resp, false)
     }
 
     fn dispatch(&mut self, req: &HttpRequest) -> HttpResponse {
@@ -319,9 +396,10 @@ mod tests {
         server.route_post("/buy", |req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
             let sku: i64 = req.param("sku").and_then(|s| s.parse().ok()).unwrap_or(0);
             let result: Result<i64, crate::db::DbError> = ctx.db.transaction(|tx| {
-                let mut row = tx
+                let mut row = (*tx
                     .get("products", &sku.into())?
-                    .ok_or(crate::db::DbError::NotFound)?;
+                    .ok_or(crate::db::DbError::NotFound)?)
+                .clone();
                 let Value::Int(stock) = row[2] else {
                     return Err(crate::db::DbError::NotFound);
                 };
@@ -463,6 +541,60 @@ mod tests {
         let mut s = server();
         let resp = s.handle(HttpRequest::get("/buy?sku=1"));
         assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn page_cache_serves_stale_pages_until_the_ttl_expires() {
+        let mut s = server();
+        s.configure_page_cache(1_000, 64 * 1024);
+        s.set_sim_now_ns(0);
+        let (first, hit) = s.handle_cached(HttpRequest::get("/stock?sku=1"));
+        assert!(!hit);
+        assert!(first.body.contains("in stock: 10"));
+        // Mutate the underlying row; the cached page stays stale while
+        // fresh, then regenerates after expiry.
+        s.handle(HttpRequest::post("/buy", vec![("sku".into(), "1".into())]));
+        s.set_sim_now_ns(500);
+        let (stale, hit) = s.handle_cached(HttpRequest::get("/stock?sku=1"));
+        assert!(hit);
+        assert!(stale.body.contains("in stock: 10"));
+        s.set_sim_now_ns(2_000);
+        let (fresh, hit) = s.handle_cached(HttpRequest::get("/stock?sku=1"));
+        assert!(!hit);
+        assert!(fresh.body.contains("in stock: 9"));
+    }
+
+    #[test]
+    fn page_cache_never_captures_posts_or_cookie_minting_responses() {
+        let mut s = server();
+        s.configure_page_cache(u64::MAX / 2, 64 * 1024);
+        // POSTs run the application program every time.
+        let a = s.handle(HttpRequest::post("/buy", vec![("sku".into(), "1".into())]));
+        let b = s.handle(HttpRequest::post("/buy", vec![("sku".into(), "1".into())]));
+        assert!(a.body.contains("9 left"));
+        assert!(b.body.contains("8 left"));
+        // The first POST minted a session cookie; nothing of it is cached.
+        assert!(!a.set_cookies.is_empty());
+    }
+
+    #[test]
+    fn zero_ttl_configuration_disables_the_cache() {
+        let mut s = server();
+        s.configure_page_cache(0, 64 * 1024);
+        assert!(!s.page_cache_enabled());
+        let (_, hit) = s.handle_cached(HttpRequest::get("/stock?sku=1"));
+        assert!(!hit);
+        let (_, hit) = s.handle_cached(HttpRequest::get("/stock?sku=1"));
+        assert!(!hit);
+    }
+
+    #[test]
+    fn cache_hits_still_reach_the_access_log() {
+        let mut s = server();
+        s.configure_page_cache(u64::MAX / 2, 64 * 1024);
+        s.handle(HttpRequest::get("/stock?sku=1"));
+        s.handle(HttpRequest::get("/stock?sku=1"));
+        assert_eq!(s.access_log().len(), 2);
     }
 }
 

@@ -1,0 +1,266 @@
+//! The gateway content cache.
+//!
+//! WAP gateway deployments cached adapted decks so repeat visits from
+//! the same device class were served without re-contacting the origin
+//! host or re-running the WML translation. This cache memoizes whole
+//! [`Exchange`]s per (url, device class, middleware kind, cookies): a
+//! fresh hit re-serves the adapted payload with zero wired bytes, zero
+//! host CPU and a fixed small lookup cost, while the over-the-air legs
+//! still run (the station is no closer to the gateway than before).
+//!
+//! Like the host page cache it is deterministic and sim-time native:
+//! TTL in simulated nanoseconds, LRU eviction under a byte budget driven
+//! by a logical tick counter. Only successful GET exchanges that set no
+//! cookies are stored.
+
+use std::collections::HashMap;
+
+use simnet::SimDuration;
+
+use crate::{Exchange, MobileRequest};
+
+/// What a cached exchange is keyed by.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ContentKey {
+    /// Request URL (path + query).
+    pub url: String,
+    /// Device class the adaptation targeted (e.g. the device name) —
+    /// different screens get different decks.
+    pub device_class: String,
+    /// Middleware kind that produced the adaptation ("WAP", "i-mode").
+    pub middleware_kind: String,
+    /// Cookies attached to the request; pages rendered for different
+    /// cookie sets never alias.
+    pub cookies: Vec<(String, String)>,
+}
+
+impl ContentKey {
+    /// Builds the key for `req` as adapted by `middleware_kind` for
+    /// `device_class`.
+    pub fn for_request(req: &MobileRequest, device_class: &str, middleware_kind: &str) -> Self {
+        ContentKey {
+            url: req.url.clone(),
+            device_class: device_class.to_owned(),
+            middleware_kind: middleware_kind.to_owned(),
+            cookies: req.cookies.clone(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    exchange: Exchange,
+    stored_ns: u64,
+    last_used: u64,
+    bytes: usize,
+}
+
+/// Simulated CPU cost of a cache lookup at the gateway — far below any
+/// translation cost, but not free.
+pub const LOOKUP_COST: SimDuration = SimDuration::from_micros(40);
+
+/// A TTL + LRU cache of adapted exchanges at the middleware gateway.
+#[derive(Debug)]
+pub struct ContentCache {
+    ttl_ns: u64,
+    byte_budget: usize,
+    entries: HashMap<ContentKey, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl ContentCache {
+    /// Creates a cache with the given TTL (simulated nanoseconds) and
+    /// byte budget over cached payload bytes.
+    pub fn new(ttl_ns: u64, byte_budget: usize) -> Self {
+        ContentCache {
+            ttl_ns,
+            byte_budget,
+            entries: HashMap::new(),
+            bytes: 0,
+            tick: 0,
+        }
+    }
+
+    /// True when `req` is even a candidate for caching (GETs only).
+    pub fn cacheable_request(req: &MobileRequest) -> bool {
+        req.form.is_none()
+    }
+
+    /// True when `ex` may be stored: a successful exchange that set no
+    /// cookies (cookie-minting responses are per-client).
+    pub fn cacheable_exchange(ex: &Exchange) -> bool {
+        ex.status.is_success() && ex.set_cookies.is_empty()
+    }
+
+    /// Returns the re-served exchange when a fresh entry exists at
+    /// `now_ns`: same payload and air-side byte counts, but zero wired
+    /// bytes, zero host CPU, no extra round trips, and only
+    /// [`LOOKUP_COST`] of middleware CPU. Expired entries are dropped.
+    pub fn lookup(&mut self, key: &ContentKey, now_ns: u64) -> Option<Exchange> {
+        let fresh = match self.entries.get(key) {
+            Some(entry) => now_ns.saturating_sub(entry.stored_ns) < self.ttl_ns,
+            None => return None,
+        };
+        if !fresh {
+            if let Some(old) = self.entries.remove(key) {
+                self.bytes -= old.bytes;
+            }
+            return None;
+        }
+        self.tick += 1;
+        let entry = self.entries.get_mut(key).expect("checked above");
+        entry.last_used = self.tick;
+        let mut ex = entry.exchange.clone();
+        ex.wired_bytes = (0, 0);
+        ex.host_cpu = SimDuration::ZERO;
+        ex.middleware_cpu = LOOKUP_COST;
+        ex.extra_round_trips = 0;
+        Some(ex)
+    }
+
+    /// Stores an exchange (call [`ContentCache::cacheable_request`] and
+    /// [`ContentCache::cacheable_exchange`] first), evicting LRU entries
+    /// until the byte budget holds. Returns the number of evictions.
+    pub fn store(&mut self, key: ContentKey, ex: &Exchange, now_ns: u64) -> usize {
+        let bytes = key.url.len() + ex.content.len();
+        if bytes > self.byte_budget {
+            return 0;
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= old.bytes;
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                exchange: ex.clone(),
+                stored_ns: now_ns,
+                last_used: self.tick,
+                bytes,
+            },
+        );
+        self.bytes += bytes;
+        let mut evicted = 0;
+        while self.bytes > self.byte_budget {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over budget implies non-empty");
+            let old = self.entries.remove(&victim).expect("victim exists");
+            self.bytes -= old.bytes;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Drops every entry (e.g. when the gateway is reconfigured).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Payload + key bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AirFormat;
+    use bytes::Bytes;
+    use hostsite::Status;
+
+    fn exchange(body: &str) -> Exchange {
+        Exchange {
+            status: Status::Ok,
+            content: Bytes::copy_from_slice(body.as_bytes()),
+            format: AirFormat::WmlBinary,
+            uplink_bytes: 40,
+            downlink_bytes: body.len() + 8,
+            wired_bytes: (120, body.len() * 3),
+            middleware_cpu: SimDuration::from_micros(450),
+            host_cpu: SimDuration::from_micros(2_500),
+            extra_round_trips: 1,
+            set_cookies: Vec::new(),
+        }
+    }
+
+    fn key(url: &str) -> ContentKey {
+        ContentKey::for_request(&MobileRequest::get(url), "iPAQ", "WAP")
+    }
+
+    #[test]
+    fn hits_zero_the_wired_side_and_keep_the_air_side() {
+        let mut cache = ContentCache::new(1_000, 10_000);
+        let ex = exchange("deck");
+        cache.store(key("/shop"), &ex, 0);
+        let hit = cache.lookup(&key("/shop"), 500).expect("fresh hit");
+        assert_eq!(hit.content, ex.content);
+        assert_eq!(hit.downlink_bytes, ex.downlink_bytes);
+        assert_eq!(hit.uplink_bytes, ex.uplink_bytes);
+        assert_eq!(hit.wired_bytes, (0, 0));
+        assert_eq!(hit.host_cpu, SimDuration::ZERO);
+        assert_eq!(hit.middleware_cpu, LOOKUP_COST);
+        assert_eq!(hit.extra_round_trips, 0);
+        // Expired afterwards.
+        assert!(cache.lookup(&key("/shop"), 1_500).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn device_class_and_kind_partition_the_key_space() {
+        let mut cache = ContentCache::new(u64::MAX / 2, 10_000);
+        cache.store(key("/shop"), &exchange("wap deck"), 0);
+        let imode = ContentKey::for_request(&MobileRequest::get("/shop"), "iPAQ", "i-mode");
+        assert!(cache.lookup(&imode, 1).is_none());
+        let other_device = ContentKey::for_request(&MobileRequest::get("/shop"), "P503i", "WAP");
+        assert!(cache.lookup(&other_device, 1).is_none());
+        let cookied =
+            ContentKey::for_request(&MobileRequest::get("/shop").with_cookie("sid", "s"), "iPAQ", "WAP");
+        assert!(cache.lookup(&cookied, 1).is_none());
+    }
+
+    #[test]
+    fn only_clean_get_exchanges_are_cacheable() {
+        assert!(ContentCache::cacheable_request(&MobileRequest::get("/a")));
+        assert!(!ContentCache::cacheable_request(&MobileRequest::post(
+            "/a",
+            vec![]
+        )));
+        let mut ex = exchange("x");
+        assert!(ContentCache::cacheable_exchange(&ex));
+        ex.set_cookies.push(("sid".into(), "s".into()));
+        assert!(!ContentCache::cacheable_exchange(&ex));
+        let mut failed = exchange("x");
+        failed.status = Status::NotFound;
+        assert!(!ContentCache::cacheable_exchange(&failed));
+    }
+
+    #[test]
+    fn lru_eviction_bounds_the_budget() {
+        let mut cache = ContentCache::new(u64::MAX / 2, 24);
+        cache.store(key("/a"), &exchange("0123456789"), 0);
+        cache.store(key("/b"), &exchange("0123456789"), 1);
+        assert!(cache.lookup(&key("/a"), 2).is_some());
+        let evicted = cache.store(key("/c"), &exchange("0123456789"), 3);
+        assert_eq!(evicted, 1);
+        assert!(cache.lookup(&key("/b"), 4).is_none());
+        assert!(cache.lookup(&key("/a"), 4).is_some());
+        assert!(cache.bytes() <= 24);
+    }
+}

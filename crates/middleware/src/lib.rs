@@ -23,12 +23,14 @@
 //! measurable trade-off between them — translation CPU against
 //! over-the-air bytes — is Table 3's experiment.
 
+pub mod cache;
 pub mod imode;
 pub mod wap;
 
 use bytes::Bytes;
 use simnet::SimDuration;
 
+pub use cache::{ContentCache, ContentKey};
 pub use imode::IModeService;
 pub use wap::WapGateway;
 

@@ -5,6 +5,9 @@
 //! it roams from its home network to a foreign network mid-transfer —
 //! the §5.2 machinery (home agent interception, tunneling to the care-of
 //! address, foreign-agent delivery) working under a live connection.
+//! A second act replays the same story at the system-model level: a
+//! [`Scenario`] fleet paying over GPRS through a mid-session cell
+//! outage, with the retry policy standing in for TCP's recovery.
 //!
 //! ```text
 //! cargo run --example roaming_payment
@@ -13,6 +16,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use mcommerce::core::{
+    fleet, Category, FaultKind, FaultPlan, RetryPolicy, Scenario, WirelessConfig,
+};
 use mcommerce::netstack::mobileip::{ForeignAgent, HomeAgent, MobileIpClient};
 use mcommerce::netstack::node::Network;
 use mcommerce::netstack::{Ip, Subnet};
@@ -136,4 +142,44 @@ fn main() {
         statement.as_slice(),
         "stream must survive roaming"
     );
+
+    // Act two: the same roam told at the transaction level. Every user's
+    // cell goes dark for 8 s mid-session; the Scenario's retry knob is
+    // what keeps payments settling, exactly as TCP's fast retransmit
+    // kept the statement flowing above.
+    println!("\n== the same roam at the system-model level ==\n");
+    let outage = FaultPlan::none().window(
+        SimDuration::from_secs(4),
+        SimDuration::from_secs(8),
+        FaultKind::WirelessOutage,
+    );
+    let base = Scenario::new("roaming payment")
+        .app(Category::Commerce)
+        .wireless(WirelessConfig::Cellular {
+            standard: mcommerce::wireless::CellularStandard::Gprs,
+        })
+        .secure(true)
+        .think_time(3.0)
+        .faults(outage)
+        .users(24)
+        .sessions_per_user(2)
+        .seed(99);
+    let fragile = fleet::run(&base.clone().retry(RetryPolicy::none()));
+    let sturdy = fleet::run(&base.retry(RetryPolicy::standard()));
+    let (fw, sw) = (&fragile.summary.workload, &sturdy.summary.workload);
+    println!(
+        "no retries      : {:5.1}% of {} transactions settle",
+        fw.success_rate() * 100.0,
+        fragile.summary.transactions()
+    );
+    println!(
+        "standard retries: {:5.1}% settle, {} retries spent riding out the outage",
+        sw.success_rate() * 100.0,
+        sw.counters.retries
+    );
+    assert!(
+        sw.success_rate() >= fw.success_rate(),
+        "retries must not lose transactions"
+    );
+    assert!(sw.counters.retries > 0, "the outage must cost retries");
 }

@@ -3,34 +3,54 @@
 //! Runs the same purchase twice — plaintext and WTLS-secured — and shows
 //! what security costs on the air and in the battery; then demonstrates
 //! the payment protocol's defences (tampering, replay, forged receipts)
-//! at the protocol level.
+//! at the protocol level; finally scales the secured checkout to a fleet
+//! through the same [`Scenario`] description.
 //!
 //! ```text
 //! cargo run --example secure_checkout
 //! ```
 
-use mcommerce::core::{Category, CommerceSystem, Scenario, WirelessConfig};
+use mcommerce::core::{fleet, Category, RetryPolicy, Scenario, WirelessConfig};
 use mcommerce::middleware::MobileRequest;
 use mcommerce::security::{Mac, PaymentGateway, PaymentRequest};
+use mcommerce::simnet::rng::rng_for_indexed;
 use mcommerce::station::DeviceProfile;
 use mcommerce::wireless::CellularStandard;
 
-fn checkout(secure: bool) -> (f64, u64, f64) {
-    let scenario = Scenario::new("secure checkout")
+/// User think time between browsing and buying, seconds of sim time.
+const THINK_SECS: f64 = 2.0;
+
+fn scenario(secure: bool) -> Scenario {
+    Scenario::new("secure checkout")
         .app(Category::Commerce)
         .device(DeviceProfile::nokia_9290())
         .wireless(WirelessConfig::Cellular {
             standard: CellularStandard::Gprs,
         })
         .secure(secure)
-        .seed(72);
-    let mut system = scenario.system();
-    // Browse, then buy.
-    let browse = system.execute(&MobileRequest::get("/shop"));
-    let buy = system.execute(&MobileRequest::post(
-        "/shop/buy",
-        vec![("sku".into(), "1".into()), ("nonce".into(), "42".into())],
-    ));
+        .think_time(THINK_SECS)
+        .retry(RetryPolicy::standard())
+        .seed(72)
+}
+
+fn checkout(secure: bool) -> (f64, u64, f64) {
+    let mut system = scenario(secure).system();
+    let retry = RetryPolicy::standard();
+    let mut rng = rng_for_indexed(72, "checkout.retry", secure as u64);
+    // Browse, think, then buy — retries armed, although a fault-free run
+    // settles every transaction on the first attempt.
+    let browse = system.execute_with_retry(&MobileRequest::get("/shop"), &retry, &mut rng);
+    system.idle(THINK_SECS);
+    let buy = system.execute_with_retry(
+        &MobileRequest::post(
+            "/shop/buy",
+            vec![("sku".into(), "1".into()), ("nonce".into(), "42".into())],
+        ),
+        &retry,
+        &mut rng,
+    );
+    assert_eq!(browse.attempts, 1, "fault-free browse settles first try");
+    assert_eq!(buy.attempts, 1, "fault-free buy settles first try");
     assert!(
         browse.success && buy.success,
         "{:?} {:?}",
@@ -114,4 +134,24 @@ fn main() {
         gateway.balance("traveller").unwrap()
     );
     assert_eq!(gateway.balance("traveller"), Some(7_500));
+
+    // The same secured checkout, scaled through the Scenario description
+    // itself: the think-time and retry knobs above drive every fleet
+    // session, deterministically sharded across the machine's cores.
+    println!("\n== the secured checkout at fleet scale ==\n");
+    let market = fleet::run(&scenario(true).users(40).sessions_per_user(2));
+    let w = &market.summary.workload;
+    println!(
+        "{} users on {} thread(s): {} transactions, {:.1}% ok, mean {:.0} ms, {} retries",
+        market.summary.users,
+        market.threads,
+        market.summary.transactions(),
+        w.success_rate() * 100.0,
+        w.latency_mean * 1e3,
+        w.counters.retries
+    );
+    assert!(
+        w.success_rate() > 0.99,
+        "fault-free secured fleet must settle cleanly"
+    );
 }

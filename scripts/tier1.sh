@@ -22,7 +22,15 @@
 #                      retry policy strictly beats the bare fleet at
 #                      every non-zero storm intensity, a zero-fault
 #                      plan is byte-identical to no plan, and the TCP
-#                      sender aborts against a dead peer.
+#                      sender aborts against a dead peer;
+#   cache smoke      — the F7 caching experiment runs end to end,
+#                      emits well-formed BENCH_cache.json, warm p50
+#                      and p99 beat cold whenever the TTL outlives
+#                      the revisit interval, the zero-TTL fleet is
+#                      byte-identical to a cache-free fleet, and
+#                      every cache layer's hit counters light up;
+#   examples smoke   — the Scenario-driven examples run clean (their
+#                      internal asserts are the gate).
 #
 # Run from anywhere; the script cds to the repo root.
 set -euo pipefail
@@ -64,4 +72,24 @@ worst = min(r["retry_availability"] - r["bare_availability"]
 print(f"faults gate: retry dominates bare (min margin {worst:+.4f}); "
       f"dead peer aborted at {doc['dead_peer']['abort_secs']:.0f}s")
 PY
+cargo run --release -p bench --bin report -- --quick --f7
+python3 -m json.tool BENCH_cache.json > /dev/null
+python3 - <<'PY'
+import json
+doc = json.load(open("BENCH_cache.json"))
+for row in doc["sweep"]:
+    if row["ttl_s"] >= 30 and row["think_s"] <= 1:
+        assert row["p50_ms"] < row["cold_p50_ms"], f"warm p50 not below cold: {row}"
+        assert row["p99_ms"] < row["cold_p99_ms"], f"warm p99 not below cold: {row}"
+        assert row["gateway_hits"] > 0, f"no gateway hits: {row}"
+assert doc["zero_ttl_identical"], "zero-TTL fleet diverged from cache-free fleet"
+assert doc["counters"]["page_hits"] > 0, "page cache never hit"
+assert doc["counters"]["db_hits"] > 0, "query cache never hit"
+gated = [r for r in doc["sweep"] if r["ttl_s"] >= 30 and r["think_s"] <= 1]
+best = min(r["p50_ms"] / r["cold_p50_ms"] for r in gated)
+print(f"cache gate: warm p50 down to {best:.2f}x of cold; zero-TTL identity holds")
+PY
+cargo run -q --release --example quickstart > /dev/null
+cargo run -q --release --example secure_checkout > /dev/null
+cargo run -q --release --example roaming_payment > /dev/null
 echo "tier1: OK"

@@ -1,0 +1,101 @@
+//! Property tests for the caching hierarchy (DESIGN.md §2.14).
+//!
+//! Three contracts keep the caches safe to publish numbers from:
+//!
+//! 1. *Thread-count invariance.* Caches are per-user state inside each
+//!    user's own [`McSystem`], so a cache-enabled fleet merges to the
+//!    same bits on 1, 2, 4 or 8 shards.
+//! 2. *Zero-TTL identity.* A policy whose TTLs are zero (even with the
+//!    master switch on) executes the exact cache-free path — the query
+//!    cache may run underneath, but it is sim-time transparent.
+//! 3. *Table-scoped invalidation.* A write to table T flushes only T's
+//!    cached queries; other tables' entries keep serving.
+//!
+//! [`McSystem`]: mcommerce::core::McSystem
+
+use proptest::prelude::*;
+
+use mcommerce::core::{fleet, CachePolicy, Category, MiddlewareKind, Scenario};
+use mcommerce::hostsite::db::Database;
+use mcommerce::simnet::SimDuration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cached_fleets_are_shard_count_invariant(
+        users in 1..8u64,
+        sessions in 2..4u64,
+        category in (0..8usize).prop_map(|i| Category::ALL[i]),
+        middleware in (0..3usize).prop_map(|i| MiddlewareKind::ALL[i]),
+        ttl_secs in 1..120u64,
+        seed in any::<u64>(),
+    ) {
+        let scenario = Scenario::new("cache-prop")
+            .app(category)
+            .middleware(middleware)
+            .users(users)
+            .sessions_per_user(sessions)
+            .seed(seed)
+            .cache(CachePolicy::standard().ttl(SimDuration::from_secs(ttl_secs)));
+        let one = fleet::run_on(&scenario, 1).summary;
+        let two = fleet::run_on(&scenario, 2).summary;
+        let four = fleet::run_on(&scenario, 4).summary;
+        let eight = fleet::run_on(&scenario, 8).summary;
+        prop_assert_eq!(&one, &two);
+        prop_assert_eq!(&one, &four);
+        prop_assert_eq!(&one, &eight);
+        prop_assert!(one.transactions() >= users);
+    }
+
+    #[test]
+    fn zero_ttl_policies_are_byte_identical_to_disabled(
+        users in 1..6u64,
+        category in (0..8usize).prop_map(|i| Category::ALL[i]),
+        seed in any::<u64>(),
+    ) {
+        let base = Scenario::new("ttl0")
+            .app(category)
+            .users(users)
+            .sessions_per_user(2)
+            .seed(seed);
+        let plain = fleet::run_on(&base.clone(), 2).summary;
+        let disabled = fleet::run_on(&base.clone().cache(CachePolicy::disabled()), 2).summary;
+        // Master switch on, both TTLs zero: the db query cache runs but
+        // is sim-time transparent, so the summary must not move a bit.
+        let zero_ttl = CachePolicy {
+            enabled: true,
+            ..CachePolicy::disabled()
+        };
+        let armed = fleet::run_on(&base.cache(zero_ttl), 2).summary;
+        prop_assert_eq!(&plain, &disabled);
+        prop_assert_eq!(&plain, &armed);
+    }
+}
+
+#[test]
+fn writes_invalidate_only_the_touched_table() {
+    let mut db = Database::new();
+    db.create_table("wards", &["id", "name"], &[]).unwrap();
+    db.create_table("drugs", &["id", "name"], &[]).unwrap();
+    db.insert("wards", vec![1.into(), "icu".into()]).unwrap();
+    db.insert("drugs", vec![1.into(), "aspirin".into()]).unwrap();
+    db.set_query_cache(true);
+
+    let guard = obs::metrics::enable();
+    // Warm both tables' query caches.
+    db.select_eq("wards", "id", &1.into()).unwrap();
+    db.select_eq("drugs", "id", &1.into()).unwrap();
+    // Write to drugs only.
+    db.insert("drugs", vec![2.into(), "ibuprofen".into()]).unwrap();
+    // wards re-reads from cache; drugs recomputes.
+    db.select_eq("wards", "id", &1.into()).unwrap();
+    let drugs = db.select_eq("drugs", "id", &1.into()).unwrap();
+    drop(guard);
+    let metrics = obs::metrics::take();
+
+    assert_eq!(metrics.counter("host.db_cache.hits"), 1, "wards stayed cached");
+    assert_eq!(metrics.counter("host.db_cache.misses"), 3, "drugs recomputed");
+    assert_eq!(metrics.counter("host.db_cache.invalidations"), 1);
+    assert_eq!(drugs.len(), 1);
+}
