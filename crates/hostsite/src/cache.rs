@@ -4,7 +4,7 @@
 //! content" — and a production web server in that role fronts its
 //! application programs with a page cache. This one is deterministic and
 //! sim-time native: entries are keyed by the canonical request (method,
-//! path, query, accept format, cookies, auth user), expire after a TTL
+//! path, query, accept format, cookies), expire after a TTL
 //! measured in simulated nanoseconds, and are bounded by a byte budget
 //! with least-recently-used eviction driven by a logical tick counter —
 //! no wall clock anywhere, so fleet runs stay bit-identical at any
@@ -12,7 +12,12 @@
 //!
 //! Only successful `GET` responses that set no cookies are stored;
 //! `POST`s (which mutate the database and session state) always reach
-//! the application program.
+//! the application program. Requests carrying basic-auth credentials
+//! bypass the cache entirely — lookup *and* store — so every authed
+//! request is re-validated against its auth realm ([`WebServer`] never
+//! builds a key for them).
+//!
+//! [`WebServer`]: crate::server::WebServer
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -62,9 +67,6 @@ impl PageCache {
         let _ = write!(key, "|{:?}", req.accept);
         for (name, value) in &req.cookies {
             let _ = write!(key, ";{name}={value}");
-        }
-        if let Some((user, _)) = &req.auth {
-            let _ = write!(key, "|u={user}");
         }
         key
     }

@@ -147,6 +147,12 @@ impl WebServer {
         self.page_cache.is_some()
     }
 
+    /// Number of entries currently held by the page cache (zero when
+    /// no cache is configured).
+    pub fn page_cache_len(&self) -> usize {
+        self.page_cache.as_ref().map_or(0, PageCache::len)
+    }
+
     /// Advances the server's view of simulated time; cache freshness is
     /// judged against this clock.
     pub fn set_sim_now_ns(&mut self, now_ns: u64) {
@@ -244,10 +250,15 @@ impl WebServer {
     /// response came from the page cache (so the host can charge lookup
     /// cost instead of page-generation cost).
     pub fn handle_cached(&mut self, req: HttpRequest) -> (HttpResponse, bool) {
-        // Only GETs are cache candidates; POSTs mutate database and
-        // session state and always run the application program.
+        // Only credential-free GETs are cache candidates. POSTs mutate
+        // database and session state, and authed requests must reach
+        // dispatch's auth-realm password check every time — a cached
+        // protected page keyed by username alone would be served to a
+        // later request presenting the wrong password.
         let cache_key = match &self.page_cache {
-            Some(_) if req.method == Method::Get => Some(PageCache::key(&req)),
+            Some(_) if req.method == Method::Get && req.auth.is_none() => {
+                Some(PageCache::key(&req))
+            }
             _ => None,
         };
         if let (Some(cache), Some(key)) = (self.page_cache.as_mut(), cache_key.as_deref()) {
@@ -586,6 +597,37 @@ mod tests {
         assert!(!hit);
         let (_, hit) = s.handle_cached(HttpRequest::get("/stock?sku=1"));
         assert!(!hit);
+    }
+
+    #[test]
+    fn page_cache_never_answers_for_an_auth_realm() {
+        let mut s = server();
+        s.static_page("/admin/panel", "<html><body>top secret</body></html>");
+        s.protect(
+            "/admin",
+            vec![("admin".to_owned(), "secret".to_owned())],
+        );
+        s.configure_page_cache(u64::MAX / 2, 64 * 1024);
+        // A correctly-authed GET succeeds but must not populate the
+        // cache (and must not be served from it on repeat).
+        let (ok, hit) = s.handle_cached(HttpRequest::get("/admin/panel").with_auth("admin", "secret"));
+        assert_eq!(ok.status, Status::Ok);
+        assert!(!hit);
+        let (again, hit) =
+            s.handle_cached(HttpRequest::get("/admin/panel").with_auth("admin", "secret"));
+        assert_eq!(again.status, Status::Ok);
+        assert!(!hit, "authed requests bypass the cache entirely");
+        // Wrong password and missing credentials are both rejected —
+        // not served the cached protected page.
+        let (wrong, hit) =
+            s.handle_cached(HttpRequest::get("/admin/panel").with_auth("admin", "wrongpass"));
+        assert_eq!(wrong.status, Status::Unauthorized);
+        assert!(!hit);
+        assert!(!wrong.body.contains("top secret"));
+        let (anon, hit) = s.handle_cached(HttpRequest::get("/admin/panel"));
+        assert_eq!(anon.status, Status::Unauthorized);
+        assert!(!hit);
+        assert_eq!(s.page_cache_len(), 0, "no authed page was ever stored");
     }
 
     #[test]

@@ -10,8 +10,16 @@
 //!
 //! Like the host page cache it is deterministic and sim-time native:
 //! TTL in simulated nanoseconds, LRU eviction under a byte budget driven
-//! by a logical tick counter. Only successful GET exchanges that set no
-//! cookies are stored.
+//! by a logical tick counter.
+//!
+//! Admission policy: only form-free GETs carrying **no credentials** are
+//! candidates, and only successful exchanges that set no cookies are
+//! stored. Requests with basic-auth credentials are never cached — the
+//! gateway must not answer for the host's auth realms, so every authed
+//! request travels to the origin where the password is actually checked.
+//! Cookied GETs *are* cached, partitioned per cookie set (cookies are
+//! part of [`ContentKey`]): sessions never alias, but a session's own
+//! revisits hit.
 
 use std::collections::HashMap;
 
@@ -82,9 +90,13 @@ impl ContentCache {
         }
     }
 
-    /// True when `req` is even a candidate for caching (GETs only).
+    /// True when `req` is even a candidate for caching: form-free GETs
+    /// without credentials. Authed requests must always reach the host's
+    /// auth realm — serving (or capturing) protected pages at the
+    /// gateway would let a later request with missing or wrong
+    /// credentials read them.
     pub fn cacheable_request(req: &MobileRequest) -> bool {
-        req.form.is_none()
+        req.form.is_none() && req.auth.is_none()
     }
 
     /// True when `ex` may be stored: a successful exchange that set no
@@ -242,6 +254,11 @@ mod tests {
             "/a",
             vec![]
         )));
+        // Credential-carrying requests never enter the cache: the host's
+        // auth realm must see every one of them.
+        assert!(!ContentCache::cacheable_request(
+            &MobileRequest::get("/ward/patient").with_auth("nurse", "secret")
+        ));
         let mut ex = exchange("x");
         assert!(ContentCache::cacheable_exchange(&ex));
         ex.set_cookies.push(("sid".into(), "s".into()));

@@ -15,8 +15,10 @@
 
 use proptest::prelude::*;
 
-use mcommerce::core::{fleet, CachePolicy, Category, MiddlewareKind, Scenario};
+use mcommerce::core::apps::healthcare::CLINICIAN;
+use mcommerce::core::{fleet, CachePolicy, Category, CommerceSystem, MiddlewareKind, Scenario};
 use mcommerce::hostsite::db::Database;
+use mcommerce::middleware::MobileRequest;
 use mcommerce::simnet::SimDuration;
 
 proptest! {
@@ -71,6 +73,37 @@ proptest! {
         prop_assert_eq!(&plain, &disabled);
         prop_assert_eq!(&plain, &armed);
     }
+}
+
+/// Neither cache layer may answer for the host's auth realms: after a
+/// correctly-authenticated request renders a protected page, a repeat
+/// with the wrong password — or none — must still be refused, caches on.
+#[test]
+fn caches_never_serve_protected_pages_past_the_auth_realm() {
+    let scenario = Scenario::new("cache-auth")
+        .app(Category::HealthCare)
+        .seed(42)
+        .cache(CachePolicy::standard());
+    let mut system = scenario.system_for_user(0);
+    let url = "/ward/patient?id=1";
+
+    // Correct credentials succeed — twice, so any cache that wrongly
+    // admitted the page would be warm by now.
+    for _ in 0..2 {
+        let report = system.execute(&MobileRequest::get(url).with_auth(CLINICIAN.0, CLINICIAN.1));
+        assert!(report.success, "{:?}", report.failure);
+    }
+    // Wrong password: refused, not served the cached page.
+    let wrong = system.execute(&MobileRequest::get(url).with_auth(CLINICIAN.0, "wrongpass"));
+    assert!(!wrong.success, "wrong password must not hit a cache");
+    assert!(
+        wrong.failure.as_deref().is_some_and(|f| f.contains("401")),
+        "expected a 401, got {:?}",
+        wrong.failure
+    );
+    // Missing credentials entirely: same refusal.
+    let anon = system.execute(&MobileRequest::get(url));
+    assert!(!anon.success, "anonymous request must not hit a cache");
 }
 
 #[test]
