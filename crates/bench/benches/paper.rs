@@ -47,7 +47,7 @@ fn bench_table5(c: &mut Criterion) {
 }
 
 fn bench_fleet_scale(c: &mut Criterion) {
-    use mcommerce_core::{fleet, Category, Scenario};
+    use mcommerce_core::{Category, FleetRunner, Scenario};
     let mut group = c.benchmark_group("f3_fleet");
     group.sample_size(10);
     let scenario = Scenario::new("bench")
@@ -56,7 +56,7 @@ fn bench_fleet_scale(c: &mut Criterion) {
         .seed(97);
     for threads in [1usize, 2, 4] {
         group.bench_function(format!("commerce_256users_{threads}thr"), |b| {
-            b.iter(|| black_box(fleet::run_on(&scenario, threads)))
+            b.iter(|| black_box(FleetRunner::new(scenario.clone()).threads(threads).run().report))
         });
     }
     group.finish();

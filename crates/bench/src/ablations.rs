@@ -18,7 +18,7 @@ use hostsite::HostComputer;
 use markup::transcode::WmlOptions;
 use mcommerce_core::apps::{Application, PaymentsApp, TravelApp};
 use mcommerce_core::workload::{run_until_battery_dies, run_workload};
-use mcommerce_core::{CommerceSystem, McSystem, WiredPath, WirelessConfig};
+use mcommerce_core::{CommerceSystem, MiddlewareKind, SystemSpec, WiredPath, WirelessConfig};
 use middleware::{MobileRequest, WapGateway};
 use station::{DeviceProfile, EmbeddedStore, FlatFileStore};
 use wireless::{CellularStandard, WlanStandard};
@@ -66,21 +66,20 @@ pub fn wbxml_ablation(sessions: u64) -> Vec<AblationRow> {
         let app = TravelApp;
         let mut host = HostComputer::new(Database::new(), 81);
         app.install(&mut host);
-        let gateway = if binary {
-            WapGateway::default()
+        let kind = if binary {
+            MiddlewareKind::Wap
         } else {
-            WapGateway::without_binary_encoding()
+            MiddlewareKind::WapTextual
         };
-        let mut system = McSystem::new(
-            host,
-            Box::new(gateway),
-            DeviceProfile::nokia_9290(),
-            WirelessConfig::Cellular {
+        let mut system = SystemSpec::new()
+            .middleware(kind)
+            .device(DeviceProfile::nokia_9290())
+            .wireless(WirelessConfig::Cellular {
                 standard: CellularStandard::Gprs,
-            },
-            WiredPath::wan(),
-            82,
-        );
+            })
+            .wired(WiredPath::wan())
+            .seed(82)
+            .build(host);
         let summary = run_workload(&mut system, &app, sessions, 83);
         assert_eq!(summary.succeeded, summary.attempted, "{label}");
         rows.push(AblationRow {
@@ -106,15 +105,14 @@ pub fn security_ablation(sessions: u64) -> Vec<AblationRow> {
             let app = PaymentsApp::new();
             let mut host = HostComputer::new(Database::new(), 84);
             app.install(&mut host);
-            let mut system = McSystem::new(
-                host,
-                Box::new(WapGateway::default()),
-                DeviceProfile::ipaq_h3870(),
-                network,
-                WiredPath::wan(),
-                85,
-            );
-            system.set_secure(secure);
+            let mut system = SystemSpec::new()
+                .middleware(MiddlewareKind::Wap)
+                .device(DeviceProfile::ipaq_h3870())
+                .wireless(network)
+                .wired(WiredPath::wan())
+                .seed(85)
+                .secure(secure)
+                .build(host);
             let summary = run_workload(&mut system, &app, sessions, 86);
             assert_eq!(summary.succeeded, summary.attempted);
             rows.push(AblationRow {
@@ -238,14 +236,13 @@ pub fn pagination_ablation() -> Vec<PaginationRow> {
                 max_deck_bytes: cap,
                 ..Default::default()
             };
-            let mut system = McSystem::new(
-                host,
-                Box::new(WapGateway::new(options)),
-                DeviceProfile::palm_i705(),
-                wifi(15.0),
-                WiredPath::wan(),
-                88,
-            );
+            let mut system = SystemSpec::new()
+                .device(DeviceProfile::palm_i705())
+                .wireless(wifi(15.0))
+                .wired(WiredPath::wan())
+                .seed(88)
+                .build(host);
+            system.set_middleware(Box::new(WapGateway::new(options)));
             let report = system.execute(&MobileRequest::get("/lesson"));
             PaginationRow {
                 deck_cap_bytes: cap,
@@ -298,14 +295,13 @@ pub fn battery_ablation() -> Vec<BatteryRow> {
             let mut profile = device.clone();
             profile.battery_j = 2_000.0;
             let capacity = profile.battery_j;
-            let mut system = McSystem::new(
-                host,
-                Box::new(WapGateway::default()),
-                profile,
-                wifi(20.0),
-                WiredPath::wan(),
-                90,
-            );
+            let mut system = SystemSpec::new()
+                .middleware(MiddlewareKind::Wap)
+                .device(profile)
+                .wireless(wifi(20.0))
+                .wired(WiredPath::wan())
+                .seed(90)
+                .build(host);
             let (sessions, hours) = run_until_battery_dies(&mut system, &app, 20.0, 100_000, 91);
             BatteryRow {
                 device: device.name.to_owned(),

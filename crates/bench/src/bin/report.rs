@@ -2,7 +2,7 @@
 //! and prints them in paper order.
 //!
 //! ```text
-//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--f7] [--trace]
+//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--f7] [--f8] [--trace]
 //! ```
 //!
 //! `--quick` shrinks every workload for smoke runs; `--f4` runs only the
@@ -10,18 +10,21 @@
 //! `--f5` runs only the F5 observability-overhead experiment (writes
 //! `BENCH_obs.json`); `--f6` runs only the F6 fault-injection experiment
 //! (writes `BENCH_faults.json`); `--f7` runs only the F7 caching-hierarchy
-//! experiment (writes `BENCH_cache.json`). `--trace` additionally exports the fixed-seed
+//! experiment (writes `BENCH_cache.json`); `--f8` runs only the F8
+//! shared-world contention experiment (writes `BENCH_contention.json`).
+//! `--trace` additionally exports the fixed-seed
 //! fleet trace as `TRACE_fleet.jsonl` and `TRACE_fleet.trace.json` —
 //! open the latter in `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use bench::ablations;
 use bench::cache_experiment;
+use bench::contention_experiment;
 use bench::engine;
 use bench::experiments;
 use bench::faults_experiment;
 use bench::obs_experiment;
 use bench::tcpx;
-use mcommerce_core::fleet;
+use mcommerce_core::{fleet, FleetRunner};
 
 fn heading(title: &str) {
     println!("\n{}", "=".repeat(78));
@@ -51,7 +54,12 @@ fn f5(quick: bool, trace: bool) {
     println!("\n-> wrote {path}");
     if trace {
         let scenario = obs_experiment::trace_scenario(quick);
-        let (_, fleet_trace) = fleet::run_traced_on(&scenario, fleet::default_threads());
+        let fleet_trace = FleetRunner::new(scenario)
+            .threads(fleet::default_threads())
+            .traced(true)
+            .run()
+            .trace
+            .expect("traced run carries a trace");
         std::fs::write("TRACE_fleet.jsonl", fleet_trace.to_jsonl()).expect("write trace jsonl");
         std::fs::write("TRACE_fleet.trace.json", fleet_trace.to_chrome_json())
             .expect("write chrome trace");
@@ -87,6 +95,16 @@ fn f7(quick: bool) {
     println!("\n-> wrote {path}");
 }
 
+/// Runs F8 and writes the `BENCH_contention.json` artefact.
+fn f8(quick: bool) {
+    heading("F8 — shared-world contention: the knee + shared-cache growth");
+    let numbers = contention_experiment::run(quick);
+    println!("{numbers}");
+    let path = "BENCH_contention.json";
+    std::fs::write(path, numbers.to_json()).expect("write BENCH_contention.json");
+    println!("\n-> wrote {path}");
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = std::env::args().any(|a| a == "--trace");
@@ -94,7 +112,8 @@ fn main() {
     let only_f5 = std::env::args().any(|a| a == "--f5");
     let only_f6 = std::env::args().any(|a| a == "--f6");
     let only_f7 = std::env::args().any(|a| a == "--f7");
-    if only_f4 || only_f5 || only_f6 || only_f7 {
+    let only_f8 = std::env::args().any(|a| a == "--f8");
+    if only_f4 || only_f5 || only_f6 || only_f7 || only_f8 {
         if only_f4 {
             f4(quick);
         }
@@ -106,6 +125,9 @@ fn main() {
         }
         if only_f7 {
             f7(quick);
+        }
+        if only_f8 {
+            f8(quick);
         }
         return;
     }
@@ -186,6 +208,7 @@ fn main() {
     f5(quick, trace);
     f6(quick);
     f7(quick);
+    f8(quick);
 
     heading("X1 — §5.2: TCP variants over an error-prone wireless hop");
     for row in tcpx::full_sweep(x1_bytes) {

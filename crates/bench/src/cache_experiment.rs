@@ -32,7 +32,7 @@ use std::time::Instant;
 
 use hostsite::db::Database;
 use mcommerce_core::apps::healthcare::CLINICIAN;
-use mcommerce_core::{fleet, CachePolicy, Category, CommerceSystem, Scenario, WorkloadCounters};
+use mcommerce_core::{CachePolicy, Category, CommerceSystem, FleetRunner, Scenario, WorkloadCounters};
 use middleware::MobileRequest;
 use simnet::SimDuration;
 
@@ -264,14 +264,14 @@ pub fn run(quick: bool) -> CacheNumbers {
         .users(if quick { 8 } else { 16 })
         .sessions_per_user(2)
         .seed(F7_SEED + 1);
-    let plain = fleet::run_on(&base, 2).summary;
-    let zero_ttl = fleet::run_on(
-        &base.clone().cache(CachePolicy {
-            enabled: true,
-            ..CachePolicy::disabled()
-        }),
-        4,
-    )
+    let plain = FleetRunner::new(base.clone()).threads(2).run().report.summary;
+    let zero_ttl = FleetRunner::new(base.cache(CachePolicy {
+        enabled: true,
+        ..CachePolicy::disabled()
+    }))
+    .threads(4)
+    .run()
+    .report
     .summary;
     let zero_ttl_identical = plain == zero_ttl;
 

@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::fmt;
 use std::time::Instant;
 
-use mcommerce_core::{fleet, Category, Scenario};
+use mcommerce_core::{Category, FleetRunner, Scenario};
 use simnet::{BaselineSimulator, SimDuration, Simulator};
 
 /// One timed engine run of the timer-storm microbenchmark.
@@ -252,7 +252,7 @@ pub fn run(quick: bool) -> EngineNumbers {
         .app(Category::Commerce)
         .users(fleet_users)
         .seed(97);
-    let report = fleet::run(&scenario);
+    let report = FleetRunner::new(scenario).run().report;
     let fleet = FleetTiming {
         users: fleet_users,
         threads: report.threads,

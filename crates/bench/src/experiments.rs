@@ -8,8 +8,8 @@ use mcommerce_core::apps::{all_apps, for_category};
 use mcommerce_core::requirements::{check_all, RequirementReport};
 use mcommerce_core::workload::run_workload;
 use mcommerce_core::{
-    fleet, Category, CommerceSystem, EcSystem, McSystem, MiddlewareKind, Scenario, WiredPath,
-    WirelessConfig, WorkloadSummary,
+    Category, CommerceSystem, EcSystem, FleetRunner, MiddlewareKind, Scenario, SystemSpec,
+    WiredPath, WirelessConfig, WorkloadSummary,
 };
 use middleware::MobileRequest;
 use simnet::rng::rng_for;
@@ -79,7 +79,7 @@ pub fn fig1_fig2(transactions: u64) -> (SystemProfile, SystemProfile) {
         .app(Category::Commerce)
         .users(transactions)
         .seed(7);
-    let mc = fleet::run(&scenario);
+    let mc = FleetRunner::new(scenario).run().report;
 
     (
         profile("EC (Figure 1: 4 components)".into(), &ec_summary),
@@ -129,14 +129,13 @@ pub fn table1(sessions: u64) -> Vec<Table1Row> {
     for app in &apps {
         app.install(&mut host);
     }
-    let mut system = McSystem::new(
-        host,
-        MiddlewareKind::Wap.build(),
-        DeviceProfile::ipaq_h3870(),
-        wifi(25.0),
-        WiredPath::wan(),
-        32,
-    );
+    let mut system = SystemSpec::new()
+        .middleware(MiddlewareKind::Wap)
+        .device(DeviceProfile::ipaq_h3870())
+        .wireless(wifi(25.0))
+        .wired(WiredPath::wan())
+        .seed(32)
+        .build(host);
     apps.iter()
         .map(|app| {
             let summary = run_workload(&mut system, app.as_ref(), sessions, 33);
@@ -203,7 +202,7 @@ pub fn table2(sessions: u64) -> Vec<Table2Row> {
                 .device(device.clone())
                 .sessions_per_user(sessions)
                 .seed(43);
-            let summary = fleet::run(&scenario).summary.workload;
+            let summary = FleetRunner::new(scenario).run().report.summary.workload;
             Table2Row {
                 device: device.name.to_owned(),
                 os: device.os.to_string(),
@@ -282,7 +281,7 @@ pub fn table3(sessions: u64) -> Vec<Table3Row> {
                 .wireless(network)
                 .sessions_per_user(sessions)
                 .seed(53);
-            let summary = fleet::run(&scenario).summary.workload;
+            let summary = FleetRunner::new(scenario).run().report.summary.workload;
             rows.push(Table3Row {
                 middleware: kind.name().to_owned(),
                 network: network.name(),
@@ -431,7 +430,7 @@ pub fn table5() -> Vec<Table5Row> {
                     .device(DeviceProfile::nokia_9290())
                     .wireless(config)
                     .seed(72);
-                let mut system = scenario.system();
+                let mut system = scenario.system_for_user(0);
                 let first = system.execute(&MobileRequest::get("/shop"));
                 let mut steady = Vec::new();
                 for _ in 0..10 {
@@ -486,7 +485,7 @@ impl fmt::Display for FleetScaleRow {
 }
 
 /// Fleet scale: the same Commerce scenario swept across fleet sizes and
-/// shard counts. The merged [`fleet::FleetSummary`] is bit-for-bit
+/// shard counts. The merged [`mcommerce_core::FleetSummary`] is bit-for-bit
 /// identical at every thread count (the fleet engine's determinism
 /// contract — asserted here on every sweep point); only the wall clock
 /// changes with parallelism.
@@ -502,7 +501,7 @@ pub fn fleet_scale(users_sweep: &[u64], threads_sweep: &[usize]) -> Vec<FleetSca
             if threads as u64 > users && threads > 1 {
                 continue; // would clamp to a duplicate of an earlier row
             }
-            let report = fleet::run_on(&scenario, threads);
+            let report = FleetRunner::new(scenario.clone()).threads(threads).run().report;
             let summary = report.summary.clone();
             if let Some(reference) = &reference {
                 assert_eq!(

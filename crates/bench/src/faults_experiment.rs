@@ -33,7 +33,7 @@ use bytes::Bytes;
 use faults::{driver, FaultKind, FaultPlan, RetryPolicy};
 use mcommerce_core::apps::for_category;
 use mcommerce_core::workload::run_workload;
-use mcommerce_core::{fleet, Category, EcSystem, MiddlewareKind, Scenario, WiredPath};
+use mcommerce_core::{fleet, Category, EcSystem, FleetRunner, MiddlewareKind, Scenario, WiredPath};
 use netstack::node::Network;
 use netstack::{Ip, Subnet};
 use simnet::link::LinkParams;
@@ -328,8 +328,16 @@ pub fn run(quick: bool) -> FaultsNumbers {
     let mut sweep = Vec::new();
     for &intensity in &[0.0, 0.5, 1.0, 2.0] {
         let storm = FaultPlan::storm(STORM_SEED, STORM_HORIZON, intensity);
-        let bare = fleet::run_on(&base.clone().faults(storm.clone()), threads).summary;
-        let hardened = fleet::run_on(&harden(base.clone().faults(storm)), threads).summary;
+        let bare = FleetRunner::new(base.clone().faults(storm.clone()))
+            .threads(threads)
+            .run()
+            .report
+            .summary;
+        let hardened = FleetRunner::new(harden(base.clone().faults(storm)))
+            .threads(threads)
+            .run()
+            .report
+            .summary;
         sweep.push(FaultSweepRow {
             intensity,
             bare_availability: bare.workload.success_rate(),
@@ -343,21 +351,27 @@ pub fn run(quick: bool) -> FaultsNumbers {
     let (ec_availability, ec_p99_s) = ec_reference(&base);
 
     // Zero-fault identity, cross-checked at different thread counts.
-    let plain = fleet::run_on(&base, 2).summary;
-    let armed = fleet::run_on(
-        &base
-            .clone()
+    let plain = FleetRunner::new(base.clone()).threads(2).run().report.summary;
+    let armed = FleetRunner::new(
+        base.clone()
             .faults(FaultPlan::none())
             .retry(RetryPolicy::none()),
-        4,
     )
+    .threads(4)
+    .run()
+    .report
     .summary;
     let zero_fault_identical = plain == armed;
 
     // Injected faults must be visible in the flight recorder.
     let storm = FaultPlan::storm(STORM_SEED, STORM_HORIZON, 1.0);
     let traced_scenario = harden(base.clone().users(base.users.min(8)).faults(storm));
-    let (_, trace) = fleet::run_traced_on(&traced_scenario, threads);
+    let trace = FleetRunner::new(traced_scenario)
+        .threads(threads)
+        .traced(true)
+        .run()
+        .trace
+        .expect("traced run carries a trace");
     let fault_trace_events = trace
         .events
         .iter()

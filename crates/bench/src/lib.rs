@@ -15,6 +15,7 @@
 //! | F5 | observability overhead, recorder on/off | [`obs_experiment::run`] |
 //! | F6 | fault injection: availability under storms | [`faults_experiment::run`] |
 //! | F7 | caching hierarchy: cold vs warm, zero-TTL identity | [`cache_experiment::run`] |
+//! | F8 | shared-world contention: knee + shared-cache growth | [`contention_experiment::run`] |
 //! | X1 | §5.2, TCP variants on wireless | [`tcpx::tcp_variants`] |
 //! | X2 | §1.1, five system requirements | [`experiments::independence`] |
 //!
@@ -25,6 +26,7 @@
 
 pub mod ablations;
 pub mod cache_experiment;
+pub mod contention_experiment;
 pub mod engine;
 pub mod experiments;
 pub mod faults_experiment;

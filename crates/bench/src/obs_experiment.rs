@@ -21,7 +21,7 @@ use std::cell::Cell;
 use std::fmt;
 use std::time::Instant;
 
-use mcommerce_core::{fleet, Category, Scenario};
+use mcommerce_core::{fleet, Category, FleetRunner, Scenario};
 use simnet::{SimDuration, Simulator};
 
 use crate::engine::{delay_ns, FleetTiming, ThroughputSample};
@@ -223,8 +223,15 @@ pub fn run(quick: bool) -> ObsNumbers {
 
     let scenario = trace_scenario(quick);
     let threads = fleet::default_threads();
-    let untraced = fleet::run_on(&scenario, threads);
-    let (traced, trace) = fleet::run_traced_on(&scenario, threads);
+    let untraced = FleetRunner::new(scenario.clone()).threads(threads).run().report;
+    let traced_run = FleetRunner::new(scenario.clone())
+        .threads(threads)
+        .traced(true)
+        .run();
+    let (traced, trace) = (
+        traced_run.report,
+        traced_run.trace.expect("traced run carries a trace"),
+    );
     assert_eq!(
         untraced.summary, traced.summary,
         "tracing must not perturb the simulation"

@@ -43,7 +43,9 @@ use wireless::WlanStandard;
 use crate::apps::{for_category, Category};
 use crate::netpath::{WiredPath, WirelessConfig};
 use crate::report::{WorkloadCounters, WorkloadSummary};
-use crate::system::{CachePolicy, McSystem, MiddlewareKind};
+use crate::shared::{self, ContentionStats};
+use crate::system::{CachePolicy, McSystem, MiddlewareKind, SystemSpec};
+use crate::topology::Topology;
 use crate::workload::run_session;
 
 /// A declarative description of one fleet experiment: who the users
@@ -55,7 +57,7 @@ use crate::workload::run_session;
 /// from this description.
 ///
 /// ```
-/// use mcommerce_core::{fleet, Category, MiddlewareKind, Scenario};
+/// use mcommerce_core::{Category, FleetRunner, MiddlewareKind, Scenario};
 ///
 /// let scenario = Scenario::new("quickstart")
 ///     .middleware(MiddlewareKind::Wap)
@@ -63,9 +65,9 @@ use crate::workload::run_session;
 ///     .users(8)
 ///     .sessions_per_user(2)
 ///     .seed(42);
-/// let report = fleet::run(&scenario);
-/// assert_eq!(report.summary.users, 8);
-/// assert!(report.summary.workload.success_rate() > 0.99);
+/// let run = FleetRunner::new(scenario).run();
+/// assert_eq!(run.report.summary.users, 8);
+/// assert!(run.report.summary.workload.success_rate() > 0.99);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -141,72 +143,84 @@ impl Scenario {
     }
 
     /// Sets the device profile.
+    #[must_use]
     pub fn device(mut self, device: DeviceProfile) -> Self {
         self.device = device;
         self
     }
 
     /// Sets the middleware kind.
+    #[must_use]
     pub fn middleware(mut self, kind: MiddlewareKind) -> Self {
         self.middleware = kind;
         self
     }
 
     /// Sets the wireless configuration.
+    #[must_use]
     pub fn wireless(mut self, wireless: WirelessConfig) -> Self {
         self.wireless = wireless;
         self
     }
 
     /// Sets the wired path.
+    #[must_use]
     pub fn wired(mut self, wired: WiredPath) -> Self {
         self.wired = wired;
         self
     }
 
     /// Sets the application workload.
+    #[must_use]
     pub fn app(mut self, app: Category) -> Self {
         self.app = app;
         self
     }
 
     /// Sets the user count.
+    #[must_use]
     pub fn users(mut self, users: u64) -> Self {
         self.users = users;
         self
     }
 
     /// Sets sessions per user.
+    #[must_use]
     pub fn sessions_per_user(mut self, sessions: u64) -> Self {
         self.sessions_per_user = sessions;
         self
     }
 
     /// Turns WTLS-style security on or off.
+    #[must_use]
     pub fn secure(mut self, secure: bool) -> Self {
         self.secure = secure;
         self
     }
 
     /// Sets the root seed.
+    #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Sets the think time between sessions, seconds of sim time.
+    #[must_use]
     pub fn think_time(mut self, secs: f64) -> Self {
         self.think_secs = secs;
         self
     }
 
     /// Installs a fault schedule on every user's system.
+    #[must_use]
     pub fn faults(mut self, plan: faults::FaultPlan) -> Self {
         self.faults = plan;
         self
     }
 
     /// Sets the per-transaction retry policy.
+    #[must_use]
     pub fn retry(mut self, policy: faults::RetryPolicy) -> Self {
         self.retry = policy;
         self
@@ -214,12 +228,14 @@ impl Scenario {
 
     /// Selects the fallback middleware swapped in when the primary path
     /// degrades (requires a retrying policy to take effect).
+    #[must_use]
     pub fn fallback_middleware(mut self, kind: MiddlewareKind) -> Self {
         self.fallback = Some(kind);
         self
     }
 
     /// Sets the cache policy applied to every user's system.
+    #[must_use]
     pub fn cache(mut self, policy: CachePolicy) -> Self {
         self.cache = policy;
         self
@@ -239,9 +255,23 @@ impl Scenario {
         )
     }
 
+    /// The typed [`SystemSpec`] for one user of this scenario — the
+    /// scenario's stack with the user's derived air-link seed.
+    pub fn spec_for_user(&self, user: u64) -> SystemSpec {
+        SystemSpec::new()
+            .middleware(self.middleware)
+            .device(self.device.clone())
+            .wireless(self.wireless)
+            .wired(self.wired)
+            .seed(simnet::rng::sub_seed(self.seed, "fleet.air", user))
+            .secure(self.secure)
+            .cache(self.cache)
+    }
+
     /// Builds the fully provisioned system for one user: fresh host with
     /// the application installed, middleware, device, networks — seeded
-    /// purely from the scenario seed and the user index.
+    /// purely from the scenario seed and the user index, all through
+    /// [`Scenario::spec_for_user`].
     pub fn system_for_user(&self, user: u64) -> McSystem {
         let app = for_category(self.app);
         let mut host = HostComputer::new(
@@ -249,27 +279,20 @@ impl Scenario {
             simnet::rng::sub_seed(self.seed, "fleet.host", user),
         );
         app.install(&mut host);
-        let mut system = McSystem::new(
-            host,
-            self.middleware.build(),
-            self.device.clone(),
-            self.wireless,
-            self.wired,
-            simnet::rng::sub_seed(self.seed, "fleet.air", user),
-        );
-        system.set_secure(self.secure);
+        let mut system = self.spec_for_user(user).build(host);
         if !self.faults.is_empty() {
             system.set_fault_plan(self.faults.clone());
         }
         system.set_fallback_middleware(self.fallback);
-        if self.cache.enabled {
-            system.set_cache_policy(self.cache);
-        }
         system
     }
 
     /// Builds the single-user system (user 0) — the convenience most
     /// examples and tests want when they don't need a whole fleet.
+    #[deprecated(
+        since = "0.2.0",
+        note = "call `system_for_user(0)` — `system()` was an alias that hid the user index"
+    )]
     pub fn system(&self) -> McSystem {
         self.system_for_user(0)
     }
@@ -324,8 +347,23 @@ impl Scenario {
     /// recorder only observes, so `counters` comes out the same either
     /// way (pinned by a unit test below).
     pub fn run_user_traced(&self, user: u64, counters: &mut WorkloadCounters) -> UserTrace {
+        self.run_user_traced_with(user, counters, RecorderKind::Ring)
+    }
+
+    /// [`Scenario::run_user_traced`] with an explicit recorder choice:
+    /// [`RecorderKind::Disabled`] keeps the metrics registry on but
+    /// skips the flight-recorder ring (no events, no dumps).
+    fn run_user_traced_with(
+        &self,
+        user: u64,
+        counters: &mut WorkloadCounters,
+        recorder: RecorderKind,
+    ) -> UserTrace {
         let mut system = self.system_for_user(user);
-        system.set_recorder(Recorder::ring_for_user(user));
+        system.set_recorder(match recorder {
+            RecorderKind::Ring => Recorder::ring_for_user(user),
+            RecorderKind::Disabled => Recorder::Disabled,
+        });
         let guard = obs::metrics::enable();
         self.run_user_on(&mut system, user, counters);
         drop(guard);
@@ -438,129 +476,230 @@ impl FleetReport {
     }
 }
 
-/// Number of worker threads [`run`] uses: the machine's available
-/// parallelism.
+/// Number of worker threads [`FleetRunner`] uses by default: the
+/// machine's available parallelism.
 pub fn default_threads() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Runs the scenario's fleet sharded across [`default_threads`] threads.
-pub fn run(scenario: &Scenario) -> FleetReport {
-    run_on(scenario, default_threads())
+/// Which observability sink each user gets in a traced run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecorderKind {
+    /// A per-user flight-recorder ring: sim-time spans, instants and
+    /// failure dumps (the default).
+    #[default]
+    Ring,
+    /// No recorder: the metrics registry still runs, but no trace
+    /// events or dumps are captured — cheaper tracing for metric-only
+    /// experiments.
+    Disabled,
 }
 
-/// Runs the scenario's fleet sharded across exactly `threads` threads
-/// (clamped to at least 1, at most one per user).
-///
-/// Users are assigned to shards in contiguous index ranges; each shard
-/// executes its users in increasing index order on its own OS thread
-/// and returns a per-shard [`WorkloadSummary`]. The summaries are
-/// merged in shard-index order, and because each user's simulation and
-/// the counter merge are independent of the sharding, the resulting
-/// [`FleetSummary`] does not depend on `threads`.
-pub fn run_on(scenario: &Scenario, threads: usize) -> FleetReport {
-    let started = Instant::now();
-    let shards = threads.clamp(1, scenario.users.max(1) as usize);
-    let chunk = scenario.users.div_ceil(shards as u64).max(1);
-
-    let shard_summaries: Vec<WorkloadSummary> = thread::scope(|scope| {
-        let handles: Vec<_> = (0..shards as u64)
-            .map(|shard| {
-                let scenario = &*scenario;
-                scope.spawn(move || {
-                    let mut counters = WorkloadCounters::default();
-                    let lo = shard * chunk;
-                    let hi = (lo + chunk).min(scenario.users);
-                    for user in lo..hi {
-                        scenario.run_user(user, &mut counters);
-                    }
-                    counters.summary(format!("{} shard {shard}", scenario.name))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fleet shard panicked"))
-            .collect()
-    });
-
-    let summary = shard_summaries
-        .iter()
-        .skip(1)
-        .fold(shard_summaries[0].clone(), |acc, s| acc.merge(s));
-    // Relabel through the counters so the label doesn't depend on which
-    // shard happened to be first.
-    let summary = summary.counters.summary(scenario.label());
-
-    FleetReport {
-        threads: shards,
-        wall_secs: started.elapsed().as_secs_f64(),
-        summary: FleetSummary {
-            scenario: scenario.label(),
-            users: scenario.users,
-            workload: summary,
-        },
-    }
+/// Execution mechanics for one fleet run: how many OS threads, whether
+/// telemetry is captured, and through which recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Worker threads the fleet is sharded across (clamped to ≥ 1 and
+    /// to the available parallel units: users in an isolated world,
+    /// islands in a shared one).
+    pub threads: usize,
+    /// Whether to run with the metrics registry and per-user recorders
+    /// enabled and merge a [`FleetTrace`].
+    pub traced: bool,
+    /// The recorder installed per user when `traced` is set.
+    pub recorder: RecorderKind,
 }
 
-/// Runs the scenario's fleet with tracing enabled, sharded across
-/// exactly `threads` threads.
-///
-/// Identical sharding and merge discipline to [`run_on`]; additionally
-/// each user runs with a per-user flight recorder and the metrics
-/// registry enabled, and the per-user telemetry is concatenated in
-/// user-index order into a [`FleetTrace`]. Fixed seed ⇒ the trace (and
-/// its JSONL/Chrome renderings) is byte-identical at any thread count.
-pub fn run_traced_on(scenario: &Scenario, threads: usize) -> (FleetReport, FleetTrace) {
-    let started = Instant::now();
-    let shards = threads.clamp(1, scenario.users.max(1) as usize);
-    let chunk = scenario.users.div_ceil(shards as u64).max(1);
-
-    type ShardResult = (WorkloadSummary, Vec<UserTrace>);
-    let shard_results: Vec<ShardResult> = thread::scope(|scope| {
-        let handles: Vec<_> = (0..shards as u64)
-            .map(|shard| {
-                let scenario = &*scenario;
-                scope.spawn(move || {
-                    let mut counters = WorkloadCounters::default();
-                    let mut traces = Vec::new();
-                    let lo = shard * chunk;
-                    let hi = (lo + chunk).min(scenario.users);
-                    for user in lo..hi {
-                        traces.push(scenario.run_user_traced(user, &mut counters));
-                    }
-                    (
-                        counters.summary(format!("{} shard {shard}", scenario.name)),
-                        traces,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fleet shard panicked"))
-            .collect()
-    });
-
-    // Canonical merge: shards in index order, users in index order
-    // within each shard — the same discipline as the counters.
-    let mut trace = FleetTrace::default();
-    let mut summaries = Vec::with_capacity(shard_results.len());
-    for (summary, users) in shard_results {
-        summaries.push(summary);
-        for user in users {
-            trace.events.extend(user.events);
-            trace.dumps.extend(user.dumps);
-            trace.metrics.merge(&user.metrics);
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: default_threads(),
+            traced: false,
+            recorder: RecorderKind::Ring,
         }
     }
-    let merged = summaries
-        .iter()
-        .skip(1)
-        .fold(summaries[0].clone(), |acc, s| acc.merge(s));
-    let summary = merged.counters.summary(scenario.label());
+}
 
-    (
+impl RunConfig {
+    /// Sets the worker thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables telemetry capture.
+    #[must_use]
+    pub fn traced(mut self, traced: bool) -> Self {
+        self.traced = traced;
+        self
+    }
+
+    /// Selects the per-user recorder used when tracing.
+    #[must_use]
+    pub fn recorder(mut self, recorder: RecorderKind) -> Self {
+        self.recorder = recorder;
+        self
+    }
+}
+
+/// Everything one fleet execution produced.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// The deterministic summary plus wall-clock measurements.
+    pub report: FleetReport,
+    /// Merged telemetry, present iff the run was traced.
+    pub trace: Option<FleetTrace>,
+    /// Shared-resource contention telemetry, present iff the topology
+    /// was shared.
+    pub contention: Option<ContentionStats>,
+}
+
+/// The single entry point for executing fleets: a [`Scenario`] (who the
+/// users are and what they run), a [`Topology`] (what infrastructure
+/// they share), and a [`RunConfig`] (how the simulation executes).
+///
+/// Replaces the `fleet::run` / `run_on` / `run_traced_on` trio:
+///
+/// ```
+/// use mcommerce_core::{FleetRunner, Scenario, Topology};
+///
+/// let scenario = Scenario::new("storefront").users(6).seed(9);
+/// // Legacy per-user worlds (the default topology):
+/// let isolated = FleetRunner::new(scenario.clone()).threads(2).run();
+/// // The same population contending for one cell, gateway and host:
+/// let shared = FleetRunner::new(scenario)
+///     .topology(Topology::shared())
+///     .threads(2)
+///     .run();
+/// assert_eq!(isolated.report.summary.users, 6);
+/// assert!(shared.contention.unwrap().transactions > 0);
+/// ```
+///
+/// Every knob is plain data, so a runner can be built once and run
+/// repeatedly; results are bit-identical for a fixed scenario, topology
+/// and seed regardless of `threads`.
+#[derive(Debug, Clone)]
+pub struct FleetRunner {
+    scenario: Scenario,
+    topology: Topology,
+    config: RunConfig,
+}
+
+impl FleetRunner {
+    /// A runner over `scenario` with the default isolated topology and
+    /// default [`RunConfig`].
+    pub fn new(scenario: Scenario) -> Self {
+        FleetRunner {
+            scenario,
+            topology: Topology::isolated(),
+            config: RunConfig::default(),
+        }
+    }
+
+    /// Sets the infrastructure topology.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the worker thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Enables or disables telemetry capture.
+    #[must_use]
+    pub fn traced(mut self, traced: bool) -> Self {
+        self.config.traced = traced;
+        self
+    }
+
+    /// Selects the per-user recorder used when tracing.
+    #[must_use]
+    pub fn recorder(mut self, recorder: RecorderKind) -> Self {
+        self.config.recorder = recorder;
+        self
+    }
+
+    /// Replaces the whole [`RunConfig`] at once.
+    #[must_use]
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The scenario this runner executes.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Executes the fleet and returns everything it produced.
+    ///
+    /// Isolated topologies run the legacy per-user engine (bit-for-bit:
+    /// the deprecated `run_on`/`run_traced_on` shims delegate here).
+    /// Shared topologies run the island engine in [`crate::shared`].
+    /// Either way the summary — and the trace, when captured — is
+    /// byte-identical at any thread count.
+    pub fn run(&self) -> FleetRun {
+        if self.topology.is_shared() {
+            self.run_shared()
+        } else if self.config.traced {
+            let (report, trace) = self.run_isolated_traced();
+            FleetRun {
+                report,
+                trace: Some(trace),
+                contention: None,
+            }
+        } else {
+            FleetRun {
+                report: self.run_isolated(),
+                trace: None,
+                contention: None,
+            }
+        }
+    }
+
+    /// The legacy per-user engine: users sharded across threads in
+    /// contiguous index ranges, per-shard summaries merged in
+    /// shard-index order.
+    fn run_isolated(&self) -> FleetReport {
+        let scenario = &self.scenario;
+        let started = Instant::now();
+        let shards = self.config.threads.clamp(1, scenario.users.max(1) as usize);
+        let chunk = scenario.users.div_ceil(shards as u64).max(1);
+
+        let shard_summaries: Vec<WorkloadSummary> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards as u64)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut counters = WorkloadCounters::default();
+                        let lo = shard * chunk;
+                        let hi = (lo + chunk).min(scenario.users);
+                        for user in lo..hi {
+                            scenario.run_user(user, &mut counters);
+                        }
+                        counters.summary(format!("{} shard {shard}", scenario.name))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet shard panicked"))
+                .collect()
+        });
+
+        let summary = shard_summaries
+            .iter()
+            .skip(1)
+            .fold(shard_summaries[0].clone(), |acc, s| acc.merge(s));
+        // Relabel through the counters so the label doesn't depend on
+        // which shard happened to be first.
+        let summary = summary.counters.summary(scenario.label());
+
         FleetReport {
             threads: shards,
             wall_secs: started.elapsed().as_secs_f64(),
@@ -569,9 +708,164 @@ pub fn run_traced_on(scenario: &Scenario, threads: usize) -> (FleetReport, Fleet
                 users: scenario.users,
                 workload: summary,
             },
-        },
-        trace,
-    )
+        }
+    }
+
+    /// The legacy per-user engine with telemetry: identical sharding
+    /// and merge discipline to [`FleetRunner::run_isolated`], with
+    /// per-user traces concatenated in user-index order.
+    fn run_isolated_traced(&self) -> (FleetReport, FleetTrace) {
+        let scenario = &self.scenario;
+        let recorder = self.config.recorder;
+        let started = Instant::now();
+        let shards = self.config.threads.clamp(1, scenario.users.max(1) as usize);
+        let chunk = scenario.users.div_ceil(shards as u64).max(1);
+
+        type ShardResult = (WorkloadSummary, Vec<UserTrace>);
+        let shard_results: Vec<ShardResult> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards as u64)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut counters = WorkloadCounters::default();
+                        let mut traces = Vec::new();
+                        let lo = shard * chunk;
+                        let hi = (lo + chunk).min(scenario.users);
+                        for user in lo..hi {
+                            traces.push(scenario.run_user_traced_with(
+                                user,
+                                &mut counters,
+                                recorder,
+                            ));
+                        }
+                        (
+                            counters.summary(format!("{} shard {shard}", scenario.name)),
+                            traces,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet shard panicked"))
+                .collect()
+        });
+
+        // Canonical merge: shards in index order, users in index order
+        // within each shard — the same discipline as the counters.
+        let mut trace = FleetTrace::default();
+        let mut summaries = Vec::with_capacity(shard_results.len());
+        for (summary, users) in shard_results {
+            summaries.push(summary);
+            for user in users {
+                trace.events.extend(user.events);
+                trace.dumps.extend(user.dumps);
+                trace.metrics.merge(&user.metrics);
+            }
+        }
+        let merged = summaries
+            .iter()
+            .skip(1)
+            .fold(summaries[0].clone(), |acc, s| acc.merge(s));
+        let summary = merged.counters.summary(scenario.label());
+
+        (
+            FleetReport {
+                threads: shards,
+                wall_secs: started.elapsed().as_secs_f64(),
+                summary: FleetSummary {
+                    scenario: scenario.label(),
+                    users: scenario.users,
+                    workload: summary,
+                },
+            },
+            trace,
+        )
+    }
+
+    /// The shared-world island engine (see [`crate::shared`]): islands
+    /// sharded across threads, outcomes merged in island-index order,
+    /// traces re-sorted into global user-index order.
+    fn run_shared(&self) -> FleetRun {
+        let scenario = &self.scenario;
+        let started = Instant::now();
+        let islands = self.topology.host_count();
+        let threads = self.config.threads.clamp(1, islands.max(1) as usize);
+
+        let outcomes = shared::run_islands(
+            scenario,
+            &self.topology,
+            threads,
+            self.config.traced,
+            self.config.recorder,
+        );
+
+        let mut counters = WorkloadCounters::default();
+        let mut stats = ContentionStats::default();
+        let mut user_traces: Vec<(u64, UserTrace)> = Vec::new();
+        let mut trace = self.config.traced.then(FleetTrace::default);
+        for outcome in outcomes {
+            counters.merge(&outcome.counters);
+            stats.merge(&outcome.stats);
+            user_traces.extend(outcome.traces);
+            if let (Some(trace), Some(metrics)) = (trace.as_mut(), outcome.metrics.as_ref()) {
+                trace.metrics.merge(metrics);
+            }
+        }
+        // Users land in island order; the canonical trace order is the
+        // global user index, same as the isolated engine.
+        user_traces.sort_by_key(|(user, _)| *user);
+        if let Some(trace) = trace.as_mut() {
+            for (_, user) in user_traces {
+                trace.events.extend(user.events);
+                trace.dumps.extend(user.dumps);
+            }
+        }
+
+        let report = FleetReport {
+            threads,
+            wall_secs: started.elapsed().as_secs_f64(),
+            summary: FleetSummary {
+                scenario: scenario.label(),
+                users: scenario.users,
+                workload: counters.summary(scenario.label()),
+            },
+        };
+        FleetRun {
+            report,
+            trace,
+            contention: Some(stats),
+        }
+    }
+}
+
+/// Runs the scenario's fleet sharded across [`default_threads`] threads.
+#[deprecated(since = "0.2.0", note = "use `FleetRunner::new(scenario).run().report`")]
+pub fn run(scenario: &Scenario) -> FleetReport {
+    FleetRunner::new(scenario.clone()).run().report
+}
+
+/// Runs the scenario's fleet sharded across exactly `threads` threads
+/// (clamped to at least 1, at most one per user).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FleetRunner::new(scenario).threads(n).run().report`"
+)]
+pub fn run_on(scenario: &Scenario, threads: usize) -> FleetReport {
+    FleetRunner::new(scenario.clone()).threads(threads).run().report
+}
+
+/// Runs the scenario's fleet with tracing enabled, sharded across
+/// exactly `threads` threads.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FleetRunner::new(scenario).threads(n).traced(true).run()`"
+)]
+pub fn run_traced_on(scenario: &Scenario, threads: usize) -> (FleetReport, FleetTrace) {
+    let run = FleetRunner::new(scenario.clone())
+        .threads(threads)
+        .traced(true)
+        .run();
+    (run.report, run.trace.expect("traced run carries a trace"))
 }
 
 #[cfg(test)]
@@ -584,6 +878,68 @@ mod tests {
             .users(6)
             .sessions_per_user(2)
             .seed(7)
+    }
+
+    // Local helpers shadow the deprecated free functions of the same
+    // name: the tests exercise the replacement API.
+    fn run_on(scenario: &Scenario, threads: usize) -> FleetReport {
+        FleetRunner::new(scenario.clone())
+            .threads(threads)
+            .run()
+            .report
+    }
+
+    fn run_traced_on(scenario: &Scenario, threads: usize) -> (FleetReport, FleetTrace) {
+        let run = FleetRunner::new(scenario.clone())
+            .threads(threads)
+            .traced(true)
+            .run();
+        (run.report, run.trace.expect("traced run carries a trace"))
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_runner() {
+        let scenario = small();
+        let shim = super::run_on(&scenario, 2).summary;
+        let runner = run_on(&scenario, 2).summary;
+        assert_eq!(shim, runner);
+        let (shim_report, shim_trace) = super::run_traced_on(&scenario, 2);
+        let (report, trace) = run_traced_on(&scenario, 2);
+        assert_eq!(shim_report.summary, report.summary);
+        assert_eq!(shim_trace.to_jsonl(), trace.to_jsonl());
+    }
+
+    #[test]
+    fn untraced_runs_carry_no_trace_or_contention() {
+        let run = FleetRunner::new(small()).threads(2).run();
+        assert!(run.trace.is_none());
+        assert!(run.contention.is_none());
+    }
+
+    #[test]
+    fn disabled_recorder_keeps_metrics_but_drops_events() {
+        let run = FleetRunner::new(small())
+            .threads(2)
+            .traced(true)
+            .recorder(RecorderKind::Disabled)
+            .run();
+        let trace = run.trace.expect("traced");
+        assert!(trace.events.is_empty());
+        assert!(trace.dumps.is_empty());
+        assert!(trace.metrics.counter("station.transactions") > 0);
+    }
+
+    #[test]
+    fn shared_topology_produces_contention_stats() {
+        let run = FleetRunner::new(small())
+            .topology(Topology::shared())
+            .threads(2)
+            .run();
+        let stats = run.contention.expect("shared runs report contention");
+        assert_eq!(stats.transactions, 24);
+        assert_eq!(run.report.summary.users, 6);
+        assert!(run.report.summary.workload.success_rate() > 0.99);
     }
 
     #[test]
@@ -797,7 +1153,7 @@ mod tests {
     #[test]
     fn scenario_system_is_a_usable_single_system() {
         use crate::system::CommerceSystem;
-        let mut system = Scenario::new("solo").system();
+        let mut system = Scenario::new("solo").system_for_user(0);
         let report = system.execute(&middleware::MobileRequest::get("/shop"));
         assert!(report.success, "{:?}", report.failure);
         assert!(report.outcome.is_some());

@@ -20,7 +20,13 @@
 //! * [`requirements`] — executable checks of §1.1's five system
 //!   requirements,
 //! * [`fleet`] — the deterministic sharded scenario runner scaling the
-//!   model to whole user populations ([`Scenario`] → [`fleet::run`]).
+//!   model to whole user populations ([`Scenario`] + [`Topology`] →
+//!   [`FleetRunner`]),
+//! * [`topology`] — the infrastructure shape a fleet runs on: cells ×
+//!   gateways × hosts and user placement,
+//! * [`shared`] — the shared-world contention engine behind
+//!   [`Topology::shared`] topologies: FCFS airtime, gateway and host
+//!   queues over island-sharded deterministic execution.
 //!
 //! Telemetry (per-layer counters, latency histograms, sim-time spans and
 //! flight-recorder dumps) is published through the dependency-free
@@ -34,16 +40,25 @@ pub mod fleet;
 pub mod netpath;
 pub mod report;
 pub mod requirements;
+pub mod shared;
 pub mod system;
+pub mod topology;
 pub mod workload;
 
 pub use apps::Category;
 pub use faults::{
     classify, FailureClass, FaultEvent, FaultKind, FaultPlan, FaultState, FaultWindow, RetryPolicy,
 };
-pub use fleet::{FleetReport, FleetSummary, FleetTrace, Scenario, UserTrace};
+pub use fleet::{
+    FleetReport, FleetRun, FleetRunner, FleetSummary, FleetTrace, RecorderKind, RunConfig,
+    Scenario, UserTrace,
+};
 pub use netpath::{AirLink, WiredPath, WirelessConfig};
 pub use report::{
     PhaseBreakdown, TransactionOutcome, TransactionReport, WorkloadCounters, WorkloadSummary,
 };
-pub use system::{CachePolicy, CommerceSystem, EcSystem, McSystem, MiddlewareKind, StationState};
+pub use shared::ContentionStats;
+pub use system::{
+    CachePolicy, CommerceSystem, EcSystem, McSystem, MiddlewareKind, StationState, SystemSpec,
+};
+pub use topology::{Placement, Topology};

@@ -22,7 +22,7 @@ use wireless::{CellularStandard, WlanStandard};
 
 use crate::apps::{all_apps, Application, PaymentsApp};
 use crate::netpath::{WiredPath, WirelessConfig};
-use crate::system::{CommerceSystem, McSystem, MiddlewareKind};
+use crate::system::{CommerceSystem, MiddlewareKind, SystemSpec};
 use crate::workload::run_workload;
 
 /// The verdict on one requirement.
@@ -71,14 +71,13 @@ pub fn check_ubiquity(latency_budget_secs: f64) -> RequirementReport {
         },
     ];
     for (i, config) in configs.iter().enumerate() {
-        let mut system = McSystem::new(
-            fresh_host(100 + i as u64, &apps),
-            MiddlewareKind::Wap.build(),
-            DeviceProfile::ipaq_h3870(),
-            *config,
-            WiredPath::wan(),
-            200 + i as u64,
-        );
+        let mut system = SystemSpec::new()
+            .middleware(MiddlewareKind::Wap)
+            .device(DeviceProfile::ipaq_h3870())
+            .wireless(*config)
+            .wired(WiredPath::wan())
+            .seed(200 + i as u64)
+            .build(fresh_host(100 + i as u64, &apps));
         let summary = run_workload(&mut system, &app, 10, 300 + i as u64);
         let ok = summary.success_rate() == 1.0 && summary.latency_p90 <= latency_budget_secs;
         satisfied &= ok;
@@ -117,14 +116,13 @@ pub fn check_personalization() -> RequirementReport {
             )
         },
     );
-    let mut system = McSystem::new(
-        host,
-        MiddlewareKind::IMode.build(),
-        DeviceProfile::nokia_9290(),
-        wifi(15.0),
-        WiredPath::wan(),
-        17,
-    );
+    let mut system = SystemSpec::new()
+        .middleware(MiddlewareKind::IMode)
+        .device(DeviceProfile::nokia_9290())
+        .wireless(wifi(15.0))
+        .wired(WiredPath::wan())
+        .seed(17)
+        .build(host);
     system.execute(&MobileRequest::get("/home?name=ada"));
     let report = system.execute(&MobileRequest::get("/home"));
     let page = report.page_text().unwrap_or_default().to_owned();
@@ -141,14 +139,13 @@ pub fn check_personalization() -> RequirementReport {
 /// to completion on one system.
 pub fn check_application_breadth() -> RequirementReport {
     let apps = all_apps();
-    let mut system = McSystem::new(
-        fresh_host(21, &apps),
-        MiddlewareKind::Wap.build(),
-        DeviceProfile::toshiba_e740(),
-        wifi(20.0),
-        WiredPath::wan(),
-        23,
-    );
+    let mut system = SystemSpec::new()
+        .middleware(MiddlewareKind::Wap)
+        .device(DeviceProfile::toshiba_e740())
+        .wireless(wifi(20.0))
+        .wired(WiredPath::wan())
+        .seed(23)
+        .build(fresh_host(21, &apps));
     let mut evidence = Vec::new();
     let mut satisfied = true;
     for app in &apps {
@@ -186,14 +183,13 @@ pub fn check_interoperability() -> RequirementReport {
             ] {
                 combo += 1;
                 let apps: Vec<Box<dyn Application>> = vec![Box::new(PaymentsApp::new())];
-                let mut system = McSystem::new(
-                    fresh_host(400 + combo, &apps),
-                    kind.build(),
-                    device.clone(),
-                    config,
-                    WiredPath::wan(),
-                    500 + combo,
-                );
+                let mut system = SystemSpec::new()
+                    .middleware(kind)
+                    .device(device.clone())
+                    .wireless(config)
+                    .wired(WiredPath::wan())
+                    .seed(500 + combo)
+                    .build(fresh_host(400 + combo, &apps));
                 let summary = run_workload(&mut system, &app, 3, 600 + combo);
                 let ok = summary.success_rate() == 1.0;
                 satisfied &= ok;
@@ -220,14 +216,13 @@ pub fn check_interoperability() -> RequirementReport {
 pub fn check_independence() -> RequirementReport {
     let app = PaymentsApp::new();
     let apps: Vec<Box<dyn Application>> = vec![Box::new(PaymentsApp::new())];
-    let mut system = McSystem::new(
-        fresh_host(31, &apps),
-        MiddlewareKind::Wap.build(),
-        DeviceProfile::sony_clie_nr70v(),
-        wifi(20.0),
-        WiredPath::wan(),
-        37,
-    );
+    let mut system = SystemSpec::new()
+        .middleware(MiddlewareKind::Wap)
+        .device(DeviceProfile::sony_clie_nr70v())
+        .wireless(wifi(20.0))
+        .wired(WiredPath::wan())
+        .seed(37)
+        .build(fresh_host(31, &apps));
 
     // Phase 1: buy through WAP over Wi-Fi.
     let before = run_workload(&mut system, &app, 3, 41);

@@ -1,0 +1,454 @@
+//! The shared-world contention engine.
+//!
+//! The legacy fleet engine gives every user a private world, so nothing
+//! ever queues. This module runs a [`Scenario`] on a shared
+//! [`Topology`]: stations in one cell contend for its airtime, one WAP
+//! gateway transcodes for everyone behind it, and one host computer
+//! (web server + database + caches) serves the whole population.
+//!
+//! # Islands
+//!
+//! The topology's modulo wiring partitions the world into **islands** —
+//! one host, the gateways that reach it, their cells, and the users in
+//! those cells. Nothing crosses an island boundary, so islands are the
+//! unit of parallelism: each island is simulated sequentially and
+//! deterministically on one thread, islands are distributed over
+//! threads in contiguous index ranges, and island results are merged in
+//! island-index order. That is the whole cross-shard story — the
+//! deterministic "event exchange" degenerates to *no* exchange, by
+//! construction (DESIGN.md §2.15 and the ADR discuss the alternatives).
+//!
+//! # Inside an island
+//!
+//! Each user still owns a per-user [`McSystem`] (their station, battery,
+//! RNG streams — seeded by user index exactly as the legacy engine
+//! does), but the *shared* pieces are swapped in around every
+//! transaction: the island's one [`HostComputer`] replaces the user's
+//! private host, and the gateway's one shared
+//! [`ContentCache`](middleware::ContentCache) replaces the user's
+//! private cache. A deterministic event queue keyed by
+//! `(ready time, global user index)` decides who transacts next.
+//!
+//! The analytic transaction then executes atomically at its start time,
+//! and contention is charged *post hoc*: the transaction's per-phase
+//! service times are admitted, in path order (uplink → gateway → wired →
+//! host → downlink), to FCFS single-server models of the cell, the
+//! gateway and the host. The waits those admissions return are folded
+//! into the transaction's latency and the user's clock. A zero-service
+//! stage never touches its server, so with one user — or no overlap —
+//! every wait is exactly zero and the shared world reproduces the
+//! legacy per-user world bit for bit (pinned by
+//! `tests/shared_world_props.rs`).
+
+use std::collections::VecDeque;
+use std::thread;
+
+use hostsite::db::Database;
+use hostsite::HostComputer;
+use middleware::ContentCache;
+use obs::Recorder;
+use simnet::contend::{DetQueue, FcfsServer};
+use simnet::rng::{rng_for_indexed, sub_seed};
+use wireless::CellAirtime;
+
+use crate::apps::{for_category, Step};
+use crate::fleet::{RecorderKind, Scenario, UserTrace};
+use crate::report::{TransactionReport, WorkloadCounters};
+use crate::system::{CommerceSystem, McSystem};
+use crate::topology::Topology;
+use crate::workload::check_expectation;
+
+/// Contention telemetry a shared-world run accumulates, merged across
+/// islands in island-index order (deterministic at any thread count).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ContentionStats {
+    /// Transactions executed across the shared world.
+    pub transactions: u64,
+    /// Transactions that waited on at least one shared resource.
+    pub contended_transactions: u64,
+    /// Total medium-access wait behind shared cells, nanoseconds.
+    pub cell_wait_ns: u64,
+    /// Total queueing wait behind shared gateways, nanoseconds.
+    pub gateway_wait_ns: u64,
+    /// Total queueing wait behind shared hosts, nanoseconds.
+    pub host_wait_ns: u64,
+    /// Total airtime the cells actually carried, nanoseconds.
+    pub cell_busy_ns: u64,
+    /// Fresh lookups answered by the shared gateway caches.
+    pub gateway_cache_hits: u64,
+    /// Shared gateway-cache lookups that missed.
+    pub gateway_cache_misses: u64,
+    /// Islands the world decomposed into.
+    pub islands: u64,
+    /// The latest user sim-clock at the end of the run, nanoseconds.
+    pub horizon_ns: u64,
+}
+
+impl ContentionStats {
+    /// Total wait on every shared resource, nanoseconds.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.cell_wait_ns + self.gateway_wait_ns + self.host_wait_ns
+    }
+
+    /// Hit rate of the shared gateway caches (0 when never consulted).
+    pub fn gateway_hit_rate(&self) -> f64 {
+        let total = self.gateway_cache_hits + self.gateway_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.gateway_cache_hits as f64 / total as f64
+    }
+
+    /// Folds another island's stats into this one (island order!).
+    pub fn merge(&mut self, other: &ContentionStats) {
+        self.transactions += other.transactions;
+        self.contended_transactions += other.contended_transactions;
+        self.cell_wait_ns += other.cell_wait_ns;
+        self.gateway_wait_ns += other.gateway_wait_ns;
+        self.host_wait_ns += other.host_wait_ns;
+        self.cell_busy_ns += other.cell_busy_ns;
+        self.gateway_cache_hits += other.gateway_cache_hits;
+        self.gateway_cache_misses += other.gateway_cache_misses;
+        self.islands += other.islands;
+        self.horizon_ns = self.horizon_ns.max(other.horizon_ns);
+    }
+}
+
+/// What one island's simulation produces.
+pub(crate) struct IslandOutcome {
+    pub counters: WorkloadCounters,
+    /// `(global user index, trace)` pairs, present iff tracing was on.
+    pub traces: Vec<(u64, UserTrace)>,
+    /// Island-level metrics (users interleave inside an island, so
+    /// metrics are per island, merged in island order).
+    pub metrics: Option<obs::Metrics>,
+    pub stats: ContentionStats,
+}
+
+/// One user's pending work, drained by the island event loop.
+struct UserState {
+    user: u64,
+    cell: usize,
+    gateway: usize,
+    system: McSystem,
+    actions: VecDeque<Action>,
+    retry_rng: Option<rand::rngs::StdRng>,
+}
+
+enum Action {
+    /// Think time between sessions, seconds.
+    Think(f64),
+    /// One application step.
+    Txn(Box<Step>),
+}
+
+/// Runs every island of the shared world across `threads` OS threads,
+/// returning island outcomes in island-index order.
+pub(crate) fn run_islands(
+    scenario: &Scenario,
+    topology: &Topology,
+    threads: usize,
+    traced: bool,
+    recorder: RecorderKind,
+) -> Vec<IslandOutcome> {
+    let islands = topology.host_count();
+    let workers = threads.clamp(1, islands.max(1) as usize);
+    let chunk = islands.div_ceil(workers as u64).max(1);
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers as u64)
+            .map(|worker| {
+                let scenario = &*scenario;
+                let topology = &*topology;
+                scope.spawn(move || {
+                    let lo = worker * chunk;
+                    let hi = (lo + chunk).min(islands);
+                    (lo..hi)
+                        .map(|island| run_island(scenario, topology, island, traced, recorder))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("island worker panicked"))
+            .collect()
+    })
+}
+
+/// Simulates one island sequentially and deterministically.
+fn run_island(
+    scenario: &Scenario,
+    topology: &Topology,
+    island: u64,
+    traced: bool,
+    recorder: RecorderKind,
+) -> IslandOutcome {
+    let users: Vec<u64> = (0..scenario.users)
+        .filter(|&u| topology.island_of_user(u, scenario.users) == island)
+        .collect();
+    let mut stats = ContentionStats {
+        islands: 1,
+        ..ContentionStats::default()
+    };
+    if users.is_empty() {
+        return IslandOutcome {
+            counters: WorkloadCounters::default(),
+            traces: Vec::new(),
+            metrics: traced.then(obs::Metrics::default),
+            stats,
+        };
+    }
+
+    let app = for_category(scenario.app);
+
+    // The island's shared host: same seed derivation as the legacy
+    // engine gives user `island`'s private host, so a one-host,
+    // one-user world is bit-identical to legacy user 0.
+    let mut shared_host = HostComputer::new(
+        Database::new(),
+        sub_seed(scenario.seed, "fleet.host", island),
+    );
+    app.install(&mut shared_host);
+    if scenario.cache.enabled && scenario.cache.host_ttl > simnet::SimDuration::ZERO {
+        shared_host.web.configure_page_cache(
+            scenario.cache.host_ttl.as_nanos(),
+            scenario.cache.byte_budget,
+        );
+    } else {
+        shared_host.web.disable_page_cache();
+    }
+    shared_host
+        .web
+        .db_mut()
+        .set_query_cache(scenario.cache.enabled);
+
+    // The island's shared infrastructure, indexed locally. Local order
+    // follows global index order, so resource identity is canonical.
+    let gateways: Vec<u64> = (0..topology.gateway_count())
+        .filter(|&g| topology.host_of_gateway(g) == island)
+        .collect();
+    let cells: Vec<u64> = (0..topology.cell_count())
+        .filter(|&c| gateways.contains(&topology.gateway_of_cell(c)))
+        .collect();
+    let mut cell_air: Vec<CellAirtime> = cells.iter().map(|_| CellAirtime::new()).collect();
+    let mut gateway_cpu: Vec<FcfsServer> = gateways.iter().map(|_| FcfsServer::new()).collect();
+    let mut gateway_caches: Vec<Option<ContentCache>> = gateways
+        .iter()
+        .map(|_| {
+            (scenario.cache.enabled && scenario.cache.gateway_ttl > simnet::SimDuration::ZERO)
+                .then(|| {
+                    ContentCache::new(
+                        scenario.cache.gateway_ttl.as_nanos(),
+                        scenario.cache.byte_budget,
+                    )
+                })
+        })
+        .collect();
+    let mut host_cpu = FcfsServer::new();
+
+    // Per-user state: the private system (station, battery, RNG streams
+    // — exactly the legacy per-user build) plus the queued actions.
+    let mut states: Vec<UserState> = users
+        .iter()
+        .map(|&user| {
+            let mut system = scenario.system_for_user(user);
+            if traced {
+                system.set_recorder(match recorder {
+                    RecorderKind::Ring => Recorder::ring_for_user(user),
+                    RecorderKind::Disabled => Recorder::Disabled,
+                });
+            }
+            let session_seed = sub_seed(scenario.seed, "fleet.session", user);
+            let mut actions = VecDeque::new();
+            for session in 0..scenario.sessions_per_user {
+                if session > 0 && scenario.think_secs > 0.0 {
+                    actions.push_back(Action::Think(scenario.think_secs));
+                }
+                for step in app.session(session_seed, session) {
+                    actions.push_back(Action::Txn(Box::new(step)));
+                }
+            }
+            let cell = topology.cell_of_user(user, scenario.users);
+            let gateway = topology.gateway_of_cell(cell);
+            UserState {
+                user,
+                cell: cells.iter().position(|&c| c == cell).expect("own cell"),
+                gateway: gateways
+                    .iter()
+                    .position(|&g| g == gateway)
+                    .expect("own gateway"),
+                system,
+                actions,
+                retry_rng: (!scenario.retry.is_none())
+                    .then(|| rng_for_indexed(scenario.seed, "fleet.retry", user)),
+            }
+        })
+        .collect();
+
+    let metrics_guard = traced.then(obs::metrics::enable);
+
+    // The deterministic event loop: earliest ready time first, global
+    // user index breaking ties. Each user has at most one outstanding
+    // event, so keys are unique.
+    let mut queue = DetQueue::new();
+    for state in &states {
+        if !state.actions.is_empty() {
+            queue.push(state.system.sim_clock_ns(), state.user);
+        }
+    }
+    let mut counters = WorkloadCounters::default();
+    while let Some((_, user)) = queue.pop() {
+        let idx = states
+            .binary_search_by_key(&user, |s| s.user)
+            .expect("scheduled user exists");
+        let state = &mut states[idx];
+        match state.actions.pop_front().expect("scheduled user has work") {
+            Action::Think(secs) => {
+                state.system.idle(secs);
+            }
+            Action::Txn(step) => {
+                let mut report = execute_shared(
+                    state,
+                    &step,
+                    scenario,
+                    &mut shared_host,
+                    &mut gateway_caches,
+                );
+                check_expectation(&mut report, &step);
+                charge_contention(
+                    state,
+                    &mut report,
+                    &mut cell_air,
+                    &mut gateway_cpu,
+                    &mut host_cpu,
+                    &mut stats,
+                );
+                counters.record(&report);
+            }
+        }
+        if !state.actions.is_empty() {
+            queue.push(state.system.sim_clock_ns(), state.user);
+        }
+    }
+
+    drop(metrics_guard);
+    let metrics = traced.then(obs::metrics::take);
+
+    for cache in gateway_caches.iter().flatten() {
+        stats.gateway_cache_hits += cache.hits();
+        stats.gateway_cache_misses += cache.misses();
+    }
+    for cell in &cell_air {
+        stats.cell_busy_ns += cell.busy_ns();
+    }
+    for state in &states {
+        stats.horizon_ns = stats.horizon_ns.max(state.system.sim_clock_ns());
+    }
+
+    let traces = if traced {
+        states
+            .iter_mut()
+            .map(|state| {
+                let (events, dumps) = state.system.take_recorder().into_parts();
+                (
+                    state.user,
+                    UserTrace {
+                        events,
+                        dumps,
+                        metrics: obs::Metrics::default(),
+                    },
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    IslandOutcome {
+        counters,
+        traces,
+        metrics,
+        stats,
+    }
+}
+
+/// Executes one step with the island's shared host and shared gateway
+/// cache swapped in around the user's private system.
+fn execute_shared(
+    state: &mut UserState,
+    step: &Step,
+    scenario: &Scenario,
+    shared_host: &mut HostComputer,
+    gateway_caches: &mut [Option<ContentCache>],
+) -> TransactionReport {
+    std::mem::swap(&mut state.system.host, shared_host);
+    state
+        .system
+        .swap_gateway_cache(&mut gateway_caches[state.gateway]);
+    let report = match &mut state.retry_rng {
+        None => state.system.execute(&step.req),
+        Some(rng) => state.system.execute_with_retry(&step.req, &scenario.retry, rng),
+    };
+    state
+        .system
+        .swap_gateway_cache(&mut gateway_caches[state.gateway]);
+    std::mem::swap(&mut state.system.host, shared_host);
+    report
+}
+
+/// Admits the transaction's per-phase service times to the shared FCFS
+/// resources in path order and folds the resulting waits into the
+/// report, the per-phase breakdown, and the user's clock. Zero-service
+/// stages are skipped, so an uncontended transaction is untouched.
+fn charge_contention(
+    state: &mut UserState,
+    report: &mut TransactionReport,
+    cell_air: &mut [CellAirtime],
+    gateway_cpu: &mut [FcfsServer],
+    host_cpu: &mut FcfsServer,
+    stats: &mut ContentionStats,
+) {
+    stats.transactions += 1;
+    let end_ns = state.system.sim_clock_ns();
+    let air_ns = to_ns(report.breakdown.wireless_secs);
+    let up_ns = air_ns / 2;
+    let down_ns = air_ns - up_ns;
+    let gw_ns = to_ns(report.breakdown.middleware_secs);
+    let wired_ns = to_ns(report.breakdown.wired_secs);
+    let host_ns = to_ns(report.breakdown.host_secs);
+
+    // Walk the path from the transaction's start, carrying waits
+    // forward so a delayed uplink delays the gateway arrival, and so on.
+    let start_ns = end_ns.saturating_sub(to_ns(report.total));
+    let mut cursor = start_ns;
+    let up = cell_air[state.cell].request(cursor, up_ns);
+    cursor = up.start_ns + up_ns;
+    let gw_wait = gateway_cpu[state.gateway].admit(cursor, gw_ns);
+    cursor += gw_wait + gw_ns + wired_ns;
+    let host_wait = host_cpu.admit(cursor, host_ns);
+    cursor += host_wait + host_ns;
+    let down = cell_air[state.cell].request(cursor, down_ns);
+
+    let cell_wait = up.wait_ns + down.wait_ns;
+    let total_wait = cell_wait + gw_wait + host_wait;
+    stats.cell_wait_ns += cell_wait;
+    stats.gateway_wait_ns += gw_wait;
+    stats.host_wait_ns += host_wait;
+    if total_wait > 0 {
+        stats.contended_transactions += 1;
+        report.total += total_wait as f64 / 1e9;
+        report.breakdown.wireless_secs += cell_wait as f64 / 1e9;
+        report.breakdown.middleware_secs += gw_wait as f64 / 1e9;
+        report.breakdown.host_secs += host_wait as f64 / 1e9;
+        // The user's clock moves past the waits (idle battery draw,
+        // like any other waiting) — an uncontended transaction skips
+        // this entirely, preserving bit-identity with the legacy world.
+        state.system.idle(total_wait as f64 / 1e9);
+    }
+}
+
+/// Seconds → whole nanoseconds, matching the engine's quantisation.
+fn to_ns(secs: f64) -> u64 {
+    (secs * 1e9).max(0.0).round() as u64
+}

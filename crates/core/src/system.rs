@@ -134,6 +134,7 @@ impl Default for CachePolicy {
 
 impl CachePolicy {
     /// No caching anywhere — the exact pre-cache execution path.
+    #[must_use]
     pub fn disabled() -> Self {
         CachePolicy {
             enabled: false,
@@ -145,6 +146,7 @@ impl CachePolicy {
 
     /// Workshop defaults: 30 s sim-time TTL at both layers, 256 KiB
     /// per layer, everything on.
+    #[must_use]
     pub fn standard() -> Self {
         CachePolicy {
             enabled: true,
@@ -155,10 +157,144 @@ impl CachePolicy {
     }
 
     /// Sets both TTLs at once (builder style).
+    #[must_use]
     pub fn ttl(mut self, ttl: SimDuration) -> Self {
         self.host_ttl = ttl;
         self.gateway_ttl = ttl;
         self
+    }
+}
+
+/// A typed, declarative description of every knob an [`McSystem`] is
+/// assembled from — the replacement for `McSystem::new`'s positional
+/// argument list.
+///
+/// A `SystemSpec` is plain data (`Clone + Send + Sync`); calling
+/// [`SystemSpec::build`] with a provisioned [`HostComputer`] produces
+/// the live system with security and caching already applied. The fleet
+/// engine builds every per-user system through this type, so a
+/// hand-assembled system and a fleet user with the same spec are the
+/// same machine.
+///
+/// ```
+/// use mcommerce_core::{MiddlewareKind, SystemSpec};
+/// use hostsite::{db::Database, HostComputer};
+///
+/// let spec = SystemSpec::new()
+///     .middleware(MiddlewareKind::IMode)
+///     .seed(7)
+///     .secure(true);
+/// let system = spec.build(HostComputer::new(Database::new(), 7));
+/// assert!(system.is_secure());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    /// The middleware component (component iii).
+    pub middleware: MiddlewareKind,
+    /// The handset (component ii).
+    pub device: DeviceProfile,
+    /// The wireless network (component iv).
+    pub wireless: WirelessConfig,
+    /// The wired path to the host (component v).
+    pub wired: WiredPath,
+    /// Seed for the system's air-link randomness.
+    pub seed: u64,
+    /// Whether WTLS-style transport security is on (§8).
+    pub secure: bool,
+    /// The caching-hierarchy policy (DESIGN.md §2.14).
+    pub cache: CachePolicy,
+}
+
+impl Default for SystemSpec {
+    fn default() -> Self {
+        SystemSpec::new()
+    }
+}
+
+impl SystemSpec {
+    /// Workshop defaults: WAP gateway, iPAQ H3870, 802.11b at 20 m, WAN
+    /// wired path, seed 1, security off, caches off.
+    #[must_use]
+    pub fn new() -> Self {
+        SystemSpec {
+            middleware: MiddlewareKind::Wap,
+            device: DeviceProfile::ipaq_h3870(),
+            wireless: WirelessConfig::Wlan {
+                standard: wireless::WlanStandard::Dot11b,
+                distance_m: 20.0,
+            },
+            wired: WiredPath::wan(),
+            seed: 1,
+            secure: false,
+            cache: CachePolicy::disabled(),
+        }
+    }
+
+    /// Sets the middleware kind.
+    #[must_use]
+    pub fn middleware(mut self, kind: MiddlewareKind) -> Self {
+        self.middleware = kind;
+        self
+    }
+
+    /// Sets the device profile.
+    #[must_use]
+    pub fn device(mut self, device: DeviceProfile) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the wireless configuration.
+    #[must_use]
+    pub fn wireless(mut self, wireless: WirelessConfig) -> Self {
+        self.wireless = wireless;
+        self
+    }
+
+    /// Sets the wired path.
+    #[must_use]
+    pub fn wired(mut self, wired: WiredPath) -> Self {
+        self.wired = wired;
+        self
+    }
+
+    /// Sets the air-link seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Turns WTLS-style security on or off.
+    #[must_use]
+    pub fn secure(mut self, secure: bool) -> Self {
+        self.secure = secure;
+        self
+    }
+
+    /// Sets the cache policy applied at build time.
+    #[must_use]
+    pub fn cache(mut self, policy: CachePolicy) -> Self {
+        self.cache = policy;
+        self
+    }
+
+    /// Assembles the live system around `host` (which should already
+    /// have its application programs installed).
+    pub fn build(&self, host: HostComputer) -> McSystem {
+        let mut system = McSystem::assemble(
+            host,
+            self.middleware.build(),
+            self.device.clone(),
+            self.wireless,
+            self.wired,
+            self.seed,
+        );
+        system.set_secure(self.secure);
+        if self.cache.enabled {
+            system.set_cache_policy(self.cache);
+        }
+        system
     }
 }
 
@@ -243,7 +379,24 @@ impl std::fmt::Debug for McSystem {
 
 impl McSystem {
     /// Assembles a mobile commerce system from its components.
+    #[deprecated(
+        since = "0.2.0",
+        note = "describe the system with a `SystemSpec` and call `SystemSpec::build(host)`"
+    )]
     pub fn new(
+        host: HostComputer,
+        middleware: Box<dyn Middleware>,
+        device: DeviceProfile,
+        wireless: WirelessConfig,
+        wired: WiredPath,
+        seed: u64,
+    ) -> Self {
+        Self::assemble(host, middleware, device, wireless, wired, seed)
+    }
+
+    /// The one true constructor behind both [`SystemSpec::build`] and
+    /// the deprecated positional `McSystem::new`.
+    fn assemble(
         host: HostComputer,
         middleware: Box<dyn Middleware>,
         device: DeviceProfile,
@@ -304,6 +457,15 @@ impl McSystem {
     /// The cache policy in force (disabled by default).
     pub fn cache_policy(&self) -> CachePolicy {
         self.cache
+    }
+
+    /// Swaps this system's gateway content cache with `slot`.
+    ///
+    /// The shared-world fleet engine parks each user's private cache and
+    /// swaps the *shared* per-gateway cache in around every transaction,
+    /// so one population behind one gateway shares one deck store.
+    pub(crate) fn swap_gateway_cache(&mut self, slot: &mut Option<ContentCache>) {
+        std::mem::swap(&mut self.gateway_cache, slot);
     }
 
     /// Installs an observability sink. The default is
@@ -1123,7 +1285,7 @@ mod tests {
     use super::*;
     use hostsite::db::Database;
     use markup::html;
-    use middleware::{IModeService, WapGateway};
+    use middleware::IModeService;
     use wireless::WlanStandard;
 
     fn storefront_host() -> HostComputer {
@@ -1149,14 +1311,11 @@ mod tests {
 
     #[test]
     fn mc_transaction_succeeds_with_full_breakdown() {
-        let mut sys = McSystem::new(
-            storefront_host(),
-            Box::new(WapGateway::default()),
-            DeviceProfile::palm_i705(),
-            wifi(),
-            WiredPath::wan(),
-            1,
-        );
+        let mut sys = SystemSpec::new()
+            .device(DeviceProfile::palm_i705())
+            .wireless(wifi())
+            .seed(1)
+            .build(storefront_host());
         let report = sys.execute(&MobileRequest::get("/"));
         assert!(report.success, "{:?}", report.failure);
         // Every component contributed.
@@ -1186,14 +1345,11 @@ mod tests {
     fn mc_is_slower_than_ec_but_both_complete() {
         // Figure 1 vs Figure 2: the two added components cost latency.
         let mut ec = EcSystem::new(storefront_host(), WiredPath::wan());
-        let mut mc = McSystem::new(
-            storefront_host(),
-            Box::new(WapGateway::default()),
-            DeviceProfile::palm_i705(),
-            wifi(),
-            WiredPath::wan(),
-            1,
-        );
+        let mut mc = SystemSpec::new()
+            .device(DeviceProfile::palm_i705())
+            .wireless(wifi())
+            .seed(1)
+            .build(storefront_host());
         let ec_report = ec.execute(&MobileRequest::get("/"));
         let mc_report = mc.execute(&MobileRequest::get("/"));
         assert!(ec_report.success && mc_report.success);
@@ -1202,17 +1358,13 @@ mod tests {
 
     #[test]
     fn out_of_coverage_fails_cleanly() {
-        let mut sys = McSystem::new(
-            storefront_host(),
-            Box::new(WapGateway::default()),
-            DeviceProfile::ipaq_h3870(),
-            WirelessConfig::Wlan {
+        let mut sys = SystemSpec::new()
+            .wireless(WirelessConfig::Wlan {
                 standard: WlanStandard::Bluetooth,
                 distance_m: 100.0,
-            },
-            WiredPath::wan(),
-            1,
-        );
+            })
+            .seed(1)
+            .build(storefront_host());
         let report = sys.execute(&MobileRequest::get("/"));
         assert!(!report.success);
         assert!(report.failure.as_deref().unwrap().contains("no coverage"));
@@ -1222,14 +1374,11 @@ mod tests {
     fn battery_drains_across_transactions_until_death() {
         let mut device = DeviceProfile::palm_i705();
         device.battery_j = 0.02; // nearly dead battery
-        let mut sys = McSystem::new(
-            storefront_host(),
-            Box::new(WapGateway::default()),
-            device,
-            wifi(),
-            WiredPath::wan(),
-            1,
-        );
+        let mut sys = SystemSpec::new()
+            .device(device)
+            .wireless(wifi())
+            .seed(1)
+            .build(storefront_host());
         let mut died = false;
         for _ in 0..200 {
             let report = sys.execute(&MobileRequest::get("/"));
@@ -1261,14 +1410,12 @@ mod tests {
                 hostsite::HttpResponse::ok(body.to_markup()).with_cookie("visited", "1")
             },
         );
-        let mut sys = McSystem::new(
-            host,
-            Box::new(IModeService::new()),
-            DeviceProfile::nokia_9290(),
-            wifi(),
-            WiredPath::wan(),
-            2,
-        );
+        let mut sys = SystemSpec::new()
+            .middleware(MiddlewareKind::IMode)
+            .device(DeviceProfile::nokia_9290())
+            .wireless(wifi())
+            .seed(2)
+            .build(host);
         sys.execute(&MobileRequest::get("/greet"));
         let _ = sys.execute(&MobileRequest::get("/greet"));
         // The second exchange carried the cookie: host answered differently.
@@ -1291,16 +1438,14 @@ mod tests {
     #[test]
     fn cellular_first_transaction_pays_session_setup() {
         use wireless::CellularStandard;
-        let mut sys = McSystem::new(
-            storefront_host(),
-            Box::new(IModeService::new()),
-            DeviceProfile::nokia_9290(),
-            WirelessConfig::Cellular {
+        let mut sys = SystemSpec::new()
+            .middleware(MiddlewareKind::IMode)
+            .device(DeviceProfile::nokia_9290())
+            .wireless(WirelessConfig::Cellular {
                 standard: CellularStandard::Gsm,
-            },
-            WiredPath::wan(),
-            3,
-        );
+            })
+            .seed(3)
+            .build(storefront_host());
         let first = sys.execute(&MobileRequest::get("/"));
         let second = sys.execute(&MobileRequest::get("/"));
         assert!(first.success && second.success);
@@ -1311,14 +1456,11 @@ mod tests {
     #[test]
     fn swapping_components_preserves_host_data() {
         // Requirement 5 (§1.1): program/data independence.
-        let mut sys = McSystem::new(
-            storefront_host(),
-            Box::new(WapGateway::default()),
-            DeviceProfile::palm_i705(),
-            wifi(),
-            WiredPath::wan(),
-            4,
-        );
+        let mut sys = SystemSpec::new()
+            .device(DeviceProfile::palm_i705())
+            .wireless(wifi())
+            .seed(4)
+            .build(storefront_host());
         sys.host
             .web
             .db_mut()
@@ -1351,7 +1493,7 @@ mod fault_tests {
     use markup::html;
     use middleware::WapGateway;
     use simnet::rng::rng_for;
-    use wireless::WlanStandard;
+    
 
     fn host() -> HostComputer {
         let mut host = HostComputer::new(Database::new(), 17);
@@ -1363,17 +1505,7 @@ mod fault_tests {
     }
 
     fn system() -> McSystem {
-        McSystem::new(
-            host(),
-            Box::new(WapGateway::default()),
-            DeviceProfile::ipaq_h3870(),
-            WirelessConfig::Wlan {
-                standard: WlanStandard::Dot11b,
-                distance_m: 20.0,
-            },
-            WiredPath::wan(),
-            5,
-        )
+        SystemSpec::new().seed(5).build(host())
     }
 
     #[test]
@@ -1542,8 +1674,8 @@ mod cache_tests {
     use super::*;
     use hostsite::db::Database;
     use markup::html;
-    use middleware::WapGateway;
-    use wireless::WlanStandard;
+    
+    
 
     fn system() -> McSystem {
         let mut host = HostComputer::new(Database::new(), 71);
@@ -1551,17 +1683,7 @@ mod cache_tests {
             "/",
             html::page("Store", vec![html::p("open for business").into()]).to_markup(),
         );
-        McSystem::new(
-            host,
-            Box::new(WapGateway::default()),
-            DeviceProfile::ipaq_h3870(),
-            WirelessConfig::Wlan {
-                standard: WlanStandard::Dot11b,
-                distance_m: 20.0,
-            },
-            WiredPath::wan(),
-            72,
-        )
+        SystemSpec::new().seed(72).build(host)
     }
 
     #[test]
@@ -1655,8 +1777,8 @@ mod secure_tests {
     use super::*;
     use hostsite::db::Database;
     use markup::html;
-    use middleware::{MobileRequest, WapGateway};
-    use wireless::WlanStandard;
+    use middleware::MobileRequest;
+    
 
     fn system(secure: bool) -> McSystem {
         let mut host = HostComputer::new(Database::new(), 61);
@@ -1664,19 +1786,7 @@ mod secure_tests {
             "/",
             html::page("S", vec![html::p("hello secure world").into()]).to_markup(),
         );
-        let mut sys = McSystem::new(
-            host,
-            Box::new(WapGateway::default()),
-            DeviceProfile::ipaq_h3870(),
-            WirelessConfig::Wlan {
-                standard: WlanStandard::Dot11b,
-                distance_m: 20.0,
-            },
-            WiredPath::wan(),
-            62,
-        );
-        sys.set_secure(secure);
-        sys
+        SystemSpec::new().seed(62).secure(secure).build(host)
     }
 
     #[test]

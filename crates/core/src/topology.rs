@@ -1,0 +1,218 @@
+//! Topology: how a fleet's stations map onto shared infrastructure.
+//!
+//! The paper's architecture chains stations through a wireless cell, a
+//! WAP gateway and the wired WAN to a host computer. Under light load
+//! each user may as well own that whole chain — the legacy per-user
+//! world. Under *heavy traffic* (ROADMAP item 1) the chain is shared:
+//! many stations contend for one cell's airtime, one gateway transcodes
+//! for everyone behind it, one host serves the population.
+//!
+//! A [`Topology`] describes that sharing declaratively: how many cells,
+//! gateways and hosts exist, and how users are placed into cells. The
+//! wiring is fixed and canonical — cell *c* uplinks through gateway
+//! `c mod gateways`, gateway *g* reaches host `g mod hosts` — so the
+//! **island** of a user (the connected component around one host) is a
+//! pure function of `(topology, user index, user count)`, never of
+//! threads. Islands are what the fleet engine parallelises over.
+//!
+//! [`Topology::isolated`] is the degenerate one-user-per-world topology:
+//! the legacy engine, bit for bit.
+
+/// How users are assigned to cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// User `u` joins cell `u mod cells` — populations spread evenly.
+    #[default]
+    RoundRobin,
+    /// Users fill cells in contiguous blocks of `ceil(users / cells)` —
+    /// user locality, e.g. one office per cell.
+    Blocked,
+}
+
+/// The infrastructure shape a fleet runs on.
+///
+/// Built fluently and passed to
+/// [`FleetRunner::topology`](crate::fleet::FleetRunner::topology):
+///
+/// ```
+/// use mcommerce_core::{Placement, Topology};
+///
+/// let topo = Topology::shared()
+///     .cells(4)
+///     .gateways(2)
+///     .hosts(1)
+///     .placement(Placement::RoundRobin);
+/// assert!(topo.is_shared());
+/// assert_eq!(topo.island_of_user(7, 8), 0, "one host ⇒ one island");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    shared: bool,
+    cells: u64,
+    gateways: u64,
+    hosts: u64,
+    placement: Placement,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::isolated()
+    }
+}
+
+impl Topology {
+    /// The legacy degenerate topology: every user owns a private world
+    /// (own host, own gateway, own cell). This is the default, and runs
+    /// the exact per-user engine.
+    #[must_use]
+    pub fn isolated() -> Self {
+        Topology {
+            shared: false,
+            cells: 1,
+            gateways: 1,
+            hosts: 1,
+            placement: Placement::RoundRobin,
+        }
+    }
+
+    /// A shared world: one cell, one gateway, one host serving the whole
+    /// population, until reshaped by the builder methods.
+    #[must_use]
+    pub fn shared() -> Self {
+        Topology {
+            shared: true,
+            ..Topology::isolated()
+        }
+    }
+
+    /// Sets the number of wireless cells (clamped to ≥ 1).
+    #[must_use]
+    pub fn cells(mut self, cells: u64) -> Self {
+        self.cells = cells.max(1);
+        self
+    }
+
+    /// Sets the number of WAP gateways (clamped to ≥ 1).
+    #[must_use]
+    pub fn gateways(mut self, gateways: u64) -> Self {
+        self.gateways = gateways.max(1);
+        self
+    }
+
+    /// Sets the number of host computers (clamped to ≥ 1).
+    #[must_use]
+    pub fn hosts(mut self, hosts: u64) -> Self {
+        self.hosts = hosts.max(1);
+        self
+    }
+
+    /// Sets how users are placed into cells.
+    #[must_use]
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Whether this topology shares infrastructure between users.
+    pub fn is_shared(&self) -> bool {
+        self.shared
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> u64 {
+        self.cells
+    }
+
+    /// Number of gateways.
+    pub fn gateway_count(&self) -> u64 {
+        self.gateways
+    }
+
+    /// Number of hosts — which is also the number of islands the engine
+    /// can execute in parallel.
+    pub fn host_count(&self) -> u64 {
+        self.hosts
+    }
+
+    /// The placement policy.
+    pub fn placement_policy(&self) -> Placement {
+        self.placement
+    }
+
+    /// The cell user `user` (of `users` total) is placed in.
+    pub fn cell_of_user(&self, user: u64, users: u64) -> u64 {
+        match self.placement {
+            Placement::RoundRobin => user % self.cells,
+            Placement::Blocked => {
+                let block = users.div_ceil(self.cells).max(1);
+                (user / block).min(self.cells - 1)
+            }
+        }
+    }
+
+    /// The gateway cell `cell` uplinks through.
+    pub fn gateway_of_cell(&self, cell: u64) -> u64 {
+        cell % self.gateways
+    }
+
+    /// The host gateway `gateway` forwards to.
+    pub fn host_of_gateway(&self, gateway: u64) -> u64 {
+        gateway % self.hosts
+    }
+
+    /// The island (connected component, identified by its host index)
+    /// user `user` belongs to.
+    pub fn island_of_user(&self, user: u64, users: u64) -> u64 {
+        self.host_of_gateway(self.gateway_of_cell(self.cell_of_user(user, users)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_default_is_the_isolated_legacy_world() {
+        assert_eq!(Topology::default(), Topology::isolated());
+        assert!(!Topology::isolated().is_shared());
+        assert!(Topology::shared().is_shared());
+    }
+
+    #[test]
+    fn counts_clamp_to_at_least_one() {
+        let t = Topology::shared().cells(0).gateways(0).hosts(0);
+        assert_eq!(t.cell_count(), 1);
+        assert_eq!(t.gateway_count(), 1);
+        assert_eq!(t.host_count(), 1);
+    }
+
+    #[test]
+    fn round_robin_spreads_and_blocked_chunks() {
+        let rr = Topology::shared().cells(3);
+        let cells: Vec<u64> = (0..6).map(|u| rr.cell_of_user(u, 6)).collect();
+        assert_eq!(cells, vec![0, 1, 2, 0, 1, 2]);
+
+        let blocked = rr.placement(Placement::Blocked);
+        let cells: Vec<u64> = (0..6).map(|u| blocked.cell_of_user(u, 6)).collect();
+        assert_eq!(cells, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn islands_follow_the_modulo_wiring() {
+        // 4 cells → 2 gateways → 2 hosts: cells {0,2} land on host 0,
+        // cells {1,3} on host 1.
+        let t = Topology::shared().cells(4).gateways(2).hosts(2);
+        assert_eq!(t.island_of_user(0, 8), 0); // cell 0 → gw 0 → host 0
+        assert_eq!(t.island_of_user(1, 8), 1); // cell 1 → gw 1 → host 1
+        assert_eq!(t.island_of_user(2, 8), 0); // cell 2 → gw 0 → host 0
+        assert_eq!(t.island_of_user(3, 8), 1);
+    }
+
+    #[test]
+    fn blocked_placement_never_overflows_the_last_cell() {
+        let t = Topology::shared().cells(3).placement(Placement::Blocked);
+        for u in 0..10 {
+            assert!(t.cell_of_user(u, 10) < 3);
+        }
+    }
+}

@@ -10,7 +10,7 @@ use crate::system::{CommerceSystem, McSystem};
 /// Marks `report` failed when the step's expectation is missing from the
 /// rendered page. Narrow screens wrap words onto new lines, so the
 /// comparison is whitespace-normalised.
-fn check_expectation(report: &mut TransactionReport, step: &Step) {
+pub(crate) fn check_expectation(report: &mut TransactionReport, step: &Step) {
     if !report.success {
         return;
     }
@@ -176,22 +176,18 @@ mod tests {
     use crate::system::{EcSystem, McSystem};
     use hostsite::db::Database;
     use hostsite::HostComputer;
-    use middleware::{IModeService, WapGateway};
+    
     use station::DeviceProfile;
     use wireless::WlanStandard;
 
     fn mc_system(host: HostComputer) -> McSystem {
-        McSystem::new(
-            host,
-            Box::new(WapGateway::default()),
-            DeviceProfile::ipaq_h3870(),
-            WirelessConfig::Wlan {
+        crate::system::SystemSpec::new()
+            .wireless(WirelessConfig::Wlan {
                 standard: WlanStandard::Dot11b,
                 distance_m: 25.0,
-            },
-            WiredPath::wan(),
-            11,
-        )
+            })
+            .seed(11)
+            .build(host)
     }
 
     #[test]
@@ -313,16 +309,14 @@ mod tests {
         let mut host = HostComputer::new(Database::new(), 5);
         let app = PaymentsApp::new();
         app.install(&mut host);
-        let mut system = McSystem::new(
-            host,
-            Box::new(IModeService::new()),
-            DeviceProfile::nokia_9290(),
-            WirelessConfig::Cellular {
+        let mut system = crate::system::SystemSpec::new()
+            .middleware(crate::system::MiddlewareKind::IMode)
+            .device(DeviceProfile::nokia_9290())
+            .wireless(WirelessConfig::Cellular {
                 standard: wireless::CellularStandard::Gprs,
-            },
-            WiredPath::wan(),
-            12,
-        );
+            })
+            .seed(12)
+            .build(host);
         let summary = run_workload(&mut system, &app, 5, 13);
         assert_eq!(summary.succeeded, summary.attempted);
     }

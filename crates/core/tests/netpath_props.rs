@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use mcommerce_core::netpath::{WiredPath, WirelessConfig};
-use mcommerce_core::{CommerceSystem, McSystem};
+use mcommerce_core::{CommerceSystem, SystemSpec};
 use simnet::rng::rng_for;
 use simnet::SimDuration;
 use wireless::{CellularStandard, WlanStandard};
@@ -110,20 +110,18 @@ proptest! {
         use hostsite::db::Database;
         use hostsite::HostComputer;
         use mcommerce_core::apps::{Application, PaymentsApp};
-        use middleware::{MobileRequest, WapGateway};
+        use middleware::MobileRequest;
         use station::DeviceProfile;
 
         let app = PaymentsApp::new();
         let mut host = HostComputer::new(Database::new(), 50);
         app.install(&mut host);
-        let mut system = McSystem::new(
-            host,
-            Box::new(WapGateway::default()),
-            DeviceProfile::ipaq_h3870(),
-            config,
-            WiredPath::wan(),
-            51,
-        );
+        let mut system = SystemSpec::new()
+            .device(DeviceProfile::ipaq_h3870())
+            .wireless(config)
+            .wired(WiredPath::wan())
+            .seed(51)
+            .build(host);
         let report = system.execute(&MobileRequest::get(&format!("/{path}")));
         if !report.success {
             prop_assert!(report.failure.is_some(), "failures must carry a reason");

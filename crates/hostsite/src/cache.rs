@@ -42,6 +42,8 @@ pub struct PageCache {
     /// Logical LRU clock: bumped on every touch, so the eviction victim
     /// (minimum tick) is unique and deterministic.
     tick: u64,
+    hits: u64,
+    misses: u64,
 }
 
 impl PageCache {
@@ -54,6 +56,8 @@ impl PageCache {
             entries: HashMap::new(),
             bytes: 0,
             tick: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -76,14 +80,19 @@ impl PageCache {
     pub fn lookup(&mut self, key: &str, now_ns: u64) -> Option<HttpResponse> {
         let fresh = match self.entries.get(key) {
             Some(entry) => now_ns.saturating_sub(entry.stored_ns) < self.ttl_ns,
-            None => return None,
+            None => {
+                self.misses += 1;
+                return None;
+            }
         };
         if !fresh {
             if let Some(old) = self.entries.remove(key) {
                 self.bytes -= old.bytes;
             }
+            self.misses += 1;
             return None;
         }
+        self.hits += 1;
         self.tick += 1;
         let entry = self.entries.get_mut(key).expect("checked above");
         entry.last_used = self.tick;
@@ -140,6 +149,16 @@ impl PageCache {
     /// Body + key bytes currently held.
     pub fn bytes(&self) -> usize {
         self.bytes
+    }
+
+    /// Fresh lookups answered from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing fresh since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 }
 

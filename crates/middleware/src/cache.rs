@@ -75,6 +75,8 @@ pub struct ContentCache {
     entries: HashMap<ContentKey, Entry>,
     bytes: usize,
     tick: u64,
+    hits: u64,
+    misses: u64,
 }
 
 impl ContentCache {
@@ -87,6 +89,8 @@ impl ContentCache {
             entries: HashMap::new(),
             bytes: 0,
             tick: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -112,14 +116,19 @@ impl ContentCache {
     pub fn lookup(&mut self, key: &ContentKey, now_ns: u64) -> Option<Exchange> {
         let fresh = match self.entries.get(key) {
             Some(entry) => now_ns.saturating_sub(entry.stored_ns) < self.ttl_ns,
-            None => return None,
+            None => {
+                self.misses += 1;
+                return None;
+            }
         };
         if !fresh {
             if let Some(old) = self.entries.remove(key) {
                 self.bytes -= old.bytes;
             }
+            self.misses += 1;
             return None;
         }
+        self.hits += 1;
         self.tick += 1;
         let entry = self.entries.get_mut(key).expect("checked above");
         entry.last_used = self.tick;
@@ -187,6 +196,25 @@ impl ContentCache {
     /// Payload + key bytes currently held.
     pub fn bytes(&self) -> usize {
         self.bytes
+    }
+
+    /// Fresh lookups answered from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing fresh since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all lookups so far (0 when never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
     }
 }
 

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod baseline;
+pub mod contend;
 mod event;
 pub mod link;
 pub mod rng;

@@ -1,0 +1,113 @@
+//! Shared-cell airtime: many stations, one medium.
+//!
+//! A wireless cell — one access point's coverage area, or one cellular
+//! sector — is a *shared* medium: only one station transmits usefully at
+//! a time, and everyone else's frames queue behind it. The per-user
+//! channel models in [`radio`](crate::radio) and [`wlan`](crate::wlan)
+//! answer "how long does this transfer take on an idle medium?"; this
+//! module answers the population question layered on top: "how long does
+//! the station *also* wait for the medium?".
+//!
+//! [`CellAirtime`] wraps a deterministic FCFS server
+//! ([`simnet::contend::FcfsServer`]) over the cell's airtime. The fleet
+//! engine admits each transaction's air legs (uplink, downlink) at the
+//! instants its analytic walk reaches them; the grant's wait is the
+//! medium-access delay the station suffers. FCFS-by-arrival is the
+//! deterministic stand-in for CSMA/CA fairness: it conserves total
+//! airtime and serves stations in a canonical order, which keeps
+//! fixed-seed fleets byte-identical at any thread count.
+
+use simnet::contend::FcfsServer;
+
+/// The outcome of asking a cell for airtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AirtimeGrant {
+    /// When the transfer actually starts on the medium.
+    pub start_ns: u64,
+    /// Medium-access delay: `start_ns − arrival`.
+    pub wait_ns: u64,
+}
+
+/// One cell's shared airtime, serving stations first-come-first-served.
+#[derive(Debug, Clone, Default)]
+pub struct CellAirtime {
+    server: FcfsServer,
+}
+
+impl CellAirtime {
+    /// A cell whose medium has been idle since t = 0.
+    pub fn new() -> Self {
+        CellAirtime::default()
+    }
+
+    /// Requests `airtime_ns` of medium starting no earlier than
+    /// `arrival_ns`. Zero airtime is granted instantly without touching
+    /// the medium, so transactions with no air leg add no contention.
+    pub fn request(&mut self, arrival_ns: u64, airtime_ns: u64) -> AirtimeGrant {
+        let wait_ns = self.server.admit(arrival_ns, airtime_ns);
+        AirtimeGrant {
+            start_ns: arrival_ns + wait_ns,
+            wait_ns,
+        }
+    }
+
+    /// Total airtime granted so far, nanoseconds.
+    pub fn busy_ns(&self) -> u64 {
+        self.server.busy_ns()
+    }
+
+    /// Transfers granted (zero-airtime requests are not counted).
+    pub fn transfers(&self) -> u64 {
+        self.server.jobs()
+    }
+
+    /// Transfers that found the medium busy and had to defer.
+    pub fn deferred(&self) -> u64 {
+        self.server.waited_jobs()
+    }
+
+    /// Utilisation of the medium over `[0, horizon_ns]`.
+    pub fn utilisation(&self, horizon_ns: u64) -> f64 {
+        if horizon_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns() as f64 / horizon_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_lone_station_never_defers() {
+        let mut cell = CellAirtime::new();
+        let a = cell.request(0, 1_000);
+        let b = cell.request(5_000, 2_000);
+        assert_eq!(a.wait_ns, 0);
+        assert_eq!(b.wait_ns, 0);
+        assert_eq!(cell.deferred(), 0);
+        assert_eq!(cell.busy_ns(), 3_000);
+    }
+
+    #[test]
+    fn overlapping_stations_queue_on_the_medium() {
+        let mut cell = CellAirtime::new();
+        assert_eq!(cell.request(0, 10_000).wait_ns, 0);
+        let second = cell.request(1_000, 10_000);
+        assert_eq!(second.wait_ns, 9_000);
+        assert_eq!(second.start_ns, 10_000);
+        let third = cell.request(1_500, 10_000);
+        assert_eq!(third.start_ns, 20_000, "FCFS behind the second station");
+        assert_eq!(cell.deferred(), 2);
+    }
+
+    #[test]
+    fn utilisation_is_busy_over_horizon() {
+        let mut cell = CellAirtime::new();
+        cell.request(0, 250);
+        cell.request(0, 250);
+        assert!((cell.utilisation(1_000) - 0.5).abs() < 1e-12);
+        assert_eq!(cell.utilisation(0), 0.0);
+    }
+}

@@ -13,7 +13,7 @@
 use mcommerce::core::apps::{Application, InventoryApp};
 use mcommerce::core::report::WorkloadSummary;
 use mcommerce::core::workload::run_session;
-use mcommerce::core::{CommerceSystem, McSystem, MiddlewareKind, WiredPath, WirelessConfig};
+use mcommerce::core::{CommerceSystem, MiddlewareKind, SystemSpec, WiredPath, WirelessConfig};
 use mcommerce::hostsite::db::Database;
 use mcommerce::hostsite::HostComputer;
 use mcommerce::station::DeviceProfile;
@@ -26,18 +26,17 @@ fn main() {
 
     // The drivers are on GPRS (2.5G cellular, wide coverage); the
     // dispatcher sits on the depot's 802.11b WLAN. They share one host —
-    // which is why this example assembles McSystems directly instead of
+    // which is why this example builds systems from a SystemSpec instead of
     // going through a Scenario (fleet users get independent hosts).
-    let mut driver = McSystem::new(
-        host,
-        MiddlewareKind::IMode.build(),
-        DeviceProfile::palm_i705(),
-        WirelessConfig::Cellular {
+    let mut driver = SystemSpec::new()
+        .middleware(MiddlewareKind::IMode)
+        .device(DeviceProfile::palm_i705())
+        .wireless(WirelessConfig::Cellular {
             standard: CellularStandard::Gprs,
-        },
-        WiredPath::wan(),
-        1,
-    );
+        })
+        .wired(WiredPath::wan())
+        .seed(1)
+        .build(host);
 
     println!("driver system:      {}", driver.label());
 
@@ -50,17 +49,16 @@ fn main() {
 
     // Re-home the host into a dispatcher-side system (office WLAN).
     let host = std::mem::replace(&mut driver.host, HostComputer::new(Database::new(), 0));
-    let mut dispatcher = McSystem::new(
-        host,
-        MiddlewareKind::IMode.build(),
-        DeviceProfile::ipaq_h3870(),
-        WirelessConfig::Wlan {
+    let mut dispatcher = SystemSpec::new()
+        .middleware(MiddlewareKind::IMode)
+        .device(DeviceProfile::ipaq_h3870())
+        .wireless(WirelessConfig::Wlan {
             standard: WlanStandard::Dot11b,
             distance_m: 12.0,
-        },
-        WiredPath::lan(),
-        2,
-    );
+        })
+        .wired(WiredPath::lan())
+        .seed(2)
+        .build(host);
     println!("dispatcher system:  {}", dispatcher.label());
 
     let mut dispatcher_reports = Vec::new();

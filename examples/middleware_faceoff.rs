@@ -9,7 +9,7 @@
 //! cargo run --example middleware_faceoff
 //! ```
 
-use mcommerce::core::{fleet, Category, MiddlewareKind, Scenario, WirelessConfig};
+use mcommerce::core::{Category, FleetRunner, MiddlewareKind, Scenario, WirelessConfig};
 use mcommerce::station::DeviceProfile;
 use mcommerce::wireless::{CellularStandard, WlanStandard};
 
@@ -44,7 +44,7 @@ fn main() {
                 .wireless(network)
                 .sessions_per_user(20)
                 .seed(17);
-            let summary = fleet::run(&scenario).summary.workload;
+            let summary = FleetRunner::new(scenario).run().report.summary.workload;
             assert_eq!(summary.succeeded, summary.attempted, "{}", summary.label);
             println!(
                 "{:<22} {:>8} {:>12.1} {:>12.0} {:>10.2}",

@@ -6,7 +6,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use mcommerce::core::{fleet, Category, CommerceSystem, MiddlewareKind, Scenario};
+use mcommerce::core::{Category, CommerceSystem, FleetRunner, MiddlewareKind, Scenario};
 use mcommerce::middleware::MobileRequest;
 use mcommerce::station::DeviceProfile;
 
@@ -21,7 +21,7 @@ fn main() {
         .middleware(MiddlewareKind::Wap)
         .seed(42);
 
-    let mut system = scenario.system();
+    let mut system = scenario.system_for_user(0);
     println!("scenario: {}", scenario.label());
     println!("system:   {}", system.label());
 
@@ -82,7 +82,9 @@ fn main() {
     // (Only virtual-clock metrics are printed here so the output stays
     // byte-identical run to run; wall-clock txns/s lives in the F3
     // experiment, which measures host throughput on purpose.)
-    let market = fleet::run(&scenario.users(200).sessions_per_user(2));
+    let market = FleetRunner::new(scenario.users(200).sessions_per_user(2))
+        .run()
+        .report;
     let w = &market.summary.workload;
     println!(
         "\nfleet of {} users on {} thread(s): {} transactions, {:.0}% ok,\n\

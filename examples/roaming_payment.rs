@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use mcommerce::core::{
-    fleet, Category, FaultKind, FaultPlan, RetryPolicy, Scenario, WirelessConfig,
+    Category, FaultKind, FaultPlan, FleetRunner, RetryPolicy, Scenario, WirelessConfig,
 };
 use mcommerce::netstack::mobileip::{ForeignAgent, HomeAgent, MobileIpClient};
 use mcommerce::netstack::node::Network;
@@ -164,8 +164,8 @@ fn main() {
         .users(24)
         .sessions_per_user(2)
         .seed(99);
-    let fragile = fleet::run(&base.clone().retry(RetryPolicy::none()));
-    let sturdy = fleet::run(&base.retry(RetryPolicy::standard()));
+    let fragile = FleetRunner::new(base.clone().retry(RetryPolicy::none())).run().report;
+    let sturdy = FleetRunner::new(base.retry(RetryPolicy::standard())).run().report;
     let (fw, sw) = (&fragile.summary.workload, &sturdy.summary.workload);
     println!(
         "no retries      : {:5.1}% of {} transactions settle",

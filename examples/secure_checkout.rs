@@ -10,7 +10,7 @@
 //! cargo run --example secure_checkout
 //! ```
 
-use mcommerce::core::{fleet, Category, RetryPolicy, Scenario, WirelessConfig};
+use mcommerce::core::{Category, FleetRunner, RetryPolicy, Scenario, WirelessConfig};
 use mcommerce::middleware::MobileRequest;
 use mcommerce::security::{Mac, PaymentGateway, PaymentRequest};
 use mcommerce::simnet::rng::rng_for_indexed;
@@ -34,7 +34,7 @@ fn scenario(secure: bool) -> Scenario {
 }
 
 fn checkout(secure: bool) -> (f64, u64, f64) {
-    let mut system = scenario(secure).system();
+    let mut system = scenario(secure).system_for_user(0);
     let retry = RetryPolicy::standard();
     let mut rng = rng_for_indexed(72, "checkout.retry", secure as u64);
     // Browse, think, then buy — retries armed, although a fault-free run
@@ -139,7 +139,9 @@ fn main() {
     // itself: the think-time and retry knobs above drive every fleet
     // session, deterministically sharded across the machine's cores.
     println!("\n== the secured checkout at fleet scale ==\n");
-    let market = fleet::run(&scenario(true).users(40).sessions_per_user(2));
+    let market = FleetRunner::new(scenario(true).users(40).sessions_per_user(2))
+        .run()
+        .report;
     let w = &market.summary.workload;
     println!(
         "{} users on {} thread(s): {} transactions, {:.1}% ok, mean {:.0} ms, {} retries",

@@ -29,6 +29,14 @@
 #                      the revisit interval, the zero-TTL fleet is
 #                      byte-identical to a cache-free fleet, and
 #                      every cache layer's hit counters light up;
+#   contention smoke — the F8 shared-world experiment runs end to end,
+#                      emits well-formed BENCH_contention.json, p99
+#                      latency is non-decreasing in population (the
+#                      knee), the shared gateway cache's hit rate
+#                      grows with population, the 1-user shared world
+#                      is byte-identical to the legacy per-user world,
+#                      and every sweep point is byte-identical at
+#                      1/2/4 threads;
 #   examples smoke   — the Scenario-driven examples run clean (their
 #                      internal asserts are the gate).
 #
@@ -88,6 +96,29 @@ assert doc["counters"]["db_hits"] > 0, "query cache never hit"
 gated = [r for r in doc["sweep"] if r["ttl_s"] >= 30 and r["think_s"] <= 1]
 best = min(r["p50_ms"] / r["cold_p50_ms"] for r in gated)
 print(f"cache gate: warm p50 down to {best:.2f}x of cold; zero-TTL identity holds")
+PY
+cargo run --release -p bench --bin report -- --quick --f8
+python3 -m json.tool BENCH_contention.json > /dev/null
+python3 - <<'PY'
+import json
+doc = json.load(open("BENCH_contention.json"))
+knee = doc["knee"]
+for prev, cur in zip(knee, knee[1:]):
+    assert cur["p99_ms"] >= prev["p99_ms"], (
+        f"p99 fell as population grew: {prev['users']} users {prev['p99_ms']} ms "
+        f"-> {cur['users']} users {cur['p99_ms']} ms"
+    )
+assert knee[-1]["contended_share"] > 0, "largest population never contended"
+growth = doc["cache_growth"]
+assert growth[-1]["hit_rate"] > growth[0]["hit_rate"], (
+    f"shared cache hit rate did not grow with population: "
+    f"{growth[0]['hit_rate']} -> {growth[-1]['hit_rate']}"
+)
+assert doc["one_user_identical"], "1-user shared world diverged from the legacy world"
+assert doc["thread_identity"], "shared world diverged across thread counts"
+print(f"contention gate: p99 {knee[0]['p99_ms']:.0f} -> {knee[-1]['p99_ms']:.0f} ms "
+      f"across the knee; shared hit rate {growth[0]['hit_rate']:.2f} -> "
+      f"{growth[-1]['hit_rate']:.2f}; both identities hold")
 PY
 cargo run -q --release --example quickstart > /dev/null
 cargo run -q --release --example secure_checkout > /dev/null

@@ -5,12 +5,12 @@
 use mcommerce::core::apps::{all_apps, Application, PaymentsApp, TravelApp};
 use mcommerce::core::workload::{run_session, run_workload};
 use mcommerce::core::{
-    fleet, Category, CommerceSystem, EcSystem, McSystem, MiddlewareKind, Scenario, WiredPath,
-    WirelessConfig,
+    Category, CommerceSystem, EcSystem, FleetRunner, MiddlewareKind, Scenario, SystemSpec,
+    WiredPath, WirelessConfig,
 };
 use mcommerce::hostsite::db::Database;
 use mcommerce::hostsite::HostComputer;
-use mcommerce::middleware::{IModeService, MobileRequest, WapGateway};
+use mcommerce::middleware::{IModeService, MobileRequest};
 use mcommerce::station::DeviceProfile;
 use mcommerce::wireless::{CellularStandard, WlanStandard};
 
@@ -69,7 +69,7 @@ fn full_matrix_of_middleware_devices_and_networks() {
                     .wireless(*network)
                     .sessions_per_user(2)
                     .seed(1000 + combo);
-                let summary = fleet::run(&scenario).summary.workload;
+                let summary = FleetRunner::new(scenario).run().report.summary.workload;
                 assert_eq!(
                     summary.succeeded,
                     summary.attempted,
@@ -94,14 +94,13 @@ fn all_eight_applications_share_one_host_database() {
     // Eight applications provisioned 14+ tables side by side.
     assert!(host.web.db().table_names().len() >= 12);
 
-    let mut system = McSystem::new(
-        host,
-        Box::new(WapGateway::default()),
-        DeviceProfile::toshiba_e740(),
-        wifi(15.0),
-        WiredPath::wan(),
-        6,
-    );
+    let mut system = SystemSpec::new()
+        .middleware(MiddlewareKind::Wap)
+        .device(DeviceProfile::toshiba_e740())
+        .wireless(wifi(15.0))
+        .wired(WiredPath::wan())
+        .seed(6)
+        .build(host);
     for app in &apps {
         let summary = run_workload(&mut system, app.as_ref(), 3, 7);
         assert!(
@@ -119,14 +118,13 @@ fn ec_and_mc_run_the_identical_application_code() {
     // application serves desktop EC clients and mobile MC clients.
     let app = TravelApp;
     let mut ec = EcSystem::new(host_with(&[&app], 8), WiredPath::wan());
-    let mut mc = McSystem::new(
-        host_with(&[&app], 8),
-        Box::new(IModeService::new()),
-        DeviceProfile::nokia_9290(),
-        wifi(30.0),
-        WiredPath::wan(),
-        9,
-    );
+    let mut mc = SystemSpec::new()
+        .middleware(MiddlewareKind::IMode)
+        .device(DeviceProfile::nokia_9290())
+        .wireless(wifi(30.0))
+        .wired(WiredPath::wan())
+        .seed(9)
+        .build(host_with(&[&app], 8));
     let ec_summary = run_workload(&mut ec, &app, 6, 10);
     let mc_summary = run_workload(&mut mc, &app, 6, 10);
     assert_eq!(ec_summary.succeeded, ec_summary.attempted);
@@ -143,7 +141,7 @@ fn secure_payment_rejects_replay_through_the_whole_stack() {
         .app(Category::Commerce)
         .wireless(wifi(20.0))
         .seed(12)
-        .system();
+        .system_for_user(0);
     let buy = |nonce: &str| {
         MobileRequest::post(
             "/shop/buy",
@@ -185,14 +183,13 @@ fn session_state_survives_across_the_wap_gateway() {
             )
         },
     );
-    let mut system = McSystem::new(
-        host,
-        Box::new(WapGateway::default()),
-        DeviceProfile::sony_clie_nr70v(),
-        wifi(10.0),
-        WiredPath::lan(),
-        14,
-    );
+    let mut system = SystemSpec::new()
+        .middleware(MiddlewareKind::Wap)
+        .device(DeviceProfile::sony_clie_nr70v())
+        .wireless(wifi(10.0))
+        .wired(WiredPath::lan())
+        .seed(14)
+        .build(host);
     for expected in 1..=4 {
         let report = system.execute(&MobileRequest::get("/counter"));
         assert!(report.success);
@@ -215,14 +212,13 @@ fn session_state_survives_across_the_wap_gateway() {
 fn workload_runs_are_deterministic_per_seed() {
     let run = |seed: u64| {
         let app = PaymentsApp::new();
-        let mut system = McSystem::new(
-            host_with(&[&app], 15),
-            Box::new(WapGateway::default()),
-            DeviceProfile::palm_i705(),
-            wifi(97.0), // lossy enough that the RNG matters
-            WiredPath::wan(),
-            seed,
-        );
+        let mut system = SystemSpec::new()
+            .middleware(MiddlewareKind::Wap)
+            .device(DeviceProfile::palm_i705())
+            .wireless(wifi(97.0)) // lossy enough that the RNG matters
+            .wired(WiredPath::wan())
+            .seed(seed)
+            .build(host_with(&[&app], 15));
         let mut timings = Vec::new();
         for index in 0..6 {
             let steps = app.session(3, index);
@@ -252,7 +248,7 @@ fn devices_rank_consistently_on_the_same_workload() {
             .wired(WiredPath::lan())
             .sessions_per_user(6)
             .seed(18);
-        let summary = fleet::run(&scenario).summary.workload;
+        let summary = FleetRunner::new(scenario).run().report.summary.workload;
         assert_eq!(summary.succeeded, summary.attempted);
         latencies.push(summary.latency_mean);
     }

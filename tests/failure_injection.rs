@@ -3,10 +3,10 @@
 //! responses verified.
 
 use mcommerce::core::apps::{Application, PaymentsApp};
-use mcommerce::core::{CommerceSystem, McSystem, WiredPath, WirelessConfig};
+use mcommerce::core::{CommerceSystem, McSystem, SystemSpec, WiredPath, WirelessConfig};
 use mcommerce::hostsite::db::{Database, Value};
 use mcommerce::hostsite::HostComputer;
-use mcommerce::middleware::{MobileRequest, WapGateway};
+use mcommerce::middleware::MobileRequest;
 use mcommerce::station::DeviceProfile;
 use mcommerce::wireless::WlanStandard;
 
@@ -14,14 +14,12 @@ fn payment_system(device: DeviceProfile, wireless: WirelessConfig, seed: u64) ->
     let app = PaymentsApp::new();
     let mut host = HostComputer::new(Database::new(), seed);
     app.install(&mut host);
-    McSystem::new(
-        host,
-        Box::new(WapGateway::default()),
-        device,
-        wireless,
-        WiredPath::wan(),
-        seed,
-    )
+    SystemSpec::new()
+        .device(device)
+        .wireless(wireless)
+        .wired(WiredPath::wan())
+        .seed(seed)
+        .build(host)
 }
 
 #[test]
@@ -99,17 +97,15 @@ fn oversized_content_fails_on_small_devices_but_not_large() {
             .collect();
         let page = mcommerce::markup::html::page("Big", paragraphs);
         host.web.static_page("/big", page.to_markup());
-        McSystem::new(
-            host,
-            Box::new(WapGateway::default()),
-            device,
-            WirelessConfig::Wlan {
+        SystemSpec::new()
+            .device(device)
+            .wireless(WirelessConfig::Wlan {
                 standard: WlanStandard::Dot11b,
                 distance_m: 10.0,
-            },
-            WiredPath::wan(),
-            24,
-        )
+            })
+            .wired(WiredPath::wan())
+            .seed(24)
+            .build(host)
     };
     let mut palm = build(DeviceProfile::palm_i705());
     let r = palm.execute(&MobileRequest::get("/big"));
@@ -132,17 +128,15 @@ fn host_database_crash_recovery_preserves_committed_purchases() {
     let app = PaymentsApp::new();
     let mut host = HostComputer::new(Database::new(), 25);
     app.install(&mut host);
-    let mut system = McSystem::new(
-        host,
-        Box::new(WapGateway::default()),
-        DeviceProfile::ipaq_h3870(),
-        WirelessConfig::Wlan {
+    let mut system = SystemSpec::new()
+        .device(DeviceProfile::ipaq_h3870())
+        .wireless(WirelessConfig::Wlan {
             standard: WlanStandard::Dot11b,
             distance_m: 20.0,
-        },
-        WiredPath::wan(),
-        26,
-    );
+        })
+        .wired(WiredPath::wan())
+        .seed(26)
+        .build(host);
     for nonce in 0..5 {
         let r = system.execute(&MobileRequest::post(
             "/shop/buy",

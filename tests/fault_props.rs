@@ -19,11 +19,25 @@
 
 use proptest::prelude::*;
 
-use mcommerce::core::{fleet, Category, MiddlewareKind, Scenario};
+use mcommerce::core::{Category, FleetReport, FleetRunner, FleetTrace, MiddlewareKind, Scenario};
 use mcommerce::faults::{FaultPlan, RetryPolicy};
 use mcommerce::obs::Histogram;
 use mcommerce::simnet::stats::Sampler;
 use mcommerce::simnet::SimDuration;
+
+// The property bodies predate the FleetRunner API; these shims keep them
+// readable while exercising the replacement entry point.
+fn run_on(scenario: &Scenario, threads: usize) -> FleetReport {
+    FleetRunner::new(scenario.clone()).threads(threads).run().report
+}
+
+fn run_traced_on(scenario: &Scenario, threads: usize) -> (FleetReport, FleetTrace) {
+    let run = FleetRunner::new(scenario.clone())
+        .threads(threads)
+        .traced(true)
+        .run();
+    (run.report, run.trace.expect("traced run carries a trace"))
+}
 
 const HORIZON: SimDuration = SimDuration::from_secs(30);
 
@@ -51,15 +65,15 @@ proptest! {
         intensity in 0.5..2.0f64,
     ) {
         let scenario = stormy_scenario(users, fleet_seed, storm_seed, intensity);
-        let one = fleet::run_on(&scenario, 1).summary;
-        let two = fleet::run_on(&scenario, 2).summary;
-        let four = fleet::run_on(&scenario, 4).summary;
-        let eight = fleet::run_on(&scenario, 8).summary;
+        let one = run_on(&scenario, 1).summary;
+        let two = run_on(&scenario, 2).summary;
+        let four = run_on(&scenario, 4).summary;
+        let eight = run_on(&scenario, 8).summary;
         prop_assert_eq!(&one, &two);
         prop_assert_eq!(&one, &four);
         prop_assert_eq!(&one, &eight);
         // Rerun at the same thread count: no hidden wall-clock state.
-        let again = fleet::run_on(&scenario, 4).summary;
+        let again = run_on(&scenario, 4).summary;
         prop_assert_eq!(&one, &again);
     }
 
@@ -69,8 +83,8 @@ proptest! {
         storm_seed in any::<u64>(),
     ) {
         let scenario = stormy_scenario(3, fleet_seed, storm_seed, 1.5);
-        let (report_1, trace_1) = fleet::run_traced_on(&scenario, 1);
-        let (report_4, trace_4) = fleet::run_traced_on(&scenario, 4);
+        let (report_1, trace_1) = run_traced_on(&scenario, 1);
+        let (report_4, trace_4) = run_traced_on(&scenario, 4);
         prop_assert_eq!(&report_1.summary, &report_4.summary);
         // The exported artefacts must be byte-identical, not just
         // semantically equal — CI diffs them.
@@ -91,8 +105,8 @@ proptest! {
             .clone()
             .faults(FaultPlan::none())
             .retry(RetryPolicy::none());
-        let baseline = fleet::run_on(&plain, 2).summary;
-        let with_machinery = fleet::run_on(&armed, 4).summary;
+        let baseline = run_on(&plain, 2).summary;
+        let with_machinery = run_on(&armed, 4).summary;
         prop_assert_eq!(baseline, with_machinery);
     }
 
@@ -134,8 +148,8 @@ fn retry_policy_never_lowers_and_eventually_raises_availability() {
             .clone()
             .retry(RetryPolicy::standard())
             .fallback_middleware(MiddlewareKind::WapTextual);
-        let bare_rate = fleet::run_on(&bare, 2).summary.workload.success_rate();
-        let hard_rate = fleet::run_on(&hardened, 2).summary.workload.success_rate();
+        let bare_rate = run_on(&bare, 2).summary.workload.success_rate();
+        let hard_rate = run_on(&hardened, 2).summary.workload.success_rate();
         assert!(
             hard_rate >= bare_rate,
             "intensity {intensity}: hardened {hard_rate} < bare {bare_rate}"

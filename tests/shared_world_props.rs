@@ -1,0 +1,198 @@
+//! Property tests for the shared-world contention engine (DESIGN.md
+//! §2.15): thread-count invariance of summaries *and* traces, exact
+//! equivalence between a one-user shared world and the legacy per-user
+//! world, correlated faults behind a shared gateway, and the knee — p99
+//! latency rising with population on fixed infrastructure.
+
+use mcommerce::core::{
+    Category, FleetRun, FleetRunner, Placement, RecorderKind, Scenario, Topology,
+};
+use mcommerce::faults::{FaultKind, FaultPlan};
+use mcommerce::simnet::SimDuration;
+
+fn shared_run(scenario: &Scenario, topology: Topology, threads: usize) -> FleetRun {
+    FleetRunner::new(scenario.clone())
+        .topology(topology)
+        .threads(threads)
+        .run()
+}
+
+fn crowd(users: u64) -> Scenario {
+    Scenario::new("shared")
+        .app(Category::Entertainment)
+        .users(users)
+        .sessions_per_user(2)
+        .think_time(2.0)
+        .seed(23)
+}
+
+#[test]
+fn shared_world_is_byte_identical_across_thread_counts() {
+    // Several islands so the thread sweep actually exercises sharding:
+    // 6 cells → 3 gateways → 3 hosts.
+    let topo = Topology::shared().cells(6).gateways(3).hosts(3);
+    let scenario = crowd(24);
+    let runs: Vec<FleetRun> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| shared_run(&scenario, topo, t))
+        .collect();
+    for run in &runs[1..] {
+        assert_eq!(
+            runs[0].report.summary, run.report.summary,
+            "summary must not depend on thread count"
+        );
+        assert_eq!(
+            runs[0].contention, run.contention,
+            "contention stats must not depend on thread count"
+        );
+    }
+}
+
+#[test]
+fn shared_world_traces_are_byte_identical_across_thread_counts() {
+    let topo = Topology::shared().cells(4).gateways(2).hosts(2);
+    let scenario = crowd(12);
+    let traces: Vec<String> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| {
+            FleetRunner::new(scenario.clone())
+                .topology(topo)
+                .threads(t)
+                .traced(true)
+                .run()
+                .trace
+                .expect("traced run carries a trace")
+                .to_jsonl()
+        })
+        .collect();
+    for trace in &traces[1..] {
+        assert_eq!(&traces[0], trace, "JSONL trace must be thread-invariant");
+    }
+}
+
+#[test]
+fn one_user_shared_world_reproduces_the_legacy_world_exactly() {
+    // One user on shared infrastructure never queues, so every wait is
+    // exactly zero and the engines must agree bit for bit — summaries
+    // and traces alike.
+    for category in [Category::Commerce, Category::Entertainment] {
+        let scenario = Scenario::new("degenerate")
+            .app(category)
+            .users(1)
+            .sessions_per_user(3)
+            .think_time(1.5)
+            .seed(47);
+        let legacy = FleetRunner::new(scenario.clone()).traced(true).run();
+        let shared = FleetRunner::new(scenario)
+            .topology(Topology::shared())
+            .traced(true)
+            .run();
+        assert_eq!(
+            legacy.report.summary, shared.report.summary,
+            "{category}: 1-user shared summary must equal legacy"
+        );
+        assert_eq!(
+            legacy.trace.unwrap().to_jsonl(),
+            shared.trace.unwrap().to_jsonl(),
+            "{category}: 1-user shared trace must equal legacy"
+        );
+        let stats = shared.contention.expect("shared run reports contention");
+        assert_eq!(stats.total_wait_ns(), 0, "one user never waits");
+        assert_eq!(stats.contended_transactions, 0);
+    }
+}
+
+#[test]
+fn shared_gateway_outage_strikes_the_whole_population_at_once() {
+    // All users think in lockstep from t = 0, so a plan window covers
+    // every user's transaction attempts in the same sim-time interval —
+    // the correlated-failure story a shared gateway implies.
+    let outage = FaultPlan::none().window(
+        SimDuration::from_secs(1),
+        SimDuration::from_secs(3600),
+        FaultKind::GatewayOutage,
+    );
+    let scenario = crowd(8).sessions_per_user(2).think_time(5.0).faults(outage);
+    let run = shared_run(&scenario, Topology::shared(), 2);
+    let workload = &run.report.summary.workload;
+    // First session starts before the window opens; the second (after
+    // 5 s of think time) lands inside it for every single user.
+    assert!(
+        workload.succeeded < workload.attempted,
+        "the outage must fail transactions"
+    );
+    let failed = workload.attempted - workload.succeeded;
+    assert_eq!(
+        failed % 8,
+        0,
+        "a shared outage is correlated: it fails the same steps for all \
+         8 users, so failures come in population-sized multiples (got {failed})"
+    );
+}
+
+#[test]
+fn contention_waits_grow_with_population_on_fixed_infrastructure() {
+    // The paper's heavy-traffic concern, as a property: more stations
+    // behind one cell + gateway + host ⇒ more queueing, higher p99.
+    let topo = Topology::shared();
+    let mut last_wait = 0u64;
+    let mut last_p99 = 0.0f64;
+    for users in [1u64, 8, 32] {
+        let run = shared_run(&crowd(users), topo, 2);
+        let stats = run.contention.expect("contention stats");
+        let p99 = run
+            .report
+            .summary
+            .workload
+            .counters
+            .latency_percentile(99.0);
+        assert!(
+            stats.total_wait_ns() >= last_wait,
+            "{users} users: total wait {} must not drop below {}",
+            stats.total_wait_ns(),
+            last_wait
+        );
+        assert!(
+            p99 >= last_p99,
+            "{users} users: p99 {p99} must not drop below {last_p99}"
+        );
+        last_wait = stats.total_wait_ns();
+        last_p99 = p99;
+    }
+    assert!(last_wait > 0, "32 users on one cell must actually contend");
+}
+
+#[test]
+fn placement_changes_the_load_split_but_not_the_totals_shape() {
+    // Round-robin and blocked placement both run the same population to
+    // completion; only which cell/island each user lands in differs.
+    let topo = Topology::shared().cells(4).gateways(2).hosts(2);
+    let scenario = crowd(16);
+    let rr = shared_run(&scenario, topo, 2);
+    let blocked = shared_run(&scenario, topo.placement(Placement::Blocked), 2);
+    assert_eq!(
+        rr.report.summary.workload.attempted,
+        blocked.report.summary.workload.attempted
+    );
+    assert_eq!(rr.report.summary.workload.success_rate(), 1.0);
+    assert_eq!(blocked.report.summary.workload.success_rate(), 1.0);
+}
+
+#[test]
+fn disabled_recorder_matches_ring_summary_in_shared_worlds() {
+    let topo = Topology::shared().cells(2).gateways(2).hosts(2);
+    let scenario = crowd(8);
+    let ring = FleetRunner::new(scenario.clone())
+        .topology(topo)
+        .traced(true)
+        .run();
+    let metrics_only = FleetRunner::new(scenario)
+        .topology(topo)
+        .traced(true)
+        .recorder(RecorderKind::Disabled)
+        .run();
+    assert_eq!(ring.report.summary, metrics_only.report.summary);
+    let quiet = metrics_only.trace.expect("traced");
+    assert!(quiet.events.is_empty());
+    assert!(quiet.metrics.counter("station.transactions") > 0);
+}

@@ -8,8 +8,22 @@
 //! 3. Every failed transaction leaves a flight-recorder dump naming the
 //!    layer that failed it.
 
-use mcommerce_core::{fleet, Category, Scenario};
+use mcommerce_core::{Category, FleetReport, FleetRunner, FleetTrace, Scenario};
 use wireless::WlanStandard;
+
+// These shims keep the assertions readable while exercising the
+// FleetRunner entry point that replaced fleet::run_traced_on.
+fn run_on(scenario: &Scenario, threads: usize) -> FleetReport {
+    FleetRunner::new(scenario.clone()).threads(threads).run().report
+}
+
+fn run_traced_on(scenario: &Scenario, threads: usize) -> (FleetReport, FleetTrace) {
+    let run = FleetRunner::new(scenario.clone())
+        .threads(threads)
+        .traced(true)
+        .run();
+    (run.report, run.trace.expect("traced run carries a trace"))
+}
 
 fn scenario() -> Scenario {
     Scenario::new("trace-props")
@@ -22,9 +36,9 @@ fn scenario() -> Scenario {
 #[test]
 fn fleet_trace_is_byte_identical_across_thread_counts() {
     let scenario = scenario();
-    let (_, t1) = fleet::run_traced_on(&scenario, 1);
-    let (_, t2) = fleet::run_traced_on(&scenario, 2);
-    let (_, t8) = fleet::run_traced_on(&scenario, 8);
+    let (_, t1) = run_traced_on(&scenario, 1);
+    let (_, t2) = run_traced_on(&scenario, 2);
+    let (_, t8) = run_traced_on(&scenario, 8);
 
     assert!(!t1.events.is_empty(), "traced fleet must produce events");
     let jsonl = t1.to_jsonl();
@@ -43,8 +57,8 @@ fn fleet_trace_is_byte_identical_across_thread_counts() {
 #[test]
 fn tracing_does_not_perturb_the_fleet() {
     let scenario = scenario();
-    let untraced = fleet::run_on(&scenario, 4).summary;
-    let (traced, trace) = fleet::run_traced_on(&scenario, 4);
+    let untraced = run_on(&scenario, 4).summary;
+    let (traced, trace) = run_traced_on(&scenario, 4);
     assert_eq!(traced.summary, untraced);
     assert_eq!(
         trace.metrics.counter("station.transactions"),
@@ -62,7 +76,7 @@ fn failed_transactions_dump_the_flight_recorder() {
             distance_m: 50.0,
         },
     );
-    let (report, trace) = fleet::run_traced_on(&dead_zone, 2);
+    let (report, trace) = run_traced_on(&dead_zone, 2);
     let failed = report.summary.workload.attempted - report.summary.workload.succeeded;
     assert!(failed > 0, "dead zone must fail transactions");
     assert_eq!(
