@@ -2,7 +2,7 @@
 //! and prints them in paper order.
 //!
 //! ```text
-//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--f7] [--f8] [--trace]
+//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--f7] [--f8] [--f9] [--trace]
 //! ```
 //!
 //! `--quick` shrinks every workload for smoke runs; `--f4` runs only the
@@ -11,7 +11,11 @@
 //! `BENCH_obs.json`); `--f6` runs only the F6 fault-injection experiment
 //! (writes `BENCH_faults.json`); `--f7` runs only the F7 caching-hierarchy
 //! experiment (writes `BENCH_cache.json`); `--f8` runs only the F8
-//! shared-world contention experiment (writes `BENCH_contention.json`).
+//! shared-world contention experiment (writes `BENCH_contention.json`);
+//! `--f9` runs only the F9 fleet-scale experiment (writes
+//! `BENCH_scale.json` — populations × threads with peak-RSS curves; each
+//! cell re-executes this binary via the internal `--f9-cell` mode so its
+//! RSS high-water mark is measured in a fresh process).
 //! `--trace` additionally exports the fixed-seed
 //! fleet trace as `TRACE_fleet.jsonl` and `TRACE_fleet.trace.json` —
 //! open the latter in `chrome://tracing` or <https://ui.perfetto.dev>.
@@ -23,6 +27,7 @@ use bench::engine;
 use bench::experiments;
 use bench::faults_experiment;
 use bench::obs_experiment;
+use bench::scale_experiment;
 use bench::tcpx;
 use mcommerce_core::{fleet, FleetRunner};
 
@@ -105,7 +110,26 @@ fn f8(quick: bool) {
     println!("\n-> wrote {path}");
 }
 
+/// Runs F9 and writes the `BENCH_scale.json` artefact.
+fn f9(quick: bool) {
+    heading("F9 — fleet scale: populations × threads, wall-clock / tps / peak RSS");
+    let numbers = scale_experiment::run(quick);
+    println!("{numbers}");
+    let path = "BENCH_scale.json";
+    std::fs::write(path, numbers.to_json()).expect("write BENCH_scale.json");
+    println!("\n-> wrote {path}");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // Hidden subprocess mode: run exactly one F9 grid cell in this
+    // process (fresh RSS high-water mark) and print it as one JSON line.
+    if let Some(at) = args.iter().position(|a| a == "--f9-cell") {
+        let users: u64 = args[at + 1].parse().expect("--f9-cell <users> <threads>");
+        let threads: usize = args[at + 2].parse().expect("--f9-cell <users> <threads>");
+        println!("{}", scale_experiment::run_cell(users, threads).to_json());
+        return;
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = std::env::args().any(|a| a == "--trace");
     let only_f4 = std::env::args().any(|a| a == "--f4");
@@ -113,7 +137,8 @@ fn main() {
     let only_f6 = std::env::args().any(|a| a == "--f6");
     let only_f7 = std::env::args().any(|a| a == "--f7");
     let only_f8 = std::env::args().any(|a| a == "--f8");
-    if only_f4 || only_f5 || only_f6 || only_f7 || only_f8 {
+    let only_f9 = std::env::args().any(|a| a == "--f9");
+    if only_f4 || only_f5 || only_f6 || only_f7 || only_f8 || only_f9 {
         if only_f4 {
             f4(quick);
         }
@@ -128,6 +153,9 @@ fn main() {
         }
         if only_f8 {
             f8(quick);
+        }
+        if only_f9 {
+            f9(quick);
         }
         return;
     }
@@ -209,6 +237,7 @@ fn main() {
     f6(quick);
     f7(quick);
     f8(quick);
+    f9(quick);
 
     heading("X1 — §5.2: TCP variants over an error-prone wireless hop");
     for row in tcpx::full_sweep(x1_bytes) {

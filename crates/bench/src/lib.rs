@@ -16,6 +16,7 @@
 //! | F6 | fault injection: availability under storms | [`faults_experiment::run`] |
 //! | F7 | caching hierarchy: cold vs warm, zero-TTL identity | [`cache_experiment::run`] |
 //! | F8 | shared-world contention: knee + shared-cache growth | [`contention_experiment::run`] |
+//! | F9 | fleet scale: populations × threads, wall/tps/RSS | [`scale_experiment::run`] |
 //! | X1 | §5.2, TCP variants on wireless | [`tcpx::tcp_variants`] |
 //! | X2 | §1.1, five system requirements | [`experiments::independence`] |
 //!
@@ -31,4 +32,5 @@ pub mod engine;
 pub mod experiments;
 pub mod faults_experiment;
 pub mod obs_experiment;
+pub mod scale_experiment;
 pub mod tcpx;

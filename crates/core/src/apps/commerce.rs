@@ -10,6 +10,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::OnceLock;
 
 use hostsite::db::{DbError, Value};
 use hostsite::{HostComputer, HttpRequest, HttpResponse, ServerCtx, Status};
@@ -78,8 +79,22 @@ impl Application for PaymentsApp {
         };
         let client_mac = self.client_mac;
 
+        // The storefront page is a pure function of the products table.
+        // Every freshly installed world starts from the same constant
+        // CATALOG, so the pristine-state page is process-constant: it is
+        // rendered once and shared across all worlds (and threads). The
+        // journal length pins "pristine" exactly — any database write in
+        // this world (a purchase, in shared topologies) falls back to a
+        // fresh render of the current rows.
+        static PRISTINE_SHOP_PAGE: OnceLock<HttpResponse> = OnceLock::new();
+        let seeded_journal = host.web.db().journal().len();
         host.web
-            .route_get("/shop", |_req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+            .route_get("/shop", move |_req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+                if ctx.db.journal().len() == seeded_journal {
+                    if let Some(resp) = PRISTINE_SHOP_PAGE.get() {
+                        return resp.clone();
+                    }
+                }
                 let rows = match ctx.db.select("products", |_| true) {
                     Ok(rows) => rows,
                     Err(_) => return HttpResponse::error(Status::ServerError, "db error"),
@@ -96,7 +111,11 @@ impl Application for PaymentsApp {
                     .collect();
                 let mut body = vec![html::h1("Mobile Shop").into()];
                 body.extend(items);
-                HttpResponse::ok(html::page("Shop", body).to_markup())
+                let resp = HttpResponse::from_page(html::page("Shop", body));
+                if ctx.db.journal().len() == seeded_journal {
+                    let _ = PRISTINE_SHOP_PAGE.set(resp.clone());
+                }
+                resp
             });
 
         host.web.route_post(
@@ -167,17 +186,14 @@ impl Application for PaymentsApp {
                         )
                     }
                 };
-                HttpResponse::ok(
-                    html::page(
-                        "Receipt",
-                        vec![
-                            html::h1("Payment complete").into(),
-                            html::p(&format!("You bought: {name}")).into(),
-                            html::p(&format!("Receipt auth code {}", receipt.auth_code)).into(),
-                        ],
-                    )
-                    .to_markup(),
-                )
+                HttpResponse::from_page(html::page(
+                    "Receipt",
+                    vec![
+                        html::h1("Payment complete").into(),
+                        html::p(&format!("You bought: {name}")).into(),
+                        html::p(&format!("Receipt auth code {}", receipt.auth_code)).into(),
+                    ],
+                ))
             },
         );
     }

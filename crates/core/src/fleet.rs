@@ -31,16 +31,21 @@
 //! (DESIGN.md §1) — parallelism for throughput, not concurrency for
 //! coordination.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::mpsc;
 use std::thread;
 use std::time::Instant;
 
 use hostsite::db::Database;
 use hostsite::HostComputer;
+use middleware::SharedTranscodeMemo;
 use obs::Recorder;
-use station::DeviceProfile;
+use station::{DeviceProfile, RenderMemo};
 use wireless::WlanStandard;
 
 use crate::apps::{for_category, Category};
+use crate::merge::{FleetMerger, TraceMerger};
 use crate::netpath::{WiredPath, WirelessConfig};
 use crate::report::{WorkloadCounters, WorkloadSummary};
 use crate::shared::{self, ContentionStats};
@@ -287,6 +292,17 @@ impl Scenario {
         system
     }
 
+    /// [`Scenario::system_for_user`] with a shard's scratch memos
+    /// attached: the gateway reuses translations and the browser reuses
+    /// renders across the users this shard executes. Hits replay
+    /// byte-identical results (see [`ShardScratch`]), so the system
+    /// behaves bit-for-bit like a scratch-free build — only faster.
+    pub fn system_for_user_in(&self, user: u64, scratch: &ShardScratch) -> McSystem {
+        let mut system = self.system_for_user(user);
+        scratch.attach(&mut system);
+        system
+    }
+
     /// Builds the single-user system (user 0) — the convenience most
     /// examples and tests want when they don't need a whole fleet.
     #[deprecated(
@@ -301,6 +317,14 @@ impl Scenario {
     /// into `counters`. Depends only on `(scenario, user)`.
     pub fn run_user(&self, user: u64, counters: &mut WorkloadCounters) {
         let mut system = self.system_for_user(user);
+        self.run_user_on(&mut system, user, counters);
+    }
+
+    /// [`Scenario::run_user`] with a shard's scratch memos attached —
+    /// the fleet engines' inner loop. Identical counters to
+    /// [`Scenario::run_user`] (memo hits are byte-for-byte replays).
+    pub fn run_user_in(&self, user: u64, counters: &mut WorkloadCounters, scratch: &ShardScratch) {
+        let mut system = self.system_for_user_in(user, scratch);
         self.run_user_on(&mut system, user, counters);
     }
 
@@ -347,7 +371,7 @@ impl Scenario {
     /// recorder only observes, so `counters` comes out the same either
     /// way (pinned by a unit test below).
     pub fn run_user_traced(&self, user: u64, counters: &mut WorkloadCounters) -> UserTrace {
-        self.run_user_traced_with(user, counters, RecorderKind::Ring)
+        self.run_user_traced_with(user, counters, RecorderKind::Ring, None)
     }
 
     /// [`Scenario::run_user_traced`] with an explicit recorder choice:
@@ -358,8 +382,12 @@ impl Scenario {
         user: u64,
         counters: &mut WorkloadCounters,
         recorder: RecorderKind,
+        scratch: Option<&ShardScratch>,
     ) -> UserTrace {
-        let mut system = self.system_for_user(user);
+        let mut system = match scratch {
+            Some(scratch) => self.system_for_user_in(user, scratch),
+            None => self.system_for_user(user),
+        };
         system.set_recorder(match recorder {
             RecorderKind::Ring => Recorder::ring_for_user(user),
             RecorderKind::Disabled => Recorder::Disabled,
@@ -374,6 +402,50 @@ impl Scenario {
             dumps,
             metrics,
         }
+    }
+}
+
+/// Shard-lifetime scratch state: memo tables for the pure, body-keyed
+/// stages of the transaction pipeline — the gateway's translation
+/// (HTML→WML→WBXML, HTML→cHTML) and the browser's render. One scratch
+/// lives per shard thread (or per island in the shared engine); the
+/// `Rc` handles are cloned into every system the shard builds and never
+/// cross threads.
+///
+/// This is the arena discipline of the F9 work: allocations that are
+/// logically transaction-lifetime (parsed documents, encoded decks,
+/// rendered lines) get built once per *distinct input* per shard and
+/// replayed by refcount for the rest of the shard's users. Because the
+/// memoised stages are pure functions of their keys, a hit is
+/// byte-identical to a fresh computation — summaries, traces, and the
+/// cross-thread F9 digest are unchanged by scratch attachment, shard
+/// layout, or population (pinned by tests below).
+#[derive(Debug, Default)]
+pub struct ShardScratch {
+    transcode: SharedTranscodeMemo,
+    render: Rc<RefCell<RenderMemo>>,
+}
+
+impl ShardScratch {
+    /// A fresh, empty scratch for one shard thread or island.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches this scratch's memos to a freshly built system.
+    fn attach(&self, system: &mut McSystem) {
+        system.attach_shard_memos(self.transcode.clone(), self.render.clone());
+    }
+
+    /// Translation lookups answered from the memo, across every system
+    /// this scratch served.
+    pub fn transcode_hits(&self) -> u64 {
+        self.transcode.borrow().hits()
+    }
+
+    /// Render lookups answered from the memo.
+    pub fn render_hits(&self) -> u64 {
+        self.render.borrow().hits()
     }
 }
 
@@ -437,14 +509,14 @@ impl FleetSummary {
     /// Merges per-shard workload summaries (in shard-index order) into
     /// the fleet total.
     pub fn merge(scenario: &Scenario, shards: &[WorkloadSummary]) -> FleetSummary {
-        let mut counters = WorkloadCounters::default();
-        for shard in shards {
-            counters.merge(&shard.counters);
+        let mut merger = FleetMerger::new();
+        for (shard, summary) in shards.iter().enumerate() {
+            merger.push(shard as u64, summary);
         }
         FleetSummary {
             scenario: scenario.label(),
             users: scenario.users,
-            workload: counters.summary(scenario.label()),
+            workload: merger.finish().summary(scenario.label()),
         }
     }
 
@@ -664,41 +736,42 @@ impl FleetRunner {
     }
 
     /// The legacy per-user engine: users sharded across threads in
-    /// contiguous index ranges, per-shard summaries merged in
-    /// shard-index order.
+    /// contiguous index ranges, per-shard counters **streamed** back to
+    /// the coordinator as each shard completes and folded in shard-index
+    /// order through [`FleetMerger`] — the merge overlaps the slowest
+    /// shard's tail instead of waiting for it.
     fn run_isolated(&self) -> FleetReport {
         let scenario = &self.scenario;
         let started = Instant::now();
         let shards = self.config.threads.clamp(1, scenario.users.max(1) as usize);
         let chunk = scenario.users.div_ceil(shards as u64).max(1);
 
-        let shard_summaries: Vec<WorkloadSummary> = thread::scope(|scope| {
-            let handles: Vec<_> = (0..shards as u64)
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut counters = WorkloadCounters::default();
-                        let lo = shard * chunk;
-                        let hi = (lo + chunk).min(scenario.users);
-                        for user in lo..hi {
-                            scenario.run_user(user, &mut counters);
-                        }
-                        counters.summary(format!("{} shard {shard}", scenario.name))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fleet shard panicked"))
-                .collect()
+        let mut merger = FleetMerger::new();
+        thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(u64, WorkloadCounters)>();
+            for shard in 0..shards as u64 {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let mut counters = WorkloadCounters::default();
+                    let scratch = ShardScratch::new();
+                    let lo = shard * chunk;
+                    let hi = (lo + chunk).min(scenario.users);
+                    for user in lo..hi {
+                        scenario.run_user_in(user, &mut counters, &scratch);
+                    }
+                    // The receiver outlives the scope, so a send only
+                    // fails after a coordinator panic — already fatal.
+                    let _ = tx.send((shard, counters));
+                });
+            }
+            drop(tx);
+            // Merge in arrival order while late shards still run; the
+            // merger's reorder buffer restores shard-index order. The
+            // channel closes when the last shard drops its sender.
+            for (shard, counters) in rx {
+                merger.push_counters(shard, counters);
+            }
         });
-
-        let summary = shard_summaries
-            .iter()
-            .skip(1)
-            .fold(shard_summaries[0].clone(), |acc, s| acc.merge(s));
-        // Relabel through the counters so the label doesn't depend on
-        // which shard happened to be first.
-        let summary = summary.counters.summary(scenario.label());
 
         FleetReport {
             threads: shards,
@@ -706,14 +779,18 @@ impl FleetRunner {
             summary: FleetSummary {
                 scenario: scenario.label(),
                 users: scenario.users,
-                workload: summary,
+                workload: merger.finish().summary(scenario.label()),
             },
         }
     }
 
-    /// The legacy per-user engine with telemetry: identical sharding
-    /// and merge discipline to [`FleetRunner::run_isolated`], with
-    /// per-user traces concatenated in user-index order.
+    /// The legacy per-user engine with telemetry: identical sharding to
+    /// [`FleetRunner::run_isolated`], but each user's trace is sent to
+    /// the coordinator the moment that user finishes. [`TraceMerger`]
+    /// streams arrivals into the fleet trace in global user-index order
+    /// — the canonical merge discipline — so at no point does any shard
+    /// hold its whole population's telemetry, which at fleet scale was
+    /// the run's peak-memory high-water mark.
     fn run_isolated_traced(&self) -> (FleetReport, FleetTrace) {
         let scenario = &self.scenario;
         let recorder = self.config.recorder;
@@ -721,52 +798,46 @@ impl FleetRunner {
         let shards = self.config.threads.clamp(1, scenario.users.max(1) as usize);
         let chunk = scenario.users.div_ceil(shards as u64).max(1);
 
-        type ShardResult = (WorkloadSummary, Vec<UserTrace>);
-        let shard_results: Vec<ShardResult> = thread::scope(|scope| {
-            let handles: Vec<_> = (0..shards as u64)
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut counters = WorkloadCounters::default();
-                        let mut traces = Vec::new();
-                        let lo = shard * chunk;
-                        let hi = (lo + chunk).min(scenario.users);
-                        for user in lo..hi {
-                            traces.push(scenario.run_user_traced_with(
-                                user,
-                                &mut counters,
-                                recorder,
-                            ));
-                        }
-                        (
-                            counters.summary(format!("{} shard {shard}", scenario.name)),
-                            traces,
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fleet shard panicked"))
-                .collect()
-        });
-
-        // Canonical merge: shards in index order, users in index order
-        // within each shard — the same discipline as the counters.
-        let mut trace = FleetTrace::default();
-        let mut summaries = Vec::with_capacity(shard_results.len());
-        for (summary, users) in shard_results {
-            summaries.push(summary);
-            for user in users {
-                trace.events.extend(user.events);
-                trace.dumps.extend(user.dumps);
-                trace.metrics.merge(&user.metrics);
-            }
+        enum ShardMsg {
+            /// One user finished; the box keeps the channel payload small.
+            User(u64, Box<UserTrace>),
+            /// A whole shard finished; its counters are ready to fold.
+            Done(u64, WorkloadCounters),
         }
-        let merged = summaries
-            .iter()
-            .skip(1)
-            .fold(summaries[0].clone(), |acc, s| acc.merge(s));
-        let summary = merged.counters.summary(scenario.label());
+
+        let mut fleet_merger = FleetMerger::new();
+        let mut trace_merger = TraceMerger::new();
+        thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<ShardMsg>();
+            for shard in 0..shards as u64 {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let mut counters = WorkloadCounters::default();
+                    let scratch = ShardScratch::new();
+                    let lo = shard * chunk;
+                    let hi = (lo + chunk).min(scenario.users);
+                    for user in lo..hi {
+                        let trace = scenario.run_user_traced_with(
+                            user,
+                            &mut counters,
+                            recorder,
+                            Some(&scratch),
+                        );
+                        let _ = tx.send(ShardMsg::User(user, Box::new(trace)));
+                    }
+                    let _ = tx.send(ShardMsg::Done(shard, counters));
+                });
+            }
+            drop(tx);
+            for msg in rx {
+                match msg {
+                    ShardMsg::User(user, trace) => trace_merger.push(user, *trace),
+                    ShardMsg::Done(shard, counters) => {
+                        fleet_merger.push_counters(shard, counters)
+                    }
+                }
+            }
+        });
 
         (
             FleetReport {
@@ -775,10 +846,10 @@ impl FleetRunner {
                 summary: FleetSummary {
                     scenario: scenario.label(),
                     users: scenario.users,
-                    workload: summary,
+                    workload: fleet_merger.finish().summary(scenario.label()),
                 },
             },
-            trace,
+            trace_merger.finish(),
         )
     }
 
@@ -799,27 +870,32 @@ impl FleetRunner {
             self.config.recorder,
         );
 
+        // Users land in island order; the canonical trace order is the
+        // global user index, same as the isolated engine. The merger's
+        // reorder buffer restores it without a collect-then-sort pass.
         let mut counters = WorkloadCounters::default();
         let mut stats = ContentionStats::default();
-        let mut user_traces: Vec<(u64, UserTrace)> = Vec::new();
-        let mut trace = self.config.traced.then(FleetTrace::default);
+        let mut island_metrics = obs::Metrics::default();
+        let mut trace_merger = self.config.traced.then(TraceMerger::new);
         for outcome in outcomes {
             counters.merge(&outcome.counters);
             stats.merge(&outcome.stats);
-            user_traces.extend(outcome.traces);
-            if let (Some(trace), Some(metrics)) = (trace.as_mut(), outcome.metrics.as_ref()) {
-                trace.metrics.merge(metrics);
+            if let Some(merger) = trace_merger.as_mut() {
+                for (user, trace) in outcome.traces {
+                    merger.push(user, trace);
+                }
+            }
+            if let Some(metrics) = outcome.metrics.as_ref() {
+                island_metrics.merge(metrics);
             }
         }
-        // Users land in island order; the canonical trace order is the
-        // global user index, same as the isolated engine.
-        user_traces.sort_by_key(|(user, _)| *user);
-        if let Some(trace) = trace.as_mut() {
-            for (_, user) in user_traces {
-                trace.events.extend(user.events);
-                trace.dumps.extend(user.dumps);
-            }
-        }
+        // Metrics interleave inside an island, so they merge at island
+        // granularity (island-index order) on top of the streamed trace.
+        let trace = trace_merger.map(|merger| {
+            let mut trace = merger.finish();
+            trace.metrics.merge(&island_metrics);
+            trace
+        });
 
         let report = FleetReport {
             threads,

@@ -37,6 +37,7 @@ pub use obs::hist;
 
 pub mod apps;
 pub mod fleet;
+pub mod merge;
 pub mod netpath;
 pub mod report;
 pub mod requirements;
@@ -51,8 +52,9 @@ pub use faults::{
 };
 pub use fleet::{
     FleetReport, FleetRun, FleetRunner, FleetSummary, FleetTrace, RecorderKind, RunConfig,
-    Scenario, UserTrace,
+    Scenario, ShardScratch, UserTrace,
 };
+pub use merge::{FleetMerger, TraceMerger};
 pub use netpath::{AirLink, WiredPath, WirelessConfig};
 pub use report::{
     PhaseBreakdown, TransactionOutcome, TransactionReport, WorkloadCounters, WorkloadSummary,

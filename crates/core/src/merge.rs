@@ -1,0 +1,248 @@
+//! Streaming canonical-order merge of shard results.
+//!
+//! Both fleet engines promise one merge discipline: counters fold in
+//! shard-index order, traces concatenate in global user-index order —
+//! that is what makes the output byte-identical at any thread count.
+//! The original implementations bought that order by *collecting first*:
+//! every shard's full result was held in a `Vec` until the last shard
+//! finished, then folded (isolated) or sorted (shared). At F9
+//! populations that is the peak-memory high-water mark of the whole
+//! run, and the merge only starts after the slowest shard ends.
+//!
+//! The mergers here stream instead. Each accepts results in **arrival**
+//! order — whichever shard or user finishes first — and folds them in
+//! **canonical** order through a reorder buffer: a result that arrives
+//! in its canonical slot is folded immediately (and releases any
+//! buffered successors); an early arrival waits in a `BTreeMap` keyed
+//! by its index. The output is therefore bit-identical to the
+//! collect-then-sort implementation for every arrival interleaving — a
+//! property `tests/merge_props.rs` pins with randomised chunkings.
+
+use std::collections::BTreeMap;
+
+use crate::fleet::{FleetTrace, UserTrace};
+use crate::report::{WorkloadCounters, WorkloadSummary};
+
+/// Folds per-shard workload counters into the fleet total in strict
+/// shard-index order, accepting shards in any arrival order.
+///
+/// Counter merge is associative and commutative, so the fold order
+/// cannot change the sums — the reorder buffer is what makes *gaps
+/// observable*: [`FleetMerger::finish`] panics if a shard index never
+/// arrived, instead of silently under-counting the fleet.
+#[derive(Debug, Default)]
+pub struct FleetMerger {
+    next: u64,
+    pending: BTreeMap<u64, WorkloadCounters>,
+    counters: WorkloadCounters,
+}
+
+impl FleetMerger {
+    /// An empty merger expecting shard 0 first (in canonical order).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits shard `shard`'s summary, in any arrival order.
+    ///
+    /// # Panics
+    ///
+    /// If `shard` already arrived.
+    pub fn push(&mut self, shard: u64, summary: &WorkloadSummary) {
+        self.push_counters(shard, summary.counters.clone());
+    }
+
+    /// [`FleetMerger::push`] for bare counters.
+    pub fn push_counters(&mut self, shard: u64, counters: WorkloadCounters) {
+        assert!(
+            shard >= self.next && !self.pending.contains_key(&shard),
+            "shard {shard} merged twice"
+        );
+        if shard != self.next {
+            self.pending.insert(shard, counters);
+            return;
+        }
+        self.counters.merge(&counters);
+        self.next += 1;
+        while let Some(buffered) = self.pending.remove(&self.next) {
+            self.counters.merge(&buffered);
+            self.next += 1;
+        }
+    }
+
+    /// Shards folded into the total so far (excludes the reorder buffer).
+    pub fn flushed(&self) -> u64 {
+        self.next
+    }
+
+    /// Completes the fold and returns the fleet-wide counters.
+    ///
+    /// # Panics
+    ///
+    /// If any shard index below the highest admitted one never arrived.
+    pub fn finish(self) -> WorkloadCounters {
+        assert!(
+            self.pending.is_empty(),
+            "shards missing below index {}: merge would under-count",
+            self.pending.keys().next_back().unwrap_or(&0),
+        );
+        self.counters
+    }
+}
+
+/// Concatenates per-user traces into a [`FleetTrace`] in strict global
+/// user-index order, accepting users in any arrival order.
+///
+/// Replaces the shared engine's collect-everything-then-`sort_by_key`
+/// and the isolated engine's per-shard `Vec<UserTrace>` accumulation: a
+/// user whose canonical slot is open streams straight into the output
+/// (events appended, dumps appended, metrics merged) and is freed;
+/// only users that finish ahead of a canonical predecessor wait in the
+/// reorder buffer.
+#[derive(Debug, Default)]
+pub struct TraceMerger {
+    next: u64,
+    pending: BTreeMap<u64, UserTrace>,
+    trace: FleetTrace,
+}
+
+impl TraceMerger {
+    /// An empty merger expecting user 0 first (in canonical order).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits user `user`'s trace, in any arrival order.
+    ///
+    /// # Panics
+    ///
+    /// If `user` already arrived.
+    pub fn push(&mut self, user: u64, trace: UserTrace) {
+        assert!(
+            user >= self.next && !self.pending.contains_key(&user),
+            "trace for user {user} merged twice"
+        );
+        if user != self.next {
+            self.pending.insert(user, trace);
+            return;
+        }
+        self.admit(trace);
+        self.next += 1;
+        while let Some(buffered) = self.pending.remove(&self.next) {
+            self.admit(buffered);
+            self.next += 1;
+        }
+    }
+
+    fn admit(&mut self, user: UserTrace) {
+        self.trace.events.extend(user.events);
+        self.trace.dumps.extend(user.dumps);
+        self.trace.metrics.merge(&user.metrics);
+    }
+
+    /// Traces already streamed into the output (excludes the buffer).
+    pub fn flushed(&self) -> u64 {
+        self.next
+    }
+
+    /// Traces waiting in the reorder buffer for a canonical predecessor.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Completes the merge. Any traces still buffered (user indices
+    /// with gaps below them — legal when a population's indices are
+    /// sparse) drain in ascending user order, preserving the canonical
+    /// ordering guarantee.
+    pub fn finish(mut self) -> FleetTrace {
+        let pending = std::mem::take(&mut self.pending);
+        for (_, trace) in pending {
+            self.admit(trace);
+        }
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::TransactionReport;
+
+    fn counters_with(marker: u64) -> WorkloadCounters {
+        let mut c = WorkloadCounters::default();
+        c.record(&TransactionReport::failed(format!("marker {marker}")));
+        c
+    }
+
+    #[test]
+    fn fleet_merger_is_arrival_order_independent() {
+        let shards: Vec<WorkloadCounters> = (0..5).map(counters_with).collect();
+        let mut in_order = FleetMerger::new();
+        for (i, c) in shards.iter().enumerate() {
+            in_order.push_counters(i as u64, c.clone());
+        }
+        let mut scrambled = FleetMerger::new();
+        for &i in &[3usize, 0, 4, 1, 2] {
+            scrambled.push_counters(i as u64, shards[i].clone());
+        }
+        assert_eq!(in_order.finish(), scrambled.finish());
+    }
+
+    #[test]
+    fn fleet_merger_reports_flush_progress() {
+        let mut merger = FleetMerger::new();
+        merger.push_counters(1, counters_with(2));
+        assert_eq!(merger.flushed(), 0, "shard 1 must wait for shard 0");
+        merger.push_counters(0, counters_with(1));
+        assert_eq!(merger.flushed(), 2, "shard 0 releases buffered shard 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "merged twice")]
+    fn fleet_merger_rejects_duplicate_shards() {
+        let mut merger = FleetMerger::new();
+        merger.push_counters(0, WorkloadCounters::default());
+        merger.push_counters(0, WorkloadCounters::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "shards missing")]
+    fn fleet_merger_refuses_to_finish_with_gaps() {
+        let mut merger = FleetMerger::new();
+        merger.push_counters(1, WorkloadCounters::default());
+        merger.finish();
+    }
+
+    fn trace_with_marker(user: u64) -> UserTrace {
+        let mut metrics = obs::Metrics::default();
+        metrics.counters.insert("unit.users", user + 1);
+        UserTrace {
+            events: Vec::new(),
+            dumps: Vec::new(),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn trace_merger_streams_in_canonical_order_from_any_arrival_order() {
+        let mut merger = TraceMerger::new();
+        for user in [2u64, 0, 3, 1] {
+            merger.push(user, trace_with_marker(user));
+        }
+        assert_eq!(merger.flushed(), 4);
+        assert_eq!(merger.buffered(), 0);
+        let trace = merger.finish();
+        assert_eq!(trace.metrics.counter("unit.users"), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn trace_merger_finish_drains_sparse_indices() {
+        let mut merger = TraceMerger::new();
+        merger.push(0, trace_with_marker(0));
+        merger.push(7, trace_with_marker(7)); // gap: users 1..=6 absent
+        assert_eq!(merger.flushed(), 1);
+        assert_eq!(merger.buffered(), 1);
+        let trace = merger.finish();
+        assert_eq!(trace.metrics.counter("unit.users"), 1 + 8);
+    }
+}

@@ -248,11 +248,13 @@ fn run_island(
     let mut host_cpu = FcfsServer::new();
 
     // Per-user state: the private system (station, battery, RNG streams
-    // — exactly the legacy per-user build) plus the queued actions.
+    // — exactly the legacy per-user build) plus the queued actions. The
+    // island owns one scratch; memo hits replay byte-identically.
+    let scratch = crate::fleet::ShardScratch::new();
     let mut states: Vec<UserState> = users
         .iter()
         .map(|&user| {
-            let mut system = scenario.system_for_user(user);
+            let mut system = scenario.system_for_user_in(user, &scratch);
             if traced {
                 system.set_recorder(match recorder {
                     RecorderKind::Ring => Recorder::ring_for_user(user),

@@ -8,7 +8,7 @@
 //! each [`TransactionReport`] is the executable counterpart of the
 //! figures' block diagrams.
 
-use middleware::{AirFormat, ContentCache, ContentKey, Exchange, Middleware, MobileRequest};
+use middleware::{AirFormat, ContentCache, Exchange, Middleware, MobileRequest};
 
 use faults::{classify, FailureClass, FaultKind, FaultPlan, FaultState, RetryPolicy};
 use hostsite::HostComputer;
@@ -17,7 +17,9 @@ use rand::rngs::StdRng;
 use simnet::rng::rng_for;
 use simnet::SimDuration;
 use station::browser::ContentKind;
-use station::{Battery, DeviceProfile, EmbeddedStore, Microbrowser};
+use station::{Battery, DeviceProfile, EmbeddedStore, Microbrowser, RenderMemo, RenderedView};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use crate::netpath::{AirLink, WiredPath, WirelessConfig};
 use crate::report::{PhaseBreakdown, TransactionOutcome, TransactionReport};
@@ -365,6 +367,9 @@ pub struct McSystem {
     cache: CachePolicy,
     /// The gateway content cache, present iff the policy enables it.
     gateway_cache: Option<ContentCache>,
+    /// Shard-local render memo (fleet engine only): replays pure
+    /// browser renders of repeated payloads across this shard's users.
+    render_memo: Option<Rc<RefCell<RenderMemo>>>,
 }
 
 impl std::fmt::Debug for McSystem {
@@ -428,7 +433,24 @@ impl McSystem {
             host_recovering_until_ns: 0,
             cache: CachePolicy::disabled(),
             gateway_cache: None,
+            render_memo: None,
         }
+    }
+
+    /// Attaches the shard-local memos of a fleet shard: the middleware's
+    /// transcode memo and the station's render memo. Both cache *pure*
+    /// functions of the payload bytes, so an attached system executes
+    /// bit-for-bit the same transactions as a bare one — the fleet
+    /// engine attaches fresh memos per shard (never across threads) and
+    /// resets nothing between users because there is nothing stateful to
+    /// reset.
+    pub fn attach_shard_memos(
+        &mut self,
+        transcode: middleware::SharedTranscodeMemo,
+        render: Rc<RefCell<RenderMemo>>,
+    ) {
+        self.middleware.attach_transcode_memo(transcode);
+        self.render_memo = Some(render);
     }
 
     /// Applies a cache policy across the hierarchy: (re)builds the
@@ -680,11 +702,20 @@ impl CommerceSystem for McSystem {
         let mut breakdown = PhaseBreakdown::default();
         let mut energy = 0.0f64;
 
-        // Station attaches its cookie jar to the outgoing request.
-        let mut req = req.clone();
-        for (k, v) in self.station.browser.cookies() {
-            req.cookies.push((k.clone(), v.clone()));
-        }
+        // Station attaches its cookie jar to the outgoing request. An
+        // empty jar (the common fleet steady state) borrows the caller's
+        // request instead of cloning it.
+        let req_with_cookies;
+        let req: &MobileRequest = if self.station.browser.cookies().is_empty() {
+            req
+        } else {
+            let mut owned = req.clone();
+            for (k, v) in self.station.browser.cookies() {
+                owned.cookies.push((k.clone(), v.clone()));
+            }
+            req_with_cookies = owned;
+            &req_with_cookies
+        };
 
         // One-time wireless session establishment (circuit dial-up or
         // packet context activation).
@@ -752,21 +783,19 @@ impl CommerceSystem for McSystem {
         if self.cache.enabled {
             self.host.web.set_sim_now_ns(t0);
         }
-        let cache_key = match &self.gateway_cache {
-            Some(_)
-                if ContentCache::cacheable_request(&req)
-                    && !self.faults.transcode_degraded(t0) =>
-            {
-                Some(ContentKey::for_request(
-                    &req,
-                    self.station.browser.device().name,
-                    self.middleware.name(),
-                ))
-            }
-            _ => None,
+        let cache_candidate = self.gateway_cache.is_some()
+            && ContentCache::cacheable_request(req)
+            && !self.faults.transcode_degraded(t0);
+        let cache_id = if cache_candidate {
+            let device = self.station.browser.device().name;
+            let kind = self.middleware.name();
+            let cache = self.gateway_cache.as_mut().expect("checked above");
+            Some(cache.intern(req, device, kind))
+        } else {
+            None
         };
-        let cached = match (self.gateway_cache.as_mut(), &cache_key) {
-            (Some(cache), Some(key)) => cache.lookup(key, t0),
+        let cached = match (self.gateway_cache.as_mut(), cache_id) {
+            (Some(cache), Some(id)) => cache.lookup(id, t0),
             _ => None,
         };
         let gateway_hit = cached.is_some();
@@ -777,12 +806,12 @@ impl CommerceSystem for McSystem {
                 hit
             }
             None => {
-                let ex = self.middleware.exchange(&mut self.host, &req);
-                if let Some(key) = cache_key {
+                let ex = self.middleware.exchange(&mut self.host, req);
+                if let Some(id) = cache_id {
                     obs::metrics::incr("middleware.cache.misses");
                     if ContentCache::cacheable_exchange(&ex) {
-                        let cache = self.gateway_cache.as_mut().expect("key implies cache");
-                        let evicted = cache.store(key, &ex, t0);
+                        let cache = self.gateway_cache.as_mut().expect("id implies cache");
+                        let evicted = cache.store(id, &ex, t0);
                         obs::metrics::add("middleware.cache.evictions", evicted as u64);
                     }
                 }
@@ -956,16 +985,33 @@ impl CommerceSystem for McSystem {
 
         // Station: parse + render the content, store cookies.
         let kind = Self::content_kind(ex.format);
-        let render = self.station.browser.render(&ex.content, kind);
+        let render = match &self.render_memo {
+            Some(memo) => self.station.browser.render_memoized(
+                &ex.content,
+                kind,
+                ex.deck.as_deref(),
+                &mut memo.borrow_mut(),
+            ),
+            None => self
+                .station
+                .browser
+                .render_prepared(&ex.content, kind, ex.deck.as_deref())
+                .map(|page| Rc::new(RenderedView::of(page))),
+        };
         let render_failure = match &render {
-            Ok(page) => {
-                breakdown.station_secs += page.cost.as_secs_f64();
-                self.recorder
-                    .span(cursor, page.cost.as_nanos(), Layer::Station, "render", txn);
-                cursor += page.cost.as_nanos();
+            Ok(view) => {
+                breakdown.station_secs += view.page.cost.as_secs_f64();
+                self.recorder.span(
+                    cursor,
+                    view.page.cost.as_nanos(),
+                    Layer::Station,
+                    "render",
+                    txn,
+                );
+                cursor += view.page.cost.as_nanos();
                 self.last_outcome = Some(TransactionOutcome {
-                    page_text: page.lines.join("\n"),
-                    title: page.title.clone(),
+                    page_text: view.text.clone(),
+                    title: view.page.title.clone(),
                     status: ex.status,
                 });
                 None

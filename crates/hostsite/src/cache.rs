@@ -10,6 +10,14 @@
 //! no wall clock anywhere, so fleet runs stay bit-identical at any
 //! thread count.
 //!
+//! Keys are interned: [`PageCache::intern`] hashes the borrowed request
+//! fields (no allocation) and hands out a dense `u64` id; the canonical
+//! rendered string is built once per distinct request shape and the
+//! entry map is keyed by the id. A lookup therefore hashes eight bytes,
+//! probes once (the expired path removes through the same probe instead
+//! of a `get` + `remove` double hash), and a hit clones a response whose
+//! body is a refcounted [`Body`] — a pointer bump, not a page copy.
+//!
 //! Only successful `GET` responses that set no cookies are stored;
 //! `POST`s (which mutate the database and session state) always reach
 //! the application program. Requests carrying basic-auth credentials
@@ -17,12 +25,16 @@
 //! request is re-validated against its auth realm ([`WebServer`] never
 //! builds a key for them).
 //!
+//! [`Body`]: crate::http::Body
 //! [`WebServer`]: crate::server::WebServer
 
+use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
-use std::fmt::Write as _;
+use std::fmt;
+use std::hash::Hasher as _;
 
 use crate::http::{HttpRequest, HttpResponse};
+use crate::intern::{probe_hasher, HashWriter, KeyInterner, PrefixMatcher};
 
 #[derive(Debug, Clone)]
 struct Entry {
@@ -32,12 +44,13 @@ struct Entry {
     bytes: usize,
 }
 
-/// A TTL + LRU page cache over canonical-request keys.
+/// A TTL + LRU page cache over interned canonical-request keys.
 #[derive(Debug)]
 pub struct PageCache {
     ttl_ns: u64,
     byte_budget: usize,
-    entries: HashMap<String, Entry>,
+    interner: KeyInterner<String>,
+    entries: HashMap<u64, Entry>,
     bytes: usize,
     /// Logical LRU clock: bumped on every touch, so the eviction victim
     /// (minimum tick) is unique and deterministic.
@@ -53,6 +66,7 @@ impl PageCache {
         PageCache {
             ttl_ns,
             byte_budget,
+            interner: KeyInterner::new(),
             entries: HashMap::new(),
             bytes: 0,
             tick: 0,
@@ -61,58 +75,96 @@ impl PageCache {
         }
     }
 
-    /// The canonical cache key for a request. Query parameters and
-    /// cookies live in `BTreeMap`s, so the rendering is order-stable.
-    pub fn key(req: &HttpRequest) -> String {
-        let mut key = format!("{:?} {}", req.method, req.path);
+    /// Renders the canonical key for `req` into any writer. Query
+    /// parameters and cookies live in `BTreeMap`s, so the rendering is
+    /// order-stable. The same routine builds keys, hashes requests, and
+    /// equality-checks probes, so the three can never drift apart.
+    fn render_key(req: &HttpRequest, out: &mut impl fmt::Write) -> fmt::Result {
+        write!(out, "{:?} {}", req.method, req.path)?;
         for (name, value) in &req.params {
-            let _ = write!(key, "&{name}={value}");
+            write!(out, "&{name}={value}")?;
         }
-        let _ = write!(key, "|{:?}", req.accept);
+        write!(out, "|{:?}", req.accept)?;
         for (name, value) in &req.cookies {
-            let _ = write!(key, ";{name}={value}");
+            write!(out, ";{name}={value}")?;
         }
+        Ok(())
+    }
+
+    /// The canonical cache key for a request, as an owned string.
+    pub fn key(req: &HttpRequest) -> String {
+        let mut key = String::new();
+        Self::render_key(req, &mut key).expect("writing to a String cannot fail");
         key
     }
 
-    /// Returns the cached response when an entry exists and is still
-    /// fresh at `now_ns`. Expired entries are dropped on the way.
-    pub fn lookup(&mut self, key: &str, now_ns: u64) -> Option<HttpResponse> {
-        let fresh = match self.entries.get(key) {
-            Some(entry) => now_ns.saturating_sub(entry.stored_ns) < self.ttl_ns,
-            None => {
-                self.misses += 1;
-                return None;
-            }
-        };
-        if !fresh {
-            if let Some(old) = self.entries.remove(key) {
-                self.bytes -= old.bytes;
-            }
-            self.misses += 1;
-            return None;
-        }
-        self.hits += 1;
-        self.tick += 1;
-        let entry = self.entries.get_mut(key).expect("checked above");
-        entry.last_used = self.tick;
-        Some(entry.resp.clone())
+    /// Interns the canonical key for `req`, returning its dense id.
+    ///
+    /// Alloc-free for request shapes seen before: the request fields are
+    /// hashed borrowed and compared against the stored canonical string
+    /// without rendering.
+    pub fn intern(&mut self, req: &HttpRequest) -> u64 {
+        let mut h = probe_hasher();
+        Self::render_key(req, &mut HashWriter(&mut h)).expect("hashing cannot fail");
+        self.interner.intern_with(
+            h.finish(),
+            |k| {
+                let mut m = PrefixMatcher::new(k);
+                Self::render_key(req, &mut m).is_ok() && m.matched()
+            },
+            || Self::key(req),
+        )
     }
 
-    /// Stores a response, evicting least-recently-used entries until the
-    /// byte budget holds. Returns how many entries were evicted.
-    /// Responses larger than the whole budget are not stored.
-    pub fn store(&mut self, key: String, resp: &HttpResponse, now_ns: u64) -> usize {
-        let bytes = key.len() + resp.body.len();
+    /// Interns a pre-rendered key string (equivalent to [`PageCache::intern`]
+    /// on the request it renders).
+    pub fn intern_str(&mut self, key: &str) -> u64 {
+        let mut h = probe_hasher();
+        h.write(key.as_bytes());
+        self.interner
+            .intern_with(h.finish(), |k| k == key, || key.to_owned())
+    }
+
+    /// Returns the cached response when a fresh entry exists for the
+    /// interned key `id` at `now_ns`. One probe serves hit, miss, and
+    /// expiry alike; an expired entry is dropped through the same probe.
+    pub fn lookup(&mut self, id: u64, now_ns: u64) -> Option<HttpResponse> {
+        match self.entries.entry(id) {
+            MapEntry::Occupied(mut occ) => {
+                if now_ns.saturating_sub(occ.get().stored_ns) < self.ttl_ns {
+                    self.hits += 1;
+                    self.tick += 1;
+                    occ.get_mut().last_used = self.tick;
+                    Some(occ.get().resp.clone())
+                } else {
+                    let old = occ.remove();
+                    self.bytes -= old.bytes;
+                    self.misses += 1;
+                    None
+                }
+            }
+            MapEntry::Vacant(_) => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a response under the interned key `id`, evicting
+    /// least-recently-used entries until the byte budget holds. Returns
+    /// how many entries were evicted. Responses larger than the whole
+    /// budget are not stored.
+    pub fn store(&mut self, id: u64, resp: &HttpResponse, now_ns: u64) -> usize {
+        let bytes = self.interner.resolve(id).len() + resp.body.len();
         if bytes > self.byte_budget {
             return 0;
         }
-        if let Some(old) = self.entries.remove(&key) {
+        if let Some(old) = self.entries.remove(&id) {
             self.bytes -= old.bytes;
         }
         self.tick += 1;
         self.entries.insert(
-            key,
+            id,
             Entry {
                 resp: resp.clone(),
                 stored_ns: now_ns,
@@ -127,7 +179,7 @@ impl PageCache {
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
+                .map(|(id, _)| *id)
                 .expect("over budget implies non-empty");
             let old = self.entries.remove(&victim).expect("victim exists");
             self.bytes -= old.bytes;
@@ -149,6 +201,11 @@ impl PageCache {
     /// Body + key bytes currently held.
     pub fn bytes(&self) -> usize {
         self.bytes
+    }
+
+    /// Distinct canonical keys ever interned (live or evicted).
+    pub fn interned_keys(&self) -> usize {
+        self.interner.len()
     }
 
     /// Fresh lookups answered from the cache since construction.
@@ -173,31 +230,35 @@ mod tests {
     #[test]
     fn entries_expire_after_the_ttl() {
         let mut cache = PageCache::new(1_000, 10_000);
-        cache.store("k".into(), &resp("<html><body>x</body></html>"), 0);
-        assert!(cache.lookup("k", 999).is_some());
-        assert!(cache.lookup("k", 1_000).is_none());
+        let k = cache.intern_str("k");
+        cache.store(k, &resp("<html><body>x</body></html>"), 0);
+        assert!(cache.lookup(k, 999).is_some());
+        assert!(cache.lookup(k, 1_000).is_none());
         assert!(cache.is_empty(), "expired entry is dropped");
     }
 
     #[test]
     fn lru_eviction_respects_the_byte_budget() {
         let mut cache = PageCache::new(u64::MAX, 60);
-        cache.store("a".into(), &resp("<html>aaaaaaaaaa</html>"), 0);
-        cache.store("b".into(), &resp("<html>bbbbbbbbbb</html>"), 0);
+        let (a, b) = (cache.intern_str("a"), cache.intern_str("b"));
+        cache.store(a, &resp("<html>aaaaaaaaaa</html>"), 0);
+        cache.store(b, &resp("<html>bbbbbbbbbb</html>"), 0);
         // Touch "a" so "b" is the LRU victim.
-        assert!(cache.lookup("a", 1).is_some());
-        let evicted = cache.store("c".into(), &resp("<html>cccccccccc</html>"), 2);
+        assert!(cache.lookup(a, 1).is_some());
+        let c = cache.intern_str("c");
+        let evicted = cache.store(c, &resp("<html>cccccccccc</html>"), 2);
         assert_eq!(evicted, 1);
-        assert!(cache.lookup("a", 3).is_some());
-        assert!(cache.lookup("b", 3).is_none());
-        assert!(cache.lookup("c", 3).is_some());
+        assert!(cache.lookup(a, 3).is_some());
+        assert!(cache.lookup(b, 3).is_none());
+        assert!(cache.lookup(c, 3).is_some());
         assert!(cache.bytes() <= 60);
     }
 
     #[test]
     fn oversized_responses_are_not_stored() {
         let mut cache = PageCache::new(u64::MAX, 10);
-        let evicted = cache.store("k".into(), &resp(&"x".repeat(100)), 0);
+        let k = cache.intern_str("k");
+        let evicted = cache.store(k, &resp(&"x".repeat(100)), 0);
         assert_eq!(evicted, 0);
         assert!(cache.is_empty());
     }
@@ -211,5 +272,28 @@ mod tests {
         assert_ne!(a, c);
         let d = PageCache::key(&HttpRequest::get("/shop?x=1&y=2").with_cookie("sid", "s1"));
         assert_ne!(a, d, "cookies partition the key space");
+    }
+
+    #[test]
+    fn interned_request_ids_match_rendered_key_ids() {
+        let mut cache = PageCache::new(u64::MAX, 10_000);
+        let req = HttpRequest::get("/shop?x=1&y=2").with_cookie("sid", "s1");
+        let by_req = cache.intern(&req);
+        let by_str = cache.intern_str(&PageCache::key(&req));
+        assert_eq!(by_req, by_str, "both intern paths agree on the id");
+        assert_eq!(cache.interned_keys(), 1, "no duplicate key was created");
+        let other = cache.intern(&HttpRequest::get("/shop?x=1&y=3"));
+        assert_ne!(by_req, other);
+    }
+
+    #[test]
+    fn hits_share_the_body_allocation() {
+        let mut cache = PageCache::new(u64::MAX, 10_000);
+        let k = cache.intern_str("k");
+        cache.store(k, &resp("<html><body>big page</body></html>"), 0);
+        let a = cache.lookup(k, 1).expect("hit");
+        let b = cache.lookup(k, 2).expect("hit");
+        // Refcounted bodies: both hits read the same buffer.
+        assert_eq!(a.body.as_bytes_buf().as_ref().as_ptr(), b.body.as_bytes_buf().as_ref().as_ptr());
     }
 }

@@ -22,7 +22,10 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::hash::{Hash as _, Hasher as _};
 use std::sync::Arc;
+
+use crate::intern::{probe_hasher, KeyInterner};
 
 /// A typed cell value.
 #[derive(Debug, Clone, PartialEq, PartialOrd)]
@@ -63,19 +66,7 @@ impl Value {
             Value::Int(i) => OrdKey::Int(*i),
             Value::Text(t) => OrdKey::Text(t.clone()),
             Value::Bool(b) => OrdKey::Int(i64::from(*b)),
-            Value::Float(f) => {
-                // Monotone bit mapping: negatives flip all bits, positives
-                // flip the sign bit, so u64 order equals float order.
-                // (-0.0 is normalised to 0.0 first.)
-                let f = if *f == 0.0 { 0.0 } else { *f };
-                let bits = f.to_bits();
-                let key = if bits & (1 << 63) != 0 {
-                    !bits
-                } else {
-                    bits | (1 << 63)
-                };
-                OrdKey::Float(key)
-            }
+            Value::Float(f) => OrdKey::Float(float_key_bits(*f)),
         }
     }
 }
@@ -117,12 +108,39 @@ impl fmt::Display for Value {
     }
 }
 
+/// Monotone bit mapping for float keys: negatives flip all bits,
+/// positives flip the sign bit, so u64 order equals float order.
+/// (-0.0 is normalised to 0.0 first.)
+fn float_key_bits(f: f64) -> u64 {
+    let f = if f == 0.0 { 0.0 } else { f };
+    let bits = f.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
 /// Totally ordered key derived from a [`Value`] for index storage.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum OrdKey {
     Int(i64),
     Text(String),
     Float(u64),
+}
+
+impl OrdKey {
+    /// True when `value.ord_key()` would equal `self` — compared without
+    /// building the key (no `Text` clone).
+    fn matches_value(&self, value: &Value) -> bool {
+        match (self, value) {
+            (OrdKey::Int(a), Value::Int(b)) => a == b,
+            (OrdKey::Int(a), Value::Bool(b)) => *a == i64::from(*b),
+            (OrdKey::Text(a), Value::Text(b)) => a == b,
+            (OrdKey::Float(a), Value::Float(b)) => *a == float_key_bits(*b),
+            _ => false,
+        }
+    }
 }
 
 /// A row: one value per column, in schema order.
@@ -269,8 +287,80 @@ enum Undo {
     DropTable { name: String },
 }
 
-/// table name → ((column, value key) → memoized result set).
-type QueryCache = HashMap<String, HashMap<(String, OrdKey), Vec<Arc<Row>>>>;
+/// A distinct `select_eq` query shape, interned once.
+#[derive(Debug, Clone)]
+struct QueryShape {
+    table: String,
+    column: String,
+    key: OrdKey,
+}
+
+/// Memoized `select_eq` result sets over interned query ids.
+///
+/// The old layout keyed a nested map by `(column.to_owned(),
+/// value.ord_key())` — two allocations per lookup before a single hash
+/// probe could run. Queries are drawn from a small set of distinct
+/// shapes, so each shape is interned to a dense `u64` id (hashing the
+/// *borrowed* table/column/value, building the owned shape only on
+/// first sight) and results live in one flat id-keyed map.
+/// Invalidation stays table-scoped through `by_table`, the ids ever
+/// minted under each table; ids survive invalidation, so re-memoizing
+/// a shape after a write is alloc-free too.
+#[derive(Debug, Default)]
+struct QueryCache {
+    ids: KeyInterner<QueryShape>,
+    results: HashMap<u64, Vec<Arc<Row>>>,
+    by_table: HashMap<String, Vec<u64>>,
+}
+
+impl QueryCache {
+    /// Interns the shape `(table, column, value)` and returns its id.
+    fn intern(&mut self, table: &str, column: &str, value: &Value) -> u64 {
+        let mut h = probe_hasher();
+        table.hash(&mut h);
+        column.hash(&mut h);
+        // Mirror `Value::ord_key`'s normalisation (Bool → Int, floats →
+        // monotone bits) so e.g. `Bool(true)` and `Int(1)` probes agree
+        // with `OrdKey::matches_value`.
+        match value {
+            Value::Int(i) => (0u8, i).hash(&mut h),
+            Value::Bool(b) => (0u8, i64::from(*b)).hash(&mut h),
+            Value::Text(t) => (1u8, t.as_str()).hash(&mut h),
+            Value::Float(f) => (2u8, float_key_bits(*f)).hash(&mut h),
+        }
+        let before = self.ids.len();
+        let id = self.ids.intern_with(
+            h.finish(),
+            |s| s.table == table && s.column == column && s.key.matches_value(value),
+            || QueryShape {
+                table: table.to_owned(),
+                column: column.to_owned(),
+                key: value.ord_key(),
+            },
+        );
+        if self.ids.len() > before {
+            self.by_table.entry(table.to_owned()).or_default().push(id);
+        }
+        id
+    }
+
+    /// Drops memoized results for every shape under `table`; returns
+    /// whether anything was actually cached.
+    fn invalidate_table(&mut self, table: &str) -> bool {
+        let mut any = false;
+        if let Some(ids) = self.by_table.get(table) {
+            for id in ids {
+                any |= self.results.remove(id).is_some();
+            }
+        }
+        any
+    }
+
+    /// Drops every memoized result (ids survive).
+    fn clear(&mut self) {
+        self.results.clear();
+    }
+}
 
 /// The embedded database engine.
 ///
@@ -352,7 +442,7 @@ impl Database {
         if !self.query_cache_enabled {
             return;
         }
-        if self.query_cache.borrow_mut().remove(table_name).is_some() {
+        if self.query_cache.borrow_mut().invalidate_table(table_name) {
             obs::metrics::incr("host.db_cache.invalidations");
         }
     }
@@ -676,18 +766,19 @@ impl Database {
                 table: table_name.to_owned(),
                 column: column.to_owned(),
             })?;
-        let cache_key = (column.to_owned(), value.ord_key());
-        if self.query_cache_enabled {
-            if let Some(rows) = self
-                .query_cache
-                .borrow()
-                .get(table_name)
-                .and_then(|queries| queries.get(&cache_key))
-            {
+        // The id is interned once per distinct query shape; when the
+        // cache is disabled no key is built at all.
+        let cache_id = if self.query_cache_enabled {
+            let mut cache = self.query_cache.borrow_mut();
+            let id = cache.intern(table_name, column, value);
+            if let Some(rows) = cache.results.get(&id) {
                 obs::metrics::incr("host.db_cache.hits");
                 return Ok(rows.clone());
             }
-        }
+            Some(id)
+        } else {
+            None
+        };
         let rows: Vec<Arc<Row>> = if let Some(index) = table.indexes.get(column) {
             index
                 .get(&value.ord_key())
@@ -706,13 +797,9 @@ impl Database {
                 .cloned()
                 .collect()
         };
-        if self.query_cache_enabled {
+        if let Some(id) = cache_id {
             obs::metrics::incr("host.db_cache.misses");
-            self.query_cache
-                .borrow_mut()
-                .entry(table_name.to_owned())
-                .or_default()
-                .insert(cache_key, rows.clone());
+            self.query_cache.borrow_mut().results.insert(id, rows.clone());
         }
         Ok(rows)
     }

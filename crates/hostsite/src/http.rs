@@ -8,6 +8,10 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use bytes::Bytes;
 
 /// Request method (the subset commerce flows need).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -196,6 +200,99 @@ fn split_query(path: &str) -> (String, BTreeMap<String, String>) {
     }
 }
 
+/// A response body: UTF-8 markup behind a refcounted [`Bytes`] buffer.
+///
+/// Cloning a `Body` bumps a refcount instead of copying the markup, so a
+/// page-cache hit or an error-page substitution shares one allocation
+/// across every response that serves it. The buffer is guaranteed valid
+/// UTF-8 by construction (`From<String>` / `From<&str>` are the only
+/// constructors), and the type derefs to `str` so call sites read it
+/// exactly like the `String` it replaces.
+#[derive(Clone, Default)]
+pub struct Body(Bytes);
+
+impl Body {
+    /// The body text.
+    pub fn as_str(&self) -> &str {
+        // SAFETY: every constructor takes `str`/`String` input, so the
+        // buffer is valid UTF-8 by construction.
+        unsafe { std::str::from_utf8_unchecked(&self.0) }
+    }
+
+    /// The underlying refcounted buffer (a cheap clone, no copy).
+    pub fn as_bytes_buf(&self) -> Bytes {
+        self.0.clone()
+    }
+
+    /// Unwraps into the underlying refcounted buffer.
+    pub fn into_bytes(self) -> Bytes {
+        self.0
+    }
+}
+
+impl Deref for Body {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Body {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Self {
+        Body(Bytes::from(s))
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Self {
+        Body(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl fmt::Debug for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for Body {}
+
+impl PartialEq<str> for Body {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Body {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Body {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
 /// An HTTP-like response.
 #[derive(Debug, Clone)]
 pub struct HttpResponse {
@@ -203,8 +300,13 @@ pub struct HttpResponse {
     pub status: Status,
     /// Body format.
     pub format: ContentFormat,
-    /// Markup body.
-    pub body: String,
+    /// Markup body (refcounted; cloning shares the buffer).
+    pub body: Body,
+    /// The parsed form of `body`, when the producer built the page as a
+    /// tree (see [`HttpResponse::from_page`]). Invariant: when set,
+    /// `body` is exactly `page.to_markup()`, so consumers that would
+    /// parse the body may use the tree instead.
+    pub page: Option<Arc<markup::Element>>,
     /// Cookies to set on the client.
     pub set_cookies: BTreeMap<String, String>,
     /// Redirect target for 302 responses.
@@ -213,18 +315,33 @@ pub struct HttpResponse {
 
 impl HttpResponse {
     /// A 200 response with an HTML body.
-    pub fn ok(body: impl Into<String>) -> Self {
+    pub fn ok(body: impl Into<Body>) -> Self {
         HttpResponse {
             status: Status::Ok,
             format: ContentFormat::Html,
             body: body.into(),
+            page: None,
             set_cookies: BTreeMap::new(),
             location: None,
         }
     }
 
+    /// A 200 response built from a page tree: serialises once and, when
+    /// the (normalised) tree round-trips through the parser, carries it
+    /// in [`HttpResponse::page`] so downstream consumers — gateways,
+    /// filters — skip re-parsing the body. Falls back to a body-only
+    /// response for trees the serialiser cannot round-trip.
+    pub fn from_page(mut page: markup::Element) -> Self {
+        let round_trips = page.normalise_for_roundtrip();
+        let mut resp = Self::ok(page.to_markup());
+        if round_trips {
+            resp.page = Some(Arc::new(page));
+        }
+        resp
+    }
+
     /// An error response with the given status and body.
-    pub fn error(status: Status, body: impl Into<String>) -> Self {
+    pub fn error(status: Status, body: impl Into<Body>) -> Self {
         HttpResponse {
             status,
             ..Self::ok(body)
@@ -328,6 +445,27 @@ mod tests {
         assert_eq!(Status::Unauthorized.code(), 401);
         assert_eq!(ContentFormat::Wml.mime(), "text/vnd.wap.wml");
         assert_eq!(Method::Post.to_string(), "POST");
+    }
+
+    #[test]
+    fn from_page_body_is_exactly_the_trees_markup() {
+        let tree = markup::Element::new("html").with_child(
+            markup::Element::new("body")
+                .with_child(markup::Element::new("p").with_text("pay  \n now")),
+        );
+        let resp = HttpResponse::from_page(tree);
+        let page = resp.page.as_deref().expect("round-trippable page attaches");
+        assert_eq!(resp.body.as_str(), page.to_markup());
+        // The invariant consumers rely on: parsing the body yields the tree.
+        assert_eq!(&markup::parse::parse(resp.body.as_str()).unwrap(), page);
+    }
+
+    #[test]
+    fn from_page_detaches_unparseable_trees() {
+        let resp =
+            HttpResponse::from_page(markup::Element::new("br").with_text("void with child"));
+        assert!(resp.page.is_none());
+        assert_eq!(resp.status, Status::Ok);
     }
 
     #[test]

@@ -25,10 +25,12 @@ pub mod cache;
 pub mod db;
 pub mod host;
 pub mod http;
+pub mod intern;
 pub mod server;
 
 pub use cache::PageCache;
 pub use db::{Database, DbError, Value};
 pub use host::HostComputer;
-pub use http::{ContentFormat, HttpRequest, HttpResponse, Method, Status};
+pub use intern::KeyInterner;
+pub use http::{Body, ContentFormat, HttpRequest, HttpResponse, Method, Status};
 pub use server::{AppProgram, ServerCtx, WebServer};

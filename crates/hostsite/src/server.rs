@@ -16,7 +16,7 @@ use rand::RngExt;
 
 use crate::cache::PageCache;
 use crate::db::Database;
-use crate::http::{HttpRequest, HttpResponse, Method, Status};
+use crate::http::{Body, HttpRequest, HttpResponse, Method, Status};
 
 /// A server-side application program (the CGI contract): it sees the
 /// request and the server context (database, session) and produces a
@@ -85,8 +85,8 @@ struct Route {
 pub struct WebServer {
     db: Database,
     routes: Vec<Route>,
-    static_pages: HashMap<String, String>,
-    error_pages: HashMap<u16, String>,
+    static_pages: HashMap<String, Body>,
+    error_pages: HashMap<u16, Body>,
     /// `(path prefix, realm name)` → user/password pairs.
     auth_realms: Vec<(String, HashMap<String, String>)>,
     sessions: RefCell<HashMap<String, BTreeMap<String, String>>>,
@@ -212,13 +212,13 @@ impl WebServer {
     }
 
     /// Serves `body` for `GET path` without involving an app program.
-    pub fn static_page(&mut self, path: &str, body: impl Into<String>) {
+    pub fn static_page(&mut self, path: &str, body: impl Into<Body>) {
         self.static_pages.insert(path.to_owned(), body.into());
     }
 
     /// Overrides the body served with status `code` — §7's "highly
     /// configurable error messages".
-    pub fn error_page(&mut self, code: u16, body: impl Into<String>) {
+    pub fn error_page(&mut self, code: u16, body: impl Into<Body>) {
         self.error_pages.insert(code, body.into());
     }
 
@@ -254,15 +254,16 @@ impl WebServer {
         // database and session state, and authed requests must reach
         // dispatch's auth-realm password check every time — a cached
         // protected page keyed by username alone would be served to a
-        // later request presenting the wrong password.
-        let cache_key = match &self.page_cache {
-            Some(_) if req.method == Method::Get && req.auth.is_none() => {
-                Some(PageCache::key(&req))
+        // later request presenting the wrong password. The interned id
+        // is computed once and reused for lookup and store.
+        let cache_id = match self.page_cache.as_mut() {
+            Some(cache) if req.method == Method::Get && req.auth.is_none() => {
+                Some(cache.intern(&req))
             }
             _ => None,
         };
-        if let (Some(cache), Some(key)) = (self.page_cache.as_mut(), cache_key.as_deref()) {
-            if let Some(resp) = cache.lookup(key, self.now_ns) {
+        if let (Some(cache), Some(id)) = (self.page_cache.as_mut(), cache_id) {
+            if let Some(resp) = cache.lookup(id, self.now_ns) {
                 obs::metrics::incr("host.page_cache.hits");
                 obs::metrics::add("host.page_cache.bytes_saved", resp.body.len() as u64);
                 self.access_log.borrow_mut().push(AccessLogEntry {
@@ -275,18 +276,20 @@ impl WebServer {
             }
         }
         let mut resp = self.dispatch(&req);
-        // Error-page substitution.
+        // Error-page substitution. The handler's tree (if any) no longer
+        // describes the body, so drop it.
         if !resp.status.is_success() {
             if let Some(body) = self.error_pages.get(&resp.status.code()) {
                 resp.body = body.clone();
+                resp.page = None;
             }
         }
-        if let (Some(cache), Some(key)) = (self.page_cache.as_mut(), cache_key) {
+        if let (Some(cache), Some(id)) = (self.page_cache.as_mut(), cache_id) {
             obs::metrics::incr("host.page_cache.misses");
             // Responses that mint cookies are per-client; keep them out.
             if resp.status.is_success() && resp.set_cookies.is_empty() {
                 let now_ns = self.now_ns;
-                let evicted = cache.store(key, &resp, now_ns);
+                let evicted = cache.store(id, &resp, now_ns);
                 obs::metrics::add("host.page_cache.evictions", evicted as u64);
             }
         }

@@ -54,7 +54,7 @@ pub fn validate(doc: &Element) -> Result<(), ValidateChtmlError> {
             });
         }
         for (name, _) in e.attrs() {
-            if !CHTML_ATTRS.contains(&name.as_str()) {
+            if !CHTML_ATTRS.contains(&name.as_ref()) {
                 return Err(ValidateChtmlError {
                     message: format!("attribute {name:?} on <{}> is not cHTML", e.tag()),
                 });

@@ -1,5 +1,6 @@
 //! The element tree shared by HTML, WML and cHTML.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// A node in a markup document: an element or a text run.
@@ -53,16 +54,27 @@ impl From<Element> for Node {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Element {
-    tag: String,
-    attrs: Vec<(String, String)>,
+    tag: Cow<'static, str>,
+    attrs: Vec<(Cow<'static, str>, String)>,
     children: Vec<Node>,
 }
 
 impl Element {
     /// Creates an empty element with the given (lowercased) tag.
-    pub fn new(tag: impl Into<String>) -> Self {
+    ///
+    /// Tag names are `Cow<'static, str>` so the builder idiom —
+    /// `Element::new("p")` — stores the literal without allocating;
+    /// parsers pass owned `String`s.
+    pub fn new(tag: impl Into<Cow<'static, str>>) -> Self {
+        let mut tag = tag.into();
+        // Lowercase in place only when needed: builder and parser tags
+        // are almost always lowercase already, and lowercasing
+        // unconditionally would allocate on this very hot path.
+        if tag.bytes().any(|b| b.is_ascii_uppercase()) {
+            tag.to_mut().make_ascii_lowercase();
+        }
         Element {
-            tag: tag.into().to_ascii_lowercase(),
+            tag,
             attrs: Vec::new(),
             children: Vec::new(),
         }
@@ -73,8 +85,15 @@ impl Element {
         &self.tag
     }
 
+    /// The tag as an owned handle — a pointer copy for literal-built
+    /// elements, a clone for parsed ones. For re-tagging without going
+    /// through a borrowed `&str`.
+    pub fn tag_owned(&self) -> Cow<'static, str> {
+        self.tag.clone()
+    }
+
     /// The attribute list in document order.
-    pub fn attrs(&self) -> &[(String, String)] {
+    pub fn attrs(&self) -> &[(Cow<'static, str>, String)] {
         &self.attrs
     }
 
@@ -82,12 +101,12 @@ impl Element {
     pub fn attr(&self, name: &str) -> Option<&str> {
         self.attrs
             .iter()
-            .find(|(k, _)| k == name)
+            .find(|(k, _)| k.as_ref() == name)
             .map(|(_, v)| v.as_str())
     }
 
     /// Sets (or replaces) an attribute.
-    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+    pub fn set_attr(&mut self, name: impl Into<Cow<'static, str>>, value: impl Into<String>) {
         let name = name.into();
         let value = value.into();
         if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| *k == name) {
@@ -98,7 +117,11 @@ impl Element {
     }
 
     /// Builder-style [`Element::set_attr`].
-    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn with_attr(
+        mut self,
+        name: impl Into<Cow<'static, str>>,
+        value: impl Into<String>,
+    ) -> Self {
         self.set_attr(name, value);
         self
     }
@@ -165,11 +188,99 @@ impl Element {
         self.descendants().count()
     }
 
+    /// Normalises the subtree so `parse(to_markup(self)) == self`,
+    /// letting producers hand consumers the tree *alongside* its
+    /// serialised form and spare them the re-parse.
+    ///
+    /// Applied per element: adjacent text children merge (serialisation
+    /// concatenates them into one run), whitespace runs collapse to
+    /// single spaces and whitespace-only runs are dropped (what the
+    /// parser does to text), and attribute names are lowercased and
+    /// deduplicated first-slot-wins-position / last-wins-value (what
+    /// repeated `set_attr` does).
+    ///
+    /// Returns `false` without finishing when the tree cannot round-trip
+    /// at all: a void element (`<br>`, `<img>`, …) with children, or a
+    /// tag/attribute name the parser's name grammar rejects.
+    pub fn normalise_for_roundtrip(&mut self) -> bool {
+        if !is_parse_name(&self.tag) {
+            return false;
+        }
+        if !self.children.is_empty() && crate::parse::VOID_ELEMENTS.contains(&self.tag.as_ref()) {
+            return false;
+        }
+        for (name, _) in &mut self.attrs {
+            if name.bytes().any(|b| b.is_ascii_uppercase()) {
+                name.to_mut().make_ascii_lowercase();
+            }
+            if !is_parse_name(name) {
+                return false;
+            }
+        }
+        // Lowercasing may have created duplicate names; fold them the way
+        // the parser's `set_attr` replay would.
+        let mut i = 1;
+        while i < self.attrs.len() {
+            if let Some(first) = self.attrs[..i].iter().position(|(k, _)| *k == self.attrs[i].0) {
+                let (_, value) = self.attrs.remove(i);
+                self.attrs[first].1 = value;
+            } else {
+                i += 1;
+            }
+        }
+        let mut merged: Vec<Node> = Vec::with_capacity(self.children.len());
+        for child in self.children.drain(..) {
+            match (merged.last_mut(), child) {
+                (Some(Node::Text(prev)), Node::Text(t)) => prev.push_str(&t),
+                (_, child) => merged.push(child),
+            }
+        }
+        for child in &mut merged {
+            match child {
+                Node::Text(t) => {
+                    if crate::parse::needs_ws_normalise(t) {
+                        *t = crate::parse::normalise_ws(t);
+                    }
+                }
+                Node::Element(e) => {
+                    if !e.normalise_for_roundtrip() {
+                        return false;
+                    }
+                }
+            }
+        }
+        merged.retain(|c| !matches!(c, Node::Text(t) if t.trim().is_empty()));
+        self.children = merged;
+        true
+    }
+
     /// Serialises to markup text with entity escaping.
     pub fn to_markup(&self) -> String {
-        let mut out = String::new();
+        let mut out = String::with_capacity(self.markup_len());
         self.write_markup(&mut out);
         out
+    }
+
+    /// Lower bound on the serialised length (exact when nothing needs
+    /// escaping) — sizes the output buffer in one allocation.
+    fn markup_len(&self) -> usize {
+        // "<tag/>" or "<tag></tag>".
+        let mut len = 2 + self.tag.len()
+            + if self.children.is_empty() {
+                1
+            } else {
+                3 + self.tag.len()
+            };
+        for (k, v) in &self.attrs {
+            len += 4 + k.len() + v.len();
+        }
+        for child in &self.children {
+            len += match child {
+                Node::Text(t) => t.len(),
+                Node::Element(e) => e.markup_len(),
+            };
+        }
+        len
     }
 
     fn write_markup(&self, out: &mut String) {
@@ -179,7 +290,7 @@ impl Element {
             out.push(' ');
             out.push_str(k);
             out.push_str("=\"");
-            out.push_str(&escape(v));
+            push_escaped(out, v);
             out.push('"');
         }
         if self.children.is_empty() {
@@ -189,7 +300,7 @@ impl Element {
         out.push('>');
         for child in &self.children {
             match child {
-                Node::Text(t) => out.push_str(&escape(t)),
+                Node::Text(t) => push_escaped(out, t),
                 Node::Element(e) => e.write_markup(out),
             }
         }
@@ -225,9 +336,28 @@ impl<'a> Iterator for Descendants<'a> {
     }
 }
 
+/// Whether `name` matches the parser's tag/attribute name grammar.
+fn is_parse_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b':'))
+}
+
 /// Escapes `&`, `<`, `>` and `"` for serialisation.
 pub fn escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
+    push_escaped(&mut out, text);
+    out
+}
+
+/// [`escape`] straight into an output buffer; clean text (the common
+/// case) is appended with a single memcpy, no intermediate allocation.
+fn push_escaped(out: &mut String, text: &str) {
+    if !text.bytes().any(|b| matches!(b, b'&' | b'<' | b'>' | b'"')) {
+        out.push_str(text);
+        return;
+    }
     for c in text.chars() {
         match c {
             '&' => out.push_str("&amp;"),
@@ -237,7 +367,6 @@ pub fn escape(text: &str) -> String {
             other => out.push(other),
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -311,5 +440,57 @@ mod tests {
     #[test]
     fn empty_elements_self_close() {
         assert_eq!(Element::new("br").to_markup(), "<br/>");
+    }
+
+    #[test]
+    fn normalised_trees_round_trip_through_the_parser() {
+        let cases = [
+            sample(),
+            Element::new("p")
+                .with_text("a\n   b")
+                .with_text(" and ")
+                .with_child(Element::new("b").with_text("c"))
+                .with_text("   "),
+            Element::new("p")
+                .with_attr("Title", "5 < 6 & \"quoted\"")
+                .with_text("1 < 2 & 3 > 2"),
+            Element::new("div").with_child(Element::new("br")),
+        ];
+        for mut doc in cases {
+            assert!(doc.normalise_for_roundtrip());
+            let reparsed = crate::parse::parse(&doc.to_markup()).unwrap();
+            assert_eq!(doc, reparsed, "markup: {}", doc.to_markup());
+        }
+    }
+
+    #[test]
+    fn normalise_is_identity_on_clean_builder_trees() {
+        let mut doc = sample();
+        assert!(doc.normalise_for_roundtrip());
+        assert_eq!(doc, sample());
+    }
+
+    #[test]
+    fn normalise_refuses_unparseable_trees() {
+        let mut void_with_children = Element::new("br").with_text("x");
+        assert!(!void_with_children.normalise_for_roundtrip());
+        let mut bad_tag = Element::new("not a name");
+        assert!(!bad_tag.normalise_for_roundtrip());
+        let mut bad_attr = Element::new("p").with_attr("bad name", "v");
+        assert!(!bad_attr.normalise_for_roundtrip());
+    }
+
+    #[test]
+    fn normalise_folds_duplicate_attr_names_like_the_parser() {
+        let mut e = Element::new("a");
+        // Bypass set_attr's exact-case replacement by differing in case.
+        e.set_attr("Href", "/first");
+        e.set_attr("href", "/second");
+        assert_eq!(e.attrs().len(), 2);
+        assert!(e.normalise_for_roundtrip());
+        assert_eq!(e.attrs().len(), 1);
+        assert_eq!(e.attr("href"), Some("/second"));
+        let reparsed = crate::parse::parse(&e.to_markup()).unwrap();
+        assert_eq!(e, reparsed);
     }
 }

@@ -123,7 +123,7 @@ impl<'a> Parser<'a> {
         }
         self.pos += 1;
         let tag = self.parse_name()?;
-        let mut element = Element::new(&tag);
+        let mut element = Element::new(tag.clone());
 
         // Attributes.
         loop {
@@ -159,10 +159,16 @@ impl<'a> Parser<'a> {
                             }
                             self.pos += 1;
                         }
-                        let raw =
-                            String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                        let raw = String::from_utf8_lossy(&self.input[start..self.pos]);
                         self.pos += 1;
-                        element.set_attr(name, unescape(&raw));
+                        // Entity-free values (the common case) skip the
+                        // unescape pass and its extra allocation.
+                        let value = if raw.contains('&') {
+                            unescape(&raw)
+                        } else {
+                            raw.into_owned()
+                        };
+                        element.set_attr(name, value);
                     } else {
                         // Boolean attribute.
                         element.set_attr(name, "");
@@ -207,10 +213,21 @@ impl<'a> Parser<'a> {
                     while !matches!(self.peek(), Some(b'<') | None) {
                         self.pos += 1;
                     }
-                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
-                    let text = unescape(&raw);
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]);
+                    // Decode and normalise only when the run needs it —
+                    // clean text takes the single-allocation path.
+                    let text = if raw.contains('&') {
+                        std::borrow::Cow::Owned(unescape(&raw))
+                    } else {
+                        raw
+                    };
                     if !text.trim().is_empty() {
-                        element.push_child(Node::text(normalise_ws(&text)));
+                        let text = if needs_ws_normalise(&text) {
+                            normalise_ws(&text)
+                        } else {
+                            text.into_owned()
+                        };
+                        element.push_child(Node::text(text));
                     }
                 }
                 None => return Err(self.err(format!("eof inside <{tag}>"))),
@@ -267,8 +284,25 @@ pub fn unescape(text: &str) -> String {
     out
 }
 
+/// Whether [`normalise_ws`] would change `text`: any non-space
+/// whitespace, or a run of consecutive spaces.
+pub(crate) fn needs_ws_normalise(text: &str) -> bool {
+    let mut last_ws = false;
+    for c in text.chars() {
+        if c.is_whitespace() {
+            if c != ' ' || last_ws {
+                return true;
+            }
+            last_ws = true;
+        } else {
+            last_ws = false;
+        }
+    }
+    false
+}
+
 /// Collapses internal whitespace runs to single spaces (HTML semantics).
-fn normalise_ws(text: &str) -> String {
+pub(crate) fn normalise_ws(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     let mut last_ws = false;
     for c in text.chars() {

@@ -246,9 +246,9 @@ pub fn html_to_chtml(html: &Element) -> Element {
             "script" | "style" => return None,
             _ => {}
         }
-        let mut out = Element::new(e.tag());
+        let mut out = Element::new(e.tag_owned());
         for (k, v) in e.attrs() {
-            if CHTML_ATTRS.contains(&k.as_str()) {
+            if CHTML_ATTRS.contains(&k.as_ref()) {
                 out.set_attr(k.clone(), v.clone());
             }
         }

@@ -10,7 +10,14 @@
 //!
 //! Like the host page cache it is deterministic and sim-time native:
 //! TTL in simulated nanoseconds, LRU eviction under a byte budget driven
-//! by a logical tick counter.
+//! by a logical tick counter. And like the host page cache its keys are
+//! interned: [`ContentCache::intern`] hashes the borrowed request
+//! fields, hands out a dense `u64` id, and only builds an owned
+//! [`ContentKey`] (four cloned strings) the first time a shape is seen.
+//! Lookups hash eight bytes and probe the entry map once — the expired
+//! path removes through the same probe. A hit clones the stored
+//! [`Exchange`], whose payload is a refcounted `Bytes`, so re-serving a
+//! deck never copies it.
 //!
 //! Admission policy: only form-free GETs carrying **no credentials** are
 //! candidates, and only successful exchanges that set no cookies are
@@ -21,8 +28,11 @@
 //! part of [`ContentKey`]): sessions never alias, but a session's own
 //! revisits hit.
 
+use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
+use std::hash::{Hash as _, Hasher as _};
 
+use hostsite::intern::{probe_hasher, KeyInterner};
 use simnet::SimDuration;
 
 use crate::{Exchange, MobileRequest};
@@ -55,6 +65,18 @@ impl ContentKey {
     }
 }
 
+/// Hashes the key fields borrowed — the probe-side twin of
+/// [`ContentKey`]'s derived `Hash`, fed identically on every call so
+/// interner probes for equal shapes always land in one bucket.
+fn hash_fields(url: &str, device_class: &str, middleware_kind: &str, cookies: &[(String, String)]) -> u64 {
+    let mut h = probe_hasher();
+    url.hash(&mut h);
+    device_class.hash(&mut h);
+    middleware_kind.hash(&mut h);
+    cookies.hash(&mut h);
+    h.finish()
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     exchange: Exchange,
@@ -67,12 +89,14 @@ struct Entry {
 /// translation cost, but not free.
 pub const LOOKUP_COST: SimDuration = SimDuration::from_micros(40);
 
-/// A TTL + LRU cache of adapted exchanges at the middleware gateway.
+/// A TTL + LRU cache of adapted exchanges at the middleware gateway,
+/// keyed by interned [`ContentKey`] ids.
 #[derive(Debug)]
 pub struct ContentCache {
     ttl_ns: u64,
     byte_budget: usize,
-    entries: HashMap<ContentKey, Entry>,
+    interner: KeyInterner<ContentKey>,
+    entries: HashMap<u64, Entry>,
     bytes: usize,
     tick: u64,
     hits: u64,
@@ -86,6 +110,7 @@ impl ContentCache {
         ContentCache {
             ttl_ns,
             byte_budget,
+            interner: KeyInterner::new(),
             entries: HashMap::new(),
             bytes: 0,
             tick: 0,
@@ -109,51 +134,79 @@ impl ContentCache {
         ex.status.is_success() && ex.set_cookies.is_empty()
     }
 
-    /// Returns the re-served exchange when a fresh entry exists at
-    /// `now_ns`: same payload and air-side byte counts, but zero wired
-    /// bytes, zero host CPU, no extra round trips, and only
-    /// [`LOOKUP_COST`] of middleware CPU. Expired entries are dropped.
-    pub fn lookup(&mut self, key: &ContentKey, now_ns: u64) -> Option<Exchange> {
-        let fresh = match self.entries.get(key) {
-            Some(entry) => now_ns.saturating_sub(entry.stored_ns) < self.ttl_ns,
-            None => {
-                self.misses += 1;
-                return None;
-            }
-        };
-        if !fresh {
-            if let Some(old) = self.entries.remove(key) {
-                self.bytes -= old.bytes;
-            }
-            self.misses += 1;
-            return None;
-        }
-        self.hits += 1;
-        self.tick += 1;
-        let entry = self.entries.get_mut(key).expect("checked above");
-        entry.last_used = self.tick;
-        let mut ex = entry.exchange.clone();
-        ex.wired_bytes = (0, 0);
-        ex.host_cpu = SimDuration::ZERO;
-        ex.middleware_cpu = LOOKUP_COST;
-        ex.extra_round_trips = 0;
-        Some(ex)
+    /// Interns the key for `req` as adapted by `middleware_kind` for
+    /// `device_class`, returning its dense id. Alloc-free for shapes
+    /// seen before: fields are hashed and compared borrowed, and the
+    /// owned [`ContentKey`] is only built on first sight.
+    pub fn intern(&mut self, req: &MobileRequest, device_class: &str, middleware_kind: &str) -> u64 {
+        let hash = hash_fields(&req.url, device_class, middleware_kind, &req.cookies);
+        self.interner.intern_with(
+            hash,
+            |k| {
+                k.url == req.url
+                    && k.device_class == device_class
+                    && k.middleware_kind == middleware_kind
+                    && k.cookies == req.cookies
+            },
+            || ContentKey::for_request(req, device_class, middleware_kind),
+        )
     }
 
-    /// Stores an exchange (call [`ContentCache::cacheable_request`] and
+    /// Interns an already-built [`ContentKey`] (equivalent to
+    /// [`ContentCache::intern`] on the request it was built from).
+    pub fn intern_key(&mut self, key: &ContentKey) -> u64 {
+        let hash = hash_fields(&key.url, &key.device_class, &key.middleware_kind, &key.cookies);
+        self.interner
+            .intern_with(hash, |k| k == key, || key.clone())
+    }
+
+    /// Returns the re-served exchange when a fresh entry exists for the
+    /// interned key `id` at `now_ns`: same payload and air-side byte
+    /// counts, but zero wired bytes, zero host CPU, no extra round
+    /// trips, and only [`LOOKUP_COST`] of middleware CPU. One probe
+    /// serves hit, miss, and expiry alike.
+    pub fn lookup(&mut self, id: u64, now_ns: u64) -> Option<Exchange> {
+        match self.entries.entry(id) {
+            MapEntry::Occupied(mut occ) => {
+                if now_ns.saturating_sub(occ.get().stored_ns) < self.ttl_ns {
+                    self.hits += 1;
+                    self.tick += 1;
+                    occ.get_mut().last_used = self.tick;
+                    let mut ex = occ.get().exchange.clone();
+                    ex.wired_bytes = (0, 0);
+                    ex.host_cpu = SimDuration::ZERO;
+                    ex.middleware_cpu = LOOKUP_COST;
+                    ex.extra_round_trips = 0;
+                    Some(ex)
+                } else {
+                    let old = occ.remove();
+                    self.bytes -= old.bytes;
+                    self.misses += 1;
+                    None
+                }
+            }
+            MapEntry::Vacant(_) => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an exchange under the interned key `id` (call
+    /// [`ContentCache::cacheable_request`] and
     /// [`ContentCache::cacheable_exchange`] first), evicting LRU entries
     /// until the byte budget holds. Returns the number of evictions.
-    pub fn store(&mut self, key: ContentKey, ex: &Exchange, now_ns: u64) -> usize {
-        let bytes = key.url.len() + ex.content.len();
+    pub fn store(&mut self, id: u64, ex: &Exchange, now_ns: u64) -> usize {
+        let bytes = self.interner.resolve(id).url.len() + ex.content.len();
         if bytes > self.byte_budget {
             return 0;
         }
-        if let Some(old) = self.entries.remove(&key) {
+        if let Some(old) = self.entries.remove(&id) {
             self.bytes -= old.bytes;
         }
         self.tick += 1;
         self.entries.insert(
-            key,
+            id,
             Entry {
                 exchange: ex.clone(),
                 stored_ns: now_ns,
@@ -168,7 +221,7 @@ impl ContentCache {
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
+                .map(|(id, _)| *id)
                 .expect("over budget implies non-empty");
             let old = self.entries.remove(&victim).expect("victim exists");
             self.bytes -= old.bytes;
@@ -177,7 +230,8 @@ impl ContentCache {
         evicted
     }
 
-    /// Drops every entry (e.g. when the gateway is reconfigured).
+    /// Drops every entry (e.g. when the gateway is reconfigured). Key
+    /// ids survive — re-admissions after a flush reuse them.
     pub fn flush(&mut self) {
         self.entries.clear();
         self.bytes = 0;
@@ -196,6 +250,11 @@ impl ContentCache {
     /// Payload + key bytes currently held.
     pub fn bytes(&self) -> usize {
         self.bytes
+    }
+
+    /// Distinct keys ever interned (live or evicted).
+    pub fn interned_keys(&self) -> usize {
+        self.interner.len()
     }
 
     /// Fresh lookups answered from the cache since construction.
@@ -237,6 +296,7 @@ mod tests {
             host_cpu: SimDuration::from_micros(2_500),
             extra_round_trips: 1,
             set_cookies: Vec::new(),
+            deck: None,
         }
     }
 
@@ -248,8 +308,9 @@ mod tests {
     fn hits_zero_the_wired_side_and_keep_the_air_side() {
         let mut cache = ContentCache::new(1_000, 10_000);
         let ex = exchange("deck");
-        cache.store(key("/shop"), &ex, 0);
-        let hit = cache.lookup(&key("/shop"), 500).expect("fresh hit");
+        let id = cache.intern_key(&key("/shop"));
+        cache.store(id, &ex, 0);
+        let hit = cache.lookup(id, 500).expect("fresh hit");
         assert_eq!(hit.content, ex.content);
         assert_eq!(hit.downlink_bytes, ex.downlink_bytes);
         assert_eq!(hit.uplink_bytes, ex.uplink_bytes);
@@ -258,21 +319,36 @@ mod tests {
         assert_eq!(hit.middleware_cpu, LOOKUP_COST);
         assert_eq!(hit.extra_round_trips, 0);
         // Expired afterwards.
-        assert!(cache.lookup(&key("/shop"), 1_500).is_none());
+        assert!(cache.lookup(id, 1_500).is_none());
         assert!(cache.is_empty());
     }
 
     #[test]
     fn device_class_and_kind_partition_the_key_space() {
         let mut cache = ContentCache::new(u64::MAX / 2, 10_000);
-        cache.store(key("/shop"), &exchange("wap deck"), 0);
-        let imode = ContentKey::for_request(&MobileRequest::get("/shop"), "iPAQ", "i-mode");
-        assert!(cache.lookup(&imode, 1).is_none());
-        let other_device = ContentKey::for_request(&MobileRequest::get("/shop"), "P503i", "WAP");
-        assert!(cache.lookup(&other_device, 1).is_none());
-        let cookied =
-            ContentKey::for_request(&MobileRequest::get("/shop").with_cookie("sid", "s"), "iPAQ", "WAP");
-        assert!(cache.lookup(&cookied, 1).is_none());
+        let id = cache.intern_key(&key("/shop"));
+        cache.store(id, &exchange("wap deck"), 0);
+        let imode = cache.intern(&MobileRequest::get("/shop"), "iPAQ", "i-mode");
+        assert!(cache.lookup(imode, 1).is_none());
+        let other_device = cache.intern(&MobileRequest::get("/shop"), "P503i", "WAP");
+        assert!(cache.lookup(other_device, 1).is_none());
+        let cookied = cache.intern(
+            &MobileRequest::get("/shop").with_cookie("sid", "s"),
+            "iPAQ",
+            "WAP",
+        );
+        assert!(cache.lookup(cookied, 1).is_none());
+        assert_eq!(cache.interned_keys(), 4, "four distinct shapes");
+    }
+
+    #[test]
+    fn interned_request_ids_match_built_key_ids() {
+        let mut cache = ContentCache::new(u64::MAX / 2, 10_000);
+        let req = MobileRequest::get("/shop?x=1").with_cookie("sid", "s");
+        let by_req = cache.intern(&req, "iPAQ", "WAP");
+        let by_key = cache.intern_key(&ContentKey::for_request(&req, "iPAQ", "WAP"));
+        assert_eq!(by_req, by_key);
+        assert_eq!(cache.interned_keys(), 1);
     }
 
     #[test]
@@ -299,13 +375,15 @@ mod tests {
     #[test]
     fn lru_eviction_bounds_the_budget() {
         let mut cache = ContentCache::new(u64::MAX / 2, 24);
-        cache.store(key("/a"), &exchange("0123456789"), 0);
-        cache.store(key("/b"), &exchange("0123456789"), 1);
-        assert!(cache.lookup(&key("/a"), 2).is_some());
-        let evicted = cache.store(key("/c"), &exchange("0123456789"), 3);
+        let (a, b) = (cache.intern_key(&key("/a")), cache.intern_key(&key("/b")));
+        cache.store(a, &exchange("0123456789"), 0);
+        cache.store(b, &exchange("0123456789"), 1);
+        assert!(cache.lookup(a, 2).is_some());
+        let c = cache.intern_key(&key("/c"));
+        let evicted = cache.store(c, &exchange("0123456789"), 3);
         assert_eq!(evicted, 1);
-        assert!(cache.lookup(&key("/b"), 4).is_none());
-        assert!(cache.lookup(&key("/a"), 4).is_some());
+        assert!(cache.lookup(b, 4).is_none());
+        assert!(cache.lookup(a, 4).is_some());
         assert!(cache.bytes() <= 24);
     }
 }

@@ -13,13 +13,16 @@
 //! session-setup round trip, ever). Those are exactly the knobs the
 //! Table 3 experiment turns.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
-use hostsite::{ContentFormat, HostComputer};
+use hostsite::{ContentFormat, HostComputer, HttpResponse};
 use markup::transcode::html_to_chtml;
 use markup::{chtml, html};
 use simnet::stats::Counter;
 use simnet::SimDuration;
 
+use crate::memo::{SharedTranscodeMemo, TranscodeMode, TranscodedDeck};
 use crate::{AirFormat, Exchange, Middleware, MobileRequest};
 
 /// Packet-header framing per i-mode response on the air.
@@ -28,6 +31,8 @@ pub const IMODE_RESPONSE_OVERHEAD: usize = 16;
 /// The i-mode service middleware.
 #[derive(Debug, Default)]
 pub struct IModeService {
+    /// Shard-local memo of pure filter results (fleet engine only).
+    memo: Option<SharedTranscodeMemo>,
     /// Exchanges performed.
     pub requests: Counter,
     /// Pages that arrived as HTML and were filtered to cHTML.
@@ -46,11 +51,53 @@ impl IModeService {
         SimDuration::from_micros(50)
             + SimDuration::from_micros(30) * (html_bytes as u32).div_ceil(1024)
     }
+
+    /// The pure HTML → cHTML filter: everything derived from the body
+    /// alone. Returns the air payload and whether the page needed
+    /// filtering (already-compact pages pass through unchanged).
+    ///
+    /// When the host attached the body's parsed tree
+    /// (`HttpResponse::page`), the parse is skipped — and a page that
+    /// validates as cHTML passes through as the body's own buffer (the
+    /// body is defined to be the tree's serialised form), with the tree
+    /// handed onward so the station browser can skip its parse too.
+    fn filter(resp: &HttpResponse) -> (Bytes, bool, Option<Arc<markup::Element>>) {
+        if let Some(doc) = resp.page.as_ref() {
+            return if chtml::validate(doc).is_ok() {
+                (resp.body.as_bytes_buf(), false, Some(Arc::clone(doc)))
+            } else {
+                (Bytes::from(html_to_chtml(doc).to_markup()), true, None)
+            };
+        }
+        match html::parse_html(resp.body.as_str()) {
+            Ok(doc) => {
+                if chtml::validate(&doc).is_ok() {
+                    // A parsed tree re-serialises to markup that parses
+                    // back equal, so the tree can ride along.
+                    let markup = doc.to_markup();
+                    (Bytes::from(markup), false, Some(Arc::new(doc)))
+                } else {
+                    (Bytes::from(html_to_chtml(&doc).to_markup()), true, None)
+                }
+            }
+            Err(_) => (
+                Bytes::from(
+                    html::page("Error", vec![html::p("content unavailable").into()]).to_markup(),
+                ),
+                false,
+                None,
+            ),
+        }
+    }
 }
 
 impl Middleware for IModeService {
     fn name(&self) -> &str {
         "i-mode"
+    }
+
+    fn attach_transcode_memo(&mut self, memo: SharedTranscodeMemo) {
+        self.memo = Some(memo);
     }
 
     fn exchange(&mut self, host: &mut HostComputer, req: &MobileRequest) -> Exchange {
@@ -64,30 +111,43 @@ impl Middleware for IModeService {
         let wired_down = resp.wire_size();
 
         // Serve cHTML: pass through if already compact, filter if not.
-        let (content, middleware_cpu) = if resp.format == ContentFormat::Chtml {
-            (Bytes::from(resp.body.clone()), SimDuration::from_micros(20))
+        // The filter is pure in the body, so a shard memo can replay it.
+        let (content, middleware_cpu, deck) = if resp.format == ContentFormat::Chtml {
+            // Pass-through shares the response's refcounted buffer (and
+            // the host's page tree, when it attached one).
+            (
+                resp.body.as_bytes_buf(),
+                SimDuration::from_micros(20),
+                resp.page.clone(),
+            )
         } else {
-            match html::parse_html(&resp.body) {
-                Ok(doc) => {
-                    let compact = if chtml::validate(&doc).is_ok() {
-                        doc
-                    } else {
-                        self.filtered_pages.incr();
-                        html_to_chtml(&doc)
-                    };
-                    (
-                        Bytes::from(compact.to_markup()),
-                        Self::filter_cost(resp.body.len()),
-                    )
+            let (content, filtered, deck) = match &self.memo {
+                Some(memo) => {
+                    let body_buf = resp.body.as_bytes_buf();
+                    let mut memo = memo.borrow_mut();
+                    match memo.get(TranscodeMode::Chtml, &body_buf) {
+                        Some(deck) => (deck.content, deck.flagged, deck.deck),
+                        None => {
+                            let (content, filtered, deck) = Self::filter(&resp);
+                            memo.insert(
+                                TranscodeMode::Chtml,
+                                body_buf,
+                                TranscodedDeck {
+                                    content: content.clone(),
+                                    flagged: filtered,
+                                    deck: deck.clone(),
+                                },
+                            );
+                            (content, filtered, deck)
+                        }
+                    }
                 }
-                Err(_) => (
-                    Bytes::from(
-                        html::page("Error", vec![html::p("content unavailable").into()])
-                            .to_markup(),
-                    ),
-                    Self::filter_cost(resp.body.len()),
-                ),
+                None => Self::filter(&resp),
+            };
+            if filtered {
+                self.filtered_pages.incr();
             }
+            (content, Self::filter_cost(resp.body.len()), deck)
         };
         let downlink_bytes = IMODE_RESPONSE_OVERHEAD + content.len();
         obs::metrics::incr("middleware.exchanges");
@@ -106,6 +166,7 @@ impl Middleware for IModeService {
             // Always-on packet service: no session setup, ever (§5.1).
             extra_round_trips: 0,
             set_cookies: resp.set_cookies.into_iter().collect(),
+            deck,
         }
     }
 }

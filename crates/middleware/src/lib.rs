@@ -25,6 +25,7 @@
 
 pub mod cache;
 pub mod imode;
+pub mod memo;
 pub mod wap;
 
 use bytes::Bytes;
@@ -32,6 +33,7 @@ use simnet::SimDuration;
 
 pub use cache::{ContentCache, ContentKey};
 pub use imode::IModeService;
+pub use memo::{SharedTranscodeMemo, TranscodeMemo};
 pub use wap::WapGateway;
 
 use hostsite::{ContentFormat, HostComputer, HttpRequest, Status};
@@ -139,6 +141,12 @@ pub struct Exchange {
     pub extra_round_trips: u32,
     /// Cookies the host set (to be stored in the station's jar).
     pub set_cookies: Vec<(String, String)>,
+    /// The parsed form of `content`, when the middleware has it in hand
+    /// (the WAP gateway builds the deck it then WBXML-encodes; i-mode's
+    /// pass-through keeps the host's page tree). Invariant: when set,
+    /// decoding/parsing `content` yields exactly this tree, so the
+    /// station browser may render from it without re-parsing.
+    pub deck: Option<std::sync::Arc<markup::Element>>,
 }
 
 /// The software layer between mobile stations and host computers.
@@ -149,6 +157,13 @@ pub trait Middleware {
     /// Performs one request against `host` on behalf of a station,
     /// translating the request in and adapting the content out.
     fn exchange(&mut self, host: &mut HostComputer, req: &MobileRequest) -> Exchange;
+
+    /// Attaches a shard-local [`memo::TranscodeMemo`] so repeated bodies
+    /// skip re-translation. Translation is a pure function of the body,
+    /// so attaching (or not attaching) a memo never changes an exchange.
+    /// The default implementation ignores the memo — only middlewares
+    /// with a translation step benefit.
+    fn attach_transcode_memo(&mut self, _memo: SharedTranscodeMemo) {}
 }
 
 #[cfg(test)]

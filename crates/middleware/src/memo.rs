@@ -1,0 +1,209 @@
+//! The per-shard transcode memo — arena-style reuse of translation
+//! results across the users of one fleet shard.
+//!
+//! Every gateway translation (WAP's HTML → WML → WBXML chain, i-mode's
+//! HTML → cHTML filter) is a *pure function* of the exact response body
+//! and the translation mode: no clock, no randomness, no per-user
+//! state. A fleet shard builds a fresh world per user, so the same
+//! storefront page crosses the same gateway code millions of times —
+//! and re-parsing it every time is pure waste. The memo caches the
+//! translated deck keyed by `(mode, body bytes)`; hits hand back a
+//! refcounted [`Bytes`] clone of the deck built the first time.
+//!
+//! # Why determinism survives
+//!
+//! A hit returns byte-identical content to what a fresh translation
+//! would produce (the function is pure, and the key is the *entire*
+//! input), so a system with a memo attached executes bit-for-bit the
+//! same transactions as one without. Shards never share a memo across
+//! threads — each worker owns one via [`SharedTranscodeMemo`] — so the
+//! cross-thread digest gate of the F9 experiment is unaffected by
+//! population, shard layout, or hit order.
+//!
+//! # Bounded residency
+//!
+//! Distinct bodies stop being inserted once [`TranscodeMemo::capacity`]
+//! entries are held (workloads with per-user receipts would otherwise
+//! grow O(users)); the hot handful of shared pages is inserted first
+//! and stays for the shard's lifetime.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+/// Default bound on distinct translation inputs held per shard.
+pub const DEFAULT_MEMO_CAPACITY: usize = 512;
+
+/// The translation a gateway applied — part of the memo key, since the
+/// same HTML translates differently per target encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TranscodeMode {
+    /// WAP: HTML → WML → WBXML binary deck.
+    WmlBinary,
+    /// WAP ablation: HTML → textual WML deck.
+    WmlText,
+    /// i-mode: HTML → cHTML filter.
+    Chtml,
+}
+
+/// A memoised translation result.
+#[derive(Debug, Clone)]
+pub struct TranscodedDeck {
+    /// The over-the-air payload the translation produced.
+    pub content: Bytes,
+    /// Whether the translation took the gateway's flagged path (WAP: the
+    /// source HTML failed to parse and an error card was served; i-mode:
+    /// the page needed filtering). Replayed into the owning gateway's
+    /// counter on every hit, so counters stay identical with and without
+    /// the memo.
+    pub flagged: bool,
+    /// The parsed form of `content`, when the translation had it in
+    /// hand (see `Exchange::deck`). Hits replay the tree too, so the
+    /// station-side decode skip survives memoisation.
+    pub deck: Option<std::sync::Arc<markup::Element>>,
+}
+
+/// A bounded memo of pure translation results for one fleet shard.
+#[derive(Debug)]
+pub struct TranscodeMemo {
+    entries: HashMap<(TranscodeMode, Bytes), TranscodedDeck>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for TranscodeMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TranscodeMemo {
+    /// A memo bounded at [`DEFAULT_MEMO_CAPACITY`] distinct inputs.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_MEMO_CAPACITY)
+    }
+
+    /// A memo bounded at `capacity` distinct inputs.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TranscodeMemo {
+            entries: HashMap::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The bound on distinct inputs held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up the translation of `body` under `mode`. The returned
+    /// deck shares the stored allocation (a refcount bump).
+    pub fn get(&mut self, mode: TranscodeMode, body: &Bytes) -> Option<TranscodedDeck> {
+        // The tuple key needs an owned `Bytes`, which is only an Arc
+        // clone — the body bytes themselves are never copied.
+        match self.entries.get(&(mode, body.clone())) {
+            Some(deck) => {
+                self.hits += 1;
+                Some(deck.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a translation result. A no-op once the capacity bound is
+    /// reached, so per-user unique bodies cannot grow the memo O(users).
+    pub fn insert(&mut self, mode: TranscodeMode, body: Bytes, deck: TranscodedDeck) {
+        if self.entries.len() < self.capacity {
+            self.entries.insert((mode, body), deck);
+        }
+    }
+
+    /// Distinct inputs currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memo holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to translate.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// The handle a fleet shard passes to every gateway it builds: one memo,
+/// shared by refcount within the shard's thread, never across threads.
+pub type SharedTranscodeMemo = Rc<RefCell<TranscodeMemo>>;
+
+/// A fresh shard-local memo handle.
+pub fn shared_memo() -> SharedTranscodeMemo {
+    Rc::new(RefCell::new(TranscodeMemo::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn memo_round_trips_by_mode_and_body() {
+        let mut memo = TranscodeMemo::new();
+        let html = body("<html><body><p>x</p></body></html>");
+        assert!(memo.get(TranscodeMode::WmlBinary, &html).is_none());
+        memo.insert(
+            TranscodeMode::WmlBinary,
+            html.clone(),
+            TranscodedDeck {
+                content: body("deck"),
+                flagged: false,
+                deck: None,
+            },
+        );
+        let hit = memo.get(TranscodeMode::WmlBinary, &html).expect("hit");
+        assert_eq!(hit.content.as_ref(), b"deck");
+        assert!(!hit.flagged);
+        // Same body under a different mode is a distinct entry.
+        assert!(memo.get(TranscodeMode::Chtml, &html).is_none());
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_distinct_inserts() {
+        let mut memo = TranscodeMemo::with_capacity(2);
+        for i in 0..10 {
+            memo.insert(
+                TranscodeMode::WmlBinary,
+                body(&format!("page {i}")),
+                TranscodedDeck {
+                    content: body("d"),
+                    flagged: false,
+                    deck: None,
+                },
+            );
+        }
+        assert_eq!(memo.len(), 2, "inserts stop at the bound");
+        // The first two inputs stay resident.
+        assert!(memo.get(TranscodeMode::WmlBinary, &body("page 0")).is_some());
+        assert!(memo.get(TranscodeMode::WmlBinary, &body("page 9")).is_none());
+    }
+}

@@ -14,6 +14,8 @@
 //! and a session-setup round trip on first contact — WAP's side of the
 //! Table 3 trade-off.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use hostsite::{ContentFormat, HostComputer};
 use markup::transcode::{html_to_wml, WmlOptions};
@@ -21,6 +23,7 @@ use markup::{html, wbxml};
 use simnet::stats::Counter;
 use simnet::SimDuration;
 
+use crate::memo::{SharedTranscodeMemo, TranscodeMode, TranscodedDeck};
 use crate::{AirFormat, Exchange, Middleware, MobileRequest};
 
 /// WSP compact request framing overhead in bytes (transaction id, PDU
@@ -36,6 +39,8 @@ pub struct WapGateway {
     wml_options: WmlOptions,
     binary_encoding: bool,
     session_open: bool,
+    /// Shard-local memo of pure translation results (fleet engine only).
+    memo: Option<SharedTranscodeMemo>,
     /// Exchanges performed.
     pub requests: Counter,
     /// HTML documents that failed to parse (served as an error card).
@@ -55,6 +60,7 @@ impl WapGateway {
             wml_options,
             binary_encoding: true,
             session_open: false,
+            memo: None,
             requests: Counter::new(),
             translation_failures: Counter::new(),
         }
@@ -75,11 +81,46 @@ impl WapGateway {
         SimDuration::from_micros(300)
             + SimDuration::from_micros(150) * (html_bytes as u32).div_ceil(1024)
     }
+
+    /// The pure HTML → WML → (WBXML | text) translation: everything the
+    /// gateway derives from the response body alone. When the host
+    /// attached the body's parsed tree (`HttpResponse::page`), the parse
+    /// step is skipped — the tree is defined to round-trip to the same
+    /// document. Returns the air payload, whether the source failed to
+    /// parse (error card), and — on the binary path, where WBXML
+    /// decoding is the exact inverse of encoding — the deck tree itself,
+    /// so the station browser can skip the decode.
+    fn translate(
+        &self,
+        html: &str,
+        page: Option<&markup::Element>,
+    ) -> (Bytes, bool, Option<Arc<markup::Element>>) {
+        let (deck, failed) = match page {
+            Some(doc) => (html_to_wml(doc, &self.wml_options), false),
+            None => match html::parse_html(html) {
+                Ok(doc) => (html_to_wml(&doc, &self.wml_options), false),
+                Err(_) => {
+                    let fallback = html::page("Error", vec![html::p("content unavailable").into()]);
+                    (html_to_wml(&fallback, &self.wml_options), true)
+                }
+            },
+        };
+        if self.binary_encoding {
+            let content = Bytes::from(wbxml::encode(&deck));
+            (content, failed, Some(Arc::new(deck)))
+        } else {
+            (Bytes::from(deck.to_markup()), failed, None)
+        }
+    }
 }
 
 impl Middleware for WapGateway {
     fn name(&self) -> &str {
         "WAP"
+    }
+
+    fn attach_transcode_memo(&mut self, memo: SharedTranscodeMemo) {
+        self.memo = Some(memo);
     }
 
     fn exchange(&mut self, host: &mut HostComputer, req: &MobileRequest) -> Exchange {
@@ -112,20 +153,46 @@ impl Middleware for WapGateway {
         let (resp, host_cpu) = host.process(http_req);
         let wired_down = resp.wire_size();
 
-        // Translate HTML → WML → WBXML.
+        // Translate HTML → WML → WBXML. The translation is pure in the
+        // body, so a shard memo can replay it; hits share the deck
+        // allocation and replay the failure flag into the counter.
         let html_len = resp.body.len();
-        let deck = match html::parse_html(&resp.body) {
-            Ok(doc) => html_to_wml(&doc, &self.wml_options),
-            Err(_) => {
-                self.translation_failures.incr();
-                let fallback = html::page("Error", vec![html::p("content unavailable").into()]);
-                html_to_wml(&fallback, &self.wml_options)
-            }
-        };
-        let (content, format) = if self.binary_encoding {
-            (Bytes::from(wbxml::encode(&deck)), AirFormat::WmlBinary)
+        let mode = if self.binary_encoding {
+            TranscodeMode::WmlBinary
         } else {
-            (Bytes::from(deck.to_markup()), AirFormat::WmlText)
+            TranscodeMode::WmlText
+        };
+        let (content, failed, deck) = match &self.memo {
+            Some(memo) => {
+                let body_buf = resp.body.as_bytes_buf();
+                let mut memo = memo.borrow_mut();
+                match memo.get(mode, &body_buf) {
+                    Some(deck) => (deck.content, deck.flagged, deck.deck),
+                    None => {
+                        let (content, failed, deck) =
+                            self.translate(resp.body.as_str(), resp.page.as_deref());
+                        memo.insert(
+                            mode,
+                            body_buf,
+                            TranscodedDeck {
+                                content: content.clone(),
+                                flagged: failed,
+                                deck: deck.clone(),
+                            },
+                        );
+                        (content, failed, deck)
+                    }
+                }
+            }
+            None => self.translate(resp.body.as_str(), resp.page.as_deref()),
+        };
+        if failed {
+            self.translation_failures.incr();
+        }
+        let format = if self.binary_encoding {
+            AirFormat::WmlBinary
+        } else {
+            AirFormat::WmlText
         };
         let downlink_bytes = WSP_RESPONSE_OVERHEAD + content.len();
         obs::metrics::incr("middleware.exchanges");
@@ -143,6 +210,7 @@ impl Middleware for WapGateway {
             host_cpu,
             extra_round_trips,
             set_cookies: resp.set_cookies.into_iter().collect(),
+            deck,
         }
     }
 }

@@ -54,6 +54,7 @@ unsafe fn drop_boxed<F>(p: *mut u8) {
 }
 
 impl RawEvent {
+    #[inline]
     pub(crate) fn new<F: FnOnce(&mut Simulator) + 'static>(f: F) -> Self {
         let mut buf = [MaybeUninit::<usize>::uninit(); INLINE_WORDS];
         if size_of::<F>() <= INLINE_BYTES && align_of::<F>() <= align_of::<usize>() {
@@ -80,6 +81,7 @@ impl RawEvent {
     }
 
     /// Consumes the event and runs the stored closure.
+    #[inline]
     pub(crate) fn invoke(self, sim: &mut Simulator) {
         // The closure is moved out by `call`; suppress the Drop impl so the
         // capture is not dropped twice.
@@ -112,35 +114,73 @@ pub struct EventKey {
     pub(crate) gen: u32,
 }
 
-struct Slot {
-    gen: u32,
-    event: Option<RawEvent>,
+/// Sentinel for "no free slot" in the intrusive free list.
+const FREE_NONE: u32 = u32::MAX;
+
+/// A slot's payload: a live event when the slot is occupied (odd
+/// generation), or the intrusive free-list link when vacant (even
+/// generation). The generation's low bit *is* the occupancy flag, so no
+/// separate discriminant or free vector is touched on the hot path.
+union SlotBody {
+    event: ManuallyDrop<RawEvent>,
+    next_free: u32,
 }
 
-/// Generation-tagged slab of pending events with free-list slot reuse.
-#[derive(Default)]
+/// One cache line per slot: the 56-byte payload would otherwise straddle
+/// lines every other slot, doubling the memory traffic of the hot
+/// schedule→fire cycle.
+#[repr(align(64))]
+struct Slot {
+    /// Odd ⇒ occupied, even ⇒ vacant. Bumped on every transition, so a
+    /// key whose generation no longer matches is stale.
+    gen: u32,
+    body: SlotBody,
+}
+
+/// Generation-tagged slab of pending events with intrusive free-list slot
+/// reuse: the schedule→fire cycle touches exactly one slot (plus the free
+/// head), with no side allocations.
 pub(crate) struct EventArena {
     slots: Vec<Slot>,
-    free: Vec<u32>,
+    /// Head of the intrusive free list (`FREE_NONE` when empty).
+    free_head: u32,
     live: usize,
+}
+
+impl Default for EventArena {
+    fn default() -> Self {
+        EventArena {
+            slots: Vec::new(),
+            free_head: FREE_NONE,
+            live: 0,
+        }
+    }
 }
 
 impl EventArena {
     /// Stores an event, returning its `(slot, generation)` address.
+    #[inline]
     pub(crate) fn insert(&mut self, ev: RawEvent) -> (u32, u32) {
         self.live += 1;
-        if let Some(idx) = self.free.pop() {
+        if self.free_head != FREE_NONE {
+            let idx = self.free_head;
             let s = &mut self.slots[idx as usize];
-            debug_assert!(s.event.is_none());
-            s.event = Some(ev);
+            debug_assert_eq!(s.gen & 1, 0, "free-listed slot must be vacant");
+            // SAFETY: an even generation means the slot is vacant, so the
+            // body holds the free-list link written when it was vacated.
+            self.free_head = unsafe { s.body.next_free };
+            s.gen = s.gen.wrapping_add(1); // now odd: occupied
+            s.body.event = ManuallyDrop::new(ev);
             (idx, s.gen)
         } else {
             let idx = u32::try_from(self.slots.len()).expect("more than 2^32 pending events");
             self.slots.push(Slot {
-                gen: 0,
-                event: Some(ev),
+                gen: 1,
+                body: SlotBody {
+                    event: ManuallyDrop::new(ev),
+                },
             });
-            (idx, 0)
+            (idx, 1)
         }
     }
 
@@ -149,14 +189,21 @@ impl EventArena {
     /// Returns `None` when the address is stale (already fired or
     /// cancelled); the generation bump on success makes any outstanding
     /// copies of the address stale in turn.
+    #[inline]
     pub(crate) fn take(&mut self, slot: u32, gen: u32) -> Option<RawEvent> {
         let s = self.slots.get_mut(slot as usize)?;
+        // Handed-out generations are always odd, so a vacant slot (even
+        // generation) can never match.
         if s.gen != gen {
             return None;
         }
-        let ev = s.event.take()?;
-        s.gen = s.gen.wrapping_add(1);
-        self.free.push(slot);
+        // SAFETY: the generation matched an occupied slot, so the body
+        // holds the live event written by `insert`; it is read exactly
+        // once because the generation bump below invalidates the address.
+        let ev = unsafe { ManuallyDrop::take(&mut s.body.event) };
+        s.gen = s.gen.wrapping_add(1); // now even: vacant
+        s.body.next_free = self.free_head;
+        self.free_head = slot;
         self.live -= 1;
         Some(ev)
     }
@@ -170,5 +217,17 @@ impl EventArena {
     #[cfg(test)]
     pub(crate) fn slots_allocated(&self) -> usize {
         self.slots.len()
+    }
+}
+
+impl Drop for EventArena {
+    fn drop(&mut self) {
+        for s in &mut self.slots {
+            if s.gen & 1 == 1 {
+                // SAFETY: odd generation ⇒ the body holds a live event
+                // that was never fired or cancelled; drop its capture.
+                unsafe { ManuallyDrop::drop(&mut s.body.event) }
+            }
+        }
     }
 }

@@ -87,13 +87,16 @@ impl Simulator {
         self.arena.live()
     }
 
+    #[inline]
     fn enqueue(&mut self, at: SimTime, ev: RawEvent) -> EventKey {
-        assert!(
-            at >= self.now,
-            "cannot schedule into the past: now={}, requested={}",
-            self.now,
-            at
-        );
+        #[cold]
+        #[inline(never)]
+        fn past_panic(now: SimTime, at: SimTime) -> ! {
+            panic!("cannot schedule into the past: now={now}, requested={at}");
+        }
+        if at < self.now {
+            past_panic(self.now, at);
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         let (slot, gen) = self.arena.insert(ev);
@@ -157,20 +160,19 @@ impl Simulator {
     /// Runs a single event, advancing the clock to its firing time.
     ///
     /// Returns `false` when the queue is empty or the horizon/stop flag
-    /// prevents further progress. The horizon check peeks without popping,
-    /// so hitting a `run_until` boundary leaves the queue untouched.
+    /// prevents further progress. An entry past the horizon is never
+    /// removed, so hitting a `run_until` boundary leaves the queue
+    /// untouched.
     pub fn step(&mut self) -> bool {
         if self.stopped {
             return false;
         }
         loop {
-            let Some(entry) = self.wheel.peek() else {
+            // `pop_due` leaves an entry past the horizon queued, so hitting
+            // a `run_until` boundary never disturbs the queue.
+            let Some(entry) = self.wheel.pop_due(self.horizon) else {
                 return false;
             };
-            if entry.at > self.horizon {
-                return false;
-            }
-            self.wheel.pop();
             // A stale generation means the event was cancelled; skip it.
             let Some(ev) = self.arena.take(entry.slot, entry.gen) else {
                 continue;

@@ -1,4 +1,5 @@
-//! Hierarchical timer wheel with exact `(time, seq)` ordering.
+//! Hierarchical timer wheel with exact `(time, seq)` ordering and
+//! batched slot dispatch.
 //!
 //! The scheduler's priority queue is dominated by short timers — link
 //! serialisation/propagation events in the microsecond–millisecond range and
@@ -14,12 +15,25 @@
 //! * **overflow** — a compact binary heap for anything further out
 //!   (e.g. backed-off TCP RTOs, think times).
 //!
-//! A small *ready heap* ordered by `(time, seq)` holds entries whose tick
-//! has been reached. Because every wheel/overflow entry is strictly later
-//! than `cursor` and every ready entry is at or before it, the ready heap's
-//! minimum is always the global minimum — `peek` is exact and cheap, and the
-//! engine's deterministic tie-break (insertion `seq` within the same
-//! nanosecond) is preserved bit-for-bit.
+//! Entries whose tick has been reached live in one of two ready
+//! structures:
+//!
+//! * the **batch** — a whole level-0 slot drained at once and sorted
+//!   **once** (descending by `(time, seq)`), so dispatch pops the global
+//!   minimum from the tail in `O(1)` instead of paying a heap sift per
+//!   event;
+//! * the **spill** — a small min-heap for entries that arrive *inside* the
+//!   current tick (an event firing from the batch schedules a sub-tick
+//!   follow-up, or a cascade re-files an entry at the cursor tick). These
+//!   are rare relative to slot traffic and keep their `O(log s)` cost on a
+//!   heap that holds only same-tick stragglers, never the whole slot.
+//!
+//! Dispatch compares the batch tail with the spill top and takes the
+//! smaller, so exact `(time, seq)` order — including the engine's
+//! deterministic insertion-`seq` tie-break — is preserved bit-for-bit.
+//! Because every wheel/overflow entry is strictly later than `cursor` and
+//! every batch/spill entry is at or before it, that minimum is always the
+//! global minimum.
 //!
 //! Cascading: when the cursor crosses a 256-tick block boundary the matching
 //! level-1 bucket is re-filed into level 0, and overflow entries within the
@@ -59,19 +73,25 @@ pub(crate) struct Entry {
     pub gen: u32,
 }
 
-/// Two-level timer wheel + overflow heap + ready heap.
+/// Two-level timer wheel + overflow heap + batched ready structures.
 pub(crate) struct TimerWheel {
-    /// Entries whose tick has been reached, ordered by `(at, seq)`.
-    ready: BinaryHeap<Reverse<Entry>>,
+    /// The drained level-0 slot, sorted **descending** by `(at, seq)` so
+    /// the earliest entry is at the tail and dispatch is a plain
+    /// `Vec::pop`.
+    batch: Vec<Entry>,
+    /// Same-tick stragglers: entries filed at or before the cursor tick
+    /// while the batch is live (re-entrant sub-tick scheduling, cascade
+    /// re-files landing on the cursor tick).
+    spill: BinaryHeap<Reverse<Entry>>,
     level0: Vec<Vec<Entry>>,
     level1: Vec<Vec<Entry>>,
     count0: usize,
     count1: usize,
     /// Current tick: every entry in the wheels/overflow has tick > cursor,
-    /// every entry in `ready` has tick <= cursor.
+    /// every entry in `batch`/`spill` has tick <= cursor.
     cursor: u64,
     overflow: BinaryHeap<Reverse<Entry>>,
-    /// Total entries across ready + wheels + overflow.
+    /// Total entries across batch + spill + wheels + overflow.
     len: usize,
     /// Recycled drain buffer so cascades don't allocate.
     scratch: Vec<Entry>,
@@ -80,7 +100,8 @@ pub(crate) struct TimerWheel {
 impl TimerWheel {
     pub(crate) fn new() -> Self {
         TimerWheel {
-            ready: BinaryHeap::new(),
+            batch: Vec::new(),
+            spill: BinaryHeap::new(),
             level0: (0..SLOTS).map(|_| Vec::new()).collect(),
             level1: (0..SLOTS).map(|_| Vec::new()).collect(),
             count0: 0,
@@ -92,21 +113,39 @@ impl TimerWheel {
         }
     }
 
+    #[inline]
     pub(crate) fn push(&mut self, e: Entry) {
         self.len += 1;
         self.file(e);
     }
 
-    /// Earliest entry by `(at, seq)` without removing it.
-    pub(crate) fn peek(&mut self) -> Option<Entry> {
+    /// Removes and returns the earliest entry iff it fires at or before
+    /// `horizon`; a later entry stays queued. Folds peek + pop into one
+    /// priming pass — the engine's dispatch loop calls this once per event.
+    #[inline]
+    pub(crate) fn pop_due(&mut self, horizon: SimTime) -> Option<Entry> {
         self.prime();
-        self.ready.peek().map(|r| r.0)
-    }
-
-    /// Removes and returns the earliest entry by `(at, seq)`.
-    pub(crate) fn pop(&mut self) -> Option<Entry> {
-        self.prime();
-        let e = self.ready.pop()?.0;
+        let from_spill = match (self.batch.last(), self.spill.peek()) {
+            (Some(b), Some(Reverse(s))) => s < b,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (None, None) => return None,
+        };
+        let e = if from_spill {
+            let e = self.spill.peek().expect("checked").0;
+            if e.at > horizon {
+                return None;
+            }
+            self.spill.pop();
+            e
+        } else {
+            let e = *self.batch.last().expect("checked");
+            if e.at > horizon {
+                return None;
+            }
+            self.batch.pop();
+            e
+        };
         self.len -= 1;
         Some(e)
     }
@@ -114,10 +153,11 @@ impl TimerWheel {
     /// Files an entry relative to the current cursor. Used for fresh pushes,
     /// cascades, and overflow drains alike, so ordering invariants hold on
     /// every path.
+    #[inline]
     fn file(&mut self, e: Entry) {
         let t = tick_of(e.at);
         if t <= self.cursor {
-            self.ready.push(Reverse(e));
+            self.spill.push(Reverse(e));
         } else {
             let delta = t - self.cursor;
             if delta < SLOTS as u64 {
@@ -132,10 +172,12 @@ impl TimerWheel {
         }
     }
 
-    /// Advances the cursor until the ready heap is non-empty (or the wheel
-    /// is empty). All bucket drains re-file through [`TimerWheel::file`].
+    /// Advances the cursor until a ready entry exists (or the wheel is
+    /// empty), batch-firing whole level-0 slots: each drained slot is taken
+    /// wholesale and sorted once, instead of paying a heap push per entry.
+    /// All bucket re-files go through [`TimerWheel::file`].
     fn prime(&mut self) {
-        while self.ready.is_empty() {
+        while self.batch.is_empty() && self.spill.is_empty() {
             if self.len == 0 {
                 return;
             }
@@ -160,14 +202,17 @@ impl TimerWheel {
             }
             let b = (self.cursor & MASK) as usize;
             if !self.level0[b].is_empty() {
-                let mut scratch = std::mem::take(&mut self.scratch);
-                std::mem::swap(&mut scratch, &mut self.level0[b]);
-                self.count0 -= scratch.len();
-                for e in scratch.drain(..) {
-                    debug_assert_eq!(tick_of(e.at), self.cursor);
-                    self.ready.push(Reverse(e));
+                self.count0 -= self.level0[b].len();
+                // Take the slot's storage wholesale (the batch is empty
+                // here, so the swap recycles its capacity into the slot)
+                // and pay ordering cost once for the whole slot.
+                std::mem::swap(&mut self.batch, &mut self.level0[b]);
+                if cfg!(debug_assertions) {
+                    for e in &self.batch {
+                        debug_assert_eq!(tick_of(e.at), self.cursor);
+                    }
                 }
-                self.scratch = scratch;
+                self.batch.sort_unstable_by(|a, b| b.cmp(a));
             }
         }
     }

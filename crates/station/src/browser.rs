@@ -10,6 +10,7 @@
 //! cookies are among the few client-side programs).
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use markup::dom::{Element, Node};
 use markup::{wbxml, wml};
@@ -18,7 +19,7 @@ use simnet::SimDuration;
 use crate::device::DeviceProfile;
 
 /// Content types the microbrowser can be handed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ContentKind {
     /// Textual WML deck.
     Wml,
@@ -87,6 +88,73 @@ impl RenderedPage {
     }
 }
 
+/// A rendered page plus its joined screen text — what the memoised
+/// render path hands out, so the per-transaction `lines.join` happens
+/// once per distinct payload instead of once per transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedView {
+    /// The rendered page.
+    pub page: RenderedPage,
+    /// `page.lines` joined with `\n`, computed once.
+    pub text: String,
+}
+
+impl RenderedView {
+    /// Builds the view for a freshly rendered page.
+    pub fn of(page: RenderedPage) -> Self {
+        let text = page.lines.join("\n");
+        RenderedView { page, text }
+    }
+}
+
+/// Default bound on distinct payloads a [`RenderMemo`] holds.
+pub const RENDER_MEMO_CAPACITY: usize = 512;
+
+/// A bounded, shard-local memo of pure render results.
+///
+/// [`Microbrowser::render`] is a pure function of `(content, kind)` and
+/// the device profile: no clock, no randomness, no cookie-jar reads. A
+/// fleet shard renders the same storefront deck once per user, so the
+/// memo replays the first render — an `Rc` bump instead of a parse,
+/// validate and layout pass. Hits are byte-identical to fresh renders,
+/// so attaching a memo never changes a transaction; shards never share
+/// one across threads, keeping fixed-seed runs digest-identical at any
+/// thread count. Inserts stop at the capacity bound so per-user unique
+/// decks (receipts) cannot grow it O(users).
+#[derive(Debug, Default)]
+pub struct RenderMemo {
+    entries: std::collections::HashMap<(ContentKind, bytes::Bytes), Rc<RenderedView>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RenderMemo {
+    /// A fresh, empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct payloads held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memo holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Renders that ran the full pipeline.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 /// A microbrowser bound to a device profile.
 #[derive(Debug)]
 pub struct Microbrowser {
@@ -128,6 +196,24 @@ impl Microbrowser {
     /// budget, [`BrowserError::BadMarkup`]/[`BrowserError::BadWml`] on
     /// malformed content.
     pub fn render(&self, content: &[u8], kind: ContentKind) -> Result<RenderedPage, BrowserError> {
+        self.render_prepared(content, kind, None)
+    }
+
+    /// [`Microbrowser::render`], optionally handed `content`'s already
+    /// parsed/decoded tree (`Exchange::deck`) so the decode step is
+    /// skipped. The caller guarantees the tree is exactly what decoding
+    /// `content` would produce; size budget, validation, layout and the
+    /// device cost model all still run against `content`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Microbrowser::render`] produces.
+    pub fn render_prepared(
+        &self,
+        content: &[u8],
+        kind: ContentKind,
+        prepared: Option<&Element>,
+    ) -> Result<RenderedPage, BrowserError> {
         let budget = self.device.content_budget_bytes();
         if content.len() > budget {
             return Err(BrowserError::TooLarge {
@@ -136,21 +222,29 @@ impl Microbrowser {
             });
         }
 
-        let root: Element = match kind {
-            ContentKind::WmlBinary => {
-                wbxml::decode(content).map_err(|e| BrowserError::BadMarkup(e.to_string()))?
-            }
-            ContentKind::Wml | ContentKind::Chtml | ContentKind::Html => {
-                let text = std::str::from_utf8(content)
-                    .map_err(|e| BrowserError::BadMarkup(e.to_string()))?;
-                markup::parse::parse(text).map_err(|e| BrowserError::BadMarkup(e.to_string()))?
+        let decoded: Element;
+        let root: &Element = match prepared {
+            Some(root) => root,
+            None => {
+                decoded = match kind {
+                    ContentKind::WmlBinary => {
+                        wbxml::decode(content).map_err(|e| BrowserError::BadMarkup(e.to_string()))?
+                    }
+                    ContentKind::Wml | ContentKind::Chtml | ContentKind::Html => {
+                        let text = std::str::from_utf8(content)
+                            .map_err(|e| BrowserError::BadMarkup(e.to_string()))?;
+                        markup::parse::parse(text)
+                            .map_err(|e| BrowserError::BadMarkup(e.to_string()))?
+                    }
+                };
+                &decoded
             }
         };
 
         let card_count = match kind {
             ContentKind::Wml | ContentKind::WmlBinary => {
-                wml::validate(&root).map_err(|e| BrowserError::BadWml(e.message))?;
-                wml::card_ids(&root).len()
+                wml::validate(root).map_err(|e| BrowserError::BadWml(e.message))?;
+                wml::card_ids(root).len()
             }
             _ => 1,
         };
@@ -170,8 +264,8 @@ impl Microbrowser {
 
         // For WML, render the first card; for pages, the body.
         let scope: &Element = match kind {
-            ContentKind::Wml | ContentKind::WmlBinary => root.find("card").unwrap_or(&root),
-            _ => root.find("body").unwrap_or(&root),
+            ContentKind::Wml | ContentKind::WmlBinary => root.find("card").unwrap_or(root),
+            _ => root.find("body").unwrap_or(root),
         };
 
         let mut links = Vec::new();
@@ -198,6 +292,35 @@ impl Microbrowser {
             card_count,
             cost,
         })
+    }
+
+    /// [`Microbrowser::render`] through a shard-local [`RenderMemo`]:
+    /// repeated payloads replay the first render (an `Rc` bump), new
+    /// ones run the full pipeline and are stored up to the memo bound.
+    /// Render errors are never memoised — they are rare and recomputing
+    /// keeps the memo a plain success cache.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Microbrowser::render`] produces.
+    pub fn render_memoized(
+        &self,
+        content: &bytes::Bytes,
+        kind: ContentKind,
+        prepared: Option<&Element>,
+        memo: &mut RenderMemo,
+    ) -> Result<Rc<RenderedView>, BrowserError> {
+        // The tuple key needs an owned `Bytes` — an Arc clone, no copy.
+        if let Some(view) = memo.entries.get(&(kind, content.clone())) {
+            memo.hits += 1;
+            return Ok(Rc::clone(view));
+        }
+        memo.misses += 1;
+        let view = Rc::new(RenderedView::of(self.render_prepared(content, kind, prepared)?));
+        if memo.entries.len() < RENDER_MEMO_CAPACITY {
+            memo.entries.insert((kind, content.clone()), Rc::clone(&view));
+        }
+        Ok(view)
     }
 }
 

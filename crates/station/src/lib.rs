@@ -25,7 +25,7 @@ pub mod os;
 pub mod storage;
 
 pub use battery::Battery;
-pub use browser::{BrowserError, Microbrowser, RenderedPage};
+pub use browser::{BrowserError, Microbrowser, RenderMemo, RenderedPage, RenderedView};
 pub use device::DeviceProfile;
 pub use os::MobileOs;
 pub use storage::{EmbeddedStore, FlatFileStore};

@@ -37,6 +37,15 @@
 #                      is byte-identical to the legacy per-user world,
 #                      and every sweep point is byte-identical at
 #                      1/2/4 threads;
+#   scale smoke      — the F9 fleet-scale experiment runs its quick
+#                      grid ({10k, 100k} users × {1, 4, 8} threads,
+#                      each cell in its own subprocess), emits
+#                      well-formed BENCH_scale.json with the full
+#                      schema, the merged-counter digest is identical
+#                      across thread counts at every population, and
+#                      peak RSS at 100k users stays under 128 MB (the
+#                      engine streams; memory must not scale with the
+#                      population);
 #   examples smoke   — the Scenario-driven examples run clean (their
 #                      internal asserts are the gate).
 #
@@ -46,7 +55,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf
 cargo bench --no-run
 cargo run --release -p bench --bin report -- --quick --f4
 python3 -m json.tool BENCH_engine.json > /dev/null
@@ -119,6 +128,32 @@ assert doc["thread_identity"], "shared world diverged across thread counts"
 print(f"contention gate: p99 {knee[0]['p99_ms']:.0f} -> {knee[-1]['p99_ms']:.0f} ms "
       f"across the knee; shared hit rate {growth[0]['hit_rate']:.2f} -> "
       f"{growth[-1]['hit_rate']:.2f}; both identities hold")
+PY
+cargo run --release -p bench --bin report -- --quick --f9
+python3 -m json.tool BENCH_scale.json > /dev/null
+python3 - <<'PY'
+import json
+doc = json.load(open("BENCH_scale.json"))
+assert doc["experiment"] == "F9_scale"
+assert doc["identical_across_threads"] is True
+pops, threads, cells = doc["populations"], doc["threads"], doc["cells"]
+assert len(cells) == len(pops) * len(threads), "F9 grid incomplete"
+for key in ("users", "threads", "wall_secs", "transactions", "tps",
+            "events", "events_per_sec", "peak_rss_bytes", "digest"):
+    assert all(key in c for c in cells), f"F9 cell missing {key}"
+for pop in pops:
+    digests = {c["digest"] for c in cells if c["users"] == pop}
+    assert len(digests) == 1, (
+        f"{pop} users: merged-counter digest diverges across threads: {digests}"
+    )
+for c in cells:
+    if c["users"] == 100_000 and c["peak_rss_bytes"] > 0:
+        assert c["peak_rss_bytes"] < 128 * 1024 * 1024, (
+            f"peak RSS {c['peak_rss_bytes']} exceeds the 128 MB budget at 100k users"
+        )
+best = max(c["events_per_sec"] for c in cells)
+print(f"scale gate: {len(cells)}-cell grid complete; digests identical at every "
+      f"population; 100k-user RSS under 128 MB; best {best:,.0f} events/s")
 PY
 cargo run -q --release --example quickstart > /dev/null
 cargo run -q --release --example secure_checkout > /dev/null

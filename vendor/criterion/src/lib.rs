@@ -166,6 +166,8 @@ mod tests {
         c.bench_function("trivial_add", |b| b.iter(|| black_box(1u64) + 1));
         let mut group = c.benchmark_group("grouped");
         group.sample_size(2);
+        // Owned name on purpose: pins the `impl Into<String>` signature.
+        #[allow(clippy::unnecessary_to_owned)]
         group.bench_function("string_name".to_string(), |b| b.iter(|| 2u64 * 2));
         group.finish();
     }

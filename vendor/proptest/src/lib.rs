@@ -316,6 +316,9 @@ mod tests {
     }
 
     #[test]
+    // The `proptest!` expansion places a `#[test]` fn inside this test
+    // body on purpose — it is invoked directly, never harvested.
+    #[allow(unnameable_test_items)]
     fn failing_property_reports_instead_of_passing() {
         let result = std::panic::catch_unwind(|| {
             proptest! {
