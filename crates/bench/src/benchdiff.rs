@@ -1,0 +1,573 @@
+//! The perf-regression harness: field-by-field diffs of `BENCH_*.json`
+//! artefact sets against committed baselines.
+//!
+//! Every experiment writes a JSON artefact, but until now nothing
+//! compared one run against another — the bench trajectory was a pile
+//! of unread files. This module diffs two artefacts (or two directories
+//! of them) with **per-metric policies**:
+//!
+//! * **Gated** metrics are the deterministic outputs of the fixed-seed
+//!   simulations — sim-time latencies, counts, rates, digests,
+//!   identities. They must match the baseline within a tolerance
+//!   (default 1%, covering decimal formatting) on any machine, so a
+//!   drift is a real behaviour change and fails the diff.
+//! * **Informational** metrics are wall-clock measurements (wall
+//!   seconds, events/s, tps, overhead percentages, RSS, thread counts).
+//!   They vary across machines and runs, so they are reported in the
+//!   delta table but never gate.
+//!
+//! The output is a markdown delta table; the exit status is the gate.
+//! `scripts/tier1.sh` runs the `benchdiff` bin against
+//! `bench/baselines/*.json` on every PR, so the perf trajectory is
+//! recorded — and regressions in deterministic behaviour are caught —
+//! from this commit forward.
+//!
+//! The parser below is a deliberately tiny recursive-descent JSON
+//! reader: the artefacts are hand-emitted by the experiments, the
+//! workspace vendors no serde, and rejecting exotic JSON loudly is a
+//! feature in a gate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON scalar at a flattened path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string value.
+    Str(String),
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Null => write!(f, "null"),
+            Scalar::Bool(b) => write!(f, "{b}"),
+            Scalar::Num(n) => write!(f, "{n}"),
+            Scalar::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != c {
+            return Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                c as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("short \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Copy a run of plain bytes in one go.
+                    let start = self.pos;
+                    while !matches!(self.bytes.get(self.pos), None | Some(b'"' | b'\\')) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    /// Parses one value, appending `(path, scalar)` pairs for every
+    /// scalar leaf under `path` (objects use `.key`, arrays `[i]`).
+    fn value(&mut self, path: &str, out: &mut BTreeMap<String, Scalar>) -> Result<(), String> {
+        match self.peek()? {
+            b'{' => {
+                self.pos += 1;
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    let sub = if path.is_empty() {
+                        key
+                    } else {
+                        format!("{path}.{key}")
+                    };
+                    self.value(&sub, out)?;
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("expected , or }} found {:?}", other as char)),
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                let mut i = 0usize;
+                loop {
+                    self.value(&format!("{path}[{i}]"), out)?;
+                    i += 1;
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("expected , or ] found {:?}", other as char)),
+                    }
+                }
+            }
+            b'"' => {
+                let s = self.string()?;
+                out.insert(path.to_owned(), Scalar::Str(s));
+                Ok(())
+            }
+            b't' => {
+                self.literal("true")?;
+                out.insert(path.to_owned(), Scalar::Bool(true));
+                Ok(())
+            }
+            b'f' => {
+                self.literal("false")?;
+                out.insert(path.to_owned(), Scalar::Bool(false));
+                Ok(())
+            }
+            b'n' => {
+                self.literal("null")?;
+                out.insert(path.to_owned(), Scalar::Null);
+                Ok(())
+            }
+            _ => {
+                let n = self.number()?;
+                out.insert(path.to_owned(), Scalar::Num(n));
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Parses a JSON document into a flat `path → scalar` map
+/// (`"knee[2].p99_ms" → Num(…)`).
+pub fn flatten(doc: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let mut parser = Parser {
+        bytes: doc.as_bytes(),
+        pos: 0,
+    };
+    let mut out = BTreeMap::new();
+    parser.value("", &mut out)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing bytes after document at {}", parser.pos));
+    }
+    Ok(out)
+}
+
+/// Metric names that are wall-clock (or machine-shape) measurements:
+/// reported in the delta table, never gated. Matched against the final
+/// path segment.
+pub const INFORMATIONAL: &[&str] = &[
+    "wall_secs",
+    "events_per_sec",
+    "tps",
+    "speedup",
+    "overhead_pct",
+    "overhead_floor_pct",
+    "overhead_disabled_pct",
+    "overhead_disabled_floor_pct",
+    "overhead_enabled_pct",
+    "peak_rss_bytes",
+    "db_get_ns",
+    "threads",
+];
+
+/// The verdict on one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Gated and within tolerance.
+    Ok,
+    /// Informational metric: reported, never gated.
+    Info,
+    /// Present only in the current run (a new metric; not a failure).
+    New,
+    /// Gated and out of tolerance, or missing from the current run.
+    Fail,
+}
+
+impl Status {
+    fn label(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Info => "info",
+            Status::New => "new",
+            Status::Fail => "FAIL",
+        }
+    }
+}
+
+/// One row of the delta table.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Flattened metric path.
+    pub metric: String,
+    /// Baseline value, if the baseline has the metric.
+    pub baseline: Option<Scalar>,
+    /// Current value, if the current run has the metric.
+    pub current: Option<Scalar>,
+    /// Relative delta in percent, for numeric pairs.
+    pub delta_pct: Option<f64>,
+    /// The verdict.
+    pub status: Status,
+}
+
+/// The full comparison of one artefact pair.
+#[derive(Debug, Clone)]
+pub struct Diff {
+    /// Artefact label (file stem) the rows belong to.
+    pub label: String,
+    /// Every metric in baseline ∪ current, in path order.
+    pub rows: Vec<Delta>,
+}
+
+impl Diff {
+    /// True when no gated metric failed.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.status != Status::Fail)
+    }
+
+    /// Rows that failed the gate.
+    pub fn failures(&self) -> impl Iterator<Item = &Delta> {
+        self.rows.iter().filter(|r| r.status == Status::Fail)
+    }
+
+    /// Renders the markdown delta table. `full` includes every metric;
+    /// otherwise unchanged gated metrics are elided and only changed,
+    /// informational, new and failing rows appear.
+    pub fn to_markdown(&self, full: bool) -> String {
+        let mut out = format!(
+            "### {}\n\n| metric | baseline | current | delta | status |\n|---|---:|---:|---:|---|\n",
+            self.label
+        );
+        let mut elided = 0usize;
+        for row in &self.rows {
+            let unchanged = row.status == Status::Ok && row.delta_pct.is_none_or(|d| d == 0.0);
+            if !full && unchanged {
+                elided += 1;
+                continue;
+            }
+            let fmt_val = |v: &Option<Scalar>| v.as_ref().map_or("—".into(), Scalar::to_string);
+            let delta = row
+                .delta_pct
+                .map_or("—".into(), |d| format!("{d:+.2}%"));
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} | {} |\n",
+                row.metric,
+                fmt_val(&row.baseline),
+                fmt_val(&row.current),
+                delta,
+                row.status.label()
+            ));
+        }
+        if elided > 0 {
+            out.push_str(&format!("\n_{elided} unchanged gated metrics elided._\n"));
+        }
+        out
+    }
+}
+
+/// Per-run tolerance knobs.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// Default relative tolerance for gated numeric metrics.
+    pub default_rel: f64,
+    /// Overrides by final path segment (`("p99_ms", 0.05)` = 5%).
+    pub per_metric: Vec<(String, f64)>,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            default_rel: 0.01,
+            per_metric: Vec::new(),
+        }
+    }
+}
+
+impl Tolerances {
+    fn for_metric(&self, metric: &str) -> f64 {
+        let segment = last_segment(metric);
+        self.per_metric
+            .iter()
+            .find(|(name, _)| name == segment)
+            .map_or(self.default_rel, |&(_, tol)| tol)
+    }
+}
+
+/// The final path segment without any array index: the metric's name.
+fn last_segment(path: &str) -> &str {
+    let tail = path.rsplit('.').next().unwrap_or(path);
+    tail.split('[').next().unwrap_or(tail)
+}
+
+fn numbers_match(a: f64, b: f64, rel: f64) -> bool {
+    let scale = a.abs().max(b.abs());
+    (a - b).abs() <= rel * scale + 1e-9
+}
+
+/// Compares a baseline artefact against a current one.
+pub fn diff(
+    label: &str,
+    baseline: &BTreeMap<String, Scalar>,
+    current: &BTreeMap<String, Scalar>,
+    tol: &Tolerances,
+) -> Diff {
+    let mut rows = Vec::new();
+    let metrics: std::collections::BTreeSet<&String> =
+        baseline.keys().chain(current.keys()).collect();
+    for metric in metrics {
+        let base = baseline.get(metric).cloned();
+        let cur = current.get(metric).cloned();
+        let informational = INFORMATIONAL.contains(&last_segment(metric));
+        let delta_pct = match (&base, &cur) {
+            (Some(Scalar::Num(a)), Some(Scalar::Num(b))) if a.abs() > 1e-12 => {
+                Some((b - a) / a.abs() * 100.0)
+            }
+            _ => None,
+        };
+        let status = match (&base, &cur) {
+            (Some(_), None) => Status::Fail, // metric vanished: schema regression
+            (None, Some(_)) => Status::New,
+            (Some(a), Some(b)) => {
+                if informational {
+                    Status::Info
+                } else {
+                    let matches = match (a, b) {
+                        (Scalar::Num(a), Scalar::Num(b)) => {
+                            numbers_match(*a, *b, tol.for_metric(metric))
+                        }
+                        (a, b) => a == b,
+                    };
+                    if matches {
+                        Status::Ok
+                    } else {
+                        Status::Fail
+                    }
+                }
+            }
+            (None, None) => unreachable!("metric came from one of the maps"),
+        };
+        rows.push(Delta {
+            metric: metric.clone(),
+            baseline: base,
+            current: cur,
+            delta_pct,
+            status,
+        });
+    }
+    Diff {
+        label: label.to_owned(),
+        rows,
+    }
+}
+
+/// Parses and compares two artefact documents.
+pub fn diff_docs(
+    label: &str,
+    baseline_doc: &str,
+    current_doc: &str,
+    tol: &Tolerances,
+) -> Result<Diff, String> {
+    let baseline =
+        flatten(baseline_doc).map_err(|e| format!("{label}: baseline parse error: {e}"))?;
+    let current = flatten(current_doc).map_err(|e| format!("{label}: current parse error: {e}"))?;
+    Ok(diff(label, &baseline, &current, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_walks_nesting_arrays_and_escapes() {
+        let flat = flatten(
+            "{\"a\": {\"b\": [1, 2.5, {\"c\": true}]}, \"s\": \"x\\n\\\"y\\\"\", \"z\": null}",
+        )
+        .unwrap();
+        assert_eq!(flat["a.b[0]"], Scalar::Num(1.0));
+        assert_eq!(flat["a.b[1]"], Scalar::Num(2.5));
+        assert_eq!(flat["a.b[2].c"], Scalar::Bool(true));
+        assert_eq!(flat["s"], Scalar::Str("x\n\"y\"".into()));
+        assert_eq!(flat["z"], Scalar::Null);
+    }
+
+    #[test]
+    fn flatten_rejects_malformed_documents() {
+        assert!(flatten("{\"a\": }").is_err());
+        assert!(flatten("{\"a\": 1} trailing").is_err());
+        assert!(flatten("{\"a\": 1").is_err());
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let doc = "{\"p99_ms\": 134.2, \"wall_secs\": 0.5, \"ok\": true}";
+        let d = diff_docs("t", doc, doc, &Tolerances::default()).unwrap();
+        assert!(d.passed());
+    }
+
+    #[test]
+    fn wall_clock_drift_is_informational_but_sim_drift_fails() {
+        let base = "{\"p99_ms\": 100.0, \"wall_secs\": 0.5}";
+        let noisy = "{\"p99_ms\": 100.5, \"wall_secs\": 5.0}";
+        let d = diff_docs("t", base, noisy, &Tolerances::default()).unwrap();
+        assert!(d.passed(), "1% tolerance absorbs formatting drift: {d:?}");
+
+        let regressed = "{\"p99_ms\": 150.0, \"wall_secs\": 0.5}";
+        let d = diff_docs("t", base, regressed, &Tolerances::default()).unwrap();
+        assert!(!d.passed());
+        let failures: Vec<&str> = d.failures().map(|r| r.metric.as_str()).collect();
+        assert_eq!(failures, ["p99_ms"]);
+    }
+
+    #[test]
+    fn booleans_strings_and_missing_metrics_gate_exactly() {
+        let base = "{\"identity\": true, \"digest\": \"abc\", \"count\": 4}";
+        let flipped = "{\"identity\": false, \"digest\": \"abc\", \"count\": 4}";
+        assert!(!diff_docs("t", base, flipped, &Tolerances::default()).unwrap().passed());
+        let vanished = "{\"identity\": true, \"digest\": \"abc\"}";
+        assert!(!diff_docs("t", base, vanished, &Tolerances::default()).unwrap().passed());
+        let grown = "{\"identity\": true, \"digest\": \"abc\", \"count\": 4, \"extra\": 1}";
+        let d = diff_docs("t", base, grown, &Tolerances::default()).unwrap();
+        assert!(d.passed(), "new metrics are not regressions");
+        assert!(d.rows.iter().any(|r| r.status == Status::New));
+    }
+
+    #[test]
+    fn per_metric_tolerance_overrides_the_default() {
+        let base = "{\"hit_rate\": 0.50}";
+        let cur = "{\"hit_rate\": 0.52}";
+        assert!(!diff_docs("t", base, cur, &Tolerances::default()).unwrap().passed());
+        let loose = Tolerances {
+            per_metric: vec![("hit_rate".into(), 0.10)],
+            ..Tolerances::default()
+        };
+        assert!(diff_docs("t", base, cur, &loose).unwrap().passed());
+    }
+
+    #[test]
+    fn markdown_table_elides_unchanged_and_names_failures() {
+        let base = "{\"a\": 1, \"b\": 2, \"wall_secs\": 1.0}";
+        let cur = "{\"a\": 1, \"b\": 4, \"wall_secs\": 1.5}";
+        let d = diff_docs("t", base, cur, &Tolerances::default()).unwrap();
+        let md = d.to_markdown(false);
+        assert!(md.contains("| `b` | 2 | 4 | +100.00% | FAIL |"), "{md}");
+        assert!(md.contains("| `wall_secs` |"), "{md}");
+        assert!(!md.contains("| `a` |"), "unchanged gated rows elide: {md}");
+        assert!(md.contains("1 unchanged gated metrics elided"), "{md}");
+    }
+
+    #[test]
+    fn real_artefact_shapes_round_trip() {
+        // A miniature BENCH_contention.json in the real emitter's style.
+        let doc = "{\n  \"experiment\": \"F8_contention\",\n  \"knee\": [\n    { \"users\": 1, \"p99_ms\": 134.2 },\n    { \"users\": 32, \"p99_ms\": 7800.0 }\n  ],\n  \"thread_identity\": true\n}\n";
+        let d = diff_docs("contention", doc, doc, &Tolerances::default()).unwrap();
+        assert!(d.passed());
+        assert!(d.rows.iter().any(|r| r.metric == "knee[1].p99_ms"));
+    }
+}

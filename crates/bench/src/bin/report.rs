@@ -2,7 +2,7 @@
 //! and prints them in paper order.
 //!
 //! ```text
-//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--f7] [--f8] [--f9] [--trace]
+//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--f7] [--f8] [--f9] [--f10] [--trace] [--dash]
 //! ```
 //!
 //! `--quick` shrinks every workload for smoke runs; `--f4` runs only the
@@ -16,9 +16,16 @@
 //! `BENCH_scale.json` — populations × threads with peak-RSS curves; each
 //! cell re-executes this binary via the internal `--f9-cell` mode so its
 //! RSS high-water mark is measured in a fresh process).
-//! `--trace` additionally exports the fixed-seed
-//! fleet trace as `TRACE_fleet.jsonl` and `TRACE_fleet.trace.json` —
-//! open the latter in `chrome://tracing` or <https://ui.perfetto.dev>.
+//! `--f10` runs only the F10 fleet-telemetry experiment (writes
+//! `BENCH_telemetry.json`). `--trace` additionally exports the
+//! fixed-seed fleet trace as `TRACE_fleet.jsonl` and
+//! `TRACE_fleet.trace.json` — open the latter in `chrome://tracing` or
+//! <https://ui.perfetto.dev>. `--dash` (with `--f8`) appends the
+//! resource dashboard: per-resource peak utilisation, saturation-onset
+//! sim-times, the busiest-resource attribution of the p99 knee, and the
+//! telemetry artefacts `TELEMETRY_fleet.jsonl` +
+//! `TRACE_fleet.counters.trace.json` (spans *and* Perfetto counter
+//! tracks).
 
 use bench::ablations;
 use bench::cache_experiment;
@@ -29,7 +36,9 @@ use bench::faults_experiment;
 use bench::obs_experiment;
 use bench::scale_experiment;
 use bench::tcpx;
-use mcommerce_core::{fleet, FleetRunner};
+use bench::telemetry_experiment;
+use mcommerce_core::{fleet, CachePolicy, Category, FleetRunner, Scenario, Topology};
+use simnet::SimDuration;
 
 fn heading(title: &str) {
     println!("\n{}", "=".repeat(78));
@@ -100,13 +109,127 @@ fn f7(quick: bool) {
     println!("\n-> wrote {path}");
 }
 
-/// Runs F8 and writes the `BENCH_contention.json` artefact.
-fn f8(quick: bool) {
+/// Runs F8 and writes the `BENCH_contention.json` artefact. With
+/// `dash`, appends the telemetry dashboard for the largest knee
+/// population and exports the counter-track trace.
+fn f8(quick: bool, dash: bool) {
     heading("F8 — shared-world contention: the knee + shared-cache growth");
     let numbers = contention_experiment::run(quick);
     println!("{numbers}");
     let path = "BENCH_contention.json";
     std::fs::write(path, numbers.to_json()).expect("write BENCH_contention.json");
+    println!("\n-> wrote {path}");
+    if dash {
+        f8_dash(quick);
+    }
+}
+
+/// The `--f8 --dash` view: reruns the largest knee population with
+/// telemetry on, prints per-resource peaks and saturation onsets,
+/// attributes the p99 knee to the busiest shared resource, and writes
+/// the series + counter-track artefacts (the artefact run adds the
+/// long-TTL shared cache so the hit-rate track is live in Perfetto).
+fn f8_dash(quick: bool) {
+    let users: u64 = if quick { 32 } else { 96 };
+    let scenario = Scenario::new("F8")
+        .app(Category::Entertainment)
+        .users(users)
+        .sessions_per_user(6)
+        .think_time(2.0)
+        .seed(801);
+    let knee_run = FleetRunner::new(scenario.clone())
+        .topology(Topology::shared())
+        .threads(2)
+        .telemetry(true)
+        .run();
+    let telemetry = knee_run.timeseries.as_ref().expect("telemetry on");
+    let stats = knee_run.contention.as_ref().expect("shared run");
+
+    println!(
+        "\nresource dashboard — {} users, bin {} ms:",
+        users,
+        telemetry.bin_ns() / 1_000_000
+    );
+    println!("  {:<28} {:>8}  saturated (>=90%) from", "series", "peak");
+    for name in telemetry.names().map(str::to_owned).collect::<Vec<_>>() {
+        let kind = telemetry.kind(&name).expect("registered").name();
+        let peak = telemetry.peak_milli(&name).unwrap_or(0);
+        let onset = telemetry.onset_ns(&name, telemetry_experiment::SATURATION_MILLI);
+        println!(
+            "  {:<28} {:>8}  {}",
+            name,
+            telemetry_experiment::peak_display(kind, peak),
+            telemetry_experiment::onset_display(kind, onset),
+        );
+    }
+
+    // Knee attribution: the shared resource that collected the most
+    // wait is what bends p99.
+    let waits = [
+        ("cell airtime", "cell0000.airtime_util", stats.cell_wait_ns),
+        ("gateway CPU", "gateway0000.cpu_util", stats.gateway_wait_ns),
+        ("host CPU", "host0000.cpu_util", stats.host_wait_ns),
+    ];
+    let total: u64 = waits.iter().map(|&(_, _, ns)| ns).sum();
+    let &(label, series, wait_ns) = waits
+        .iter()
+        .max_by_key(|&&(_, _, ns)| ns)
+        .expect("three resources");
+    let onset = telemetry.onset_ns(series, telemetry_experiment::SATURATION_MILLI);
+    println!(
+        "\n-> p99 knee attribution: {} ({:.1}% of all shared-resource wait; `{}` {})",
+        label,
+        if total == 0 {
+            0.0
+        } else {
+            wait_ns as f64 / total as f64 * 100.0
+        },
+        series,
+        match onset {
+            Some(ns) => format!("first >=90% utilised at {:.1} s sim-time", ns as f64 / 1e9),
+            None => format!(
+                "peaks at {:.1}%",
+                telemetry.peak_milli(series).unwrap_or(0) as f64 / 10.0
+            ),
+        }
+    );
+
+    // Artefacts: the same world with the long-TTL shared cache, traced,
+    // so the Perfetto view carries span swim-lanes plus live counter
+    // tracks for every resource including the cache hit-rate.
+    let artefact_run = FleetRunner::new(
+        scenario.cache(CachePolicy::standard().ttl(SimDuration::from_secs(3600))),
+    )
+    .topology(Topology::shared())
+    .threads(2)
+    .traced(true)
+    .telemetry(true)
+    .run();
+    let artefact_series = artefact_run.timeseries.as_ref().expect("telemetry on");
+    let trace = artefact_run.trace.as_ref().expect("traced run");
+    std::fs::write("TELEMETRY_fleet.jsonl", artefact_series.to_jsonl())
+        .expect("write telemetry jsonl");
+    std::fs::write(
+        "TRACE_fleet.counters.trace.json",
+        obs::export::to_chrome_trace_with(&trace.events, Some(artefact_series)),
+    )
+    .expect("write counter trace");
+    println!(
+        "-> wrote TELEMETRY_fleet.jsonl ({} points) + TRACE_fleet.counters.trace.json \
+         ({} span events, {} counter tracks); open the trace in https://ui.perfetto.dev",
+        artefact_series.to_jsonl().lines().count(),
+        trace.events.len(),
+        artefact_series.names().count(),
+    );
+}
+
+/// Runs F10 and writes the `BENCH_telemetry.json` artefact.
+fn f10(quick: bool) {
+    heading("F10 — fleet telemetry: cost when off, identity when on");
+    let numbers = telemetry_experiment::run(quick);
+    println!("{numbers}");
+    let path = "BENCH_telemetry.json";
+    std::fs::write(path, numbers.to_json()).expect("write BENCH_telemetry.json");
     println!("\n-> wrote {path}");
 }
 
@@ -132,13 +255,15 @@ fn main() {
     }
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = std::env::args().any(|a| a == "--trace");
+    let dash = std::env::args().any(|a| a == "--dash");
     let only_f4 = std::env::args().any(|a| a == "--f4");
     let only_f5 = std::env::args().any(|a| a == "--f5");
     let only_f6 = std::env::args().any(|a| a == "--f6");
     let only_f7 = std::env::args().any(|a| a == "--f7");
     let only_f8 = std::env::args().any(|a| a == "--f8");
     let only_f9 = std::env::args().any(|a| a == "--f9");
-    if only_f4 || only_f5 || only_f6 || only_f7 || only_f8 || only_f9 {
+    let only_f10 = std::env::args().any(|a| a == "--f10");
+    if only_f4 || only_f5 || only_f6 || only_f7 || only_f8 || only_f9 || only_f10 {
         if only_f4 {
             f4(quick);
         }
@@ -152,10 +277,13 @@ fn main() {
             f7(quick);
         }
         if only_f8 {
-            f8(quick);
+            f8(quick, dash);
         }
         if only_f9 {
             f9(quick);
+        }
+        if only_f10 {
+            f10(quick);
         }
         return;
     }
@@ -236,8 +364,9 @@ fn main() {
     f5(quick, trace);
     f6(quick);
     f7(quick);
-    f8(quick);
+    f8(quick, dash);
     f9(quick);
+    f10(quick);
 
     heading("X1 — §5.2: TCP variants over an error-prone wireless hop");
     for row in tcpx::full_sweep(x1_bytes) {

@@ -17,15 +17,21 @@
 //! | F7 | caching hierarchy: cold vs warm, zero-TTL identity | [`cache_experiment::run`] |
 //! | F8 | shared-world contention: knee + shared-cache growth | [`contention_experiment::run`] |
 //! | F9 | fleet scale: populations × threads, wall/tps/RSS | [`scale_experiment::run`] |
+//! | F10 | fleet telemetry: cost when off, identity when on | [`telemetry_experiment::run`] |
 //! | X1 | §5.2, TCP variants on wireless | [`tcpx::tcp_variants`] |
 //! | X2 | §1.1, five system requirements | [`experiments::independence`] |
 //!
 //! `cargo run -p bench --bin report` prints every table; the Criterion
 //! benches under `benches/` time the same functions. `--trace`
 //! additionally exports the fixed-seed fleet trace as JSONL and Chrome
-//! `trace_event` JSON (load the latter in Perfetto).
+//! `trace_event` JSON (load the latter in Perfetto); `--f8 --dash`
+//! prints the resource dashboard and exports Perfetto counter tracks.
+//! `cargo run -p bench --bin benchdiff` diffs `BENCH_*.json` artefact
+//! sets against the committed baselines in `bench/baselines/` — see
+//! [`benchdiff`] for the per-metric gating policy.
 
 pub mod ablations;
+pub mod benchdiff;
 pub mod cache_experiment;
 pub mod contention_experiment;
 pub mod engine;
@@ -34,3 +40,4 @@ pub mod faults_experiment;
 pub mod obs_experiment;
 pub mod scale_experiment;
 pub mod tcpx;
+pub mod telemetry_experiment;

@@ -287,7 +287,7 @@ pub fn run_one(variant: Variant, config: &TcpxConfig) -> TcpxRow {
                         "split" | "wap" => Layer::Middleware,
                         _ => Layer::Wired,
                     },
-                    name: format!("{}: {}", e.category, e.message),
+                    name: format!("{}: {}", e.category, e.message).into(),
                     kind: EventKind::Instant,
                     user: 0,
                     txn: 0,

@@ -40,7 +40,7 @@ use std::time::Instant;
 use hostsite::db::Database;
 use hostsite::HostComputer;
 use middleware::SharedTranscodeMemo;
-use obs::Recorder;
+use obs::{Metrics, Recorder};
 use station::{DeviceProfile, RenderMemo};
 use wireless::WlanStandard;
 
@@ -303,16 +303,6 @@ impl Scenario {
         system
     }
 
-    /// Builds the single-user system (user 0) — the convenience most
-    /// examples and tests want when they don't need a whole fleet.
-    #[deprecated(
-        since = "0.2.0",
-        note = "call `system_for_user(0)` — `system()` was an alias that hid the user index"
-    )]
-    pub fn system(&self) -> McSystem {
-        self.system_for_user(0)
-    }
-
     /// Runs one user's complete workload, folding every transaction
     /// into `counters`. Depends only on `(scenario, user)`.
     pub fn run_user(&self, user: u64, counters: &mut WorkloadCounters) {
@@ -371,36 +361,58 @@ impl Scenario {
     /// recorder only observes, so `counters` comes out the same either
     /// way (pinned by a unit test below).
     pub fn run_user_traced(&self, user: u64, counters: &mut WorkloadCounters) -> UserTrace {
-        self.run_user_traced_with(user, counters, RecorderKind::Ring, None)
+        let guard = obs::metrics::enable();
+        let mut trace = self.run_user_traced_with(user, counters, RecorderKind::Ring, None, None);
+        drop(guard);
+        trace.metrics = obs::metrics::take();
+        trace
     }
 
     /// [`Scenario::run_user_traced`] with an explicit recorder choice:
     /// [`RecorderKind::Disabled`] keeps the metrics registry on but
-    /// skips the flight-recorder ring (no events, no dumps).
+    /// skips the flight-recorder ring (no events, no dumps). A shard
+    /// passes its [`obs::RingScratch`] so the ring buffer is allocated
+    /// once per shard, not once per user.
+    ///
+    /// Metric *scoping* is the caller's job: this function neither
+    /// enables nor drains the thread's registry, so a fleet shard can
+    /// hold one [`obs::metrics::enable`] guard across all its users and
+    /// [`obs::metrics::take`] once per shard — `Metrics::merge` is
+    /// associative and commutative, so shard-level accumulation merges
+    /// to the same fleet totals as per-user draining (pinned by
+    /// `tests/trace_props.rs`). The returned [`UserTrace::metrics`] is
+    /// therefore empty here.
     fn run_user_traced_with(
         &self,
         user: u64,
         counters: &mut WorkloadCounters,
         recorder: RecorderKind,
         scratch: Option<&ShardScratch>,
+        mut ring: Option<&mut obs::RingScratch>,
     ) -> UserTrace {
         let mut system = match scratch {
             Some(scratch) => self.system_for_user_in(user, scratch),
             None => self.system_for_user(user),
         };
         system.set_recorder(match recorder {
-            RecorderKind::Ring => Recorder::ring_for_user(user),
+            RecorderKind::Ring => match ring.as_deref_mut() {
+                Some(ring) => {
+                    Recorder::ring_recycled(obs::recorder::DEFAULT_RING_CAPACITY, user, ring)
+                }
+                None => Recorder::ring_for_user(user),
+            },
             RecorderKind::Disabled => Recorder::Disabled,
         });
-        let guard = obs::metrics::enable();
         self.run_user_on(&mut system, user, counters);
-        drop(guard);
-        let metrics = obs::metrics::take();
-        let (events, dumps) = system.take_recorder().into_parts();
+        let recorder = system.take_recorder();
+        let (events, dumps) = match ring {
+            Some(ring) => recorder.into_parts_recycling(ring),
+            None => recorder.into_parts(),
+        };
         UserTrace {
             events,
             dumps,
-            metrics,
+            metrics: obs::Metrics::default(),
         }
     }
 }
@@ -580,6 +592,10 @@ pub struct RunConfig {
     pub traced: bool,
     /// The recorder installed per user when `traced` is set.
     pub recorder: RecorderKind,
+    /// Fixed sim-time bin width for shared-resource time-series, or
+    /// `None` (the default) for no telemetry. Only shared topologies
+    /// have shared resources to sample; the isolated engine ignores it.
+    pub telemetry_bin_ns: Option<u64>,
 }
 
 impl Default for RunConfig {
@@ -588,6 +604,7 @@ impl Default for RunConfig {
             threads: default_threads(),
             traced: false,
             recorder: RecorderKind::Ring,
+            telemetry_bin_ns: None,
         }
     }
 }
@@ -613,6 +630,21 @@ impl RunConfig {
         self.recorder = recorder;
         self
     }
+
+    /// Enables shared-resource time-series at the default bin width
+    /// ([`obs::timeseries::DEFAULT_BIN_NS`]), or disables them.
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry_bin_ns = enabled.then_some(obs::timeseries::DEFAULT_BIN_NS);
+        self
+    }
+
+    /// Enables shared-resource time-series with an explicit bin width.
+    #[must_use]
+    pub fn telemetry_bin_ns(mut self, bin_ns: u64) -> Self {
+        self.telemetry_bin_ns = Some(bin_ns);
+        self
+    }
 }
 
 /// Everything one fleet execution produced.
@@ -625,6 +657,12 @@ pub struct FleetRun {
     /// Shared-resource contention telemetry, present iff the topology
     /// was shared.
     pub contention: Option<ContentionStats>,
+    /// Fixed-bin resource time-series (cell airtime, gateway CPU and
+    /// cache hit-rate, host CPU and queue depth), present iff telemetry
+    /// was requested on a shared topology. Merged across islands into
+    /// canonical name order, so exports are byte-identical at any
+    /// thread count.
+    pub timeseries: Option<obs::Telemetry>,
 }
 
 /// The single entry point for executing fleets: a [`Scenario`] (who the
@@ -697,6 +735,21 @@ impl FleetRunner {
         self
     }
 
+    /// Enables shared-resource time-series at the default bin width.
+    /// See [`RunConfig::telemetry`].
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.config = self.config.telemetry(enabled);
+        self
+    }
+
+    /// Enables shared-resource time-series with an explicit bin width.
+    #[must_use]
+    pub fn telemetry_bin_ns(mut self, bin_ns: u64) -> Self {
+        self.config = self.config.telemetry_bin_ns(bin_ns);
+        self
+    }
+
     /// Replaces the whole [`RunConfig`] at once.
     #[must_use]
     pub fn config(mut self, config: RunConfig) -> Self {
@@ -711,11 +764,10 @@ impl FleetRunner {
 
     /// Executes the fleet and returns everything it produced.
     ///
-    /// Isolated topologies run the legacy per-user engine (bit-for-bit:
-    /// the deprecated `run_on`/`run_traced_on` shims delegate here).
-    /// Shared topologies run the island engine in [`crate::shared`].
-    /// Either way the summary — and the trace, when captured — is
-    /// byte-identical at any thread count.
+    /// Isolated topologies run the legacy per-user engine; shared
+    /// topologies run the island engine in [`crate::shared`]. Either
+    /// way the summary — and the trace and time-series, when captured —
+    /// is byte-identical at any thread count.
     pub fn run(&self) -> FleetRun {
         if self.topology.is_shared() {
             self.run_shared()
@@ -725,12 +777,14 @@ impl FleetRunner {
                 report,
                 trace: Some(trace),
                 contention: None,
+                timeseries: None,
             }
         } else {
             FleetRun {
                 report: self.run_isolated(),
                 trace: None,
                 contention: None,
+                timeseries: None,
             }
         }
     }
@@ -801,12 +855,14 @@ impl FleetRunner {
         enum ShardMsg {
             /// One user finished; the box keeps the channel payload small.
             User(u64, Box<UserTrace>),
-            /// A whole shard finished; its counters are ready to fold.
-            Done(u64, WorkloadCounters),
+            /// A whole shard finished: its counters and its accumulated
+            /// metrics registry are ready to fold.
+            Done(u64, WorkloadCounters, Box<Metrics>),
         }
 
         let mut fleet_merger = FleetMerger::new();
-        let mut trace_merger = TraceMerger::new();
+        let mut trace_merger = TraceMerger::for_users(scenario.users);
+        let mut shard_metrics: Vec<(u64, Metrics)> = Vec::new();
         thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<ShardMsg>();
             for shard in 0..shards as u64 {
@@ -814,6 +870,13 @@ impl FleetRunner {
                 scope.spawn(move || {
                     let mut counters = WorkloadCounters::default();
                     let scratch = ShardScratch::new();
+                    let mut ring = obs::RingScratch::default();
+                    // One metrics scope for the whole shard: the
+                    // registry accumulates across users and drains
+                    // once, instead of paying a take-and-merge per
+                    // user. `Metrics::merge` is commutative, so the
+                    // fleet totals are unchanged.
+                    let guard = obs::metrics::enable();
                     let lo = shard * chunk;
                     let hi = (lo + chunk).min(scenario.users);
                     for user in lo..hi {
@@ -822,22 +885,36 @@ impl FleetRunner {
                             &mut counters,
                             recorder,
                             Some(&scratch),
+                            Some(&mut ring),
                         );
                         let _ = tx.send(ShardMsg::User(user, Box::new(trace)));
                     }
-                    let _ = tx.send(ShardMsg::Done(shard, counters));
+                    drop(guard);
+                    let _ = tx.send(ShardMsg::Done(
+                        shard,
+                        counters,
+                        Box::new(obs::metrics::take()),
+                    ));
                 });
             }
             drop(tx);
             for msg in rx {
                 match msg {
                     ShardMsg::User(user, trace) => trace_merger.push(user, *trace),
-                    ShardMsg::Done(shard, counters) => {
-                        fleet_merger.push_counters(shard, counters)
+                    ShardMsg::Done(shard, counters, metrics) => {
+                        fleet_merger.push_counters(shard, counters);
+                        shard_metrics.push((shard, *metrics));
                     }
                 }
             }
         });
+        let mut trace = trace_merger.finish();
+        // Shard-index order for determinism's sake; the merge is
+        // commutative anyway.
+        shard_metrics.sort_unstable_by_key(|&(shard, _)| shard);
+        for (_, metrics) in &shard_metrics {
+            trace.metrics.merge(metrics);
+        }
 
         (
             FleetReport {
@@ -849,7 +926,7 @@ impl FleetRunner {
                     workload: fleet_merger.finish().summary(scenario.label()),
                 },
             },
-            trace_merger.finish(),
+            trace,
         )
     }
 
@@ -868,6 +945,7 @@ impl FleetRunner {
             threads,
             self.config.traced,
             self.config.recorder,
+            self.config.telemetry_bin_ns,
         );
 
         // Users land in island order; the canonical trace order is the
@@ -876,7 +954,11 @@ impl FleetRunner {
         let mut counters = WorkloadCounters::default();
         let mut stats = ContentionStats::default();
         let mut island_metrics = obs::Metrics::default();
-        let mut trace_merger = self.config.traced.then(TraceMerger::new);
+        let mut trace_merger = self
+            .config
+            .traced
+            .then(|| TraceMerger::for_users(scenario.users));
+        let mut timeseries = self.config.telemetry_bin_ns.map(obs::Telemetry::new);
         for outcome in outcomes {
             counters.merge(&outcome.counters);
             stats.merge(&outcome.stats);
@@ -887,6 +969,12 @@ impl FleetRunner {
             }
             if let Some(metrics) = outcome.metrics.as_ref() {
                 island_metrics.merge(metrics);
+            }
+            // Island series are disjoint (names embed global resource
+            // indices) and bins merge commutatively, so fold order is
+            // irrelevant — the export walks names canonically anyway.
+            if let (Some(merged), Some(island)) = (timeseries.as_mut(), outcome.telemetry) {
+                merged.merge(island);
             }
         }
         // Metrics interleave inside an island, so they merge at island
@@ -910,38 +998,9 @@ impl FleetRunner {
             report,
             trace,
             contention: Some(stats),
+            timeseries,
         }
     }
-}
-
-/// Runs the scenario's fleet sharded across [`default_threads`] threads.
-#[deprecated(since = "0.2.0", note = "use `FleetRunner::new(scenario).run().report`")]
-pub fn run(scenario: &Scenario) -> FleetReport {
-    FleetRunner::new(scenario.clone()).run().report
-}
-
-/// Runs the scenario's fleet sharded across exactly `threads` threads
-/// (clamped to at least 1, at most one per user).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `FleetRunner::new(scenario).threads(n).run().report`"
-)]
-pub fn run_on(scenario: &Scenario, threads: usize) -> FleetReport {
-    FleetRunner::new(scenario.clone()).threads(threads).run().report
-}
-
-/// Runs the scenario's fleet with tracing enabled, sharded across
-/// exactly `threads` threads.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `FleetRunner::new(scenario).threads(n).traced(true).run()`"
-)]
-pub fn run_traced_on(scenario: &Scenario, threads: usize) -> (FleetReport, FleetTrace) {
-    let run = FleetRunner::new(scenario.clone())
-        .threads(threads)
-        .traced(true)
-        .run();
-    (run.report, run.trace.expect("traced run carries a trace"))
 }
 
 #[cfg(test)]
@@ -956,8 +1015,8 @@ mod tests {
             .seed(7)
     }
 
-    // Local helpers shadow the deprecated free functions of the same
-    // name: the tests exercise the replacement API.
+    // Thin helpers over the FleetRunner entry point keep the
+    // assertions below readable.
     fn run_on(scenario: &Scenario, threads: usize) -> FleetReport {
         FleetRunner::new(scenario.clone())
             .threads(threads)
@@ -974,23 +1033,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_runner() {
-        let scenario = small();
-        let shim = super::run_on(&scenario, 2).summary;
-        let runner = run_on(&scenario, 2).summary;
-        assert_eq!(shim, runner);
-        let (shim_report, shim_trace) = super::run_traced_on(&scenario, 2);
-        let (report, trace) = run_traced_on(&scenario, 2);
-        assert_eq!(shim_report.summary, report.summary);
-        assert_eq!(shim_trace.to_jsonl(), trace.to_jsonl());
-    }
-
-    #[test]
     fn untraced_runs_carry_no_trace_or_contention() {
         let run = FleetRunner::new(small()).threads(2).run();
         assert!(run.trace.is_none());
         assert!(run.contention.is_none());
+        assert!(run.timeseries.is_none());
     }
 
     #[test]

@@ -40,12 +40,14 @@
 //! legacy per-user world bit for bit (pinned by
 //! `tests/shared_world_props.rs`).
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::thread;
 
 use hostsite::db::Database;
 use hostsite::HostComputer;
 use middleware::ContentCache;
+use obs::timeseries::{SeriesId, SeriesKind, Telemetry};
 use obs::Recorder;
 use simnet::contend::{DetQueue, FcfsServer};
 use simnet::rng::{rng_for_indexed, sub_seed};
@@ -123,6 +125,77 @@ pub(crate) struct IslandOutcome {
     /// metrics are per island, merged in island order).
     pub metrics: Option<obs::Metrics>,
     pub stats: ContentionStats,
+    /// Fixed-bin resource series, present iff telemetry was on. Series
+    /// names embed global resource indices, so island sets are disjoint
+    /// and merge into one canonical fleet-wide set.
+    pub telemetry: Option<Telemetry>,
+}
+
+/// The island's registered series handles plus the host queue-depth
+/// tracker. Purely observational: it reads grant/wait results the
+/// contention engine already computed and never feeds anything back,
+/// so enabling telemetry cannot perturb the simulation.
+struct IslandTelemetry {
+    t: Telemetry,
+    /// Per local cell index: airtime busy fraction.
+    cell_util: Vec<SeriesId>,
+    /// Per local gateway index: transcode CPU busy fraction.
+    gw_util: Vec<SeriesId>,
+    /// Per local gateway index: shared content-cache hit rate.
+    gw_cache: Vec<SeriesId>,
+    /// Host CPU busy fraction.
+    host_util: SeriesId,
+    /// Host queue depth (jobs in service or waiting), sampled at each
+    /// arrival.
+    host_queue: SeriesId,
+    /// Completion times of host jobs still in flight, for the
+    /// queue-depth gauge.
+    host_inflight: BinaryHeap<Reverse<u64>>,
+}
+
+impl IslandTelemetry {
+    fn new(bin_ns: u64, island: u64, cells: &[u64], gateways: &[u64]) -> Self {
+        let mut t = Telemetry::new(bin_ns);
+        let cell_util = cells
+            .iter()
+            .map(|&c| t.register(&format!("cell{c:04}.airtime_util"), SeriesKind::Utilization))
+            .collect();
+        let gw_util = gateways
+            .iter()
+            .map(|&g| t.register(&format!("gateway{g:04}.cpu_util"), SeriesKind::Utilization))
+            .collect();
+        let gw_cache = gateways
+            .iter()
+            .map(|&g| t.register(&format!("gateway{g:04}.cache_hit_rate"), SeriesKind::Rate))
+            .collect();
+        let host_util = t.register(&format!("host{island:04}.cpu_util"), SeriesKind::Utilization);
+        let host_queue = t.register(&format!("host{island:04}.queue_depth"), SeriesKind::Gauge);
+        IslandTelemetry {
+            t,
+            cell_util,
+            gw_util,
+            gw_cache,
+            host_util,
+            host_queue,
+            host_inflight: BinaryHeap::new(),
+        }
+    }
+
+    /// Samples the host queue depth at `arrival_ns` given the job just
+    /// admitted completes at `completion_ns`. Jobs whose completion
+    /// time has passed leave the queue first, so the sample counts the
+    /// admitted job plus everything still ahead of or beside it.
+    fn sample_host_queue(&mut self, arrival_ns: u64, completion_ns: u64) {
+        while let Some(&Reverse(done)) = self.host_inflight.peek() {
+            if done > arrival_ns {
+                break;
+            }
+            self.host_inflight.pop();
+        }
+        self.host_inflight.push(Reverse(completion_ns));
+        let depth = self.host_inflight.len() as u64;
+        self.t.sample(self.host_queue, arrival_ns, depth);
+    }
 }
 
 /// One user's pending work, drained by the island event loop.
@@ -150,6 +223,7 @@ pub(crate) fn run_islands(
     threads: usize,
     traced: bool,
     recorder: RecorderKind,
+    telemetry_bin_ns: Option<u64>,
 ) -> Vec<IslandOutcome> {
     let islands = topology.host_count();
     let workers = threads.clamp(1, islands.max(1) as usize);
@@ -164,7 +238,16 @@ pub(crate) fn run_islands(
                     let lo = worker * chunk;
                     let hi = (lo + chunk).min(islands);
                     (lo..hi)
-                        .map(|island| run_island(scenario, topology, island, traced, recorder))
+                        .map(|island| {
+                            run_island(
+                                scenario,
+                                topology,
+                                island,
+                                traced,
+                                recorder,
+                                telemetry_bin_ns,
+                            )
+                        })
                         .collect::<Vec<_>>()
                 })
             })
@@ -183,6 +266,7 @@ fn run_island(
     island: u64,
     traced: bool,
     recorder: RecorderKind,
+    telemetry_bin_ns: Option<u64>,
 ) -> IslandOutcome {
     let users: Vec<u64> = (0..scenario.users)
         .filter(|&u| topology.island_of_user(u, scenario.users) == island)
@@ -197,6 +281,7 @@ fn run_island(
             traces: Vec::new(),
             metrics: traced.then(obs::Metrics::default),
             stats,
+            telemetry: telemetry_bin_ns.map(Telemetry::new),
         };
     }
 
@@ -246,6 +331,8 @@ fn run_island(
         })
         .collect();
     let mut host_cpu = FcfsServer::new();
+    let mut telemetry =
+        telemetry_bin_ns.map(|bin_ns| IslandTelemetry::new(bin_ns, island, &cells, &gateways));
 
     // Per-user state: the private system (station, battery, RNG streams
     // — exactly the legacy per-user build) plus the queued actions. The
@@ -310,6 +397,10 @@ fn run_island(
                 state.system.idle(secs);
             }
             Action::Txn(step) => {
+                let t0_ns = state.system.sim_clock_ns();
+                let cache_before = telemetry
+                    .as_ref()
+                    .map(|_| cache_counters(&gateway_caches[state.gateway]));
                 let mut report = execute_shared(
                     state,
                     &step,
@@ -317,6 +408,11 @@ fn run_island(
                     &mut shared_host,
                     &mut gateway_caches,
                 );
+                if let (Some(tele), Some((hits0, lookups0))) = (&mut telemetry, cache_before) {
+                    let (hits, lookups) = cache_counters(&gateway_caches[state.gateway]);
+                    let id = tele.gw_cache[state.gateway];
+                    tele.t.record_rate(id, t0_ns, hits - hits0, lookups - lookups0);
+                }
                 check_expectation(&mut report, &step);
                 charge_contention(
                     state,
@@ -325,6 +421,7 @@ fn run_island(
                     &mut gateway_cpu,
                     &mut host_cpu,
                     &mut stats,
+                    telemetry.as_mut(),
                 );
                 counters.record(&report);
             }
@@ -372,7 +469,16 @@ fn run_island(
         traces,
         metrics,
         stats,
+        telemetry: telemetry.map(|tele| tele.t),
     }
+}
+
+/// `(hits, lookups)` of a shared gateway cache slot (zeros when the
+/// gateway runs uncached).
+fn cache_counters(cache: &Option<ContentCache>) -> (u64, u64) {
+    cache
+        .as_ref()
+        .map_or((0, 0), |c| (c.hits(), c.hits() + c.misses()))
 }
 
 /// Executes one step with the island's shared host and shared gateway
@@ -410,6 +516,7 @@ fn charge_contention(
     gateway_cpu: &mut [FcfsServer],
     host_cpu: &mut FcfsServer,
     stats: &mut ContentionStats,
+    mut telemetry: Option<&mut IslandTelemetry>,
 ) {
     stats.transactions += 1;
     let end_ns = state.system.sim_clock_ns();
@@ -422,15 +529,34 @@ fn charge_contention(
 
     // Walk the path from the transaction's start, carrying waits
     // forward so a delayed uplink delays the gateway arrival, and so on.
+    // Telemetry records each granted busy interval as it is computed —
+    // reads only, in the same deterministic event order as the charges.
     let start_ns = end_ns.saturating_sub(to_ns(report.total));
     let mut cursor = start_ns;
     let up = cell_air[state.cell].request(cursor, up_ns);
+    if let Some(tele) = telemetry.as_deref_mut() {
+        tele.t.record_busy(tele.cell_util[state.cell], up.start_ns, up_ns);
+    }
     cursor = up.start_ns + up_ns;
     let gw_wait = gateway_cpu[state.gateway].admit(cursor, gw_ns);
+    if let Some(tele) = telemetry.as_deref_mut() {
+        tele.t
+            .record_busy(tele.gw_util[state.gateway], cursor + gw_wait, gw_ns);
+    }
     cursor += gw_wait + gw_ns + wired_ns;
     let host_wait = host_cpu.admit(cursor, host_ns);
+    if let Some(tele) = telemetry.as_deref_mut() {
+        tele.t.record_busy(tele.host_util, cursor + host_wait, host_ns);
+        if host_ns > 0 {
+            tele.sample_host_queue(cursor, cursor + host_wait + host_ns);
+        }
+    }
     cursor += host_wait + host_ns;
     let down = cell_air[state.cell].request(cursor, down_ns);
+    if let Some(tele) = telemetry {
+        tele.t
+            .record_busy(tele.cell_util[state.cell], down.start_ns, down_ns);
+    }
 
     let cell_wait = up.wait_ns + down.wait_ns;
     let total_wait = cell_wait + gw_wait + host_wait;

@@ -383,24 +383,8 @@ impl std::fmt::Debug for McSystem {
 }
 
 impl McSystem {
-    /// Assembles a mobile commerce system from its components.
-    #[deprecated(
-        since = "0.2.0",
-        note = "describe the system with a `SystemSpec` and call `SystemSpec::build(host)`"
-    )]
-    pub fn new(
-        host: HostComputer,
-        middleware: Box<dyn Middleware>,
-        device: DeviceProfile,
-        wireless: WirelessConfig,
-        wired: WiredPath,
-        seed: u64,
-    ) -> Self {
-        Self::assemble(host, middleware, device, wireless, wired, seed)
-    }
-
-    /// The one true constructor behind both [`SystemSpec::build`] and
-    /// the deprecated positional `McSystem::new`.
+    /// The one true constructor, reached through [`SystemSpec::build`]
+    /// (the positional `McSystem::new` was removed in 0.3.0).
     fn assemble(
         host: HostComputer,
         middleware: Box<dyn Middleware>,
@@ -646,7 +630,7 @@ impl CommerceSystem for McSystem {
         let Some(mut air) = self.air else {
             let reason = format!("no coverage on {}", self.wireless.name());
             obs::metrics::incr("station.txn_failures");
-            self.recorder.instant(cursor, Layer::Wireless, &reason, txn);
+            self.recorder.instant_dyn(cursor, Layer::Wireless, &reason, txn);
             self.recorder.dump_failure(txn, &reason, Layer::Wireless);
             return TransactionReport::failed(reason);
         };
@@ -1053,7 +1037,7 @@ impl CommerceSystem for McSystem {
         } else if self.recorder.is_enabled() {
             // Root span on the station covering the whole transaction.
             self.recorder
-                .span(t0, cursor - t0, Layer::Application, &req.url, txn);
+                .span_dyn(t0, cursor - t0, Layer::Application, &req.url, txn);
         }
         self.clock_ns = cursor;
 
@@ -1217,7 +1201,7 @@ impl McSystem {
     /// dump attributed to `layer`, failure counter, and clock advance.
     fn fail_txn(&mut self, txn: u64, cursor: u64, reason: &str, layer: Layer) {
         obs::metrics::incr("station.txn_failures");
-        self.recorder.instant(cursor, layer, reason, txn);
+        self.recorder.instant_dyn(cursor, layer, reason, txn);
         self.recorder.dump_failure(txn, reason, layer);
         self.clock_ns = cursor;
     }

@@ -12,6 +12,7 @@
 //! renders one process per user with six layer swim-lanes.
 
 use crate::span::{EventKind, TraceEvent};
+use crate::timeseries::Telemetry;
 
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -59,6 +60,14 @@ pub fn to_jsonl(events: &[TraceEvent]) -> String {
 
 /// Renders events as a Chrome `trace_event` JSON document.
 pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    to_chrome_trace_with(events, None)
+}
+
+/// Renders events as a Chrome `trace_event` JSON document, appending
+/// one `"ph":"C"` counter event per telemetry bin so Perfetto draws a
+/// counter track per resource (gateway utilization, cache hit-rate, …)
+/// alongside the span swim-lanes.
+pub fn to_chrome_trace_with(events: &[TraceEvent], telemetry: Option<&Telemetry>) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     for (i, e) in events.iter().enumerate() {
         if i > 0 {
@@ -84,6 +93,14 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                 e.layer.tid(),
                 e.txn,
             )),
+        }
+    }
+    if let Some(telemetry) = telemetry {
+        for counter in telemetry.chrome_counter_events() {
+            if !out.ends_with('[') {
+                out.push(',');
+            }
+            out.push_str(&counter);
         }
     }
     out.push_str("]}\n");
@@ -137,6 +154,21 @@ mod tests {
         assert!(json.contains("\"ph\":\"i\""));
         assert!(json.contains("\"pid\":3"));
         assert!(json.contains(&format!("\"tid\":{}", Layer::Wireless.tid())));
+    }
+
+    #[test]
+    fn chrome_trace_embeds_counter_tracks() {
+        use crate::timeseries::{SeriesKind, Telemetry};
+        let mut tel = Telemetry::new(1_000_000);
+        let id = tel.register("gateway0000.cpu_util", SeriesKind::Utilization);
+        tel.record_busy(id, 0, 250_000);
+        let json = to_chrome_trace_with(&events(), Some(&tel));
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"name\":\"gateway0000.cpu_util\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Counters also append cleanly to an empty span list.
+        let bare = to_chrome_trace_with(&[], Some(&tel));
+        assert!(bare.contains("\"ph\":\"C\"") && !bare.contains("[,"), "{bare}");
     }
 
     #[test]

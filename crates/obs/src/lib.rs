@@ -22,8 +22,12 @@
 //!   all recording at a single `match`; `Recorder::Ring` keeps a
 //!   bounded flight-recorder ring buffer and dumps the current
 //!   transaction's tail when it fails.
+//! * [`timeseries`] — fixed sim-time-bin resource series (utilization,
+//!   gauges, hit rates) that merge commutatively across shards, the
+//!   time dimension behind the shared-world dashboards.
 //! * [`export`] — JSONL and Chrome `trace_event` exporters
-//!   (`chrome://tracing` / Perfetto).
+//!   (`chrome://tracing` / Perfetto), including `"ph":"C"` counter
+//!   tracks derived from telemetry series.
 //!
 //! ## Determinism
 //!
@@ -38,8 +42,10 @@ pub mod hist;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
+pub mod timeseries;
 
 pub use hist::Histogram;
 pub use metrics::Metrics;
-pub use recorder::{FlightDump, Recorder};
+pub use recorder::{FlightDump, Recorder, RingScratch};
 pub use span::{EventKind, Layer, TraceEvent};
+pub use timeseries::{SeriesId, SeriesKind, Telemetry};

@@ -3,10 +3,13 @@
 //! Layers publish named counters and histograms through free functions
 //! ([`add`], [`observe`]) that write into a **thread-local** registry.
 //! Thread-locality is what keeps the fleet engine's determinism
-//! guarantee: each shard thread accumulates its own registry, the runner
-//! drains it per simulated user ([`take`]), and user registries merge in
-//! canonical user order — so the merged metrics are independent of how
-//! users were sharded across threads.
+//! guarantee: each shard thread accumulates its own registry, the
+//! runner drains it ([`take`]) at a shard boundary, and registries
+//! merge in canonical shard order. [`Metrics::merge`] is associative
+//! and commutative, so the merged totals are independent of how users
+//! were sharded across threads — and independent of whether the runner
+//! drains per user or per shard (the fleet engine drains per shard to
+//! keep the per-user cost at zero allocations).
 //!
 //! Publication is **disabled by default**. A disabled [`add`] is one
 //! thread-local flag load and a predictable branch — cheap enough to

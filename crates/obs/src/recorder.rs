@@ -9,6 +9,7 @@
 //! captures that transaction's surviving events into a [`FlightDump`]
 //! naming the layer the failure happened in.
 
+use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -105,29 +106,66 @@ impl Recorder {
     }
 
     /// Records a complete span `[at_ns, at_ns + dur_ns)` in `layer`.
+    ///
+    /// Takes a `&'static str` name so the hot path never allocates —
+    /// every per-transaction span name is a literal. Dynamic names go
+    /// through [`Recorder::span_dyn`].
     #[inline]
-    pub fn span(&mut self, at_ns: u64, dur_ns: u64, layer: Layer, name: &str, txn: u64) {
+    pub fn span(&mut self, at_ns: u64, dur_ns: u64, layer: Layer, name: &'static str, txn: u64) {
         let Recorder::Ring(ring) = self else { return };
         ring.push(TraceEvent {
             at_ns,
             dur_ns,
             layer,
-            name: name.to_owned(),
+            name: Cow::Borrowed(name),
             kind: EventKind::Span,
             user: ring.user,
             txn,
         });
     }
 
-    /// Records a point event at `at_ns` in `layer`.
+    /// Like [`Recorder::span`] for names built at runtime (URLs,
+    /// reasons). The copy happens only when recording is enabled.
     #[inline]
-    pub fn instant(&mut self, at_ns: u64, layer: Layer, name: &str, txn: u64) {
+    pub fn span_dyn(&mut self, at_ns: u64, dur_ns: u64, layer: Layer, name: &str, txn: u64) {
+        let Recorder::Ring(ring) = self else { return };
+        ring.push(TraceEvent {
+            at_ns,
+            dur_ns,
+            layer,
+            name: Cow::Owned(name.to_owned()),
+            kind: EventKind::Span,
+            user: ring.user,
+            txn,
+        });
+    }
+
+    /// Records a point event at `at_ns` in `layer` (static name; see
+    /// [`Recorder::span`] for the rationale).
+    #[inline]
+    pub fn instant(&mut self, at_ns: u64, layer: Layer, name: &'static str, txn: u64) {
         let Recorder::Ring(ring) = self else { return };
         ring.push(TraceEvent {
             at_ns,
             dur_ns: 0,
             layer,
-            name: name.to_owned(),
+            name: Cow::Borrowed(name),
+            kind: EventKind::Instant,
+            user: ring.user,
+            txn,
+        });
+    }
+
+    /// Like [`Recorder::instant`] for names built at runtime. The copy
+    /// happens only when recording is enabled.
+    #[inline]
+    pub fn instant_dyn(&mut self, at_ns: u64, layer: Layer, name: &str, txn: u64) {
+        let Recorder::Ring(ring) = self else { return };
+        ring.push(TraceEvent {
+            at_ns,
+            dur_ns: 0,
+            layer,
+            name: Cow::Owned(name.to_owned()),
             kind: EventKind::Instant,
             user: ring.user,
             txn,
@@ -187,6 +225,50 @@ impl Recorder {
             Recorder::Ring(ring) => (ring.events.into_iter().collect(), ring.dumps),
         }
     }
+
+    /// A ring recorder for `user` built over `scratch`'s buffer, so a
+    /// fleet shard pays the ring allocation once instead of once per
+    /// user. Pair with [`Recorder::into_parts_recycling`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn ring_recycled(capacity: usize, user: u64, scratch: &mut RingScratch) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let mut events = std::mem::take(&mut scratch.events);
+        events.clear();
+        Recorder::Ring(RingRecorder {
+            events,
+            capacity,
+            dropped: 0,
+            dumps: Vec::new(),
+            user,
+        })
+    }
+
+    /// Consumes the recorder like [`Recorder::into_parts`], returning
+    /// the ring's grown buffer to `scratch` for the shard's next user.
+    pub fn into_parts_recycling(self, scratch: &mut RingScratch) -> (Vec<TraceEvent>, Vec<FlightDump>) {
+        match self {
+            Recorder::Disabled => (Vec::new(), Vec::new()),
+            Recorder::Ring(mut ring) => {
+                let events: Vec<TraceEvent> = ring.events.drain(..).collect();
+                scratch.events = ring.events;
+                (events, ring.dumps)
+            }
+        }
+    }
+}
+
+/// Reusable backing storage for per-user ring recorders.
+///
+/// A fleet shard traces thousands of users in sequence; rebuilding each
+/// user's [`Recorder`] from a shared scratch keeps one ring buffer
+/// alive for the whole shard instead of reallocating (and re-growing)
+/// it per user.
+#[derive(Debug, Default)]
+pub struct RingScratch {
+    events: VecDeque<TraceEvent>,
 }
 
 impl RingRecorder {
@@ -219,7 +301,7 @@ mod tests {
     fn ring_keeps_most_recent_events() {
         let mut r = Recorder::ring_with_capacity(3, 7);
         for i in 0..5u64 {
-            r.instant(i, Layer::Station, &format!("e{i}"), i);
+            r.instant_dyn(i, Layer::Station, &format!("e{i}"), i);
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.dropped(), 2);
@@ -252,5 +334,25 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = Recorder::ring_with_capacity(0, 0);
+    }
+
+    #[test]
+    fn recycled_rings_match_fresh_rings_and_reuse_the_buffer() {
+        let mut scratch = RingScratch::default();
+        let mut all = Vec::new();
+        for user in 0..3u64 {
+            let mut fresh = Recorder::ring_for_user(user);
+            let mut recycled = Recorder::ring_recycled(DEFAULT_RING_CAPACITY, user, &mut scratch);
+            for r in [&mut fresh, &mut recycled] {
+                r.span(user * 10, 5, Layer::Wireless, "uplink", 0);
+                r.instant(user * 10 + 5, Layer::Host, "served", 0);
+            }
+            let fresh_parts = fresh.into_parts();
+            let recycled_parts = recycled.into_parts_recycling(&mut scratch);
+            assert_eq!(fresh_parts, recycled_parts);
+            all.push(recycled_parts);
+        }
+        assert!(all.iter().all(|(events, _)| events.len() == 2));
+        assert!(scratch.events.capacity() >= 2, "buffer survives recycling");
     }
 }

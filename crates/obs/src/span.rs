@@ -7,6 +7,7 @@
 //! attributes latency and failure to a specific component rather than to
 //! the transaction as a whole.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// One of the six components of the paper's MC system model (Figure 2).
@@ -87,8 +88,11 @@ pub struct TraceEvent {
     pub dur_ns: u64,
     /// The component the event is attributed to.
     pub layer: Layer,
-    /// Event name (`"uplink"`, `"render"`, `"rto"`, …).
-    pub name: String,
+    /// Event name (`"uplink"`, `"render"`, `"rto"`, …). Almost every
+    /// name on the hot path is a string literal, so this is a `Cow`:
+    /// recording a static name copies a pointer instead of allocating,
+    /// while dynamic names (failure reasons, URLs) still own their text.
+    pub name: Cow<'static, str>,
     /// Span or instant.
     pub kind: EventKind,
     /// The simulated user the event belongs to.

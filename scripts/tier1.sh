@@ -15,8 +15,9 @@
 #                      emits well-formed BENCH_engine.json;
 #   obs smoke        — the F5 observability experiment runs with
 #                      --trace, emits well-formed BENCH_obs.json and
-#                      Chrome-trace JSON, and the disabled-recorder
-#                      overhead stays within the 3% budget;
+#                      Chrome-trace JSON, the disabled-recorder
+#                      overhead stays within the 3% budget, and the
+#                      traced-fleet overhead stays within 25%;
 #   faults smoke     — the F6 fault-injection experiment runs end to
 #                      end, emits well-formed BENCH_faults.json, the
 #                      retry policy strictly beats the bare fleet at
@@ -37,6 +38,22 @@
 #                      is byte-identical to the legacy per-user world,
 #                      and every sweep point is byte-identical at
 #                      1/2/4 threads;
+#   telemetry smoke  — the F10 fleet-telemetry experiment runs end to
+#                      end, emits well-formed BENCH_telemetry.json,
+#                      the disabled-telemetry branch costs <= 3% in the
+#                      micro cell, the series exports are byte-
+#                      identical at 1/2/4/8 threads, telemetry on/off
+#                      leaves summary and trace bit-identical, and
+#                      every shared resource registered its series;
+#                      the F8 step runs with --dash, so the resource
+#                      dashboard renders, the knee is attributed to a
+#                      named resource, and the Perfetto counter-track
+#                      trace parses;
+#   benchdiff        — fresh quick artefacts diff clean against the
+#                      committed baselines in bench/baselines/ (wall-
+#                      clock metrics are informational; deterministic
+#                      metrics gate at 1%), and an injected regression
+#                      makes the diff fail;
 #   scale smoke      — the F9 fleet-scale experiment runs its quick
 #                      grid ({10k, 100k} users × {1, 4, 8} threads,
 #                      each cell in its own subprocess), emits
@@ -65,10 +82,19 @@ python3 -m json.tool TRACE_fleet.trace.json > /dev/null
 python3 - <<'PY'
 import json
 doc = json.load(open("BENCH_obs.json"))
-pct = doc["storm"]["overhead_disabled_pct"]
-assert pct <= 3.0, f"disabled-recorder overhead {pct:.2f}% exceeds the 3% budget"
+# Gates check the *floor* (minimum per-repetition ratio): scheduler
+# noise on a shared box only inflates ratios, while a real regression
+# lifts every pairing, floor included.
+pct = doc["storm"]["overhead_disabled_floor_pct"]
+assert pct <= 3.0, f"disabled-recorder overhead floor {pct:.2f}% exceeds the 3% budget"
 assert doc["fleet"]["trace_events"] > 0, "traced fleet produced no events"
-print(f"obs gate: disabled overhead {pct:+.2f}% (budget 3%)")
+fleet_pct = doc["fleet"]["overhead_floor_pct"]
+assert fleet_pct <= 25.0, (
+    f"traced-fleet overhead floor {fleet_pct:.2f}% exceeds the 25% budget"
+)
+print(f"obs gate: disabled overhead floor {pct:+.2f}% (budget 3%); "
+      f"traced fleet floor {fleet_pct:+.2f}% "
+      f"(median {doc['fleet']['overhead_pct']:+.2f}%, budget 25%)")
 PY
 cargo run --release -p bench --bin report -- --quick --f6
 python3 -m json.tool BENCH_faults.json > /dev/null
@@ -106,8 +132,10 @@ gated = [r for r in doc["sweep"] if r["ttl_s"] >= 30 and r["think_s"] <= 1]
 best = min(r["p50_ms"] / r["cold_p50_ms"] for r in gated)
 print(f"cache gate: warm p50 down to {best:.2f}x of cold; zero-TTL identity holds")
 PY
-cargo run --release -p bench --bin report -- --quick --f8
+cargo run --release -p bench --bin report -- --quick --f8 --dash
 python3 -m json.tool BENCH_contention.json > /dev/null
+python3 -m json.tool TRACE_fleet.counters.trace.json > /dev/null
+test -s TELEMETRY_fleet.jsonl
 python3 - <<'PY'
 import json
 doc = json.load(open("BENCH_contention.json"))
@@ -128,6 +156,48 @@ assert doc["thread_identity"], "shared world diverged across thread counts"
 print(f"contention gate: p99 {knee[0]['p99_ms']:.0f} -> {knee[-1]['p99_ms']:.0f} ms "
       f"across the knee; shared hit rate {growth[0]['hit_rate']:.2f} -> "
       f"{growth[-1]['hit_rate']:.2f}; both identities hold")
+PY
+python3 - <<'PY'
+import json
+events = json.load(open("TRACE_fleet.counters.trace.json"))["traceEvents"]
+counters = [e for e in events if e.get("ph") == "C"]
+names = {e["name"] for e in counters}
+assert any("gateway" in n and "cpu_util" in n for n in names), (
+    f"no gateway-utilization counter track in the Perfetto trace: {sorted(names)}"
+)
+assert any("cache_hit_rate" in n for n in names), (
+    f"no shared-cache hit-rate counter track in the Perfetto trace: {sorted(names)}"
+)
+lines = [l for l in open("TELEMETRY_fleet.jsonl") if l.strip()]
+series = set()
+for l in lines:
+    row = json.loads(l)
+    for key in ("series", "kind", "t_ns", "bin_ns", "sum", "weight", "max", "milli"):
+        assert key in row, f"telemetry jsonl row missing {key}: {row}"
+    series.add(row["series"])
+print(f"dash gate: {len(names)} counter tracks, {len(counters)} counter events, "
+      f"{len(lines)} telemetry rows across {len(series)} series")
+PY
+cargo run --release -p bench --bin report -- --quick --f10
+python3 -m json.tool BENCH_telemetry.json > /dev/null
+python3 - <<'PY'
+import json
+doc = json.load(open("BENCH_telemetry.json"))
+pct = doc["micro"]["disabled"]["overhead_disabled_floor_pct"]
+assert pct <= 3.0, f"disabled-telemetry overhead floor {pct:.2f}% exceeds the 3% budget"
+assert doc["thread_identity"], "telemetry exports diverged across thread counts"
+assert doc["run_identity"], "telemetry changed the simulation outcome"
+assert doc["export_stable"], "telemetry exports diverged between identical runs"
+peaks = doc["peaks"]
+assert len(peaks) >= 5, f"expected >=5 registered series, got {len(peaks)}"
+names = [p["series"] for p in peaks]
+assert names == sorted(names), f"series not in canonical order: {names}"
+for want in ("cell0000.airtime_util", "gateway0000.cpu_util",
+             "gateway0000.cache_hit_rate", "host0000.cpu_util",
+             "host0000.queue_depth"):
+    assert want in names, f"missing series {want}: {names}"
+print(f"telemetry gate: disabled overhead {pct:+.2f}% (budget 3%); "
+      f"{len(peaks)} series; all identities hold")
 PY
 cargo run --release -p bench --bin report -- --quick --f9
 python3 -m json.tool BENCH_scale.json > /dev/null
@@ -155,6 +225,21 @@ best = max(c["events_per_sec"] for c in cells)
 print(f"scale gate: {len(cells)}-cell grid complete; digests identical at every "
       f"population; 100k-user RSS under 128 MB; best {best:,.0f} events/s")
 PY
+cargo run --release -p bench --bin benchdiff -- bench/baselines .
+python3 - <<'PY'
+import json
+doc = json.load(open("bench/baselines/BENCH_contention.json"))
+doc["knee"][-1]["p99_ms"] *= 2
+json.dump(doc, open("BENCH_regressed.baseline.json", "w"))
+PY
+if cargo run --release -p bench --bin benchdiff -- \
+    BENCH_regressed.baseline.json BENCH_contention.json > /dev/null 2>&1; then
+  echo "benchdiff gate: FAILED to flag an injected 2x p99 regression" >&2
+  rm -f BENCH_regressed.baseline.json
+  exit 1
+fi
+rm -f BENCH_regressed.baseline.json
+echo "benchdiff gate: baselines match and the injected regression was flagged"
 cargo run -q --release --example quickstart > /dev/null
 cargo run -q --release --example secure_checkout > /dev/null
 cargo run -q --release --example roaming_payment > /dev/null
