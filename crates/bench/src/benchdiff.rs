@@ -275,6 +275,7 @@ pub const INFORMATIONAL: &[&str] = &[
     "overhead_enabled_pct",
     "peak_rss_bytes",
     "db_get_ns",
+    "rebuild_wall_ns",
     "threads",
 ];
 

@@ -2,7 +2,7 @@
 //! and prints them in paper order.
 //!
 //! ```text
-//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--f7] [--f8] [--f9] [--f10] [--trace] [--dash]
+//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--f7] [--f8] [--f9] [--f10] [--f11] [--trace] [--dash]
 //! ```
 //!
 //! `--quick` shrinks every workload for smoke runs; `--f4` runs only the
@@ -17,7 +17,10 @@
 //! cell re-executes this binary via the internal `--f9-cell` mode so its
 //! RSS high-water mark is measured in a fresh process).
 //! `--f10` runs only the F10 fleet-telemetry experiment (writes
-//! `BENCH_telemetry.json`). `--trace` additionally exports the
+//! `BENCH_telemetry.json`); `--f11` runs only the F11 durable-storage
+//! experiment (writes `BENCH_db.json` — WAL group commit × fsync cost,
+//! recovery-outage pricing, and the zero-cost identity gate).
+//! `--trace` additionally exports the
 //! fixed-seed fleet trace as `TRACE_fleet.jsonl` and
 //! `TRACE_fleet.trace.json` — open the latter in `chrome://tracing` or
 //! <https://ui.perfetto.dev>. `--dash` (with `--f8`) appends the
@@ -30,6 +33,7 @@
 use bench::ablations;
 use bench::cache_experiment;
 use bench::contention_experiment;
+use bench::db_experiment;
 use bench::engine;
 use bench::experiments;
 use bench::faults_experiment;
@@ -233,6 +237,16 @@ fn f10(quick: bool) {
     println!("\n-> wrote {path}");
 }
 
+/// Runs F11 and writes the `BENCH_db.json` artefact.
+fn f11(quick: bool) {
+    heading("F11 — durable storage: group commit × fsync cost, recovery pricing");
+    let numbers = db_experiment::run(quick);
+    println!("{numbers}");
+    let path = "BENCH_db.json";
+    std::fs::write(path, numbers.to_json()).expect("write BENCH_db.json");
+    println!("\n-> wrote {path}");
+}
+
 /// Runs F9 and writes the `BENCH_scale.json` artefact.
 fn f9(quick: bool) {
     heading("F9 — fleet scale: populations × threads, wall-clock / tps / peak RSS");
@@ -263,7 +277,8 @@ fn main() {
     let only_f8 = std::env::args().any(|a| a == "--f8");
     let only_f9 = std::env::args().any(|a| a == "--f9");
     let only_f10 = std::env::args().any(|a| a == "--f10");
-    if only_f4 || only_f5 || only_f6 || only_f7 || only_f8 || only_f9 || only_f10 {
+    let only_f11 = std::env::args().any(|a| a == "--f11");
+    if only_f4 || only_f5 || only_f6 || only_f7 || only_f8 || only_f9 || only_f10 || only_f11 {
         if only_f4 {
             f4(quick);
         }
@@ -284,6 +299,9 @@ fn main() {
         }
         if only_f10 {
             f10(quick);
+        }
+        if only_f11 {
+            f11(quick);
         }
         return;
     }
@@ -367,6 +385,7 @@ fn main() {
     f8(quick, dash);
     f9(quick);
     f10(quick);
+    f11(quick);
 
     heading("X1 — §5.2: TCP variants over an error-prone wireless hop");
     for row in tcpx::full_sweep(x1_bytes) {

@@ -1,0 +1,401 @@
+//! F11 — the durable storage engine: WAL group commit × fsync cost vs
+//! transaction latency, recovery-time pricing, and the zero-cost
+//! identity gate.
+//!
+//! DESIGN.md §2.18 gives the host database a write-ahead log with group
+//! commit, MVCC snapshot reads and rebuildable secondary indexes. This
+//! experiment prices the durability knob and proves it free when off:
+//!
+//! 1. **Durability sweep.** The commerce buy workload (every session
+//!    ends in a journaled two-phase purchase) runs under every
+//!    `commit_batch` × `fsync_ns` cell. Each WAL sync charges one
+//!    fsync-equivalent to the committing request's host time, so larger
+//!    batches amortize the same durability cost over more commits —
+//!    the classic group-commit trade of latency against loss window.
+//! 2. **Recovery pricing.** [`db_recovery_outage_ns`] maps journal
+//!    length × policy to the crash outage: a fixed remount base, a
+//!    per-entry replay cost, and one fsync-equivalent per commit batch
+//!    in the durable prefix. CI gates on monotonicity in length.
+//! 3. **Group-commit arithmetic.** An engine-level micro-leg drives 100
+//!    commits through each batch size and reads back the fsync count —
+//!    `ceil(100 / batch)` by construction, pinned here.
+//! 4. **Zero-cost identity.** A fleet carrying an *explicit* default
+//!    policy (`batch 1, fsync 0 ns`) is asserted byte-identical to a
+//!    policy-free fleet across 1/2/4/8 threads: when durability costs
+//!    nothing, the engine must not move a single bit.
+//! 5. **Index rebuild.** A wall-clock measurement of crash recovery
+//!    over a seeded, indexed table — the derived-projection rebuild
+//!    path — plus the deterministic rebuilt-entry count.
+//!
+//! Results are written as the `BENCH_db.json` artefact.
+
+use std::fmt;
+use std::time::Instant;
+
+use hostsite::db::Database;
+use mcommerce_core::{
+    db_recovery_outage_ns, Category, DurabilityPolicy, FleetRunner, Scenario, WorkloadCounters,
+};
+
+/// Fixed seed for every F11 population.
+const F11_SEED: u64 = 1101;
+
+/// Buy sessions each user runs (one journaled purchase per session).
+const SESSIONS: u64 = 8;
+
+/// The `commit_batch` axis of the sweep.
+const BATCHES: [u32; 3] = [1, 4, 16];
+
+/// The `fsync_ns` axis of the sweep (0 = free, 0.25 ms, 1 ms).
+const FSYNC_NS: [u64; 3] = [0, 250_000, 1_000_000];
+
+/// One cell of the commit-batch × fsync-cost sweep.
+#[derive(Debug, Clone)]
+pub struct DurabilityRow {
+    /// Commits per WAL sync window.
+    pub commit_batch: u32,
+    /// Modelled cost of one fsync-equivalent, microseconds.
+    pub fsync_us: f64,
+    /// p50 transaction latency across the fleet, milliseconds.
+    pub p50_ms: f64,
+    /// p99 transaction latency across the fleet, milliseconds.
+    pub p99_ms: f64,
+    /// Total WAL sync time charged to host CPU, milliseconds.
+    pub commit_ms: f64,
+}
+
+impl fmt::Display for DurabilityRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch {:>2} × fsync {:>6.0} us: p50 {:>7.1} ms p99 {:>7.1} ms | {:>8.2} ms in WAL syncs",
+            self.commit_batch, self.fsync_us, self.p50_ms, self.p99_ms, self.commit_ms
+        )
+    }
+}
+
+/// One row of the recovery-outage pricing table.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Durable journal entries replayed.
+    pub replayed: u64,
+    /// Commits per WAL sync window during replay.
+    pub commit_batch: u32,
+    /// Modelled fsync-equivalent cost, microseconds.
+    pub fsync_us: f64,
+    /// Total crash outage (remount + replay + re-syncs), milliseconds.
+    pub outage_ms: f64,
+}
+
+impl fmt::Display for RecoveryRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replay {:>4} entries under batch {:>2} × fsync {:>6.0} us: outage {:>8.1} ms",
+            self.replayed, self.commit_batch, self.fsync_us, self.outage_ms
+        )
+    }
+}
+
+/// The complete F11 result set.
+#[derive(Debug, Clone)]
+pub struct DbNumbers {
+    /// Buying users per sweep cell.
+    pub users: u64,
+    /// Sessions (journaled purchases) per user.
+    pub sessions_per_user: u64,
+    /// The commit-batch × fsync-cost sweep.
+    pub sweep: Vec<DurabilityRow>,
+    /// The recovery-outage pricing table.
+    pub recovery: Vec<RecoveryRow>,
+    /// WAL fsyncs observed for 100 commits at each batch size.
+    pub fsyncs_per_100_commits: Vec<(u32, u64)>,
+    /// Whether the explicit zero-cost-policy fleet came out
+    /// byte-identical to the policy-free fleet at 1/2/4/8 threads.
+    pub zero_cost_identical: bool,
+    /// Secondary-index entries rebuilt by the recovery micro-leg.
+    pub index_entries_rebuilt: u64,
+    /// Wall-clock nanoseconds for that recovery (machine-dependent).
+    pub rebuild_wall_ns: f64,
+}
+
+impl fmt::Display for DbNumbers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "buy fleet: {} users × {} journaled purchases, seed {}",
+            self.users, self.sessions_per_user, F11_SEED
+        )?;
+        for row in &self.sweep {
+            writeln!(f, "  {row}")?;
+        }
+        writeln!(f, "crash recovery pricing:")?;
+        for row in &self.recovery {
+            writeln!(f, "  {row}")?;
+        }
+        let fsyncs: Vec<String> = self
+            .fsyncs_per_100_commits
+            .iter()
+            .map(|(batch, fsyncs)| format!("batch {batch}: {fsyncs}"))
+            .collect();
+        writeln!(f, "fsyncs per 100 commits: {}", fsyncs.join(", "))?;
+        writeln!(
+            f,
+            "zero-cost-policy fleet identical to policy-free fleet (1/2/4/8 threads): {}",
+            self.zero_cost_identical
+        )?;
+        write!(
+            f,
+            "index rebuild on recovery: {} entries in {:.0} ns (wall clock)",
+            self.index_entries_rebuilt, self.rebuild_wall_ns
+        )
+    }
+}
+
+impl DbNumbers {
+    /// Renders the result as the `BENCH_db.json` document.
+    pub fn to_json(&self) -> String {
+        let sweep: Vec<String> = self
+            .sweep
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{ \"commit_batch\": {}, \"fsync_us\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"commit_ms\": {:.4} }}",
+                    r.commit_batch, r.fsync_us, r.p50_ms, r.p99_ms, r.commit_ms
+                )
+            })
+            .collect();
+        let recovery: Vec<String> = self
+            .recovery
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{ \"replayed\": {}, \"commit_batch\": {}, \"fsync_us\": {:.1}, \"outage_ms\": {:.4} }}",
+                    r.replayed, r.commit_batch, r.fsync_us, r.outage_ms
+                )
+            })
+            .collect();
+        let fsyncs: Vec<String> = self
+            .fsyncs_per_100_commits
+            .iter()
+            .map(|(batch, fsyncs)| format!("\"batch_{batch}\": {fsyncs}"))
+            .collect();
+        format!(
+            "{{\n  \"experiment\": \"F11_db\",\n  \"users\": {},\n  \"sessions_per_user\": {},\n  \"sweep\": [\n{}\n  ],\n  \"recovery\": [\n{}\n  ],\n  \"fsyncs_per_100_commits\": {{ {} }},\n  \"zero_cost_identical\": {},\n  \"index_entries_rebuilt\": {},\n  \"rebuild_wall_ns\": {:.1}\n}}\n",
+            self.users,
+            self.sessions_per_user,
+            sweep.join(",\n"),
+            recovery.join(",\n"),
+            fsyncs.join(", "),
+            self.zero_cost_identical,
+            self.index_entries_rebuilt,
+            self.rebuild_wall_ns
+        )
+    }
+}
+
+/// Runs the buy workload for one sweep cell: every user works through
+/// `SESSIONS` commerce sessions, each ending in a journaled purchase.
+/// Returns the merged counters plus the cell's metrics (the WAL sync
+/// time lands on `host.db.commit_ns`).
+fn buy_cell(policy: DurabilityPolicy, users: u64) -> (WorkloadCounters, obs::Metrics) {
+    let scenario = Scenario::new("F11")
+        .app(Category::Commerce)
+        .sessions_per_user(SESSIONS)
+        .think_time(1.0)
+        .seed(F11_SEED)
+        .durability(policy);
+    let guard = obs::metrics::enable();
+    let mut counters = WorkloadCounters::default();
+    for user in 0..users {
+        scenario.run_user(user, &mut counters);
+    }
+    drop(guard);
+    (counters, obs::metrics::take())
+}
+
+/// Engine-level group-commit arithmetic: 100 single-row commits under
+/// `batch`, then the observed WAL fsync count (`ceil(100 / batch)`).
+fn fsyncs_for_100_commits(batch: u32) -> u64 {
+    let mut db = Database::new();
+    db.create_table("ops", &["id", "v"], &[]).unwrap();
+    db.set_durability(DurabilityPolicy::new(batch, 0));
+    let before = db.wal_fsyncs();
+    for id in 0..100i64 {
+        db.insert("ops", vec![id.into(), (id * 7).into()]).unwrap();
+    }
+    // Drain the open window so a partial tail counts its final sync —
+    // the same `ceil(commits / batch)` a crash-free shutdown pays.
+    db.sync_journal();
+    db.wal_fsyncs() - before
+}
+
+/// Wall-clock crash recovery over a seeded, indexed table: returns the
+/// rebuilt secondary-index entry count (deterministic) and the elapsed
+/// nanoseconds (machine-dependent, reported but never gated).
+fn rebuild_micro() -> (u64, f64) {
+    const ROWS: i64 = 2_000;
+    let mut db = Database::new();
+    db.create_table("wide", &["id", "bucket", "payload"], &["bucket"])
+        .unwrap();
+    let payload = "x".repeat(256);
+    for id in 0..ROWS {
+        db.insert(
+            "wide",
+            vec![id.into(), (id % 17).into(), payload.clone().into()],
+        )
+        .unwrap();
+    }
+    let journal = db.journal().to_vec();
+    let started = Instant::now();
+    let recovered = Database::recover(&journal).expect("clean journal recovers");
+    let elapsed = started.elapsed().as_nanos() as f64;
+    (recovered.index_entries_rebuilt(), elapsed)
+}
+
+/// Runs the full F11 experiment. `quick` shrinks the populations for CI
+/// smoke runs; seeds and both sweep grids are identical either way.
+pub fn run(quick: bool) -> DbNumbers {
+    let users = if quick { 6 } else { 16 };
+
+    let mut sweep = Vec::new();
+    for &batch in &BATCHES {
+        for &fsync_ns in &FSYNC_NS {
+            let policy = DurabilityPolicy::new(batch, fsync_ns);
+            let (counters, metrics) = buy_cell(policy, users);
+            sweep.push(DurabilityRow {
+                commit_batch: batch,
+                fsync_us: fsync_ns as f64 / 1e3,
+                p50_ms: counters.latency_percentile(50.0) * 1e3,
+                p99_ms: counters.latency_percentile(99.0) * 1e3,
+                commit_ms: metrics.counter("host.db.commit_ns") as f64 / 1e6,
+            });
+        }
+    }
+
+    let mut recovery = Vec::new();
+    for &(batch, fsync_ns) in &[(1u32, 0u64), (4, 250_000), (16, 1_000_000)] {
+        let policy = DurabilityPolicy::new(batch, fsync_ns);
+        for &replayed in &[16u64, 64, 256] {
+            recovery.push(RecoveryRow {
+                replayed,
+                commit_batch: batch,
+                fsync_us: fsync_ns as f64 / 1e3,
+                outage_ms: db_recovery_outage_ns(replayed, policy) as f64 / 1e6,
+            });
+        }
+    }
+
+    // Zero-cost identity, cross-checked at every thread count: a fleet
+    // that *explicitly* carries the default policy (batch 1, fsync
+    // 0 ns) must be byte-identical to one that never mentions
+    // durability at all.
+    let base = Scenario::new("F11-identity")
+        .app(Category::Commerce)
+        .users(if quick { 8 } else { 16 })
+        .sessions_per_user(2)
+        .seed(F11_SEED + 1);
+    let plain = FleetRunner::new(base.clone()).threads(1).run().report.summary;
+    let zero_cost_identical = [1, 2, 4, 8].iter().all(|&threads| {
+        let explicit = FleetRunner::new(base.clone().durability(DurabilityPolicy::new(1, 0)))
+            .threads(threads)
+            .run()
+            .report
+            .summary;
+        explicit == plain
+    });
+
+    let (index_entries_rebuilt, rebuild_wall_ns) = rebuild_micro();
+
+    DbNumbers {
+        users,
+        sessions_per_user: SESSIONS,
+        sweep,
+        recovery,
+        fsyncs_per_100_commits: BATCHES
+            .iter()
+            .map(|&batch| (batch, fsyncs_for_100_commits(batch)))
+            .collect(),
+        zero_cost_identical,
+        index_entries_rebuilt,
+        rebuild_wall_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_costs_what_the_policy_says_and_nothing_when_free() {
+        let numbers = run(true);
+        let free: Vec<&DurabilityRow> = numbers
+            .sweep
+            .iter()
+            .filter(|r| r.fsync_us == 0.0)
+            .collect();
+        // fsync 0 ns is free at every batch size: no WAL time, and the
+        // latency profile is the same as every other free cell.
+        for row in &free {
+            assert_eq!(row.commit_ms, 0.0, "{row}");
+            assert_eq!(row.p50_ms, free[0].p50_ms, "{row}");
+            assert_eq!(row.p99_ms, free[0].p99_ms, "{row}");
+        }
+        // At a fixed batch, paying more per fsync never lowers latency
+        // or WAL time; at a fixed price, batching never raises WAL time.
+        for &batch in &BATCHES {
+            let rows: Vec<&DurabilityRow> = numbers
+                .sweep
+                .iter()
+                .filter(|r| r.commit_batch == batch)
+                .collect();
+            for pair in rows.windows(2) {
+                assert!(pair[1].p99_ms >= pair[0].p99_ms, "{} vs {}", pair[1], pair[0]);
+                assert!(pair[1].commit_ms >= pair[0].commit_ms, "{}", pair[1]);
+            }
+        }
+        let paid: Vec<&DurabilityRow> = numbers
+            .sweep
+            .iter()
+            .filter(|r| r.fsync_us == 1_000.0)
+            .collect();
+        for pair in paid.windows(2) {
+            assert!(
+                pair[1].commit_ms <= pair[0].commit_ms,
+                "group commit amortizes: {} vs {}",
+                pair[1],
+                pair[0]
+            );
+        }
+        assert!(paid[0].commit_ms > 0.0, "batch 1 × 1 ms pays per commit");
+
+        // Recovery pricing is monotone in journal length.
+        for chunk in numbers.recovery.chunks(3) {
+            for pair in chunk.windows(2) {
+                assert!(pair[1].outage_ms > pair[0].outage_ms, "{}", pair[1]);
+            }
+        }
+        for (batch, fsyncs) in &numbers.fsyncs_per_100_commits {
+            assert_eq!(*fsyncs, 100u64.div_ceil(*batch as u64));
+        }
+        assert!(numbers.zero_cost_identical);
+        assert!(numbers.index_entries_rebuilt > 0);
+        assert!(numbers.rebuild_wall_ns > 0.0);
+        let json = numbers.to_json();
+        assert!(json.contains("\"zero_cost_identical\": true"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn the_sweep_is_deterministic() {
+        let policy = DurabilityPolicy::new(4, 250_000);
+        let (a, am) = buy_cell(policy, 3);
+        let (b, bm) = buy_cell(policy, 3);
+        assert_eq!(a, b, "same seed, same numbers");
+        assert_eq!(
+            am.counter("host.db.commit_ns"),
+            bm.counter("host.db.commit_ns")
+        );
+        assert_eq!(a.attempted, 3 * SESSIONS * 2, "two steps per session");
+    }
+}

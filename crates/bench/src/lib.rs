@@ -18,6 +18,7 @@
 //! | F8 | shared-world contention: knee + shared-cache growth | [`contention_experiment::run`] |
 //! | F9 | fleet scale: populations × threads, wall/tps/RSS | [`scale_experiment::run`] |
 //! | F10 | fleet telemetry: cost when off, identity when on | [`telemetry_experiment::run`] |
+//! | F11 | durable storage: group commit × fsync cost, recovery pricing | [`db_experiment::run`] |
 //! | X1 | §5.2, TCP variants on wireless | [`tcpx::tcp_variants`] |
 //! | X2 | §1.1, five system requirements | [`experiments::independence`] |
 //!
@@ -34,6 +35,7 @@ pub mod ablations;
 pub mod benchdiff;
 pub mod cache_experiment;
 pub mod contention_experiment;
+pub mod db_experiment;
 pub mod engine;
 pub mod experiments;
 pub mod faults_experiment;

@@ -50,6 +50,7 @@ use crate::netpath::{WiredPath, WirelessConfig};
 use crate::report::{WorkloadCounters, WorkloadSummary};
 use crate::shared::{self, ContentionStats};
 use crate::system::{CachePolicy, McSystem, MiddlewareKind, SystemSpec};
+use hostsite::db::DurabilityPolicy;
 use crate::topology::Topology;
 use crate::workload::run_session;
 
@@ -118,6 +119,9 @@ pub struct Scenario {
     /// `CachePolicy::disabled()`. Caches are strictly per-user (each
     /// user owns a full system), preserving thread-count invariance.
     pub cache: CachePolicy,
+    /// Durability policy for every user's host database. The default
+    /// (batch 1, free fsync) executes the exact pre-WAL-pricing path.
+    pub durability: DurabilityPolicy,
 }
 
 impl Scenario {
@@ -144,6 +148,7 @@ impl Scenario {
             retry: faults::RetryPolicy::none(),
             fallback: None,
             cache: CachePolicy::disabled(),
+            durability: DurabilityPolicy::default(),
         }
     }
 
@@ -246,6 +251,13 @@ impl Scenario {
         self
     }
 
+    /// Sets the durability policy for every user's host database.
+    #[must_use]
+    pub fn durability(mut self, policy: DurabilityPolicy) -> Self {
+        self.durability = policy;
+        self
+    }
+
     /// Label summarising the configuration for reports.
     pub fn label(&self) -> String {
         format!(
@@ -271,6 +283,7 @@ impl Scenario {
             .seed(simnet::rng::sub_seed(self.seed, "fleet.air", user))
             .secure(self.secure)
             .cache(self.cache)
+            .durability(self.durability)
     }
 
     /// Builds the fully provisioned system for one user: fresh host with

@@ -59,8 +59,10 @@ pub use netpath::{AirLink, WiredPath, WirelessConfig};
 pub use report::{
     PhaseBreakdown, TransactionOutcome, TransactionReport, WorkloadCounters, WorkloadSummary,
 };
+pub use hostsite::db::DurabilityPolicy;
 pub use shared::ContentionStats;
 pub use system::{
-    CachePolicy, CommerceSystem, EcSystem, McSystem, MiddlewareKind, StationState, SystemSpec,
+    db_recovery_outage_ns, CachePolicy, CommerceSystem, EcSystem, McSystem, MiddlewareKind,
+    StationState, SystemSpec,
 };
 pub use topology::{Placement, Topology};

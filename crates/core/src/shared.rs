@@ -145,6 +145,10 @@ struct IslandTelemetry {
     gw_cache: Vec<SeriesId>,
     /// Host CPU busy fraction.
     host_util: SeriesId,
+    /// WAL (group-commit log) busy fraction; registered only when the
+    /// scenario prices durability, so default-policy artefacts carry
+    /// exactly the pre-WAL track set.
+    host_wal_util: Option<SeriesId>,
     /// Host queue depth (jobs in service or waiting), sampled at each
     /// arrival.
     host_queue: SeriesId,
@@ -154,7 +158,7 @@ struct IslandTelemetry {
 }
 
 impl IslandTelemetry {
-    fn new(bin_ns: u64, island: u64, cells: &[u64], gateways: &[u64]) -> Self {
+    fn new(bin_ns: u64, island: u64, cells: &[u64], gateways: &[u64], priced_wal: bool) -> Self {
         let mut t = Telemetry::new(bin_ns);
         let cell_util = cells
             .iter()
@@ -169,6 +173,8 @@ impl IslandTelemetry {
             .map(|&g| t.register(&format!("gateway{g:04}.cache_hit_rate"), SeriesKind::Rate))
             .collect();
         let host_util = t.register(&format!("host{island:04}.cpu_util"), SeriesKind::Utilization);
+        let host_wal_util = priced_wal
+            .then(|| t.register(&format!("host{island:04}.wal_util"), SeriesKind::Utilization));
         let host_queue = t.register(&format!("host{island:04}.queue_depth"), SeriesKind::Gauge);
         IslandTelemetry {
             t,
@@ -176,6 +182,7 @@ impl IslandTelemetry {
             gw_util,
             gw_cache,
             host_util,
+            host_wal_util,
             host_queue,
             host_inflight: BinaryHeap::new(),
         }
@@ -307,6 +314,9 @@ fn run_island(
         .web
         .db_mut()
         .set_query_cache(scenario.cache.enabled);
+    // Seed rows installed above are already durable; only live-traffic
+    // commits batch under a priced policy.
+    shared_host.web.db_mut().set_durability(scenario.durability);
 
     // The island's shared infrastructure, indexed locally. Local order
     // follows global index order, so resource identity is canonical.
@@ -330,9 +340,19 @@ fn run_island(
                 })
         })
         .collect();
-    let mut host_cpu = FcfsServer::new();
-    let mut telemetry =
-        telemetry_bin_ns.map(|bin_ns| IslandTelemetry::new(bin_ns, island, &cells, &gateways));
+    let mut host = HostLanes {
+        cpu: FcfsServer::new(),
+        wal: FcfsServer::new(),
+    };
+    let mut telemetry = telemetry_bin_ns.map(|bin_ns| {
+        IslandTelemetry::new(
+            bin_ns,
+            island,
+            &cells,
+            &gateways,
+            !scenario.durability.is_zero_cost(),
+        )
+    });
 
     // Per-user state: the private system (station, battery, RNG streams
     // — exactly the legacy per-user build) plus the queued actions. The
@@ -419,7 +439,7 @@ fn run_island(
                     &mut report,
                     &mut cell_air,
                     &mut gateway_cpu,
-                    &mut host_cpu,
+                    &mut host,
                     &mut stats,
                     telemetry.as_mut(),
                 );
@@ -505,6 +525,15 @@ fn execute_shared(
     report
 }
 
+/// The shared host's two serial lanes. The WAL is its own resource:
+/// concurrent writers contend on the log tail, not on the host CPU —
+/// and zero-service admissions are free, so the default durability
+/// policy never touches the WAL lane.
+struct HostLanes {
+    cpu: FcfsServer,
+    wal: FcfsServer,
+}
+
 /// Admits the transaction's per-phase service times to the shared FCFS
 /// resources in path order and folds the resulting waits into the
 /// report, the per-phase breakdown, and the user's clock. Zero-service
@@ -514,7 +543,7 @@ fn charge_contention(
     report: &mut TransactionReport,
     cell_air: &mut [CellAirtime],
     gateway_cpu: &mut [FcfsServer],
-    host_cpu: &mut FcfsServer,
+    host: &mut HostLanes,
     stats: &mut ContentionStats,
     mut telemetry: Option<&mut IslandTelemetry>,
 ) {
@@ -526,6 +555,11 @@ fn charge_contention(
     let gw_ns = to_ns(report.breakdown.middleware_secs);
     let wired_ns = to_ns(report.breakdown.wired_secs);
     let host_ns = to_ns(report.breakdown.host_secs);
+    // The WAL share of the host phase serializes on the group-commit
+    // log, not the CPU — a transaction that paid for an fsync holds the
+    // log while others queue behind it. Zero under the default policy.
+    let wal_ns = state.system.last_commit_ns().min(host_ns);
+    let cpu_ns = host_ns - wal_ns;
 
     // Walk the path from the transaction's start, carrying waits
     // forward so a delayed uplink delays the gateway arrival, and so on.
@@ -544,14 +578,23 @@ fn charge_contention(
             .record_busy(tele.gw_util[state.gateway], cursor + gw_wait, gw_ns);
     }
     cursor += gw_wait + gw_ns + wired_ns;
-    let host_wait = host_cpu.admit(cursor, host_ns);
+    let cpu_wait = host.cpu.admit(cursor, cpu_ns);
     if let Some(tele) = telemetry.as_deref_mut() {
-        tele.t.record_busy(tele.host_util, cursor + host_wait, host_ns);
-        if host_ns > 0 {
-            tele.sample_host_queue(cursor, cursor + host_wait + host_ns);
+        tele.t.record_busy(tele.host_util, cursor + cpu_wait, cpu_ns);
+        if cpu_ns > 0 {
+            tele.sample_host_queue(cursor, cursor + cpu_wait + cpu_ns);
         }
     }
-    cursor += host_wait + host_ns;
+    cursor += cpu_wait + cpu_ns;
+    let wal_wait = host.wal.admit(cursor, wal_ns);
+    if let Some(tele) = telemetry.as_deref_mut() {
+        if let (Some(id), true) = (tele.host_wal_util, wal_ns > 0) {
+            tele.t.record_busy(id, cursor + wal_wait, wal_ns);
+        }
+    }
+    cursor += wal_wait + wal_ns;
+    // Both host lanes fold into the report's host share.
+    let host_wait = cpu_wait + wal_wait;
     let down = cell_air[state.cell].request(cursor, down_ns);
     if let Some(tele) = telemetry {
         tele.t

@@ -11,6 +11,7 @@
 use middleware::{AirFormat, ContentCache, Exchange, Middleware, MobileRequest};
 
 use faults::{classify, FailureClass, FaultKind, FaultPlan, FaultState, RetryPolicy};
+use hostsite::db::DurabilityPolicy;
 use hostsite::HostComputer;
 use obs::{Layer, Recorder};
 use rand::rngs::StdRng;
@@ -45,6 +46,21 @@ const DB_RECOVERY_BASE: SimDuration = SimDuration::from_secs(2);
 
 /// Journal replay cost per committed entry during crash recovery.
 const DB_RECOVERY_PER_ENTRY: SimDuration = SimDuration::from_millis(5);
+
+/// Host outage after a database crash: restart, replay of the durable
+/// journal, and — under a priced [`DurabilityPolicy`] — the
+/// fsync-equivalents of re-grouping `replayed` entries into commit
+/// batches. The zero-cost default adds nothing over base + per-entry.
+pub fn db_recovery_outage_ns(replayed: u64, policy: DurabilityPolicy) -> u64 {
+    DB_RECOVERY_BASE
+        .as_nanos()
+        .saturating_add(DB_RECOVERY_PER_ENTRY.as_nanos().saturating_mul(replayed))
+        .saturating_add(
+            policy
+                .fsync_ns
+                .saturating_mul(policy.fsync_equivalents(replayed)),
+        )
+}
 
 /// Anything that can execute a commerce transaction end to end.
 pub trait CommerceSystem {
@@ -205,6 +221,10 @@ pub struct SystemSpec {
     pub secure: bool,
     /// The caching-hierarchy policy (DESIGN.md §2.14).
     pub cache: CachePolicy,
+    /// The host database's durability policy (DESIGN.md §2.18). The
+    /// default (batch 1, free fsync) is byte-identical to an unpriced
+    /// journal.
+    pub durability: DurabilityPolicy,
 }
 
 impl Default for SystemSpec {
@@ -229,6 +249,7 @@ impl SystemSpec {
             seed: 1,
             secure: false,
             cache: CachePolicy::disabled(),
+            durability: DurabilityPolicy::default(),
         }
     }
 
@@ -281,6 +302,13 @@ impl SystemSpec {
         self
     }
 
+    /// Sets the host database's durability policy.
+    #[must_use]
+    pub fn durability(mut self, policy: DurabilityPolicy) -> Self {
+        self.durability = policy;
+        self
+    }
+
     /// Assembles the live system around `host` (which should already
     /// have its application programs installed).
     pub fn build(&self, host: HostComputer) -> McSystem {
@@ -296,6 +324,9 @@ impl SystemSpec {
         if self.cache.enabled {
             system.set_cache_policy(self.cache);
         }
+        // Seed rows written before build() committed under the default
+        // policy and are already durable; only new commits batch.
+        system.host.web.db_mut().set_durability(self.durability);
         system
     }
 }
@@ -363,6 +394,10 @@ pub struct McSystem {
     degraded_primary: Option<Box<dyn Middleware>>,
     /// Until this instant the host refuses service (journal replay).
     host_recovering_until_ns: u64,
+    /// WAL fsync nanoseconds inside the last transaction's host share —
+    /// the slice the shared-world engine serializes on the log, not the
+    /// CPU. Zero under the default free-durability policy.
+    last_commit_ns: u64,
     /// The caching hierarchy's configuration (disabled by default).
     cache: CachePolicy,
     /// The gateway content cache, present iff the policy enables it.
@@ -415,6 +450,7 @@ impl McSystem {
             fallback_kind: None,
             degraded_primary: None,
             host_recovering_until_ns: 0,
+            last_commit_ns: 0,
             cache: CachePolicy::disabled(),
             gateway_cache: None,
             render_memo: None,
@@ -583,10 +619,9 @@ impl McSystem {
                         .instant(now_ns, Layer::Station, "fault: battery drain", self.txn_seq);
                 }
                 FaultKind::DbCrash => {
+                    let policy = self.host.web.db().durability();
                     let replayed = self.host.web.crash_and_recover_db().map_or(0, |n| n as u64);
-                    let recovery = DB_RECOVERY_BASE
-                        .as_nanos()
-                        .saturating_add(DB_RECOVERY_PER_ENTRY.as_nanos().saturating_mul(replayed));
+                    let recovery = db_recovery_outage_ns(replayed, policy);
                     self.host_recovering_until_ns = self
                         .host_recovering_until_ns
                         .max(now_ns.saturating_add(recovery));
@@ -596,6 +631,13 @@ impl McSystem {
                 _ => {}
             }
         }
+    }
+
+    /// WAL fsync nanoseconds charged inside the last transaction's host
+    /// share. The shared-world engine pulls this out of the host-CPU
+    /// lane and serializes it on the log instead.
+    pub fn last_commit_ns(&self) -> u64 {
+        self.last_commit_ns
     }
 
     fn content_kind(format: AirFormat) -> ContentKind {
@@ -620,6 +662,9 @@ impl CommerceSystem for McSystem {
 
     fn execute(&mut self, req: &MobileRequest) -> TransactionReport {
         let t0 = self.clock_ns;
+        // A gateway-cache hit never reaches the host, so the stale WAL
+        // share from the previous transaction must not leak into it.
+        self.last_commit_ns = 0;
         // One-shot faults due by now (battery drains, host crashes)
         // strike before the transaction leaves the station.
         self.apply_due_oneshots(t0);
@@ -791,6 +836,7 @@ impl CommerceSystem for McSystem {
             }
             None => {
                 let ex = self.middleware.exchange(&mut self.host, req);
+                self.last_commit_ns = self.host.take_commit_ns();
                 if let Some(id) = cache_id {
                     obs::metrics::incr("middleware.cache.misses");
                     if ContentCache::cacheable_exchange(&ex) {
@@ -1116,6 +1162,9 @@ impl McSystem {
         // The retry budget runs from the end of the first attempt.
         let deadline_end = self.clock_ns.saturating_add(policy.deadline.as_nanos());
         let mut attempts: u32 = 1;
+        // WAL time accumulates across attempts like every other phase
+        // share (each execute() resets the per-transaction slot).
+        let mut commit_ns = self.last_commit_ns;
         let mut prior = PhaseBreakdown::default();
         let mut prior_total = 0.0f64;
         let mut prior_energy = 0.0f64;
@@ -1169,7 +1218,9 @@ impl McSystem {
             attempts += 1;
             obs::metrics::incr("policy.retries");
             report = self.execute(req);
+            commit_ns = commit_ns.saturating_add(self.last_commit_ns);
         }
+        self.last_commit_ns = commit_ns;
         // Settle: the primary middleware comes back for the next
         // transaction (fresh session, since the gateway path changed).
         if let Some(primary) = self.degraded_primary.take() {

@@ -1,283 +1,17 @@
-//! The database server: an embedded storage engine.
-//!
-//! §7: "Other than the server-side database servers, a growing trend is to
-//! provide a mobile database or an embedded database … Embedded databases
-//! have very small footprints, and must be able to run without the
-//! services of a database administrator."
-//!
-//! This engine serves both roles: unconstrained as the host computer's
-//! database server, or capped via [`Database::with_memory_limit`] as the
-//! small-footprint embedded variant. It provides typed tables, a primary
-//! key, optional secondary indexes, ACID transactions with undo-log
-//! rollback, and a write-ahead journal from which a fresh instance can be
-//! recovered after a crash.
-//!
-//! Rows are stored and returned as [`Arc<Row>`], so reads hand out shared
-//! handles instead of deep copies. An optional query cache (see
-//! [`Database::set_query_cache`]) memoizes [`Database::select_eq`] result
-//! sets per table and is invalidated transactionally: any `insert`,
-//! `update`, or `delete` against a table drops that table's cached
-//! queries — and only that table's.
+//! The [`Database`] façade: transactions, recovery, the memory cap and
+//! the query cache, tied over the WAL / MVCC / index layers.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::fmt;
 use std::hash::{Hash as _, Hasher as _};
 use std::sync::Arc;
 
 use crate::intern::{probe_hasher, KeyInterner};
 
-/// A typed cell value.
-#[derive(Debug, Clone, PartialEq, PartialOrd)]
-pub enum Value {
-    /// 64-bit integer.
-    Int(i64),
-    /// UTF-8 text.
-    Text(String),
-    /// Boolean.
-    Bool(bool),
-    /// 64-bit float (totally ordered by its bits being non-NaN; NaN is
-    /// rejected at the API boundary).
-    Float(f64),
-}
-
-impl Value {
-    /// The value's type name, for error messages and schema checks.
-    pub fn type_name(&self) -> &'static str {
-        match self {
-            Value::Int(_) => "int",
-            Value::Text(_) => "text",
-            Value::Bool(_) => "bool",
-            Value::Float(_) => "float",
-        }
-    }
-
-    /// Approximate in-memory footprint in bytes.
-    pub fn footprint(&self) -> usize {
-        match self {
-            Value::Int(_) | Value::Float(_) => 8,
-            Value::Bool(_) => 1,
-            Value::Text(t) => 24 + t.len(),
-        }
-    }
-
-    fn ord_key(&self) -> OrdKey {
-        match self {
-            Value::Int(i) => OrdKey::Int(*i),
-            Value::Text(t) => OrdKey::Text(t.clone()),
-            Value::Bool(b) => OrdKey::Int(i64::from(*b)),
-            Value::Float(f) => OrdKey::Float(float_key_bits(*f)),
-        }
-    }
-}
-
-impl From<i64> for Value {
-    fn from(v: i64) -> Self {
-        Value::Int(v)
-    }
-}
-impl From<&str> for Value {
-    fn from(v: &str) -> Self {
-        Value::Text(v.to_owned())
-    }
-}
-impl From<String> for Value {
-    fn from(v: String) -> Self {
-        Value::Text(v)
-    }
-}
-impl From<bool> for Value {
-    fn from(v: bool) -> Self {
-        Value::Bool(v)
-    }
-}
-impl From<f64> for Value {
-    fn from(v: f64) -> Self {
-        Value::Float(v)
-    }
-}
-
-impl fmt::Display for Value {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Value::Int(i) => write!(f, "{i}"),
-            Value::Text(t) => write!(f, "{t}"),
-            Value::Bool(b) => write!(f, "{b}"),
-            Value::Float(x) => write!(f, "{x}"),
-        }
-    }
-}
-
-/// Monotone bit mapping for float keys: negatives flip all bits,
-/// positives flip the sign bit, so u64 order equals float order.
-/// (-0.0 is normalised to 0.0 first.)
-fn float_key_bits(f: f64) -> u64 {
-    let f = if f == 0.0 { 0.0 } else { f };
-    let bits = f.to_bits();
-    if bits & (1 << 63) != 0 {
-        !bits
-    } else {
-        bits | (1 << 63)
-    }
-}
-
-/// Totally ordered key derived from a [`Value`] for index storage.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-enum OrdKey {
-    Int(i64),
-    Text(String),
-    Float(u64),
-}
-
-impl OrdKey {
-    /// True when `value.ord_key()` would equal `self` — compared without
-    /// building the key (no `Text` clone).
-    fn matches_value(&self, value: &Value) -> bool {
-        match (self, value) {
-            (OrdKey::Int(a), Value::Int(b)) => a == b,
-            (OrdKey::Int(a), Value::Bool(b)) => *a == i64::from(*b),
-            (OrdKey::Text(a), Value::Text(b)) => a == b,
-            (OrdKey::Float(a), Value::Float(b)) => *a == float_key_bits(*b),
-            _ => false,
-        }
-    }
-}
-
-/// A row: one value per column, in schema order.
-pub type Row = Vec<Value>;
-
-/// Errors produced by the database.
-#[derive(Debug, Clone, PartialEq)]
-pub enum DbError {
-    /// The named table does not exist.
-    NoSuchTable(String),
-    /// The named column does not exist on the table.
-    NoSuchColumn {
-        /// The table the lookup targeted.
-        table: String,
-        /// The column that does not exist on it.
-        column: String,
-    },
-    /// A row's arity or a value's type does not match the schema.
-    SchemaMismatch(String),
-    /// Primary-key uniqueness violated.
-    DuplicateKey(String),
-    /// No row with the given primary key.
-    NotFound,
-    /// The memory cap would be exceeded.
-    OutOfMemory {
-        /// The configured cap in bytes.
-        limit: usize,
-    },
-    /// A table with that name already exists.
-    TableExists(String),
-    /// NaN floats cannot be stored (they have no total order).
-    NanRejected,
-}
-
-impl fmt::Display for DbError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
-            DbError::NoSuchColumn { table, column } => {
-                write!(f, "no column {column:?} on table {table:?}")
-            }
-            DbError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
-            DbError::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
-            DbError::NotFound => write!(f, "row not found"),
-            DbError::OutOfMemory { limit } => write!(f, "memory limit of {limit} bytes exceeded"),
-            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
-            DbError::NanRejected => write!(f, "NaN values cannot be stored"),
-        }
-    }
-}
-
-impl std::error::Error for DbError {}
-
-/// One durable operation, as recorded in the write-ahead journal.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JournalEntry {
-    /// Table creation.
-    CreateTable {
-        /// Table name.
-        name: String,
-        /// Column names; column 0 is the primary key.
-        columns: Vec<String>,
-        /// Secondary index columns.
-        indexes: Vec<String>,
-    },
-    /// Row insertion.
-    Insert {
-        /// Table name.
-        table: String,
-        /// The inserted row.
-        row: Row,
-    },
-    /// Row update (full-row image).
-    Update {
-        /// Table name.
-        table: String,
-        /// The new row image.
-        row: Row,
-    },
-    /// Row deletion by primary key.
-    Delete {
-        /// Table name.
-        table: String,
-        /// Primary key of the removed row.
-        key: Value,
-    },
-}
-
-#[derive(Debug, Clone)]
-struct Table {
-    columns: Vec<String>,
-    rows: BTreeMap<OrdKey, Arc<Row>>,
-    /// column name → (value key → primary keys)
-    indexes: HashMap<String, BTreeMap<OrdKey, Vec<OrdKey>>>,
-}
-
-impl Table {
-    fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c == name)
-    }
-
-    fn index_insert(&mut self, row: &Row) {
-        let pk = row[0].ord_key();
-        // Split-borrow the schema next to the mutable index maps so index
-        // maintenance never has to clone the column list per write.
-        let Table {
-            columns, indexes, ..
-        } = self;
-        for (col, index) in indexes.iter_mut() {
-            let ci = columns
-                .iter()
-                .position(|c| c == col)
-                .expect("index column exists");
-            index.entry(row[ci].ord_key()).or_default().push(pk.clone());
-        }
-    }
-
-    fn index_remove(&mut self, row: &Row) {
-        let pk = row[0].ord_key();
-        let Table {
-            columns, indexes, ..
-        } = self;
-        for (col, index) in indexes.iter_mut() {
-            let ci = columns
-                .iter()
-                .position(|c| c == col)
-                .expect("index column exists");
-            let key = row[ci].ord_key();
-            if let Some(pks) = index.get_mut(&key) {
-                pks.retain(|p| *p != pk);
-                if pks.is_empty() {
-                    index.remove(&key);
-                }
-            }
-        }
-    }
-}
+use super::index::Table;
+use super::mvcc::VersionChain;
+use super::wal::Wal;
+use super::{float_key_bits, DbError, DurabilityPolicy, JournalEntry, OrdKey, Row, Value};
 
 /// Inverse operations for transaction rollback.
 #[derive(Debug)]
@@ -295,6 +29,13 @@ struct QueryShape {
     key: OrdKey,
 }
 
+/// One memoized result set and the sim instant it was stored at.
+#[derive(Debug, Clone)]
+struct CachedResult {
+    rows: Vec<Arc<Row>>,
+    stored_ns: u64,
+}
+
 /// Memoized `select_eq` result sets over interned query ids.
 ///
 /// The old layout keyed a nested map by `(column.to_owned(),
@@ -309,7 +50,7 @@ struct QueryShape {
 #[derive(Debug, Default)]
 struct QueryCache {
     ids: KeyInterner<QueryShape>,
-    results: HashMap<u64, Vec<Arc<Row>>>,
+    results: HashMap<u64, CachedResult>,
     by_table: HashMap<String, Vec<u64>>,
 }
 
@@ -362,6 +103,24 @@ impl QueryCache {
     }
 }
 
+/// A pinned read snapshot (see [`Database::begin_snapshot`]).
+///
+/// The snapshot observes the database exactly as of the commit version
+/// it was opened at; concurrent writers proceed without blocking it and
+/// without becoming visible to it. Close it with
+/// [`Database::end_snapshot`] so dead row versions can be pruned.
+#[derive(Debug)]
+pub struct Snapshot {
+    version: u64,
+}
+
+impl Snapshot {
+    /// The commit version the snapshot is pinned at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
 /// The embedded database engine.
 ///
 /// ```
@@ -377,7 +136,7 @@ impl QueryCache {
 #[derive(Debug, Default)]
 pub struct Database {
     tables: HashMap<String, Table>,
-    journal: Vec<JournalEntry>,
+    wal: Wal,
     memory_limit: Option<usize>,
     footprint: usize,
     tx_depth: u32,
@@ -388,6 +147,18 @@ pub struct Database {
     /// untouched.
     query_cache: RefCell<QueryCache>,
     query_cache_enabled: bool,
+    /// Optional freshness window for cached query results; `None` (the
+    /// default) keeps entries until a write invalidates them.
+    query_cache_ttl_ns: Option<u64>,
+    /// The engine's view of sim time, used only for TTL freshness.
+    now_ns: u64,
+    /// Monotone commit-version counter stamped onto row versions.
+    commit_version: u64,
+    /// Open snapshots: pinned commit version → open count.
+    pinned: BTreeMap<u64, u32>,
+    /// `(row, index)` entries rebuilt by the last recovery (derived
+    /// projections are rebuilt from base rows, never replayed).
+    index_entries_rebuilt: u64,
 }
 
 impl Database {
@@ -405,14 +176,57 @@ impl Database {
         }
     }
 
-    /// Approximate bytes of row data currently stored.
+    /// Approximate bytes of row data currently stored (live versions).
     pub fn footprint(&self) -> usize {
         self.footprint
     }
 
-    /// The write-ahead journal accumulated so far.
+    /// The durable prefix of the write-ahead log — exactly what survives
+    /// a crash. Under the default [`DurabilityPolicy`] every commit is
+    /// flushed immediately, so this is the full history; under group
+    /// commit the un-fsynced tail (see
+    /// [`pending_journal_len`](Database::pending_journal_len)) is absent.
     pub fn journal(&self) -> &[JournalEntry] {
-        &self.journal
+        self.wal.durable()
+    }
+
+    /// Entries committed but not yet fsynced — the durability window a
+    /// crash would lose.
+    pub fn pending_journal_len(&self) -> usize {
+        self.wal.pending_len()
+    }
+
+    /// Forces an fsync of the pending tail, pricing it like any other.
+    pub fn sync_journal(&mut self) {
+        self.wal.sync();
+    }
+
+    /// Replaces the durability policy. The pending tail is flushed first
+    /// under the old policy.
+    pub fn set_durability(&mut self, policy: DurabilityPolicy) {
+        self.wal.set_policy(policy);
+    }
+
+    /// The durability policy in force.
+    pub fn durability(&self) -> DurabilityPolicy {
+        self.wal.policy()
+    }
+
+    /// Total fsyncs the WAL has performed.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal.fsyncs()
+    }
+
+    /// Returns and resets the simulated fsync cost accrued since the
+    /// last drain. The host computer charges this to the request that
+    /// triggered the flushes, so durability shows up as host CPU time.
+    pub fn drain_commit_cost_ns(&mut self) -> u64 {
+        self.wal.drain_cost_ns()
+    }
+
+    /// `(row, index)` entries the last [`Database::recover`] rebuilt.
+    pub fn index_entries_rebuilt(&self) -> u64 {
+        self.index_entries_rebuilt
     }
 
     /// Enables or disables the `select_eq` query cache. Disabling also
@@ -431,6 +245,24 @@ impl Database {
         self.query_cache_enabled
     }
 
+    /// Sets (or clears) the query-cache TTL. A cached result stored at
+    /// `t` is fresh strictly before `t + ttl` and expired at exactly
+    /// `t + ttl` — the same boundary rule as the page and content
+    /// caches. `None` (the default) disables expiry.
+    pub fn set_query_cache_ttl(&mut self, ttl_ns: Option<u64>) {
+        self.query_cache_ttl_ns = ttl_ns;
+    }
+
+    /// The query-cache TTL in force.
+    pub fn query_cache_ttl_ns(&self) -> Option<u64> {
+        self.query_cache_ttl_ns
+    }
+
+    /// Advances the engine's view of simulated time (TTL freshness).
+    pub fn set_now_ns(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+    }
+
     /// Drops every cached query result (all tables).
     pub fn flush_query_cache(&mut self) {
         self.query_cache.borrow_mut().clear();
@@ -447,37 +279,140 @@ impl Database {
         }
     }
 
-    /// Rebuilds a database by replaying a journal — crash recovery.
+    /// True when a result stored at `stored_ns` is still fresh.
+    fn cache_entry_fresh(&self, stored_ns: u64) -> bool {
+        self.query_cache_ttl_ns
+            .is_none_or(|ttl| self.now_ns.saturating_sub(stored_ns) < ttl)
+    }
+
+    /// Rebuilds a database by replaying a journal — crash recovery under
+    /// the default durability policy.
+    ///
+    /// Replay goes through an internal, side-effect-free apply path: it
+    /// records nothing to the new log (the input journal *is* the log),
+    /// touches no query cache and bumps no observability counters —
+    /// recovery is metrics-silent and idempotent. Secondary indexes are
+    /// not replayed at all; they are rebuilt from the recovered base
+    /// rows afterwards, as derived projections.
     ///
     /// # Errors
     ///
     /// Propagates any error the replayed operations raise (a corrupt
-    /// journal).
+    /// journal) — as an `Err`, never a panic.
     pub fn recover(journal: &[JournalEntry]) -> Result<Database, DbError> {
+        Self::recover_with_policy(journal, DurabilityPolicy::default())
+    }
+
+    /// [`Database::recover`], preserving a non-default durability policy
+    /// across the crash.
+    pub fn recover_with_policy(
+        journal: &[JournalEntry],
+        policy: DurabilityPolicy,
+    ) -> Result<Database, DbError> {
         let mut db = Database::new();
         for entry in journal {
-            match entry {
-                JournalEntry::CreateTable {
-                    name,
-                    columns,
-                    indexes,
-                } => {
-                    let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
-                    let idx: Vec<&str> = indexes.iter().map(String::as_str).collect();
-                    db.create_table(name, &cols, &idx)?;
+            db.apply_recovered(entry)?;
+        }
+        // Derived projections: rebuild every secondary index from the
+        // recovered base rows.
+        let mut rebuilt = 0u64;
+        let names: Vec<String> = db.tables.keys().cloned().collect();
+        for name in names {
+            let table = db.tables.get_mut(&name).expect("own table");
+            rebuilt += table.rebuild_indexes(&name)?;
+        }
+        db.index_entries_rebuilt = rebuilt;
+        db.wal.install_durable(journal.to_vec());
+        db.wal.set_policy(policy);
+        Ok(db)
+    }
+
+    /// Applies one journal entry to base storage with no side effects:
+    /// no log append, no undo, no cache invalidation, no metrics, no
+    /// incremental index maintenance.
+    fn apply_recovered(&mut self, entry: &JournalEntry) -> Result<(), DbError> {
+        match entry {
+            JournalEntry::CreateTable {
+                name,
+                columns,
+                indexes,
+            } => {
+                if self.tables.contains_key(name) {
+                    return Err(DbError::TableExists(name.clone()));
                 }
-                JournalEntry::Insert { table, row } => {
-                    db.insert(table, row.clone())?;
+                if columns.is_empty() {
+                    return Err(DbError::SchemaMismatch(
+                        "a table needs at least one column".into(),
+                    ));
                 }
-                JournalEntry::Update { table, row } => {
-                    db.update(table, row.clone())?;
+                for idx in indexes {
+                    if !columns.contains(idx) {
+                        return Err(DbError::NoSuchColumn {
+                            table: name.clone(),
+                            column: idx.clone(),
+                        });
+                    }
                 }
-                JournalEntry::Delete { table, key } => {
-                    db.delete(table, key)?;
+                self.tables.insert(
+                    name.clone(),
+                    Table {
+                        columns: columns.clone(),
+                        rows: BTreeMap::new(),
+                        indexes: indexes
+                            .iter()
+                            .map(|s| (s.clone(), BTreeMap::new()))
+                            .collect(),
+                    },
+                );
+            }
+            JournalEntry::Insert { table, row } => {
+                {
+                    let t = self.table(table)?;
+                    Self::validate_row(t, table, row)?;
+                    if t.live(&row[0].ord_key()).is_some() {
+                        return Err(DbError::DuplicateKey(row[0].to_string()));
+                    }
+                }
+                self.footprint += Self::row_footprint(row);
+                let version = self.next_version();
+                let t = self.tables.get_mut(table).expect("checked above");
+                let chain = t.rows.entry(row[0].ord_key()).or_default();
+                chain.install(Arc::new(row.clone()), version);
+                chain.prune(None);
+            }
+            JournalEntry::Update { table, row } => {
+                let old = {
+                    let t = self.table(table)?;
+                    Self::validate_row(t, table, row)?;
+                    t.live(&row[0].ord_key()).cloned().ok_or(DbError::NotFound)?
+                };
+                self.footprint = self.footprint.saturating_sub(Self::row_footprint(&old));
+                self.footprint += Self::row_footprint(row);
+                let version = self.next_version();
+                let t = self.tables.get_mut(table).expect("checked above");
+                let chain = t.rows.get_mut(&row[0].ord_key()).expect("live row exists");
+                chain.install(Arc::new(row.clone()), version);
+                chain.prune(None);
+            }
+            JournalEntry::Delete { table, key } => {
+                let old = {
+                    let t = self.table(table)?;
+                    t.live(&key.ord_key()).cloned().ok_or(DbError::NotFound)?
+                };
+                self.footprint = self.footprint.saturating_sub(Self::row_footprint(&old));
+                let version = self.next_version();
+                let t = self.tables.get_mut(table).expect("checked above");
+                let ord = key.ord_key();
+                if let Some(chain) = t.rows.get_mut(&ord) {
+                    chain.remove_live(version);
+                    chain.prune(None);
+                    if chain.is_empty() {
+                        t.rows.remove(&ord);
+                    }
                 }
             }
         }
-        Ok(db)
+        Ok(())
     }
 
     /// Creates a table. Column 0 is the primary key; `indexes` lists
@@ -541,13 +476,18 @@ impl Database {
         names
     }
 
-    /// Number of rows in `table`.
+    /// Number of (live) rows in `table`.
     ///
     /// # Errors
     ///
     /// [`DbError::NoSuchTable`] when the table does not exist.
     pub fn len(&self, table: &str) -> Result<usize, DbError> {
-        Ok(self.table(table)?.rows.len())
+        Ok(self
+            .table(table)?
+            .rows
+            .values()
+            .filter(|c| c.live().is_some())
+            .count())
     }
 
     /// True when `table` has no rows.
@@ -601,8 +541,118 @@ impl Database {
         if self.tx_depth > 0 {
             self.tx_journal.push(entry);
         } else {
-            self.journal.push(entry);
+            self.wal.commit(std::iter::once(entry));
         }
+    }
+
+    /// The next commit version, stamped onto the row versions a write
+    /// installs.
+    fn next_version(&mut self) -> u64 {
+        self.commit_version += 1;
+        self.commit_version
+    }
+
+    /// The smallest pinned commit version, or `None` with no open
+    /// snapshots (dead row versions are then unreachable).
+    fn oldest_pin(&self) -> Option<u64> {
+        self.pinned.keys().next().copied()
+    }
+
+    /// Opens a read snapshot pinned at the current commit version. Reads
+    /// through it (see [`Database::snapshot_get`]) observe a frozen,
+    /// consistent view; writers proceed without blocking it. Close with
+    /// [`Database::end_snapshot`].
+    pub fn begin_snapshot(&mut self) -> Snapshot {
+        let version = self.commit_version;
+        *self.pinned.entry(version).or_insert(0) += 1;
+        Snapshot { version }
+    }
+
+    /// Closes a snapshot, allowing row versions only it could see to be
+    /// pruned by later writes.
+    pub fn end_snapshot(&mut self, snapshot: Snapshot) {
+        if let Some(count) = self.pinned.get_mut(&snapshot.version) {
+            *count -= 1;
+            if *count == 0 {
+                self.pinned.remove(&snapshot.version);
+            }
+        }
+    }
+
+    /// Number of snapshots currently open.
+    pub fn open_snapshots(&self) -> usize {
+        self.pinned.values().map(|&c| c as usize).sum()
+    }
+
+    /// [`Database::get`] as of `snapshot`: the row image the pinned
+    /// version observes, regardless of later writes.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] when the table does not exist.
+    pub fn snapshot_get(
+        &self,
+        snapshot: &Snapshot,
+        table_name: &str,
+        key: &Value,
+    ) -> Result<Option<Arc<Row>>, DbError> {
+        Ok(self
+            .table(table_name)?
+            .rows
+            .get(&key.ord_key())
+            .and_then(|chain| chain.visible_at(snapshot.version))
+            .cloned())
+    }
+
+    /// [`Database::select`] as of `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] when the table does not exist.
+    pub fn snapshot_select(
+        &self,
+        snapshot: &Snapshot,
+        table_name: &str,
+        predicate: impl Fn(&Row) -> bool,
+    ) -> Result<Vec<Arc<Row>>, DbError> {
+        Ok(self
+            .table(table_name)?
+            .rows
+            .values()
+            .filter_map(|chain| chain.visible_at(snapshot.version))
+            .filter(|r| predicate(r.as_ref()))
+            .cloned()
+            .collect())
+    }
+
+    /// [`Database::select_eq`] as of `snapshot`. Always scans the version
+    /// chains: secondary indexes are projections of the *live* state and
+    /// cannot serve historical reads.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchColumn`] for unknown columns.
+    pub fn snapshot_select_eq(
+        &self,
+        snapshot: &Snapshot,
+        table_name: &str,
+        column: &str,
+        value: &Value,
+    ) -> Result<Vec<Arc<Row>>, DbError> {
+        let table = self.table(table_name)?;
+        let ci = table
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                table: table_name.to_owned(),
+                column: column.to_owned(),
+            })?;
+        Ok(table
+            .rows
+            .values()
+            .filter_map(|chain| chain.visible_at(snapshot.version))
+            .filter(|r| r[ci] == *value)
+            .cloned()
+            .collect())
     }
 
     /// Inserts a row (column 0 is the primary key).
@@ -615,16 +665,23 @@ impl Database {
         {
             let table = self.table(table_name)?;
             Self::validate_row(table, table_name, &row)?;
-            let key = row[0].ord_key();
-            if table.rows.contains_key(&key) {
+            if table.live(&row[0].ord_key()).is_some() {
                 return Err(DbError::DuplicateKey(row[0].to_string()));
             }
         }
-        self.charge(Self::row_footprint(&row))?;
+        let bytes = Self::row_footprint(&row);
+        self.charge(bytes)?;
+        let version = self.next_version();
+        let pin = self.oldest_pin();
         let key = row[0].ord_key();
         let table = self.tables.get_mut(table_name).expect("checked above");
-        table.index_insert(&row);
-        table.rows.insert(key.clone(), Arc::new(row.clone()));
+        if let Err(e) = table.index_insert(table_name, &row) {
+            self.footprint = self.footprint.saturating_sub(bytes);
+            return Err(e);
+        }
+        let chain = table.rows.entry(key.clone()).or_default();
+        chain.install(Arc::new(row.clone()), version);
+        chain.prune(pin);
         self.invalidate_table(table_name);
         self.record(JournalEntry::Insert {
             table: table_name.to_owned(),
@@ -647,7 +704,7 @@ impl Database {
     ///
     /// [`DbError::NoSuchTable`] when the table does not exist.
     pub fn get(&self, table_name: &str, key: &Value) -> Result<Option<Arc<Row>>, DbError> {
-        Ok(self.table(table_name)?.rows.get(&key.ord_key()).cloned())
+        Ok(self.table(table_name)?.live(&key.ord_key()).cloned())
     }
 
     /// Replaces the row whose primary key equals `row[0]`.
@@ -661,8 +718,7 @@ impl Database {
             let table = self.table(table_name)?;
             Self::validate_row(table, table_name, &row)?;
             table
-                .rows
-                .get(&row[0].ord_key())
+                .live(&row[0].ord_key())
                 .cloned()
                 .ok_or(DbError::NotFound)?
         };
@@ -673,11 +729,20 @@ impl Database {
             self.footprint += old_bytes; // restore accounting
             return Err(e);
         }
+        let version = self.next_version();
+        let pin = self.oldest_pin();
         let key = row[0].ord_key();
         let table = self.tables.get_mut(table_name).expect("checked above");
-        table.index_remove(&old);
-        table.index_insert(&row);
-        table.rows.insert(key, Arc::new(row.clone()));
+        let reindexed = table
+            .index_remove(table_name, &old)
+            .and_then(|()| table.index_insert(table_name, &row));
+        if let Err(e) = reindexed {
+            self.footprint = self.footprint.saturating_sub(new_bytes) + old_bytes;
+            return Err(e);
+        }
+        let chain = table.rows.get_mut(&key).expect("live row exists");
+        chain.install(Arc::new(row.clone()), version);
+        chain.prune(pin);
         self.invalidate_table(table_name);
         self.record(JournalEntry::Update {
             table: table_name.to_owned(),
@@ -700,16 +765,24 @@ impl Database {
     pub fn delete(&mut self, table_name: &str, key: &Value) -> Result<(), DbError> {
         let old = {
             let table = self.table(table_name)?;
-            table
-                .rows
-                .get(&key.ord_key())
-                .cloned()
-                .ok_or(DbError::NotFound)?
+            table.live(&key.ord_key()).cloned().ok_or(DbError::NotFound)?
         };
         self.footprint = self.footprint.saturating_sub(Self::row_footprint(&old));
+        let version = self.next_version();
+        let pin = self.oldest_pin();
         let table = self.tables.get_mut(table_name).expect("checked above");
-        table.index_remove(&old);
-        table.rows.remove(&key.ord_key());
+        if let Err(e) = table.index_remove(table_name, &old) {
+            self.footprint += Self::row_footprint(&old);
+            return Err(e);
+        }
+        let ord = key.ord_key();
+        if let Some(chain) = table.rows.get_mut(&ord) {
+            chain.remove_live(version);
+            chain.prune(pin);
+            if chain.is_empty() {
+                table.rows.remove(&ord);
+            }
+        }
         self.invalidate_table(table_name);
         self.record(JournalEntry::Delete {
             table: table_name.to_owned(),
@@ -739,6 +812,7 @@ impl Database {
             .table(table_name)?
             .rows
             .values()
+            .filter_map(VersionChain::live)
             .filter(|r| predicate(r.as_ref()))
             .cloned()
             .collect())
@@ -748,7 +822,8 @@ impl Database {
     /// secondary index when one exists, otherwise falls back to a scan
     /// (the trivial query planner). When the query cache is enabled the
     /// result set is memoized per table and served until the next write
-    /// to that table invalidates it.
+    /// to that table invalidates it (or, with a TTL set, until it
+    /// expires).
     ///
     /// # Errors
     ///
@@ -771,9 +846,11 @@ impl Database {
         let cache_id = if self.query_cache_enabled {
             let mut cache = self.query_cache.borrow_mut();
             let id = cache.intern(table_name, column, value);
-            if let Some(rows) = cache.results.get(&id) {
-                obs::metrics::incr("host.db_cache.hits");
-                return Ok(rows.clone());
+            if let Some(entry) = cache.results.get(&id) {
+                if self.cache_entry_fresh(entry.stored_ns) {
+                    obs::metrics::incr("host.db_cache.hits");
+                    return Ok(entry.rows.clone());
+                }
             }
             Some(id)
         } else {
@@ -782,24 +859,26 @@ impl Database {
         let rows: Vec<Arc<Row>> = if let Some(index) = table.indexes.get(column) {
             index
                 .get(&value.ord_key())
-                .map(|pks| {
-                    pks.iter()
-                        .filter_map(|pk| table.rows.get(pk))
-                        .cloned()
-                        .collect()
-                })
+                .map(|pks| pks.iter().filter_map(|pk| table.live(pk)).cloned().collect())
                 .unwrap_or_default()
         } else {
             table
                 .rows
                 .values()
+                .filter_map(VersionChain::live)
                 .filter(|r| r[ci] == *value)
                 .cloned()
                 .collect()
         };
         if let Some(id) = cache_id {
             obs::metrics::incr("host.db_cache.misses");
-            self.query_cache.borrow_mut().results.insert(id, rows.clone());
+            self.query_cache.borrow_mut().results.insert(
+                id,
+                CachedResult {
+                    rows: rows.clone(),
+                    stored_ns: self.now_ns,
+                },
+            );
         }
         Ok(rows)
     }
@@ -813,8 +892,9 @@ impl Database {
         Ok(self.table(table)?.indexes.contains_key(column))
     }
 
-    /// Runs `body` atomically: all of its writes commit together, or — if
-    /// it returns `Err` — none of them apply and the journal is untouched.
+    /// Runs `body` atomically: all of its writes commit together (one
+    /// group-commit unit in the WAL), or — if it returns `Err` — none of
+    /// them apply and the log is untouched.
     ///
     /// # Errors
     ///
@@ -835,8 +915,8 @@ impl Database {
         self.tx_depth = 0;
         match result {
             Ok(v) => {
-                let mut entries = std::mem::take(&mut self.tx_journal);
-                self.journal.append(&mut entries);
+                let entries = std::mem::take(&mut self.tx_journal);
+                self.wal.commit(entries);
                 self.undo.clear();
                 Ok(v)
             }
@@ -857,26 +937,45 @@ impl Database {
                 for op in undo.into_iter().rev() {
                     match op {
                         Undo::RemoveRow { table, key } => {
+                            let version = self.next_version();
+                            let pin = self.oldest_pin();
                             if let Some(t) = self.tables.get_mut(&table) {
-                                if let Some(row) = t.rows.remove(&key) {
-                                    t.index_remove(&row);
+                                let removed =
+                                    t.rows.get_mut(&key).and_then(|c| c.remove_live(version));
+                                if let Some(row) = removed {
+                                    // Undo of an insert into a table that
+                                    // passed create-time validation:
+                                    // schema drift is impossible here.
+                                    let _ = t.index_remove(&table, &row);
                                     self.footprint =
                                         self.footprint.saturating_sub(Self::row_footprint(&row));
+                                }
+                                if let Some(chain) = t.rows.get_mut(&key) {
+                                    chain.prune(pin);
+                                    if chain.is_empty() {
+                                        t.rows.remove(&key);
+                                    }
                                 }
                             }
                         }
                         Undo::RestoreRow { table, row } => {
+                            let version = self.next_version();
+                            let pin = self.oldest_pin();
                             if let Some(t) = self.tables.get_mut(&table) {
                                 let key = row[0].ord_key();
-                                if let Some(current) = t.rows.remove(&key) {
-                                    t.index_remove(&current);
+                                let current =
+                                    t.rows.get_mut(&key).and_then(|c| c.remove_live(version));
+                                if let Some(current) = current {
+                                    let _ = t.index_remove(&table, &current);
                                     self.footprint = self
                                         .footprint
                                         .saturating_sub(Self::row_footprint(&current));
                                 }
                                 self.footprint += Self::row_footprint(&row);
-                                t.index_insert(&row);
-                                t.rows.insert(key, row);
+                                let _ = t.index_insert(&table, &row);
+                                let chain = t.rows.entry(key).or_default();
+                                chain.install(row, version);
+                                chain.prune(pin);
                             }
                         }
                         Undo::DropTable { name } => {
@@ -1211,8 +1310,12 @@ mod tests {
         // Warm the cache, then re-read: both reads equal the uncached DB.
         for _ in 0..2 {
             assert_eq!(
-                cached.select_eq("products", "name", &"widget".into()).unwrap(),
-                plain.select_eq("products", "name", &"widget".into()).unwrap()
+                cached
+                    .select_eq("products", "name", &"widget".into())
+                    .unwrap(),
+                plain
+                    .select_eq("products", "name", &"widget".into())
+                    .unwrap()
             );
         }
         // A write to the table invalidates the memoized result.
@@ -1243,7 +1346,9 @@ mod tests {
         // then make sure the rollback did not leave the in-tx result
         // memoized.
         assert_eq!(
-            db.select_eq("products", "name", &"widget".into()).unwrap().len(),
+            db.select_eq("products", "name", &"widget".into())
+                .unwrap()
+                .len(),
             1
         );
         let result: Result<(), DbError> = db.transaction(|tx| {
@@ -1251,10 +1356,7 @@ mod tests {
                 "products",
                 vec![1.into(), "poked".into(), Value::Float(0.0), 0.into()],
             )?;
-            assert_eq!(
-                tx.select_eq("products", "name", &"poked".into())?.len(),
-                1
-            );
+            assert_eq!(tx.select_eq("products", "name", &"poked".into())?.len(), 1);
             Err(DbError::NotFound)
         });
         assert!(result.is_err());
@@ -1263,7 +1365,9 @@ mod tests {
             .unwrap()
             .is_empty());
         assert_eq!(
-            db.select_eq("products", "name", &"widget".into()).unwrap().len(),
+            db.select_eq("products", "name", &"widget".into())
+                .unwrap()
+                .len(),
             1
         );
     }
@@ -1310,5 +1414,287 @@ mod tests {
         let labels: Vec<String> = all.iter().map(|r| r[1].to_string()).collect();
         assert_eq!(labels, vec!["cold", "zero", "warm"]);
         assert!(db.get("m", &Value::Float(0.0)).unwrap().is_some());
+    }
+
+    // --- WAL / durability ---
+
+    #[test]
+    fn group_commit_delays_durability_and_prices_fsyncs() {
+        let mut db = Database::new();
+        db.create_table("t", &["k", "v"], &[]).unwrap();
+        db.set_durability(DurabilityPolicy::new(3, 1_000));
+        let durable_before = db.journal().len();
+        db.insert("t", vec![1.into(), "a".into()]).unwrap();
+        db.insert("t", vec![2.into(), "b".into()]).unwrap();
+        // Window of 3 not full: the tail is committed but not durable.
+        assert_eq!(db.journal().len(), durable_before);
+        assert_eq!(db.pending_journal_len(), 2);
+        assert_eq!(db.drain_commit_cost_ns(), 0, "no fsync yet");
+        db.insert("t", vec![3.into(), "c".into()]).unwrap();
+        assert_eq!(db.journal().len(), durable_before + 3);
+        assert_eq!(db.pending_journal_len(), 0);
+        assert_eq!(db.drain_commit_cost_ns(), 1_000);
+        // A crash now recovers all three rows; a crash before the third
+        // insert would have lost the tail.
+        let recovered = Database::recover(db.journal()).unwrap();
+        assert_eq!(recovered.len("t").unwrap(), 3);
+    }
+
+    #[test]
+    fn transaction_is_one_commit_in_the_group_window() {
+        let mut db = Database::new();
+        db.create_table("t", &["k"], &[]).unwrap();
+        db.set_durability(DurabilityPolicy::new(2, 10));
+        let ok: Result<(), DbError> = db.transaction(|tx| {
+            tx.insert("t", vec![1.into()])?;
+            tx.insert("t", vec![2.into()])?;
+            tx.insert("t", vec![3.into()])?;
+            Ok(())
+        });
+        ok.unwrap();
+        // Three entries, one commit: the window of 2 is not full.
+        assert_eq!(db.pending_journal_len(), 3);
+        db.sync_journal();
+        assert_eq!(db.pending_journal_len(), 0);
+        assert_eq!(db.drain_commit_cost_ns(), 10);
+    }
+
+    #[test]
+    fn zero_cost_policy_is_indistinguishable_from_default() {
+        let mut explicit = products();
+        explicit.set_durability(DurabilityPolicy::new(1, 0));
+        explicit.insert("products", vec![9.into(), "z".into(), Value::Float(1.0), 1.into()])
+            .unwrap();
+        let mut plain = products();
+        plain.insert("products", vec![9.into(), "z".into(), Value::Float(1.0), 1.into()])
+            .unwrap();
+        assert_eq!(explicit.journal(), plain.journal());
+        assert_eq!(explicit.pending_journal_len(), 0);
+        assert_eq!(explicit.drain_commit_cost_ns(), 0);
+    }
+
+    // --- recovery path (bugfix sweep) ---
+
+    #[test]
+    fn recovery_is_metrics_silent() {
+        let mut db = products();
+        db.set_query_cache(true);
+        db.select_eq("products", "name", &"widget".into()).unwrap();
+        db.delete("products", &2.into()).unwrap();
+        let journal = db.journal().to_vec();
+        let _guard = obs::metrics::enable();
+        let recovered = Database::recover(&journal).unwrap();
+        assert_eq!(recovered.len("products").unwrap(), 1);
+        let metrics = obs::metrics::take();
+        assert!(
+            metrics.is_empty(),
+            "replay must not bump live counters: {metrics:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_is_idempotent_and_preserves_the_journal() {
+        let mut db = products();
+        db.update(
+            "products",
+            vec![2.into(), "gadget".into(), Value::Float(8.88), 1.into()],
+        )
+        .unwrap();
+        let journal = db.journal().to_vec();
+        let once = Database::recover(&journal).unwrap();
+        // The recovered journal is the input journal, byte for byte — not
+        // a re-recorded copy.
+        assert_eq!(once.journal(), &journal[..]);
+        let twice = Database::recover(once.journal()).unwrap();
+        assert_eq!(twice.journal(), once.journal());
+        assert_eq!(twice.table_names(), once.table_names());
+        for t in twice.table_names() {
+            assert_eq!(
+                twice.select(&t, |_| true).unwrap(),
+                once.select(&t, |_| true).unwrap()
+            );
+        }
+        assert_eq!(twice.footprint(), once.footprint());
+    }
+
+    #[test]
+    fn corrupt_journal_surfaces_err_not_panic() {
+        // An index column the schema does not have: the old engine
+        // panicked via expect() mid-recovery.
+        let corrupt = vec![JournalEntry::CreateTable {
+            name: "t".into(),
+            columns: vec!["k".into()],
+            indexes: vec!["ghost".into()],
+        }];
+        assert_eq!(
+            Database::recover(&corrupt).unwrap_err(),
+            DbError::NoSuchColumn {
+                table: "t".into(),
+                column: "ghost".into()
+            }
+        );
+        // An update against a row that was never inserted.
+        let corrupt = vec![
+            JournalEntry::CreateTable {
+                name: "t".into(),
+                columns: vec!["k".into()],
+                indexes: vec![],
+            },
+            JournalEntry::Update {
+                table: "t".into(),
+                row: vec![1.into()],
+            },
+        ];
+        assert_eq!(Database::recover(&corrupt).unwrap_err(), DbError::NotFound);
+        // A truncated-then-replayed duplicate insert.
+        let corrupt = vec![
+            JournalEntry::CreateTable {
+                name: "t".into(),
+                columns: vec!["k".into()],
+                indexes: vec![],
+            },
+            JournalEntry::Insert {
+                table: "t".into(),
+                row: vec![1.into()],
+            },
+            JournalEntry::Insert {
+                table: "t".into(),
+                row: vec![1.into()],
+            },
+        ];
+        assert!(matches!(
+            Database::recover(&corrupt),
+            Err(DbError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn recovery_rebuilds_indexes_and_counts_entries() {
+        let mut db = products(); // 2 rows, 1 index
+        db.insert(
+            "products",
+            vec![3.into(), "widget".into(), Value::Float(1.0), 1.into()],
+        )
+        .unwrap();
+        let recovered = Database::recover(db.journal()).unwrap();
+        assert_eq!(recovered.index_entries_rebuilt(), 3);
+        assert_eq!(
+            recovered
+                .select_eq("products", "name", &"widget".into())
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    // --- MVCC snapshots ---
+
+    #[test]
+    fn snapshot_reads_are_stable_across_writes() {
+        let mut db = products();
+        let snap = db.begin_snapshot();
+        db.update(
+            "products",
+            vec![1.into(), "renamed".into(), Value::Float(9.99), 0.into()],
+        )
+        .unwrap();
+        db.delete("products", &2.into()).unwrap();
+        db.insert(
+            "products",
+            vec![3.into(), "new".into(), Value::Float(1.0), 1.into()],
+        )
+        .unwrap();
+        // The snapshot still sees the world as of its pin.
+        assert_eq!(
+            db.snapshot_get(&snap, "products", &1.into()).unwrap().unwrap()[1],
+            Value::Text("widget".into())
+        );
+        assert!(db
+            .snapshot_get(&snap, "products", &2.into())
+            .unwrap()
+            .is_some());
+        assert!(db
+            .snapshot_get(&snap, "products", &3.into())
+            .unwrap()
+            .is_none());
+        assert_eq!(
+            db.snapshot_select(&snap, "products", |_| true).unwrap().len(),
+            2
+        );
+        assert_eq!(
+            db.snapshot_select_eq(&snap, "products", "name", &"widget".into())
+                .unwrap()
+                .len(),
+            1
+        );
+        // Live reads see the new world.
+        assert_eq!(
+            db.get("products", &1.into()).unwrap().unwrap()[1],
+            Value::Text("renamed".into())
+        );
+        // Closing the snapshot lets writes prune the old versions.
+        db.end_snapshot(snap);
+        assert_eq!(db.open_snapshots(), 0);
+    }
+
+    #[test]
+    fn snapshot_versions_prune_once_released() {
+        let mut db = Database::new();
+        db.create_table("t", &["k", "v"], &[]).unwrap();
+        db.insert("t", vec![1.into(), "v1".into()]).unwrap();
+        let base = db.footprint();
+        let snap = db.begin_snapshot();
+        db.update("t", vec![1.into(), "v2-longer".into()]).unwrap();
+        // Both versions are held while the snapshot is open.
+        assert!(db.footprint() > base, "live footprint tracks the new row");
+        assert_eq!(
+            db.snapshot_get(&snap, "t", &1.into()).unwrap().unwrap()[1],
+            Value::Text("v1".into())
+        );
+        db.end_snapshot(snap);
+        // The next write prunes the now-unreachable v1 version.
+        db.update("t", vec![1.into(), "v3".into()]).unwrap();
+        let recovered = Database::recover(db.journal()).unwrap();
+        assert_eq!(
+            recovered.get("t", &1.into()).unwrap().unwrap()[1],
+            Value::Text("v3".into())
+        );
+    }
+
+    #[test]
+    fn snapshots_survive_rolled_back_transactions() {
+        let mut db = products();
+        let snap = db.begin_snapshot();
+        let result: Result<(), DbError> = db.transaction(|tx| {
+            tx.delete("products", &1.into())?;
+            Err(DbError::NotFound)
+        });
+        assert!(result.is_err());
+        // Rollback restored the row; the snapshot still sees its image.
+        assert!(db
+            .snapshot_get(&snap, "products", &1.into())
+            .unwrap()
+            .is_some());
+        assert!(db.get("products", &1.into()).unwrap().is_some());
+        db.end_snapshot(snap);
+    }
+
+    // --- query-cache TTL (boundary audit) ---
+
+    #[test]
+    fn query_cache_entries_expire_at_exactly_the_ttl_boundary() {
+        let mut db = products();
+        db.set_query_cache(true);
+        db.set_query_cache_ttl(Some(1_000));
+        db.set_now_ns(0);
+        let _guard = obs::metrics::enable();
+        db.select_eq("products", "name", &"widget".into()).unwrap(); // miss
+        db.set_now_ns(999);
+        db.select_eq("products", "name", &"widget".into()).unwrap(); // hit
+        db.set_now_ns(1_000); // exactly inserted_at + ttl: expired
+        db.select_eq("products", "name", &"widget".into()).unwrap(); // miss
+        let metrics = obs::metrics::take();
+        assert_eq!(metrics.counter("host.db_cache.hits"), 1);
+        assert_eq!(metrics.counter("host.db_cache.misses"), 2);
     }
 }

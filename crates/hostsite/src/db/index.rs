@@ -1,0 +1,175 @@
+//! Tables and secondary indexes.
+//!
+//! A secondary index is a *derived projection* of the base rows — it is
+//! maintained incrementally on the write path, dropped wholesale when a
+//! crash discards the in-memory state, and rebuilt from the recovered
+//! base rows (never replayed from the log). Index maintenance is
+//! fallible: schema drift (an index naming a column the table does not
+//! have, which only a corrupt journal can produce) surfaces as
+//! [`DbError::NoSuchColumn`] instead of a panic, so recovery can abort
+//! cleanly mid-replay.
+
+use std::collections::{BTreeMap, HashMap};
+
+use super::mvcc::VersionChain;
+use super::{DbError, OrdKey, Row};
+
+/// One table: schema, versioned rows, and the derived secondary indexes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Table {
+    pub(crate) columns: Vec<String>,
+    pub(crate) rows: BTreeMap<OrdKey, VersionChain>,
+    /// column name → (value key → primary keys)
+    pub(crate) indexes: HashMap<String, BTreeMap<OrdKey, Vec<OrdKey>>>,
+}
+
+impl Table {
+    pub(crate) fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// The live image of `key`, if present.
+    pub(crate) fn live(&self, key: &OrdKey) -> Option<&std::sync::Arc<Row>> {
+        self.rows.get(key).and_then(VersionChain::live)
+    }
+
+    /// Adds `row` to every secondary index.
+    ///
+    /// On schema drift the earlier indexes keep their new entries — the
+    /// caller (recovery) discards the whole database on error.
+    pub(crate) fn index_insert(&mut self, table_name: &str, row: &Row) -> Result<(), DbError> {
+        let pk = row[0].ord_key();
+        // Split-borrow the schema next to the mutable index maps so index
+        // maintenance never has to clone the column list per write.
+        let Table {
+            columns, indexes, ..
+        } = self;
+        for (col, index) in indexes.iter_mut() {
+            let ci = columns
+                .iter()
+                .position(|c| c == col)
+                .ok_or_else(|| DbError::NoSuchColumn {
+                    table: table_name.to_owned(),
+                    column: col.clone(),
+                })?;
+            index.entry(row[ci].ord_key()).or_default().push(pk.clone());
+        }
+        Ok(())
+    }
+
+    /// Removes `row` from every secondary index.
+    pub(crate) fn index_remove(&mut self, table_name: &str, row: &Row) -> Result<(), DbError> {
+        let pk = row[0].ord_key();
+        let Table {
+            columns, indexes, ..
+        } = self;
+        for (col, index) in indexes.iter_mut() {
+            let ci = columns
+                .iter()
+                .position(|c| c == col)
+                .ok_or_else(|| DbError::NoSuchColumn {
+                    table: table_name.to_owned(),
+                    column: col.clone(),
+                })?;
+            let key = row[ci].ord_key();
+            if let Some(pks) = index.get_mut(&key) {
+                pks.retain(|p| *p != pk);
+                if pks.is_empty() {
+                    index.remove(&key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds every secondary index from the live base rows — the
+    /// recovery path's derived-projection rebuild. Buckets come out in
+    /// primary-key order (the canonical from-scratch order). Returns the
+    /// number of `(row, index)` entries written.
+    pub(crate) fn rebuild_indexes(&mut self, table_name: &str) -> Result<u64, DbError> {
+        let Table {
+            columns,
+            rows,
+            indexes,
+        } = self;
+        let mut entries = 0u64;
+        for (col, index) in indexes.iter_mut() {
+            let ci = columns
+                .iter()
+                .position(|c| c == col)
+                .ok_or_else(|| DbError::NoSuchColumn {
+                    table: table_name.to_owned(),
+                    column: col.clone(),
+                })?;
+            index.clear();
+            for (pk, chain) in rows.iter() {
+                if let Some(row) = chain.live() {
+                    index.entry(row[ci].ord_key()).or_default().push(pk.clone());
+                    entries += 1;
+                }
+            }
+        }
+        Ok(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn table() -> Table {
+        Table {
+            columns: vec!["id".into(), "name".into()],
+            rows: BTreeMap::new(),
+            indexes: [("name".to_owned(), BTreeMap::new())].into(),
+        }
+    }
+
+    #[test]
+    fn schema_drift_errors_instead_of_panicking() {
+        let mut t = table();
+        t.columns.truncate(1); // simulate a corrupt-journal schema
+        let row: Row = vec![1i64.into(), "x".into()];
+        assert_eq!(
+            t.index_insert("t", &row),
+            Err(DbError::NoSuchColumn {
+                table: "t".into(),
+                column: "name".into()
+            })
+        );
+        assert_eq!(
+            t.index_remove("t", &row),
+            Err(DbError::NoSuchColumn {
+                table: "t".into(),
+                column: "name".into()
+            })
+        );
+        assert!(t.rebuild_indexes("t").is_err());
+    }
+
+    #[test]
+    fn rebuild_equals_a_from_scratch_projection() {
+        let mut t = table();
+        for (id, name) in [(2i64, "b"), (1, "a"), (3, "a")] {
+            let row: Row = vec![id.into(), name.into()];
+            t.index_insert("t", &row).unwrap();
+            t.rows
+                .entry(row[0].ord_key())
+                .or_default()
+                .install(Arc::new(row), 1);
+        }
+        let incremental = t.indexes.clone();
+        let entries = t.rebuild_indexes("t").unwrap();
+        assert_eq!(entries, 3);
+        // Same keys and the same pk sets; rebuild order is pk order.
+        assert_eq!(
+            incremental["name"].keys().collect::<Vec<_>>(),
+            t.indexes["name"].keys().collect::<Vec<_>>()
+        );
+        let a_key = super::super::Value::from("a").ord_key();
+        let mut a: Vec<_> = incremental["name"][&a_key].clone();
+        a.sort();
+        assert_eq!(a, t.indexes["name"][&a_key]);
+    }
+}

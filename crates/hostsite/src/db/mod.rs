@@ -1,0 +1,213 @@
+//! The database server: an embedded storage engine.
+//!
+//! §7: "Other than the server-side database servers, a growing trend is to
+//! provide a mobile database or an embedded database … Embedded databases
+//! have very small footprints, and must be able to run without the
+//! services of a database administrator."
+//!
+//! This engine serves both roles: unconstrained as the host computer's
+//! database server, or capped via [`Database::with_memory_limit`] as the
+//! small-footprint embedded variant. It provides typed tables, a primary
+//! key, optional secondary indexes, ACID transactions with undo-log
+//! rollback, and a write-ahead log from which a fresh instance can be
+//! recovered after a crash.
+//!
+//! The engine is split along its storage layers (DESIGN.md §2.18):
+//!
+//! - `wal.rs`: the write-ahead log with sim-time group commit. A
+//!   [`DurabilityPolicy`] prices each "fsync" in simulated nanoseconds and
+//!   batches commits, so durability is a measurable cost instead of a free
+//!   side effect — and the un-fsynced tail of the log is exactly what a
+//!   crash loses.
+//! - `mvcc.rs`: multi-version row storage. Every committed write
+//!   installs a new row version; snapshot reads pin a commit version and
+//!   observe a frozen, consistent view while later writers proceed.
+//! - `index.rs`: secondary indexes as derived projections of the base
+//!   rows — dropped wholesale on a crash and rebuilt from the recovered
+//!   rows, never replayed.
+//! - `engine.rs`: the [`Database`] façade tying the layers together
+//!   with transactions, the memory cap and the query cache.
+//!
+//! Rows are stored and returned as [`Arc<Row>`](std::sync::Arc), so reads
+//! hand out shared handles instead of deep copies. An optional query cache
+//! (see [`Database::set_query_cache`]) memoizes [`Database::select_eq`]
+//! result sets per table and is invalidated transactionally: any `insert`,
+//! `update`, or `delete` against a table drops that table's cached
+//! queries — and only that table's.
+
+use std::fmt;
+
+mod engine;
+mod index;
+mod mvcc;
+mod wal;
+
+pub use engine::{Database, Snapshot};
+pub use wal::{DurabilityPolicy, JournalEntry};
+
+/// A typed cell value.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// UTF-8 text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit float (totally ordered by its bits being non-NaN; NaN is
+    /// rejected at the API boundary).
+    Float(f64),
+}
+
+impl Value {
+    /// The value's type name, for error messages and schema checks.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Text(_) => "text",
+            Value::Bool(_) => "bool",
+            Value::Float(_) => "float",
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn footprint(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Text(t) => 24 + t.len(),
+        }
+    }
+
+    pub(crate) fn ord_key(&self) -> OrdKey {
+        match self {
+            Value::Int(i) => OrdKey::Int(*i),
+            Value::Text(t) => OrdKey::Text(t.clone()),
+            Value::Bool(b) => OrdKey::Int(i64::from(*b)),
+            Value::Float(f) => OrdKey::Float(float_key_bits(*f)),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(t) => write!(f, "{t}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// Monotone bit mapping for float keys: negatives flip all bits,
+/// positives flip the sign bit, so u64 order equals float order.
+/// (-0.0 is normalised to 0.0 first.)
+pub(crate) fn float_key_bits(f: f64) -> u64 {
+    let f = if f == 0.0 { 0.0 } else { f };
+    let bits = f.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Totally ordered key derived from a [`Value`] for index storage.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) enum OrdKey {
+    Int(i64),
+    Text(String),
+    Float(u64),
+}
+
+impl OrdKey {
+    /// True when `value.ord_key()` would equal `self` — compared without
+    /// building the key (no `Text` clone).
+    pub(crate) fn matches_value(&self, value: &Value) -> bool {
+        match (self, value) {
+            (OrdKey::Int(a), Value::Int(b)) => a == b,
+            (OrdKey::Int(a), Value::Bool(b)) => *a == i64::from(*b),
+            (OrdKey::Text(a), Value::Text(b)) => a == b,
+            (OrdKey::Float(a), Value::Float(b)) => *a == float_key_bits(*b),
+            _ => false,
+        }
+    }
+}
+
+/// A row: one value per column, in schema order.
+pub type Row = Vec<Value>;
+
+/// Errors produced by the database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// The named column does not exist on the table.
+    NoSuchColumn {
+        /// The table the lookup targeted.
+        table: String,
+        /// The column that does not exist on it.
+        column: String,
+    },
+    /// A row's arity or a value's type does not match the schema.
+    SchemaMismatch(String),
+    /// Primary-key uniqueness violated.
+    DuplicateKey(String),
+    /// No row with the given primary key.
+    NotFound,
+    /// The memory cap would be exceeded.
+    OutOfMemory {
+        /// The configured cap in bytes.
+        limit: usize,
+    },
+    /// A table with that name already exists.
+    TableExists(String),
+    /// NaN floats cannot be stored (they have no total order).
+    NanRejected,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::NoSuchColumn { table, column } => {
+                write!(f, "no column {column:?} on table {table:?}")
+            }
+            DbError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            DbError::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
+            DbError::NotFound => write!(f, "row not found"),
+            DbError::OutOfMemory { limit } => write!(f, "memory limit of {limit} bytes exceeded"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::NanRejected => write!(f, "NaN values cannot be stored"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

@@ -1,0 +1,138 @@
+//! Multi-version row storage.
+//!
+//! Each primary key maps to a [`VersionChain`]: row images stamped with
+//! the half-open commit-version interval `[begin, end)` during which they
+//! were the visible truth. The newest version of a live key has
+//! `end == LIVE`. Snapshot reads pin a commit version `v` and observe the
+//! unique version with `begin <= v < end` — later writers install new
+//! versions without disturbing anything a pinned snapshot can see.
+//!
+//! Chains are pruned eagerly: whenever a write touches a chain, every
+//! version no pinned snapshot can still reach is dropped. With no
+//! snapshots open a chain therefore collapses to at most its single live
+//! version, and a fully dead key disappears from the table — the storage
+//! shape of the engine before versioning existed.
+
+use std::sync::Arc;
+
+use super::Row;
+
+/// `end` stamp of the currently visible version.
+pub(crate) const LIVE: u64 = u64::MAX;
+
+/// One row image and the commit-version interval it was visible for.
+#[derive(Debug, Clone)]
+pub(crate) struct RowVersion {
+    /// First commit version that sees this image.
+    pub(crate) begin: u64,
+    /// First commit version that no longer sees it ([`LIVE`] = current).
+    pub(crate) end: u64,
+    /// The image itself, shared with readers.
+    pub(crate) row: Arc<Row>,
+}
+
+/// The ordered version history of one primary key, oldest first.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VersionChain {
+    versions: Vec<RowVersion>,
+}
+
+impl VersionChain {
+    /// The currently live image, if the key is not deleted.
+    pub(crate) fn live(&self) -> Option<&Arc<Row>> {
+        match self.versions.last() {
+            Some(v) if v.end == LIVE => Some(&v.row),
+            _ => None,
+        }
+    }
+
+    /// The image a snapshot pinned at commit version `at` observes.
+    pub(crate) fn visible_at(&self, at: u64) -> Option<&Arc<Row>> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.begin <= at && at < v.end)
+            .map(|v| &v.row)
+    }
+
+    /// Installs `row` as the live image at commit version `version`,
+    /// closing the previous live version (if any) at the same stamp.
+    pub(crate) fn install(&mut self, row: Arc<Row>, version: u64) {
+        if let Some(last) = self.versions.last_mut() {
+            if last.end == LIVE {
+                last.end = version;
+            }
+        }
+        self.versions.push(RowVersion {
+            begin: version,
+            end: LIVE,
+            row,
+        });
+    }
+
+    /// Deletes the live image at commit version `version`, returning it.
+    pub(crate) fn remove_live(&mut self, version: u64) -> Option<Arc<Row>> {
+        match self.versions.last_mut() {
+            Some(last) if last.end == LIVE => {
+                last.end = version;
+                Some(Arc::clone(&last.row))
+            }
+            _ => None,
+        }
+    }
+
+    /// Drops every dead version no pinned snapshot can reach.
+    /// `oldest_pin` is the smallest pinned commit version, or `None` when
+    /// no snapshot is open (every dead version is then unreachable).
+    pub(crate) fn prune(&mut self, oldest_pin: Option<u64>) {
+        match oldest_pin {
+            None => self.versions.retain(|v| v.end == LIVE),
+            Some(pin) => self.versions.retain(|v| v.end == LIVE || v.end > pin),
+        }
+    }
+
+    /// True when no versions remain (the key can leave the table).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: i64) -> Arc<Row> {
+        Arc::new(vec![v.into()])
+    }
+
+    #[test]
+    fn snapshots_see_the_pinned_image_through_updates_and_deletes() {
+        let mut chain = VersionChain::default();
+        chain.install(row(1), 1);
+        assert!(chain.visible_at(0).is_none(), "born at 1, invisible at 0");
+        chain.install(row(2), 2);
+        // A snapshot pinned at 1 still sees the old image; live moved on.
+        assert_eq!(chain.visible_at(1).unwrap()[0], 1i64.into());
+        assert_eq!(chain.live().unwrap()[0], 2i64.into());
+        chain.remove_live(3);
+        assert!(chain.live().is_none());
+        assert_eq!(chain.visible_at(2).unwrap()[0], 2i64.into());
+        assert!(chain.visible_at(3).is_none(), "deleted at 3");
+    }
+
+    #[test]
+    fn pruning_respects_the_oldest_pin_and_collapses_without_pins() {
+        let mut chain = VersionChain::default();
+        chain.install(row(1), 1);
+        chain.install(row(2), 2);
+        chain.install(row(3), 3);
+        chain.prune(Some(2)); // pin at 2 still needs the [2,3) version
+        assert!(chain.visible_at(2).is_some());
+        assert!(chain.visible_at(1).is_none(), "[1,2) pruned: 2 > end");
+        chain.prune(None);
+        assert!(chain.live().is_some());
+        chain.remove_live(4);
+        chain.prune(None);
+        assert!(chain.is_empty(), "fully dead chain vanishes");
+    }
+}

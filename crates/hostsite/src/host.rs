@@ -48,6 +48,10 @@ pub struct HostComputer {
     pub web: WebServer,
     /// The CPU model used to price each request.
     pub cpu: CpuModel,
+    /// WAL fsync time charged to requests since the last
+    /// [`HostComputer::take_commit_ns`] — zero under the default
+    /// (free-durability) policy.
+    commit_ns: u64,
 }
 
 impl HostComputer {
@@ -56,23 +60,38 @@ impl HostComputer {
         HostComputer {
             web: WebServer::new(db, seed),
             cpu: CpuModel::default(),
+            commit_ns: 0,
         }
     }
 
     /// Handles a request, returning the response and the simulated CPU
     /// time it took the host to produce it. A page-cache hit skips the
     /// application program, so it is charged only the fixed dispatch
-    /// cost, not per-body generation.
+    /// cost, not per-body generation. WAL fsyncs the request triggered
+    /// are charged on top — durability is priced at the request that
+    /// paid for it.
     pub fn process(&mut self, req: HttpRequest) -> (HttpResponse, SimDuration) {
         let (resp, from_cache) = self.web.handle_cached(req);
-        let cost = if from_cache {
+        let mut cost = if from_cache {
             self.cpu.per_request
         } else {
             self.cpu.cost(resp.body.len())
         };
+        let wal_ns = self.web.db_mut().drain_commit_cost_ns();
+        if wal_ns > 0 {
+            cost += SimDuration::from_nanos(wal_ns);
+            self.commit_ns += wal_ns;
+            obs::metrics::add("host.db.commit_ns", wal_ns);
+        }
         obs::metrics::incr("host.requests");
         obs::metrics::observe("host.cpu_ns", cost.as_nanos());
         (resp, cost)
+    }
+
+    /// Returns and resets the WAL fsync share of recent request costs,
+    /// letting the system split it out of the host-CPU contention lane.
+    pub fn take_commit_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.commit_ns)
     }
 }
 

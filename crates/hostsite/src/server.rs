@@ -18,6 +18,10 @@ use crate::cache::PageCache;
 use crate::db::Database;
 use crate::http::{Body, HttpRequest, HttpResponse, Method, Status};
 
+/// Simulated cost of re-deriving one `(row, index)` entry when a crash
+/// forces the secondary indexes to be rebuilt from base rows.
+const INDEX_REBUILD_PER_ENTRY_NS: u64 = 2_000;
+
 /// A server-side application program (the CGI contract): it sees the
 /// request and the server context (database, session) and produces a
 /// response.
@@ -157,6 +161,7 @@ impl WebServer {
     /// judged against this clock.
     pub fn set_sim_now_ns(&mut self, now_ns: u64) {
         self.now_ns = now_ns;
+        self.db.set_now_ns(now_ns);
     }
 
     /// The database server (mutable — application setup uses this).
@@ -180,14 +185,29 @@ impl WebServer {
     /// Propagates a corrupt-journal error from [`Database::recover`]; the
     /// old database is left in place in that case.
     pub fn crash_and_recover_db(&mut self) -> Result<usize, crate::db::DbError> {
+        // Only the durable prefix of the WAL survives: an un-fsynced tail
+        // (group commit) is lost with the in-memory state.
         let journal = self.db.journal().to_vec();
         let replayed = journal.len();
         let cache_enabled = self.db.query_cache_enabled();
-        self.db = Database::recover(&journal)?;
+        let cache_ttl = self.db.query_cache_ttl_ns();
+        let policy = self.db.durability();
+        self.db = Database::recover_with_policy(&journal, policy)?;
+        self.db.set_now_ns(self.now_ns);
+        // Secondary indexes are derived projections: rebuilt from the
+        // recovered base rows, at a per-entry price.
+        let rebuilt = self.db.index_entries_rebuilt();
+        if rebuilt > 0 {
+            obs::metrics::add(
+                "host.db.index_rebuild_ns",
+                rebuilt * INDEX_REBUILD_PER_ENTRY_NS,
+            );
+        }
         // The crash flushes the query cache with the rest of the in-memory
-        // state; the recovered instance starts cold but keeps the knob.
+        // state; the recovered instance starts cold but keeps the knobs.
         if cache_enabled {
             self.db.set_query_cache(true);
+            self.db.set_query_cache_ttl(cache_ttl);
             obs::metrics::incr("host.db_cache.flushes");
         }
         Ok(replayed)

@@ -324,6 +324,21 @@ mod tests {
     }
 
     #[test]
+    fn entries_expire_at_exactly_the_ttl_boundary() {
+        // Same boundary rule as the host page cache and the DB query
+        // cache: fresh strictly before `stored + ttl`, expired at it.
+        let mut cache = ContentCache::new(1_000, 10_000);
+        let id = cache.intern_key(&key("/shop"));
+        cache.store(id, &exchange("deck"), 0);
+        assert!(cache.lookup(id, 999).is_some(), "one tick early: fresh");
+        assert!(
+            cache.lookup(id, 1_000).is_none(),
+            "probed at exactly stored + ttl: expired"
+        );
+        assert!(cache.is_empty(), "expired entry is dropped");
+    }
+
+    #[test]
     fn device_class_and_kind_partition_the_key_space() {
         let mut cache = ContentCache::new(u64::MAX / 2, 10_000);
         let id = cache.intern_key(&key("/shop"));

@@ -63,6 +63,13 @@
 #                      peak RSS at 100k users stays under 128 MB (the
 #                      engine streams; memory must not scale with the
 #                      population);
+#   db smoke         — the F11 durable-storage experiment runs end to
+#                      end, emits well-formed BENCH_db.json, the
+#                      explicit zero-cost durability policy is byte-
+#                      identical to a policy-free fleet at 1/2/4/8
+#                      threads, free fsyncs charge zero WAL time,
+#                      recovery outage is monotone in journal length,
+#                      and the group-commit fsync arithmetic holds;
 #   examples smoke   — the Scenario-driven examples run clean (their
 #                      internal asserts are the gate).
 #
@@ -224,6 +231,36 @@ for c in cells:
 best = max(c["events_per_sec"] for c in cells)
 print(f"scale gate: {len(cells)}-cell grid complete; digests identical at every "
       f"population; 100k-user RSS under 128 MB; best {best:,.0f} events/s")
+PY
+cargo run --release -p bench --bin report -- --quick --f11
+python3 -m json.tool BENCH_db.json > /dev/null
+python3 - <<'PY'
+import json, math
+doc = json.load(open("BENCH_db.json"))
+assert doc["experiment"] == "F11_db"
+assert doc["zero_cost_identical"], "zero-cost durability policy diverged from policy-free fleet"
+for row in doc["sweep"]:
+    if row["fsync_us"] == 0:
+        assert row["commit_ms"] == 0, f"free fsync charged WAL time: {row}"
+by_policy = {}
+for row in doc["recovery"]:
+    by_policy.setdefault((row["commit_batch"], row["fsync_us"]), []).append(row)
+for rows in by_policy.values():
+    rows.sort(key=lambda r: r["replayed"])
+    for prev, cur in zip(rows, rows[1:]):
+        assert cur["outage_ms"] > prev["outage_ms"], (
+            f"recovery outage not monotone in journal length: {prev} -> {cur}"
+        )
+for name, fsyncs in doc["fsyncs_per_100_commits"].items():
+    batch = int(name.split("_")[1])
+    assert fsyncs == math.ceil(100 / batch), f"batch {batch}: {fsyncs} fsyncs"
+assert doc["index_entries_rebuilt"] > 0, "recovery rebuilt no index entries"
+paid = sorted((r for r in doc["sweep"] if r["fsync_us"] == 1000),
+              key=lambda r: r["commit_batch"])
+print(f"db gate: zero-cost identity holds; 1 ms fsync WAL time "
+      f"{paid[0]['commit_ms']:.0f} -> {paid[-1]['commit_ms']:.0f} ms from batch "
+      f"{paid[0]['commit_batch']} to {paid[-1]['commit_batch']}; "
+      f"recovery monotone over {len(by_policy)} policies")
 PY
 cargo run --release -p bench --bin benchdiff -- bench/baselines .
 python3 - <<'PY'
