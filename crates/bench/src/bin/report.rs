@@ -2,7 +2,7 @@
 //! and prints them in paper order.
 //!
 //! ```text
-//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--f7] [--f8] [--f9] [--f10] [--f11] [--trace] [--dash]
+//! cargo run -p bench --bin report [--quick] [--f4] [--f5] [--f6] [--f7] [--f8] [--f9] [--f10] [--f11] [--f12] [--trace] [--dash]
 //! ```
 //!
 //! `--quick` shrinks every workload for smoke runs; `--f4` runs only the
@@ -39,6 +39,7 @@ use bench::experiments;
 use bench::faults_experiment;
 use bench::obs_experiment;
 use bench::scale_experiment;
+use bench::search_experiment;
 use bench::tcpx;
 use bench::telemetry_experiment;
 use mcommerce_core::{fleet, CachePolicy, Category, FleetRunner, Scenario, Topology};
@@ -247,6 +248,16 @@ fn f11(quick: bool) {
     println!("\n-> wrote {path}");
 }
 
+/// Runs F12 and writes the `BENCH_search.json` artefact.
+fn f12(quick: bool) {
+    heading("F12 — full-text search: cold vs memoized latency, index scaling");
+    let numbers = search_experiment::run(quick);
+    println!("{numbers}");
+    let path = "BENCH_search.json";
+    std::fs::write(path, numbers.to_json()).expect("write BENCH_search.json");
+    println!("\n-> wrote {path}");
+}
+
 /// Runs F9 and writes the `BENCH_scale.json` artefact.
 fn f9(quick: bool) {
     heading("F9 — fleet scale: populations × threads, wall-clock / tps / peak RSS");
@@ -278,7 +289,9 @@ fn main() {
     let only_f9 = std::env::args().any(|a| a == "--f9");
     let only_f10 = std::env::args().any(|a| a == "--f10");
     let only_f11 = std::env::args().any(|a| a == "--f11");
-    if only_f4 || only_f5 || only_f6 || only_f7 || only_f8 || only_f9 || only_f10 || only_f11 {
+    let only_f12 = std::env::args().any(|a| a == "--f12");
+    if only_f4 || only_f5 || only_f6 || only_f7 || only_f8 || only_f9 || only_f10 || only_f11 || only_f12
+    {
         if only_f4 {
             f4(quick);
         }
@@ -302,6 +315,9 @@ fn main() {
         }
         if only_f11 {
             f11(quick);
+        }
+        if only_f12 {
+            f12(quick);
         }
         return;
     }
@@ -386,6 +402,7 @@ fn main() {
     f9(quick);
     f10(quick);
     f11(quick);
+    f12(quick);
 
     heading("X1 — §5.2: TCP variants over an error-prone wireless hop");
     for row in tcpx::full_sweep(x1_bytes) {

@@ -41,5 +41,6 @@ pub mod experiments;
 pub mod faults_experiment;
 pub mod obs_experiment;
 pub mod scale_experiment;
+pub mod search_experiment;
 pub mod tcpx;
 pub mod telemetry_experiment;

@@ -70,6 +70,11 @@ impl Application for PaymentsApp {
             )
             .expect("seed products");
         }
+        // Full-text search over product names. Registration is engine
+        // configuration (not journaled), so the pristine-page journal
+        // pinning above is unaffected; a DbCrash drops the postings and
+        // recovery re-registers and rebuilds them from the base rows.
+        db.create_fts("products", "name").expect("fresh database");
 
         let gateway = {
             let mut gw = PaymentGateway::new(self.client_mac, Mac::new(b"mc-payments-gateway-key"));
@@ -117,6 +122,40 @@ impl Application for PaymentsApp {
                 }
                 resp
             });
+
+        // Catalog search: ranked full-text lookup over the inverted
+        // index. Results are keyed by an unbounded query-string space,
+        // so the page is marked `no_store` — neither the host page cache
+        // nor the gateway content cache admits it; repeat queries are
+        // served by the DB's capped search memo instead.
+        host.web.route_get(
+            "/shop/search",
+            |req: &HttpRequest, ctx: &mut ServerCtx<'_>| {
+                let Some(q) = req.param("q") else {
+                    return HttpResponse::error(Status::BadRequest, "missing query");
+                };
+                let rows = match ctx.db.search("products", q) {
+                    Ok(rows) => rows,
+                    Err(_) => return HttpResponse::error(Status::ServerError, "db error"),
+                };
+                let items: Vec<markup::Node> = rows
+                    .iter()
+                    .map(|r| {
+                        html::a(
+                            &format!("/shop/buy?sku={}", r[0]),
+                            &format!("{} — {} cents ({} left)", r[1], r[2], r[3]),
+                        )
+                        .into()
+                    })
+                    .collect();
+                let mut body = vec![
+                    html::h1("Search results").into(),
+                    html::p(&format!("{} match(es)", rows.len())).into(),
+                ];
+                body.extend(items);
+                HttpResponse::from_page(html::page("Search", body)).with_no_store()
+            },
+        );
 
         host.web.route_post(
             "/shop/buy",
@@ -204,6 +243,47 @@ impl Application for PaymentsApp {
         let nonce: u64 = (index << 20) | rng.random_range(0..1u64 << 20);
         vec![
             Step::expecting(MobileRequest::get("/shop"), "Mobile Shop"),
+            Step::expecting(
+                MobileRequest::post(
+                    "/shop/buy",
+                    vec![
+                        ("sku".into(), sku.to_string()),
+                        ("nonce".into(), nonce.to_string()),
+                    ],
+                ),
+                "Payment complete",
+            ),
+        ]
+    }
+
+    /// The search-heavy shape: browse → search → repeat the search
+    /// (served warm by the DB memo when caching is on) → refine with a
+    /// second term → purchase the found product. Every session carries a
+    /// unique noise token in its queries, so the fleet's query strings
+    /// form the high-cardinality key space the cache tiers must survive;
+    /// the token matches no product (df = 0) and never changes results.
+    fn search_session(&self, seed: u64, index: u64) -> Vec<Step> {
+        let mut rng = rng_for_indexed(seed, "payments.search_session", index);
+        let (sku, name, _, _) = CATALOG[rng.random_range(0..CATALOG.len())];
+        let nonce: u64 = (index << 20) | rng.random_range(0..1u64 << 20);
+        let mut words = name.split(' ');
+        let first = words.next().expect("product names have words");
+        let last = words.next_back().expect("product names have two words");
+        let noise: u32 = rng.random();
+        let q1 = format!("{last}+x{noise:08x}");
+        let q2 = format!("{first}+{last}+x{noise:08x}");
+        // Browse, search, re-check the results, refine to a narrower
+        // query and re-check twice more while deciding, then buy. The
+        // re-checks are what a covering-TTL search memo serves; the
+        // noise token keeps the query strings high-cardinality across
+        // sessions and users.
+        vec![
+            Step::expecting(MobileRequest::get("/shop"), "Mobile Shop"),
+            Step::expecting(MobileRequest::get(&format!("/shop/search?q={q1}")), name),
+            Step::expecting(MobileRequest::get(&format!("/shop/search?q={q1}")), name),
+            Step::expecting(MobileRequest::get(&format!("/shop/search?q={q2}")), name),
+            Step::expecting(MobileRequest::get(&format!("/shop/search?q={q2}")), name),
+            Step::expecting(MobileRequest::get(&format!("/shop/search?q={q2}")), name),
             Step::expecting(
                 MobileRequest::post(
                     "/shop/buy",

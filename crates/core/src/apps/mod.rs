@@ -157,6 +157,14 @@ pub trait Application {
     /// Generates the `index`-th user session deterministically under
     /// `seed`.
     fn session(&self, seed: u64, index: u64) -> Vec<Step>;
+
+    /// The search-heavy variant of [`Application::session`] (browse →
+    /// search → refine → purchase), used when a scenario sets
+    /// `search_heavy`. Applications without a search workload fall back
+    /// to their regular sessions.
+    fn search_session(&self, seed: u64, index: u64) -> Vec<Step> {
+        self.session(seed, index)
+    }
 }
 
 /// All eight applications, ready to install.

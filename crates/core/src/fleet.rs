@@ -122,6 +122,11 @@ pub struct Scenario {
     /// Durability policy for every user's host database. The default
     /// (batch 1, free fsync) executes the exact pre-WAL-pricing path.
     pub durability: DurabilityPolicy,
+    /// Drive each user through [`Application::search_session`] instead
+    /// of the regular sessions: the browse → search → refine → purchase
+    /// workload whose query strings give every cache tier a
+    /// high-cardinality key space. Off by default.
+    pub search_heavy: bool,
 }
 
 impl Scenario {
@@ -149,6 +154,7 @@ impl Scenario {
             fallback: None,
             cache: CachePolicy::disabled(),
             durability: DurabilityPolicy::default(),
+            search_heavy: false,
         }
     }
 
@@ -206,6 +212,30 @@ impl Scenario {
     pub fn secure(mut self, secure: bool) -> Self {
         self.secure = secure;
         self
+    }
+
+    /// Switches users onto the search-heavy session variant.
+    #[must_use]
+    pub fn search_heavy(mut self, search_heavy: bool) -> Self {
+        self.search_heavy = search_heavy;
+        self
+    }
+
+    /// The `session`-th session for this scenario: the search-heavy
+    /// variant when [`Scenario::search_heavy`] is set, the app's
+    /// regular sessions otherwise. Every runner (per-user fleet and
+    /// shared world) routes through here so the switch cannot drift.
+    pub(crate) fn session_steps(
+        &self,
+        app: &dyn crate::apps::Application,
+        session_seed: u64,
+        session: u64,
+    ) -> Vec<crate::apps::Step> {
+        if self.search_heavy {
+            app.search_session(session_seed, session)
+        } else {
+            app.session(session_seed, session)
+        }
     }
 
     /// Sets the root seed.
@@ -343,7 +373,7 @@ impl Scenario {
                 if session > 0 && self.think_secs > 0.0 {
                     system.idle(self.think_secs);
                 }
-                let steps = app.session(session_seed, session);
+                let steps = self.session_steps(app.as_ref(), session_seed, session);
                 for report in run_session(system, &steps) {
                     counters.record(&report);
                 }
@@ -356,7 +386,7 @@ impl Scenario {
                 if session > 0 && self.think_secs > 0.0 {
                     system.idle(self.think_secs);
                 }
-                let steps = app.session(session_seed, session);
+                let steps = self.session_steps(app.as_ref(), session_seed, session);
                 for report in
                     crate::workload::run_session_with_policy(system, &steps, &self.retry, &mut retry_rng)
                 {

@@ -374,7 +374,7 @@ fn run_island(
                 if session > 0 && scenario.think_secs > 0.0 {
                     actions.push_back(Action::Think(scenario.think_secs));
                 }
-                for step in app.session(session_seed, session) {
+                for step in scenario.session_steps(app.as_ref(), session_seed, session) {
                     actions.push_back(Action::Txn(Box::new(step)));
                 }
             }

@@ -815,11 +815,19 @@ impl CommerceSystem for McSystem {
         let cache_candidate = self.gateway_cache.is_some()
             && ContentCache::cacheable_request(req)
             && !self.faults.transcode_degraded(t0);
+        // Lookups *probe* for an interned key id; keys are interned only
+        // when an exchange is actually stored, so never-stored shapes
+        // (one-shot search query URLs) don't grow the interner.
         let cache_id = if cache_candidate {
             let device = self.station.browser.device().name;
             let kind = self.middleware.name();
-            let cache = self.gateway_cache.as_mut().expect("checked above");
-            Some(cache.intern(req, device, kind))
+            let cache = self.gateway_cache.as_ref().expect("checked above");
+            let id = cache.probe(req, device, kind);
+            if id.is_none() {
+                let cache = self.gateway_cache.as_mut().expect("checked above");
+                cache.record_miss();
+            }
+            id
         } else {
             None
         };
@@ -837,10 +845,16 @@ impl CommerceSystem for McSystem {
             None => {
                 let ex = self.middleware.exchange(&mut self.host, req);
                 self.last_commit_ns = self.host.take_commit_ns();
-                if let Some(id) = cache_id {
+                if cache_candidate {
                     obs::metrics::incr("middleware.cache.misses");
                     if ContentCache::cacheable_exchange(&ex) {
-                        let cache = self.gateway_cache.as_mut().expect("id implies cache");
+                        let device = self.station.browser.device().name;
+                        let kind = self.middleware.name();
+                        let cache = self.gateway_cache.as_mut().expect("candidate implies cache");
+                        let id = match cache_id {
+                            Some(id) => id,
+                            None => cache.intern(req, device, kind),
+                        };
                         let evicted = cache.store(id, &ex, t0);
                         obs::metrics::add("middleware.cache.evictions", evicted as u64);
                     }

@@ -116,6 +116,28 @@ impl PageCache {
         )
     }
 
+    /// Looks up the interned id for `req` without interning: `None` when
+    /// this request shape has never been *stored*. The lookup path uses
+    /// this so one-shot shapes (distinct search query strings, pages the
+    /// store policy rejects) never grow the interner — the cache holds
+    /// flat memory under a high-cardinality key stream.
+    pub fn probe(&self, req: &HttpRequest) -> Option<u64> {
+        let mut h = probe_hasher();
+        Self::render_key(req, &mut HashWriter(&mut h)).expect("hashing cannot fail");
+        self.interner.probe_with(h.finish(), |k| {
+            let mut m = PrefixMatcher::new(k);
+            Self::render_key(req, &mut m).is_ok() && m.matched()
+        })
+    }
+
+    /// Records a miss for a request whose key was never interned (the
+    /// probe-based lookup path found no id, so [`PageCache::lookup`]
+    /// never ran) — keeps the hit/miss accounting identical to a
+    /// lookup-through-intern flow.
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
     /// Interns a pre-rendered key string (equivalent to [`PageCache::intern`]
     /// on the request it renders).
     pub fn intern_str(&mut self, key: &str) -> u64 {

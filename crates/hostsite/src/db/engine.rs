@@ -1,17 +1,34 @@
 //! The [`Database`] façade: transactions, recovery, the memory cap and
 //! the query cache, tied over the WAL / MVCC / index layers.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash as _, Hasher as _};
 use std::sync::Arc;
 
 use crate::intern::{probe_hasher, KeyInterner};
 
+use super::fts::{query_terms, FtsIndex};
 use super::index::Table;
 use super::mvcc::VersionChain;
 use super::wal::Wal;
 use super::{float_key_bits, DbError, DurabilityPolicy, JournalEntry, OrdKey, Row, Value};
+
+/// Flat simulated cost of a cold full-text search: query parse, tf×idf
+/// scoring and rank materialization on era-appropriate host hardware.
+/// Milliseconds, not microseconds — searching is the most expensive
+/// single DB operation the application programs run, which is exactly
+/// why the memo exists.
+const SEARCH_BASE_NS: u64 = 3_000_000;
+/// Simulated cost per postings entry visited by a cold search.
+const SEARCH_POSTING_NS: u64 = 50_000;
+/// Simulated cost of serving a memoized search result.
+const SEARCH_MEMO_HIT_NS: u64 = 100_000;
+/// Maximum memoized search result sets. Query strings are a
+/// high-cardinality key space (they mostly never revisit), so unlike the
+/// `select_eq` cache the search memo must be capped: beyond the cap the
+/// least-recently-used entry is evicted, deterministically.
+const SEARCH_MEMO_CAP: usize = 64;
 
 /// Inverse operations for transaction rollback.
 #[derive(Debug)]
@@ -103,6 +120,55 @@ impl QueryCache {
     }
 }
 
+/// One memoized search result set.
+#[derive(Debug, Clone)]
+struct SearchEntry {
+    rows: Vec<Arc<Row>>,
+    stored_ns: u64,
+    /// Logical access tick for LRU eviction — deterministic, never
+    /// wall-clock.
+    last_used: u64,
+}
+
+/// Memoized [`Database::search`] result sets, keyed by `(table, query)`.
+///
+/// Capped at [`SEARCH_MEMO_CAP`] entries because distinct query strings
+/// form an unbounded key space; eviction is least-recently-used with the
+/// key as a deterministic tie-break. Invalidation is table-scoped, like
+/// the `select_eq` cache.
+#[derive(Debug, Default)]
+struct SearchMemo {
+    entries: HashMap<(String, String), SearchEntry>,
+    tick: u64,
+}
+
+impl SearchMemo {
+    /// Drops memoized searches against `table`; returns whether anything
+    /// was dropped.
+    fn invalidate_table(&mut self, table: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(t, _), _| t != table);
+        self.entries.len() != before
+    }
+
+    /// Inserts under the cap, evicting the least-recently-used entry
+    /// (ties broken by key, so eviction is deterministic regardless of
+    /// `HashMap` iteration order).
+    fn insert(&mut self, key: (String, String), entry: SearchEntry) {
+        if self.entries.len() >= SEARCH_MEMO_CAP && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by(|a, b| (a.1.last_used, a.0).cmp(&(b.1.last_used, b.0)))
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, entry);
+    }
+}
+
 /// A pinned read snapshot (see [`Database::begin_snapshot`]).
 ///
 /// The snapshot observes the database exactly as of the commit version
@@ -146,6 +212,13 @@ pub struct Database {
     /// read path takes `&self`. Off by default so uncached behaviour is
     /// untouched.
     query_cache: RefCell<QueryCache>,
+    /// Memoized full-text search result sets; capped (see
+    /// [`SearchMemo`]) and gated by the same enable/TTL knobs as the
+    /// query cache.
+    search_memo: RefCell<SearchMemo>,
+    /// Simulated CPU accrued by [`Database::search`] since the last
+    /// drain; interior mutability because the read path takes `&self`.
+    search_cost_ns: Cell<u64>,
     query_cache_enabled: bool,
     /// Optional freshness window for cached query results; `None` (the
     /// default) keeps entries until a write invalidates them.
@@ -237,6 +310,7 @@ impl Database {
         self.query_cache_enabled = enabled;
         if !enabled {
             self.query_cache.borrow_mut().clear();
+            self.search_memo.borrow_mut().entries.clear();
         }
     }
 
@@ -263,18 +337,24 @@ impl Database {
         self.now_ns = now_ns;
     }
 
-    /// Drops every cached query result (all tables).
+    /// Drops every cached query result and memoized search (all tables).
     pub fn flush_query_cache(&mut self) {
         self.query_cache.borrow_mut().clear();
+        self.search_memo.borrow_mut().entries.clear();
     }
 
-    /// Drops cached query results for one table — the transactional
-    /// invalidation hook called by every successful write.
+    /// Drops cached query results *and* memoized search results for one
+    /// table — the transactional invalidation hook called by every
+    /// successful write. A write to the catalog must take the
+    /// `select_eq` entries and the search memo down together; both are
+    /// projections of the same base rows.
     fn invalidate_table(&self, table_name: &str) {
         if !self.query_cache_enabled {
             return;
         }
-        if self.query_cache.borrow_mut().invalidate_table(table_name) {
+        let mut any = self.query_cache.borrow_mut().invalidate_table(table_name);
+        any |= self.search_memo.borrow_mut().invalidate_table(table_name);
+        if any {
             obs::metrics::incr("host.db_cache.invalidations");
         }
     }
@@ -362,6 +442,7 @@ impl Database {
                             .iter()
                             .map(|s| (s.clone(), BTreeMap::new()))
                             .collect(),
+                        fts: None,
                     },
                 );
             }
@@ -454,6 +535,7 @@ impl Database {
                     .iter()
                     .map(|s| ((*s).to_owned(), BTreeMap::new()))
                     .collect(),
+                fts: None,
             },
         );
         self.record(JournalEntry::CreateTable {
@@ -890,6 +972,168 @@ impl Database {
     /// [`DbError::NoSuchTable`] when the table does not exist.
     pub fn has_index(&self, table: &str, column: &str) -> Result<bool, DbError> {
         Ok(self.table(table)?.indexes.contains_key(column))
+    }
+
+    /// Registers a full-text index over `column` and builds it from the
+    /// live rows, replacing any existing registration. Returns the
+    /// `(term, primary key)` postings entry count built.
+    ///
+    /// Registration is engine configuration, like the query-cache knobs:
+    /// it is **not** journaled, so a crash drops both the postings and
+    /// the registration — the recovery path re-registers and pays the
+    /// rebuild (see `crash_and_recover_db` pricing the entry count into
+    /// `host.db.index_rebuild_ns`).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] / [`DbError::NoSuchColumn`] for unknown
+    /// names.
+    pub fn create_fts(&mut self, table_name: &str, column: &str) -> Result<u64, DbError> {
+        let table = self
+            .tables
+            .get_mut(table_name)
+            .ok_or_else(|| DbError::NoSuchTable(table_name.to_owned()))?;
+        if table.column_index(column).is_none() {
+            return Err(DbError::NoSuchColumn {
+                table: table_name.to_owned(),
+                column: column.to_owned(),
+            });
+        }
+        let mut fts = FtsIndex::new(column);
+        for chain in table.rows.values() {
+            if let Some(row) = chain.live() {
+                fts.insert_row(table_name, &table.columns, row)?;
+            }
+        }
+        let entries = fts.entry_count();
+        table.fts = Some(fts);
+        Ok(entries)
+    }
+
+    /// True when `table` has a full-text index registered.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] when the table does not exist.
+    pub fn has_fts(&self, table: &str) -> Result<bool, DbError> {
+        Ok(self.table(table)?.fts.is_some())
+    }
+
+    /// Every `(table, column)` full-text registration, sorted. The
+    /// recovery path captures these before a crash and re-registers
+    /// afterwards, since registrations are not journaled.
+    pub fn fts_registrations(&self) -> Vec<(String, String)> {
+        let mut regs: Vec<(String, String)> = self
+            .tables
+            .iter()
+            .filter_map(|(name, t)| t.fts.as_ref().map(|f| (name.clone(), f.column.clone())))
+            .collect();
+        regs.sort();
+        regs
+    }
+
+    /// Full-text search over `table`'s registered index: rows matching at
+    /// least one query term, ranked by fixed-point tf × idf descending
+    /// with ties broken by primary key ascending. When the query cache is
+    /// enabled the result set is memoized per `(table, query)` — capped,
+    /// TTL-checked and invalidated by writes exactly like `select_eq`
+    /// entries — and simulated CPU accrues for the host to drain (see
+    /// [`Database::drain_search_cost_ns`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] for unknown tables,
+    /// [`DbError::SchemaMismatch`] when no full-text index is registered.
+    pub fn search(&self, table_name: &str, query: &str) -> Result<Vec<Arc<Row>>, DbError> {
+        let table = self.table(table_name)?;
+        let Some(fts) = table.fts.as_ref() else {
+            return Err(DbError::SchemaMismatch(format!(
+                "no full-text index on table {table_name:?}"
+            )));
+        };
+        if self.query_cache_enabled {
+            let mut memo = self.search_memo.borrow_mut();
+            memo.tick += 1;
+            let tick = memo.tick;
+            if let Some(entry) = memo
+                .entries
+                .get_mut(&(table_name.to_owned(), query.to_owned()))
+            {
+                if self.cache_entry_fresh(entry.stored_ns) {
+                    entry.last_used = tick;
+                    obs::metrics::incr("host.db_cache.search_hits");
+                    self.search_cost_ns
+                        .set(self.search_cost_ns.get() + SEARCH_MEMO_HIT_NS);
+                    return Ok(entry.rows.clone());
+                }
+            }
+        }
+        let (scores, visited) = fts.candidates(&query_terms(query));
+        let rows = Self::rank(table, scores);
+        self.search_cost_ns
+            .set(self.search_cost_ns.get() + SEARCH_BASE_NS + SEARCH_POSTING_NS * visited);
+        if self.query_cache_enabled {
+            obs::metrics::incr("host.db_cache.search_misses");
+            let mut memo = self.search_memo.borrow_mut();
+            let tick = memo.tick;
+            memo.insert(
+                (table_name.to_owned(), query.to_owned()),
+                SearchEntry {
+                    rows: rows.clone(),
+                    stored_ns: self.now_ns,
+                    last_used: tick,
+                },
+            );
+        }
+        Ok(rows)
+    }
+
+    /// Brute-force reference for [`Database::search`]: builds a fresh
+    /// postings projection from the live rows on every call and ranks
+    /// with the identical scorer. No index, no memo, no metrics, no
+    /// simulated cost — this exists so tests and the F12 experiment can
+    /// assert the incrementally-maintained index byte-equals a
+    /// from-scratch scan.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] / [`DbError::NoSuchColumn`] for unknown
+    /// names.
+    pub fn search_scan(
+        &self,
+        table_name: &str,
+        column: &str,
+        query: &str,
+    ) -> Result<Vec<Arc<Row>>, DbError> {
+        let table = self.table(table_name)?;
+        let mut scratch = FtsIndex::new(column);
+        for chain in table.rows.values() {
+            if let Some(row) = chain.live() {
+                scratch.insert_row(table_name, &table.columns, row)?;
+            }
+        }
+        let (scores, _) = scratch.candidates(&query_terms(query));
+        Ok(Self::rank(table, scores))
+    }
+
+    /// Materializes scored primary keys in rank order: score descending,
+    /// primary key ascending on ties — the deterministic total order.
+    fn rank(table: &Table, scores: BTreeMap<OrdKey, u64>) -> Vec<Arc<Row>> {
+        let mut ranked: Vec<(u64, OrdKey)> = scores.into_iter().map(|(pk, s)| (s, pk)).collect();
+        ranked.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        ranked
+            .iter()
+            .filter_map(|(_, pk)| table.live(pk))
+            .cloned()
+            .collect()
+    }
+
+    /// Returns and resets the simulated search CPU accrued since the
+    /// last drain — the search twin of
+    /// [`Database::drain_commit_cost_ns`]; the host charges it to the
+    /// request that ran the searches.
+    pub fn drain_search_cost_ns(&mut self) -> u64 {
+        self.search_cost_ns.replace(0)
     }
 
     /// Runs `body` atomically: all of its writes commit together (one
@@ -1696,5 +1940,208 @@ mod tests {
         let metrics = obs::metrics::take();
         assert_eq!(metrics.counter("host.db_cache.hits"), 1);
         assert_eq!(metrics.counter("host.db_cache.misses"), 2);
+    }
+
+    // --- full-text search (tentpole) + search memo (boundary audit) ---
+
+    fn searchable_products() -> Database {
+        let mut db = products();
+        db.create_fts("products", "name").unwrap();
+        db
+    }
+
+    #[test]
+    fn search_requires_a_registered_index() {
+        let db = products();
+        assert!(matches!(
+            db.search("products", "widget"),
+            Err(DbError::SchemaMismatch(_))
+        ));
+        assert_eq!(
+            db.search("nope", "widget"),
+            Err(DbError::NoSuchTable("nope".into()))
+        );
+    }
+
+    #[test]
+    fn search_matches_brute_force_scan_and_stays_incremental() {
+        let mut db = searchable_products();
+        db.insert(
+            "products",
+            vec![3.into(), "widget deluxe".into(), Value::Float(7.99), 2.into()],
+        )
+        .unwrap();
+        db.delete("products", &2.into()).unwrap();
+        db.update(
+            "products",
+            vec![1.into(), "basic widget".into(), Value::Float(4.99), 10.into()],
+        )
+        .unwrap();
+        for q in ["widget", "deluxe widget", "gadget", "nothing at all", ""] {
+            let indexed = db.search("products", q).unwrap();
+            let scanned = db.search_scan("products", "name", q).unwrap();
+            assert_eq!(indexed.len(), scanned.len(), "query {q:?}");
+            for (a, b) in indexed.iter().zip(scanned.iter()) {
+                assert_eq!(a, b, "query {q:?}");
+            }
+        }
+        // The deleted row's terms are gone from the incremental index.
+        assert!(db.search("products", "gadget").unwrap().is_empty());
+    }
+
+    #[test]
+    fn search_ranks_by_score_then_primary_key() {
+        let mut db = searchable_products();
+        // Row 3 mentions "widget" twice → higher tf than rows 1 and 4,
+        // which tie and must come out in primary-key order.
+        db.insert(
+            "products",
+            vec![
+                3.into(),
+                "widget widget carrier".into(),
+                Value::Float(1.0),
+                1.into(),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "products",
+            vec![4.into(), "widget strap".into(), Value::Float(1.0), 1.into()],
+        )
+        .unwrap();
+        let hits = db.search("products", "widget").unwrap();
+        let keys: Vec<String> = hits.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(keys, vec!["3", "1", "4"]);
+    }
+
+    #[test]
+    fn search_cost_accrues_and_drains_like_commit_cost() {
+        let mut db = searchable_products();
+        let cold = db.search("products", "widget").unwrap();
+        assert_eq!(cold.len(), 1);
+        let cold_ns = db.drain_search_cost_ns();
+        assert!(cold_ns >= SEARCH_BASE_NS, "cold search pays the base cost");
+        assert_eq!(db.drain_search_cost_ns(), 0, "drain resets");
+        // With the memo enabled a repeat query costs the flat hit price.
+        db.set_query_cache(true);
+        db.search("products", "widget").unwrap();
+        db.drain_search_cost_ns();
+        db.search("products", "widget").unwrap();
+        assert_eq!(db.drain_search_cost_ns(), SEARCH_MEMO_HIT_NS);
+    }
+
+    #[test]
+    fn search_memo_expires_at_exactly_the_ttl_boundary() {
+        let mut db = searchable_products();
+        db.set_query_cache(true);
+        db.set_query_cache_ttl(Some(1_000));
+        db.set_now_ns(0);
+        let _guard = obs::metrics::enable();
+        db.search("products", "widget").unwrap(); // miss
+        db.set_now_ns(999);
+        db.search("products", "widget").unwrap(); // hit
+        db.set_now_ns(1_000); // exactly stored_at + ttl: expired
+        db.search("products", "widget").unwrap(); // miss
+        let metrics = obs::metrics::take();
+        assert_eq!(metrics.counter("host.db_cache.search_hits"), 1);
+        assert_eq!(metrics.counter("host.db_cache.search_misses"), 2);
+    }
+
+    #[test]
+    fn search_memo_invalidation_is_table_scoped() {
+        let mut db = searchable_products();
+        db.set_query_cache(true);
+        db.create_table("orders", &["id", "sku"], &["sku"]).unwrap();
+        db.insert("orders", vec![1.into(), 1.into()]).unwrap();
+        // Warm a select_eq entry and a search entry on `products`, plus a
+        // select_eq entry on `orders`.
+        db.select_eq("products", "name", &"widget".into()).unwrap();
+        db.search("products", "widget").unwrap();
+        db.select_eq("orders", "sku", &1.into()).unwrap();
+        let _guard = obs::metrics::enable();
+        // A write to `orders` leaves both `products` entries warm…
+        db.insert("orders", vec![2.into(), 2.into()]).unwrap();
+        db.select_eq("products", "name", &"widget".into()).unwrap();
+        db.search("products", "widget").unwrap();
+        // …while a catalog write takes the select_eq entry *and* the
+        // memoized search down together.
+        db.insert(
+            "products",
+            vec![3.into(), "widget mini".into(), Value::Float(2.0), 5.into()],
+        )
+        .unwrap();
+        assert_eq!(db.search("products", "widget").unwrap().len(), 2);
+        let metrics = obs::metrics::take();
+        assert_eq!(metrics.counter("host.db_cache.hits"), 1);
+        assert_eq!(metrics.counter("host.db_cache.search_hits"), 1);
+        assert_eq!(metrics.counter("host.db_cache.search_misses"), 1);
+        assert_eq!(metrics.counter("host.db_cache.invalidations"), 2);
+    }
+
+    #[test]
+    fn search_memo_survives_rollback_without_staleness() {
+        let mut db = searchable_products();
+        db.set_query_cache(true);
+        assert_eq!(db.search("products", "widget").unwrap().len(), 1);
+        let result: Result<(), DbError> = db.transaction(|tx| {
+            tx.update(
+                "products",
+                vec![1.into(), "poked".into(), Value::Float(0.0), 0.into()],
+            )?;
+            assert_eq!(tx.search("products", "poked")?.len(), 1);
+            Err(DbError::NotFound)
+        });
+        assert!(result.is_err());
+        // The rollback re-invalidated: no memo of the in-tx result, and
+        // the restored row is findable again.
+        assert!(db.search("products", "poked").unwrap().is_empty());
+        assert_eq!(db.search("products", "widget").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn search_memo_caps_and_evicts_least_recently_used_first() {
+        let mut db = searchable_products();
+        db.set_query_cache(true);
+        let _guard = obs::metrics::enable();
+        // Fill the memo past its cap with distinct queries, touching the
+        // first entry along the way so it stays recently used.
+        db.search("products", "widget").unwrap();
+        for i in 0..SEARCH_MEMO_CAP {
+            db.search("products", &format!("filler{i}")).unwrap();
+            if i == SEARCH_MEMO_CAP / 2 {
+                db.search("products", "widget").unwrap(); // keep warm
+            }
+        }
+        // "widget" survived the cap; the stalest filler did not.
+        db.search("products", "widget").unwrap();
+        db.search("products", "filler0").unwrap();
+        let metrics = obs::metrics::take();
+        assert_eq!(metrics.counter("host.db_cache.search_hits"), 2);
+        assert!(metrics.counter("host.db_cache.search_misses") >= SEARCH_MEMO_CAP as u64);
+    }
+
+    #[test]
+    fn fts_registration_drops_on_crash_and_rebuilds_from_base_rows() {
+        let mut db = searchable_products();
+        db.insert(
+            "products",
+            vec![3.into(), "widget case".into(), Value::Float(3.5), 9.into()],
+        )
+        .unwrap();
+        assert!(db.has_fts("products").unwrap());
+        // Crash: recovery replays the journal, which never saw the FTS
+        // registration — it is a derived projection, like indexes.
+        let mut recovered = Database::recover(db.journal()).unwrap();
+        assert!(!recovered.has_fts("products").unwrap());
+        // Re-registering rebuilds the postings from the base rows and
+        // reports the entry count for rebuild pricing.
+        let entries = recovered.create_fts("products", "name").unwrap();
+        assert!(entries > 0);
+        let before = db.search("products", "widget").unwrap();
+        let after = recovered.search("products", "widget").unwrap();
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(after.iter()) {
+            assert_eq!(a, b);
+        }
     }
 }

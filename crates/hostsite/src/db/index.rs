@@ -11,6 +11,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use super::fts::FtsIndex;
 use super::mvcc::VersionChain;
 use super::{DbError, OrdKey, Row};
 
@@ -21,6 +22,9 @@ pub(crate) struct Table {
     pub(crate) rows: BTreeMap<OrdKey, VersionChain>,
     /// column name → (value key → primary keys)
     pub(crate) indexes: HashMap<String, BTreeMap<OrdKey, Vec<OrdKey>>>,
+    /// Optional full-text index — a derived projection like `indexes`,
+    /// maintained on the same write path and rebuilt, not replayed.
+    pub(crate) fts: Option<FtsIndex>,
 }
 
 impl Table {
@@ -42,7 +46,10 @@ impl Table {
         // Split-borrow the schema next to the mutable index maps so index
         // maintenance never has to clone the column list per write.
         let Table {
-            columns, indexes, ..
+            columns,
+            indexes,
+            fts,
+            ..
         } = self;
         for (col, index) in indexes.iter_mut() {
             let ci = columns
@@ -54,6 +61,9 @@ impl Table {
                 })?;
             index.entry(row[ci].ord_key()).or_default().push(pk.clone());
         }
+        if let Some(fts) = fts {
+            fts.insert_row(table_name, columns, row)?;
+        }
         Ok(())
     }
 
@@ -61,7 +71,10 @@ impl Table {
     pub(crate) fn index_remove(&mut self, table_name: &str, row: &Row) -> Result<(), DbError> {
         let pk = row[0].ord_key();
         let Table {
-            columns, indexes, ..
+            columns,
+            indexes,
+            fts,
+            ..
         } = self;
         for (col, index) in indexes.iter_mut() {
             let ci = columns
@@ -79,6 +92,9 @@ impl Table {
                 }
             }
         }
+        if let Some(fts) = fts {
+            fts.remove_row(table_name, columns, row)?;
+        }
         Ok(())
     }
 
@@ -91,6 +107,7 @@ impl Table {
             columns,
             rows,
             indexes,
+            fts,
         } = self;
         let mut entries = 0u64;
         for (col, index) in indexes.iter_mut() {
@@ -109,6 +126,15 @@ impl Table {
                 }
             }
         }
+        if let Some(fts) = fts {
+            fts.clear();
+            for chain in rows.values() {
+                if let Some(row) = chain.live() {
+                    fts.insert_row(table_name, columns, row)?;
+                }
+            }
+            entries += fts.entry_count();
+        }
         Ok(entries)
     }
 }
@@ -123,6 +149,7 @@ mod tests {
             columns: vec!["id".into(), "name".into()],
             rows: BTreeMap::new(),
             indexes: [("name".to_owned(), BTreeMap::new())].into(),
+            fts: None,
         }
     }
 

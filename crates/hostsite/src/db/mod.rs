@@ -38,6 +38,7 @@
 use std::fmt;
 
 mod engine;
+mod fts;
 mod index;
 mod mvcc;
 mod wal;

@@ -83,6 +83,13 @@ impl HostComputer {
             self.commit_ns += wal_ns;
             obs::metrics::add("host.db.commit_ns", wal_ns);
         }
+        // Full-text searches the request ran are priced like WAL fsyncs:
+        // drained from the engine and charged to the request.
+        let search_ns = self.web.db_mut().drain_search_cost_ns();
+        if search_ns > 0 {
+            cost += SimDuration::from_nanos(search_ns);
+            obs::metrics::add("host.db.search_ns", search_ns);
+        }
         obs::metrics::incr("host.requests");
         obs::metrics::observe("host.cpu_ns", cost.as_nanos());
         (resp, cost)

@@ -311,6 +311,12 @@ pub struct HttpResponse {
     pub set_cookies: BTreeMap<String, String>,
     /// Redirect target for 302 responses.
     pub location: Option<String>,
+    /// Cache-admission bypass (the `Cache-Control: no-store` analogue):
+    /// neither the host page cache nor the gateway content cache stores
+    /// this response. Producers set it on one-shot pages — search
+    /// results keyed by a high-cardinality query string — so they cannot
+    /// churn the hot browse pages out of the LRU tiers.
+    pub no_store: bool,
 }
 
 impl HttpResponse {
@@ -323,6 +329,7 @@ impl HttpResponse {
             page: None,
             set_cookies: BTreeMap::new(),
             location: None,
+            no_store: false,
         }
     }
 
@@ -360,6 +367,13 @@ impl HttpResponse {
     /// Sets a cookie (builder style).
     pub fn with_cookie(mut self, name: &str, value: &str) -> Self {
         self.set_cookies.insert(name.to_owned(), value.to_owned());
+        self
+    }
+
+    /// Marks the response cache-bypassing (builder style) — see
+    /// [`HttpResponse::no_store`].
+    pub fn with_no_store(mut self) -> Self {
+        self.no_store = true;
         self
     }
 

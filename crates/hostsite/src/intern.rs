@@ -31,6 +31,10 @@ use std::hash::Hasher;
 /// The interner never forgets a key: ids are stable for the lifetime of
 /// the cache that owns it, so an entry evicted and re-admitted reuses
 /// its id (and the re-admission pays no key construction either).
+/// Because of that, callers must only intern keys they intend to store —
+/// lookups use [`KeyInterner::probe_with`], which never grows the table,
+/// so a stream of never-revisiting keys (distinct search queries) holds
+/// flat memory.
 #[derive(Debug)]
 pub struct KeyInterner<K> {
     /// hash of the canonical key → ids of keys with that hash.
@@ -78,6 +82,22 @@ impl<K> KeyInterner<K> {
         keys.push(make());
         ids.push(id);
         id
+    }
+
+    /// Looks up the id for the key described by (`hash`, `eq`) without
+    /// interning it: `None` when the key has never been seen.
+    ///
+    /// This is the lookup half of [`KeyInterner::intern_with`], for
+    /// callers that must not let unseen keys grow the interner — a
+    /// high-cardinality key space (distinct search query strings) would
+    /// otherwise intern a key per probe and never free it. Caches probe
+    /// on lookup and intern only when they actually store.
+    pub fn probe_with(&self, hash: u64, mut eq: impl FnMut(&K) -> bool) -> Option<u64> {
+        self.buckets
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&id| eq(&self.keys[id as usize]))
     }
 
     /// The canonical key for `id`.

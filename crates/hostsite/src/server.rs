@@ -157,6 +157,13 @@ impl WebServer {
         self.page_cache.as_ref().map_or(0, PageCache::len)
     }
 
+    /// Number of request keys the page cache has interned. Bounded by
+    /// the keys actually *stored*, not the keys merely looked up — the
+    /// memory-flatness invariant under high-cardinality query spaces.
+    pub fn page_cache_interned_keys(&self) -> usize {
+        self.page_cache.as_ref().map_or(0, PageCache::interned_keys)
+    }
+
     /// Advances the server's view of simulated time; cache freshness is
     /// judged against this clock.
     pub fn set_sim_now_ns(&mut self, now_ns: u64) {
@@ -191,12 +198,23 @@ impl WebServer {
         let replayed = journal.len();
         let cache_enabled = self.db.query_cache_enabled();
         let cache_ttl = self.db.query_cache_ttl_ns();
+        let fts_regs = self.db.fts_registrations();
         let policy = self.db.durability();
         self.db = Database::recover_with_policy(&journal, policy)?;
         self.db.set_now_ns(self.now_ns);
         // Secondary indexes are derived projections: rebuilt from the
-        // recovered base rows, at a per-entry price.
-        let rebuilt = self.db.index_entries_rebuilt();
+        // recovered base rows, at a per-entry price. Full-text
+        // registrations are engine configuration (never journaled), so
+        // the crash drops index and registration together; re-registering
+        // rebuilds the postings from base rows at the same per-entry
+        // price.
+        let mut rebuilt = self.db.index_entries_rebuilt();
+        for (table, column) in fts_regs {
+            rebuilt += self
+                .db
+                .create_fts(&table, &column)
+                .expect("pre-crash registration names valid columns");
+        }
         if rebuilt > 0 {
             obs::metrics::add(
                 "host.db.index_rebuild_ns",
@@ -274,25 +292,35 @@ impl WebServer {
         // database and session state, and authed requests must reach
         // dispatch's auth-realm password check every time — a cached
         // protected page keyed by username alone would be served to a
-        // later request presenting the wrong password. The interned id
-        // is computed once and reused for lookup and store.
-        let cache_id = match self.page_cache.as_mut() {
-            Some(cache) if req.method == Method::Get && req.auth.is_none() => {
-                Some(cache.intern(&req))
-            }
-            _ => None,
+        // later request presenting the wrong password. The lookup
+        // *probes* for an interned id; keys are interned only at store
+        // time, so never-stored shapes (distinct search queries,
+        // cookie-minting responses) don't grow the interner.
+        let cache_candidate = self.page_cache.is_some()
+            && req.method == Method::Get
+            && req.auth.is_none();
+        let cache_id = if cache_candidate {
+            self.page_cache.as_ref().and_then(|cache| cache.probe(&req))
+        } else {
+            None
         };
-        if let (Some(cache), Some(id)) = (self.page_cache.as_mut(), cache_id) {
-            if let Some(resp) = cache.lookup(id, self.now_ns) {
-                obs::metrics::incr("host.page_cache.hits");
-                obs::metrics::add("host.page_cache.bytes_saved", resp.body.len() as u64);
-                self.access_log.borrow_mut().push(AccessLogEntry {
-                    method: req.method,
-                    path: req.path.clone(),
-                    status: resp.status.code(),
-                    bytes: resp.body.len(),
-                });
-                return (resp, true);
+        if cache_candidate {
+            let cache = self.page_cache.as_mut().expect("candidate implies cache");
+            match cache_id {
+                Some(id) => {
+                    if let Some(resp) = cache.lookup(id, self.now_ns) {
+                        obs::metrics::incr("host.page_cache.hits");
+                        obs::metrics::add("host.page_cache.bytes_saved", resp.body.len() as u64);
+                        self.access_log.borrow_mut().push(AccessLogEntry {
+                            method: req.method,
+                            path: req.path.clone(),
+                            status: resp.status.code(),
+                            bytes: resp.body.len(),
+                        });
+                        return (resp, true);
+                    }
+                }
+                None => cache.record_miss(),
             }
         }
         let mut resp = self.dispatch(&req);
@@ -304,10 +332,18 @@ impl WebServer {
                 resp.page = None;
             }
         }
-        if let (Some(cache), Some(id)) = (self.page_cache.as_mut(), cache_id) {
+        if cache_candidate {
             obs::metrics::incr("host.page_cache.misses");
-            // Responses that mint cookies are per-client; keep them out.
-            if resp.status.is_success() && resp.set_cookies.is_empty() {
+            // Responses that mint cookies are per-client, and `no_store`
+            // responses (search results over a high-cardinality query
+            // space) would churn the LRU without ever revisiting — both
+            // bypass admission entirely.
+            if resp.status.is_success() && resp.set_cookies.is_empty() && !resp.no_store {
+                let cache = self.page_cache.as_mut().expect("candidate implies cache");
+                let id = match cache_id {
+                    Some(id) => id,
+                    None => cache.intern(&req),
+                };
                 let now_ns = self.now_ns;
                 let evicted = cache.store(id, &resp, now_ns);
                 obs::metrics::add("host.page_cache.evictions", evicted as u64);
@@ -660,6 +696,63 @@ mod tests {
         s.handle(HttpRequest::get("/stock?sku=1"));
         s.handle(HttpRequest::get("/stock?sku=1"));
         assert_eq!(s.access_log().len(), 2);
+    }
+
+    /// Adds a search-shaped route: a credential-free GET whose response
+    /// carries `no_store`, keyed by a query parameter of unbounded
+    /// cardinality — the request shape the PR-10 bugfix sweep targets.
+    fn add_search_route(s: &mut WebServer) {
+        s.route_get("/search", |req: &HttpRequest, _ctx: &mut ServerCtx<'_>| {
+            let q = req.param("q").unwrap_or_default();
+            HttpResponse::ok(format!("<html><body>results for {q}</body></html>"))
+                .with_no_store()
+        });
+    }
+
+    #[test]
+    fn hundred_k_distinct_queries_hold_interner_memory_flat() {
+        // Regression test for the unbounded-interner bug: before the
+        // probe-at-lookup fix, every distinct cache-candidate request
+        // interned its key permanently, so a fleet issuing 100k distinct
+        // search queries grew the interner by 100k entries it would
+        // never revisit.
+        let mut s = server();
+        add_search_route(&mut s);
+        s.configure_page_cache(u64::MAX / 2, 64 * 1024);
+        for i in 0..100_000u64 {
+            let (resp, hit) = s.handle_cached(HttpRequest::get(&format!("/search?q=term{i}")));
+            assert!(!hit);
+            assert!(resp.no_store);
+        }
+        assert_eq!(
+            s.page_cache_interned_keys(),
+            0,
+            "never-stored request shapes must not intern keys"
+        );
+        assert_eq!(s.page_cache_len(), 0, "no_store responses are never admitted");
+    }
+
+    #[test]
+    fn browse_hit_rate_is_unharmed_by_interleaved_searches() {
+        // Regression test for LRU churn: search responses bypass
+        // admission, so a browse page interleaved with one-off searches
+        // keeps hitting exactly as it would in a search-free run.
+        let mut s = server();
+        add_search_route(&mut s);
+        s.configure_page_cache(u64::MAX / 2, 64 * 1024);
+        let rounds = 50u64;
+        let mut browse_hits = 0u64;
+        for i in 0..rounds {
+            let (_, hit) = s.handle_cached(HttpRequest::get("/stock?sku=1"));
+            if hit {
+                browse_hits += 1;
+            }
+            let (_, hit) = s.handle_cached(HttpRequest::get(&format!("/search?q=one off {i}")));
+            assert!(!hit, "distinct searches can never hit");
+        }
+        assert_eq!(browse_hits, rounds - 1, "every revisit after the first hits");
+        assert_eq!(s.page_cache_len(), 1, "only the browse page is resident");
+        assert_eq!(s.page_cache_interned_keys(), 1);
     }
 }
 

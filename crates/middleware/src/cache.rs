@@ -129,9 +129,11 @@ impl ContentCache {
     }
 
     /// True when `ex` may be stored: a successful exchange that set no
-    /// cookies (cookie-minting responses are per-client).
+    /// cookies (cookie-minting responses are per-client) and was not
+    /// marked `no-store` by the host (one-shot search results would
+    /// churn the hot pages out of the LRU without ever revisiting).
     pub fn cacheable_exchange(ex: &Exchange) -> bool {
-        ex.status.is_success() && ex.set_cookies.is_empty()
+        ex.status.is_success() && ex.set_cookies.is_empty() && !ex.no_store
     }
 
     /// Interns the key for `req` as adapted by `middleware_kind` for
@@ -150,6 +152,27 @@ impl ContentCache {
             },
             || ContentKey::for_request(req, device_class, middleware_kind),
         )
+    }
+
+    /// Looks up the interned id for `req` without interning: `None` when
+    /// this shape has never been *stored*. The gateway probes on lookup
+    /// and interns only at store time, so a high-cardinality key stream
+    /// (distinct search query URLs) holds the interner flat.
+    pub fn probe(&self, req: &MobileRequest, device_class: &str, middleware_kind: &str) -> Option<u64> {
+        let hash = hash_fields(&req.url, device_class, middleware_kind, &req.cookies);
+        self.interner.probe_with(hash, |k| {
+            k.url == req.url
+                && k.device_class == device_class
+                && k.middleware_kind == middleware_kind
+                && k.cookies == req.cookies
+        })
+    }
+
+    /// Records a miss for a request whose key was never interned (the
+    /// probe found no id, so [`ContentCache::lookup`] never ran) — keeps
+    /// hit/miss accounting identical to a lookup-through-intern flow.
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
     }
 
     /// Interns an already-built [`ContentKey`] (equivalent to
@@ -295,6 +318,7 @@ mod tests {
             middleware_cpu: SimDuration::from_micros(450),
             host_cpu: SimDuration::from_micros(2_500),
             extra_round_trips: 1,
+            no_store: false,
             set_cookies: Vec::new(),
             deck: None,
         }
@@ -385,6 +409,33 @@ mod tests {
         let mut failed = exchange("x");
         failed.status = Status::NotFound;
         assert!(!ContentCache::cacheable_exchange(&failed));
+        // `no_store` responses (search results) bypass admission even
+        // when everything else about the exchange is clean.
+        let mut search = exchange("x");
+        search.no_store = true;
+        assert!(!ContentCache::cacheable_exchange(&search));
+    }
+
+    #[test]
+    fn probing_unseen_keys_never_grows_the_interner() {
+        // Regression test for the unbounded-interner bug: lookups probe
+        // for an id and only stores intern, so a high-cardinality query
+        // stream leaves the interner exactly as large as the set of
+        // exchanges actually admitted.
+        let mut cache = ContentCache::new(u64::MAX / 2, 10_000);
+        for i in 0..100_000u64 {
+            let req = MobileRequest::get(&format!("/search?q=term{i}"));
+            assert!(cache.probe(&req, "iPAQ", "WAP").is_none());
+            cache.record_miss();
+        }
+        assert_eq!(cache.interned_keys(), 0, "probes intern nothing");
+        assert_eq!(cache.misses(), 100_000);
+        // A stored exchange interns once and probes back to the same id.
+        let req = MobileRequest::get("/shop");
+        let id = cache.intern(&req, "iPAQ", "WAP");
+        cache.store(id, &exchange("deck"), 0);
+        assert_eq!(cache.probe(&req, "iPAQ", "WAP"), Some(id));
+        assert_eq!(cache.interned_keys(), 1);
     }
 
     #[test]

@@ -165,6 +165,7 @@ impl Middleware for IModeService {
             host_cpu,
             // Always-on packet service: no session setup, ever (§5.1).
             extra_round_trips: 0,
+            no_store: resp.no_store,
             set_cookies: resp.set_cookies.into_iter().collect(),
             deck,
         }

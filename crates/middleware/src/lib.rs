@@ -141,6 +141,9 @@ pub struct Exchange {
     pub extra_round_trips: u32,
     /// Cookies the host set (to be stored in the station's jar).
     pub set_cookies: Vec<(String, String)>,
+    /// The host marked the response cache-bypassing (`no-store`): the
+    /// gateway content cache must not admit it.
+    pub no_store: bool,
     /// The parsed form of `content`, when the middleware has it in hand
     /// (the WAP gateway builds the deck it then WBXML-encodes; i-mode's
     /// pass-through keeps the host's page tree). Invariant: when set,

@@ -209,6 +209,7 @@ impl Middleware for WapGateway {
             middleware_cpu: Self::translation_cost(html_len),
             host_cpu,
             extra_round_trips,
+            no_store: resp.no_store,
             set_cookies: resp.set_cookies.into_iter().collect(),
             deck,
         }

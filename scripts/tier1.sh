@@ -70,6 +70,15 @@
 #                      threads, free fsyncs charge zero WAL time,
 #                      recovery outage is monotone in journal length,
 #                      and the group-commit fsync arithmetic holds;
+#   search smoke     — the F12 full-text-search experiment runs end to
+#                      end, emits well-formed BENCH_search.json, warm
+#                      search p50 is strictly below cold at a covering
+#                      TTL, indexed search byte-equals the brute-force
+#                      scan, the search-heavy fleet is byte-identical
+#                      at 1/2/4/8 threads, cold search cost is monotone
+#                      in catalog size, memo hits fall as the write
+#                      rate rises, and 10k distinct queries leave the
+#                      page-cache interner empty (flat memory);
 #   examples smoke   — the Scenario-driven examples run clean (their
 #                      internal asserts are the gate).
 #
@@ -261,6 +270,39 @@ print(f"db gate: zero-cost identity holds; 1 ms fsync WAL time "
       f"{paid[0]['commit_ms']:.0f} -> {paid[-1]['commit_ms']:.0f} ms from batch "
       f"{paid[0]['commit_batch']} to {paid[-1]['commit_batch']}; "
       f"recovery monotone over {len(by_policy)} policies")
+PY
+cargo run --release -p bench --bin report -- --quick --f12
+python3 -m json.tool BENCH_search.json > /dev/null
+python3 - <<'PY'
+import json
+doc = json.load(open("BENCH_search.json"))
+assert doc["experiment"] == "F12_search"
+legs = {l["leg"]: l for l in doc["latency"]}
+assert legs["warm"]["p50_ms"] < legs["cold"]["p50_ms"], (
+    f"warm search p50 not below cold: {legs['warm']} vs {legs['cold']}"
+)
+assert legs["warm"]["search_ms"] < legs["cold"]["search_ms"], (
+    "memoized searches must cost less simulated CPU"
+)
+assert legs["cold"]["memo_hits"] == 0 and legs["warm"]["memo_hits"] > 0
+assert doc["search_equals_scan"], "indexed search diverged from brute-force scan"
+assert doc["thread_identical"], "search fleet diverged across thread counts"
+assert doc["interner_flat"], "distinct queries grew the page-cache interner"
+sizes = doc["index_size"]
+for prev, cur in zip(sizes, sizes[1:]):
+    assert cur["cold_search_ns"] > prev["cold_search_ns"], (
+        f"search cost not monotone in catalog size: {prev} -> {cur}"
+    )
+rates = doc["write_rate"]
+for row in rates:
+    assert row["memo_hits"] + row["memo_misses"] == 100, f"short leg: {row}"
+for prev, cur in zip(rates, rates[1:]):
+    assert cur["memo_hits"] < prev["memo_hits"], (
+        f"memo hits not falling with write rate: {prev} -> {cur}"
+    )
+print(f"search gate: warm p50 {legs['warm']['p50_ms']:.1f} ms < cold "
+      f"{legs['cold']['p50_ms']:.1f} ms; index == scan; identical at 1/2/4/8 "
+      f"threads; interner flat under 10k distinct queries")
 PY
 cargo run --release -p bench --bin benchdiff -- bench/baselines .
 python3 - <<'PY'

@@ -1,0 +1,203 @@
+//! Property tests for full-text catalog search (DESIGN.md §2.19).
+//!
+//! Three contracts:
+//!
+//! 1. *Index = scan.* For any random catalog and edit history, the
+//!    incrementally-maintained inverted index returns exactly the rows,
+//!    in exactly the order, of a from-scratch brute-force projection
+//!    built per query. The index is a derived view; it can never drift
+//!    from the base rows it summarizes.
+//! 2. *Crash sweep.* Truncate the WAL at every record boundary and
+//!    recover: the postings rebuilt from the recovered base rows are
+//!    identical (entry counts and every query's result list) to those
+//!    of a reference database that replayed the same prefix through the
+//!    public API. FTS registration is engine configuration — never
+//!    journaled, always rebuilt.
+//! 3. *Thread invariance.* A search-heavy fleet merges bit-identically
+//!    on 1, 2, 4, and 8 shards, caches on or off — the seventh workload
+//!    obeys the same determinism contract as the other six.
+
+use proptest::prelude::*;
+
+use mcommerce::core::{CachePolicy, Category, FleetRunner, Scenario};
+use mcommerce::hostsite::db::{Database, Value};
+
+/// Small vocabulary so random catalogs collide on terms (shared words
+/// across rows are what make ranking interesting).
+const ADJECTIVES: [&str; 4] = ["wireless", "leather", "spare", "travel"];
+const NOUNS: [&str; 4] = ["earpiece", "case", "stylus", "charger"];
+
+fn name_of(adj: u8, noun: u8) -> String {
+    format!(
+        "{} {}",
+        ADJECTIVES[adj as usize % 4],
+        NOUNS[noun as usize % 4]
+    )
+}
+
+/// Every query worth asking of the vocabulary: single terms, pairs, and
+/// a term that never occurs.
+fn query_battery() -> Vec<String> {
+    let mut queries: Vec<String> = ADJECTIVES
+        .iter()
+        .chain(NOUNS.iter())
+        .map(|w| (*w).to_owned())
+        .collect();
+    for a in ADJECTIVES {
+        for n in NOUNS {
+            queries.push(format!("{a} {n}"));
+        }
+    }
+    queries.push("unobtainium".to_owned());
+    queries
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: i64, adj: u8, noun: u8 },
+    Update { key: i64, adj: u8, noun: u8 },
+    Delete { key: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..8i64, any::<u8>(), any::<u8>())
+            .prop_map(|(key, adj, noun)| Op::Insert { key, adj, noun }),
+        (0..8i64, any::<u8>(), any::<u8>())
+            .prop_map(|(key, adj, noun)| Op::Update { key, adj, noun }),
+        (0..8i64,).prop_map(|(key,)| Op::Delete { key }),
+    ]
+}
+
+fn fresh_catalog() -> Database {
+    let mut db = Database::new();
+    db.create_table("products", &["sku", "name", "price"], &["name"])
+        .unwrap();
+    db
+}
+
+fn apply(db: &mut Database, op: &Op) {
+    match *op {
+        Op::Insert { key, adj, noun } => {
+            let _ = db.insert(
+                "products",
+                vec![key.into(), name_of(adj, noun).into(), Value::Int(100)],
+            );
+        }
+        Op::Update { key, adj, noun } => {
+            let _ = db.update(
+                "products",
+                vec![key.into(), name_of(adj, noun).into(), Value::Int(100)],
+            );
+        }
+        Op::Delete { key } => {
+            let _ = db.delete("products", &key.into());
+        }
+    }
+}
+
+/// Primary keys of a ranked result list — the comparable projection
+/// (rows are `Arc`-shared, so keys pin both content and order).
+fn keys(rows: &[std::sync::Arc<Vec<Value>>]) -> Vec<String> {
+    rows.iter().map(|r| r[0].to_string()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Contract 1: after any edit history, indexed search equals the
+    /// brute-force scan for every query in the battery.
+    #[test]
+    fn indexed_search_equals_brute_force_scan(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+        let mut db = fresh_catalog();
+        db.create_fts("products", "name").unwrap();
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        for q in query_battery() {
+            let indexed = keys(&db.search("products", &q).unwrap());
+            let scanned = keys(&db.search_scan("products", "name", &q).unwrap());
+            prop_assert_eq!(indexed, scanned, "query {:?} diverged", q);
+        }
+    }
+
+    /// Contract 2: recovery from every WAL prefix rebuilds postings
+    /// identical to a reference that replayed the prefix live.
+    #[test]
+    fn crash_at_every_record_boundary_rebuilds_an_identical_index(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+    ) {
+        let mut db = fresh_catalog();
+        db.create_fts("products", "name").unwrap();
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        let journal = db.journal().to_vec();
+        let queries = query_battery();
+        for cut in 0..=journal.len() {
+            let prefix = &journal[..cut];
+            // Crash: the recovered engine has no FTS (registration is
+            // not journaled); re-registering rebuilds from base rows.
+            let mut recovered = Database::recover(prefix).unwrap();
+            prop_assert!(!recovered.has_fts("products").unwrap_or(false));
+            let rebuilt_entries = match recovered.create_fts("products", "name") {
+                Ok(n) => n,
+                // Prefix cut before the CreateTable record: nothing to
+                // index, nothing to compare.
+                Err(_) => continue,
+            };
+            // Reference: the same prefix replayed through recovery,
+            // indexed independently.
+            let mut reference = Database::recover(prefix).unwrap();
+            let reference_entries = reference.create_fts("products", "name").unwrap();
+            prop_assert_eq!(rebuilt_entries, reference_entries);
+            for q in &queries {
+                prop_assert_eq!(
+                    keys(&recovered.search("products", q).unwrap()),
+                    keys(&reference.search_scan("products", "name", q).unwrap()),
+                    "cut {} query {:?} diverged", cut, q
+                );
+            }
+        }
+    }
+}
+
+/// Contract 3, cache off: fixed-seed search fleets are byte-identical
+/// across shard counts.
+#[test]
+fn search_heavy_fleet_is_thread_count_invariant() {
+    let scenario = Scenario::new("search-fleet")
+        .app(Category::Commerce)
+        .search_heavy(true)
+        .users(6)
+        .sessions_per_user(2)
+        .seed(0xF12);
+    let base = FleetRunner::new(scenario.clone()).threads(1).run().report.summary;
+    assert!(
+        base.workload.success_rate() > 0.99,
+        "search sessions must succeed end to end"
+    );
+    for threads in [2, 4, 8] {
+        let other = FleetRunner::new(scenario.clone()).threads(threads).run().report.summary;
+        assert_eq!(base, other, "diverged at {threads} threads");
+    }
+}
+
+/// Contract 3, caches on: the high-cardinality query key space flows
+/// through every cache tier without breaking shard invariance.
+#[test]
+fn cached_search_heavy_fleet_is_thread_count_invariant() {
+    let scenario = Scenario::new("search-fleet-cached")
+        .app(Category::Commerce)
+        .search_heavy(true)
+        .users(6)
+        .sessions_per_user(2)
+        .cache(CachePolicy::standard())
+        .seed(0xF12 + 1);
+    let base = FleetRunner::new(scenario.clone()).threads(1).run().report.summary;
+    assert!(base.workload.success_rate() > 0.99);
+    for threads in [2, 4, 8] {
+        let other = FleetRunner::new(scenario.clone()).threads(threads).run().report.summary;
+        assert_eq!(base, other, "diverged at {threads} threads");
+    }
+}
